@@ -1,0 +1,81 @@
+// Fig. 10 reproduction: ablation study. Dysim vs Dysim w/o target markets
+// (TM) and w/o item priority (IP), on Yelp and Amazon, sweeping budget
+// (T fixed) and number of promotions (b fixed).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace imdpp::bench {
+namespace {
+
+AlgoOutcome RunVariant(const diffusion::Problem& p, const Effort& e,
+                       bool target_markets, bool item_priority) {
+  core::DysimConfig cfg = MakeDysimConfig(e);
+  cfg.use_target_markets = target_markets;
+  cfg.use_item_priority = item_priority;
+  cfg.use_theorem5_guard = false;  // compare raw schedules
+  return RunDysimTimed(p, cfg);
+}
+
+void BudgetSweep(const data::Dataset& ds) {
+  Effort effort;
+  effort.selection_samples = 6;
+  std::printf("--- %s: ablation, sigma vs b (T = 8) ---\n", ds.name.c_str());
+  TextTable t;
+  t.SetHeader({"variant", "b=150", "b=300", "b=450"});
+  std::vector<std::string> full{"Dysim"}, no_tm{"w/o TM"}, no_ip{"w/o IP"};
+  for (double b : {150.0, 300.0, 450.0}) {
+    diffusion::Problem p = ds.MakeProblem(b, 8);
+    full.push_back(TextTable::Num(RunVariant(p, effort, true, true).sigma, 1));
+    no_tm.push_back(
+        TextTable::Num(RunVariant(p, effort, false, true).sigma, 1));
+    no_ip.push_back(
+        TextTable::Num(RunVariant(p, effort, true, false).sigma, 1));
+  }
+  t.AddRow(full);
+  t.AddRow(no_tm);
+  t.AddRow(no_ip);
+  std::printf("%s\n", t.Render().c_str());
+}
+
+void PromotionSweep(const data::Dataset& ds) {
+  Effort effort;
+  effort.selection_samples = 6;
+  std::printf("--- %s: ablation, sigma vs T (b = 300) ---\n",
+              ds.name.c_str());
+  TextTable t;
+  t.SetHeader({"variant", "T=2", "T=8", "T=16"});
+  std::vector<std::string> full{"Dysim"}, no_tm{"w/o TM"}, no_ip{"w/o IP"};
+  for (int T : {2, 8, 16}) {
+    diffusion::Problem p = ds.MakeProblem(300.0, T);
+    full.push_back(TextTable::Num(RunVariant(p, effort, true, true).sigma, 1));
+    no_tm.push_back(
+        TextTable::Num(RunVariant(p, effort, false, true).sigma, 1));
+    no_ip.push_back(
+        TextTable::Num(RunVariant(p, effort, true, false).sigma, 1));
+  }
+  t.AddRow(full);
+  t.AddRow(no_tm);
+  t.AddRow(no_ip);
+  std::printf("%s\n", t.Render().c_str());
+}
+
+}  // namespace
+}  // namespace imdpp::bench
+
+int main() {
+  using namespace imdpp;
+  using namespace imdpp::bench;
+  std::printf("=== Fig. 10: ablation study (w/o TM, w/o IP) ===\n");
+  data::Dataset yelp = data::MakeYelpLike(0.5);
+  data::Dataset amazon = data::MakeAmazonLike(0.5);
+  BudgetSweep(yelp);
+  PromotionSweep(yelp);
+  BudgetSweep(amazon);
+  PromotionSweep(amazon);
+  PrintShapeNote("Fig.10",
+                 "full Dysim >= both ablations at every point; the gap "
+                 "widens as T grows (w/o TM suffers substitutable clashes, "
+                 "w/o IP cannot sequence complementary items).");
+  return 0;
+}

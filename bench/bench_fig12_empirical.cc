@@ -1,0 +1,41 @@
+// Fig. 12 reproduction: the empirical course-promotion study. Five
+// classroom datasets (Table III sizes), 30 elective courses, b = 50,
+// T = 3. The paper recruited real students; we simulate the same campaign
+// shapes (see DESIGN.md). Course importance is flattened to 1 so σ is
+// literally the expected number of course selections.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace imdpp;
+  using namespace imdpp::bench;
+
+  std::printf("=== Fig. 12: course selections per class (b=50, T=3) ===\n");
+  Effort effort;
+  effort.max_users = 0;  // classes are small: exhaustive over students
+  effort.max_items = 10;
+  effort.eval_samples = 48;
+
+  TextTable t;
+  t.SetHeader({"class", "Dysim", "BGRD", "HAG", "PS"});
+  const char* names[5] = {"A", "B", "C", "D", "E"};
+  for (int c = 0; c < 5; ++c) {
+    data::Dataset ds = data::MakeClassroom(c);
+    diffusion::Problem p = ds.MakeProblem(50.0, 3);
+    // Equal-importance courses: sigma == expected #selections.
+    std::fill(p.importance.begin(), p.importance.end(), 1.0);
+    std::vector<std::string> row{names[c]};
+    row.push_back(
+        TextTable::Num(RunDysimTimed(p, MakeDysimConfig(effort)).sigma, 1));
+    row.push_back(TextTable::Num(RunBaselineTimed("BGRD", p, effort).sigma, 1));
+    row.push_back(TextTable::Num(RunBaselineTimed("HAG", p, effort).sigma, 1));
+    row.push_back(TextTable::Num(RunBaselineTimed("PS", p, effort).sigma, 1));
+    t.AddRow(row);
+  }
+  std::printf("%s", t.Render().c_str());
+  PrintShapeNote("Fig.12",
+                 "Dysim induces the most selections in every class, "
+                 "followed by BGRD and HAG; PS last.");
+  return 0;
+}

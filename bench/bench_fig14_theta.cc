@@ -1,0 +1,53 @@
+// Fig. 14 reproduction: sensitivity to the overlap threshold θ in TMI
+// (markets sharing more than θ users join the same group G). The paper
+// sweeps θ in the thousands (millions of users); scaled to our market
+// sizes, the sweep is θ ∈ {0, 1, 2, 4, 8}.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace imdpp::bench {
+namespace {
+
+void RunDataset(const data::Dataset& ds, TextTable& t,
+                const std::vector<int>& thetas) {
+  Effort effort;
+  effort.selection_samples = 6;
+  std::vector<std::string> row{ds.name};
+  for (int theta : thetas) {
+    diffusion::Problem p = ds.MakeProblem(400.0, 8);
+    core::DysimConfig cfg = MakeDysimConfig(effort);
+    cfg.market.overlap_theta = theta;
+    row.push_back(TextTable::Num(RunDysimTimed(p, cfg).sigma, 1));
+  }
+  t.AddRow(row);
+}
+
+}  // namespace
+}  // namespace imdpp::bench
+
+int main() {
+  using namespace imdpp;
+  using namespace imdpp::bench;
+  std::printf("=== Fig. 14: sensitivity to theta (b=400, T=8) ===\n");
+  const std::vector<int> thetas{0, 1, 2, 4, 8};
+  TextTable t;
+  std::vector<std::string> header{"dataset"};
+  for (int th : thetas) header.push_back("theta=" + TextTable::Int(th));
+  t.SetHeader(header);
+  data::Dataset yelp = data::MakeYelpLike(0.4);
+  data::Dataset gowalla = data::MakeGowallaLike(0.4);
+  data::Dataset amazon = data::MakeAmazonLike(0.4);
+  data::Dataset douban = data::MakeDoubanLike(0.3);
+  RunDataset(yelp, t, thetas);
+  RunDataset(gowalla, t, thetas);
+  RunDataset(amazon, t, thetas);
+  RunDataset(douban, t, thetas);
+  std::printf("%s", t.Render().c_str());
+  PrintShapeNote("Fig.14",
+                 "interior sweet spot: very small theta over-fragments "
+                 "promotional durations, very large theta lets overlapping "
+                 "markets push substitutable items at common users; the "
+                 "curve is shallow (paper reports mild sensitivity).");
+  return 0;
+}

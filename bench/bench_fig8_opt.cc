@@ -1,0 +1,94 @@
+// Fig. 8 reproduction: comparison with (pruned-exhaustive) OPT on the
+// 100-user Amazon sample.
+//   (a) σ vs budget b ∈ {50, 75, 100, 125} at T = 2;
+//   (b) σ vs number of promotions T ∈ {1, 2, 3} at b = 100.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace imdpp::bench {
+namespace {
+
+/// OPT over the strongest singletons PLUS the heuristic's own nominees
+/// (so the pruned enumeration provably upper-bounds it).
+AlgoOutcome RunOptTimed(const diffusion::Problem& p, const Effort& e,
+                        const diffusion::SeedGroup& heuristic_seeds) {
+  baselines::OptConfig cfg;
+  static_cast<baselines::BaselineConfig&>(cfg) = MakeBaselineConfig(e);
+  cfg.selection_samples = 6;  // OPT evaluates tens of thousands of subsets
+  cfg.max_candidates = 10;
+  for (const diffusion::Seed& s : heuristic_seeds) {
+    cfg.extra_candidates.push_back(s.AsNominee());
+  }
+  // Seed cap = what the budget can possibly buy (min cost is 22 on the
+  // 100-user sample), keeping the enumeration exact w.r.t. spend.
+  cfg.max_seeds = std::clamp(static_cast<int>(p.budget / 22.0), 1, 5);
+  Timer t;
+  baselines::BaselineResult r = baselines::RunOpt(p, cfg);
+  return {r.sigma, t.Seconds(), r.seeds.size()};
+}
+
+void RunSweep() {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  Effort effort;
+  effort.max_users = 14;
+  effort.max_items = 5;
+  const char* algos[] = {"OPT", "Dysim", "BGRD", "HAG", "PS", "DRHGA"};
+
+  std::printf("=== Fig. 8(a): sigma vs budget (T = 2, 100 users) ===\n");
+  TextTable ta;
+  ta.SetHeader({"algorithm", "b=50", "b=75", "b=100", "b=125"});
+  std::vector<std::vector<double>> cols(6);
+  for (double b : {50.0, 75.0, 100.0, 125.0}) {
+    diffusion::Problem p = ds.MakeProblem(b, 2);
+    core::DysimResult dysim = core::RunDysim(p, MakeDysimConfig(effort));
+    cols[0].push_back(RunOptTimed(p, effort, dysim.seeds).sigma);
+    cols[1].push_back(dysim.sigma);
+    cols[2].push_back(RunBaselineTimed("BGRD", p, effort).sigma);
+    cols[3].push_back(RunBaselineTimed("HAG", p, effort).sigma);
+    cols[4].push_back(RunBaselineTimed("PS", p, effort).sigma);
+    cols[5].push_back(RunBaselineTimed("DRHGA", p, effort).sigma);
+  }
+  for (int a = 0; a < 6; ++a) {
+    std::vector<std::string> row{algos[a]};
+    for (double v : cols[a]) row.push_back(TextTable::Num(v, 2));
+    ta.AddRow(row);
+  }
+  std::printf("%s", ta.Render().c_str());
+  PrintShapeNote("Fig.8(a)",
+                 "Dysim closest to OPT; all curves grow with b; "
+                 "baselines below Dysim.");
+
+  std::printf("\n=== Fig. 8(b): sigma vs T (b = 100, 100 users) ===\n");
+  TextTable tb;
+  tb.SetHeader({"algorithm", "T=1", "T=2", "T=3"});
+  std::vector<std::vector<double>> colsb(6);
+  for (int T : {1, 2, 3}) {
+    diffusion::Problem p = ds.MakeProblem(100.0, T);
+    core::DysimResult dysim = core::RunDysim(p, MakeDysimConfig(effort));
+    colsb[0].push_back(RunOptTimed(p, effort, dysim.seeds).sigma);
+    colsb[1].push_back(dysim.sigma);
+    colsb[2].push_back(RunBaselineTimed("BGRD", p, effort).sigma);
+    colsb[3].push_back(RunBaselineTimed("HAG", p, effort).sigma);
+    colsb[4].push_back(RunBaselineTimed("PS", p, effort).sigma);
+    colsb[5].push_back(RunBaselineTimed("DRHGA", p, effort).sigma);
+  }
+  for (int a = 0; a < 6; ++a) {
+    std::vector<std::string> row{algos[a]};
+    for (double v : colsb[a]) row.push_back(TextTable::Num(v, 2));
+    tb.AddRow(row);
+  }
+  std::printf("%s", tb.Render().c_str());
+  PrintShapeNote("Fig.8(b)",
+                 "Dysim grows with T and stays closest to OPT; baselines "
+                 "gain little from extra promotions.");
+}
+
+}  // namespace
+}  // namespace imdpp::bench
+
+int main() {
+  imdpp::bench::RunSweep();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 9(e)-(g) reproduction: σ vs number of promotions T on Yelp and
+// Amazon (b = 500), plus execution time vs T on Amazon.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace imdpp::bench {
+namespace {
+
+const std::vector<int> kPromotions{1, 5, 10, 20};
+
+void RunDataset(const data::Dataset& ds, TextTable* time_table) {
+  Effort effort;
+  effort.selection_samples = 6;
+  effort.max_users = 16;
+  effort.max_items = 6;
+  std::printf("--- %s: sigma vs T (b = 500) ---\n", ds.name.c_str());
+  TextTable t;
+  std::vector<std::string> header{"algorithm"};
+  for (int T : kPromotions) header.push_back("T=" + TextTable::Int(T));
+  t.SetHeader(header);
+
+  const std::vector<std::string> algos{"Dysim", "BGRD", "HAG", "PS",
+                                       "DRHGA"};
+  std::vector<std::vector<std::string>> rows(algos.size());
+  std::vector<std::vector<std::string>> time_rows(algos.size());
+  for (size_t a = 0; a < algos.size(); ++a) {
+    rows[a].push_back(algos[a]);
+    time_rows[a].push_back(algos[a]);
+  }
+  for (int T : kPromotions) {
+    diffusion::Problem p = ds.MakeProblem(500.0, T);
+    for (size_t a = 0; a < algos.size(); ++a) {
+      AlgoOutcome o = algos[a] == "Dysim"
+                          ? RunDysimTimed(p, MakeDysimConfig(effort))
+                          : RunBaselineTimed(algos[a], p, effort);
+      rows[a].push_back(TextTable::Num(o.sigma, 1));
+      time_rows[a].push_back(TextTable::Num(o.seconds, 2));
+    }
+  }
+  for (auto& r : rows) t.AddRow(r);
+  std::printf("%s\n", t.Render().c_str());
+  if (time_table != nullptr) {
+    time_table->SetHeader(header);
+    for (auto& r : time_rows) time_table->AddRow(r);
+  }
+}
+
+}  // namespace
+}  // namespace imdpp::bench
+
+int main() {
+  using namespace imdpp;
+  using namespace imdpp::bench;
+
+  std::printf("=== Fig. 9(e)-(f): influence vs number of promotions ===\n");
+  data::Dataset yelp = data::MakeYelpLike(0.5);
+  data::Dataset amazon = data::MakeAmazonLike(0.5);
+  RunDataset(yelp, nullptr);
+  TextTable amazon_times;
+  RunDataset(amazon, &amazon_times);
+
+  std::printf("=== Fig. 9(g): execution time (seconds) vs T, Amazon ===\n");
+  std::printf("%s", amazon_times.Render().c_str());
+  PrintShapeNote("Fig.9(e-g)",
+                 "Dysim's sigma keeps growing with T (TDSI schedules "
+                 "relevant items across rounds); baselines flatten, "
+                 "especially beyond T = 20; Dysim's runtime stays low "
+                 "thanks to the pruned timing search.");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: one campaign realization, σ̂ estimation, meta-graph
+// all-pairs matching, MIOA region queries, and market evaluation with π.
+#include <benchmark/benchmark.h>
+
+#include "cluster/mioa.h"
+#include "core/nominee_selection.h"
+#include "data/catalog.h"
+#include "diffusion/monte_carlo.h"
+#include "kg/meta_graph_matcher.h"
+
+namespace imdpp {
+namespace {
+
+const data::Dataset& AmazonDs() {
+  static const data::Dataset* ds =
+      new data::Dataset(data::MakeAmazonLike(0.5));
+  return *ds;
+}
+
+void BM_CampaignSample(benchmark::State& state) {
+  const data::Dataset& ds = AmazonDs();
+  diffusion::Problem p = ds.MakeProblem(300.0, static_cast<int>(state.range(0)));
+  diffusion::CampaignSimulator sim(p, {});
+  diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 1}, {2, 2, 1}};
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.RunSample(seeds, i++).sigma);
+  }
+}
+BENCHMARK(BM_CampaignSample)->Arg(1)->Arg(5)->Arg(10)->Arg(40);
+
+void BM_SigmaEstimate(benchmark::State& state) {
+  const data::Dataset& ds = AmazonDs();
+  diffusion::Problem p = ds.MakeProblem(300.0, 5);
+  diffusion::MonteCarloEngine engine(p, {},
+                                     static_cast<int>(state.range(0)));
+  diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 2}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Sigma(seeds));
+  }
+}
+BENCHMARK(BM_SigmaEstimate)->Arg(8)->Arg(32);
+
+void BM_MetaGraphAllPairs(benchmark::State& state) {
+  const data::Dataset& ds = AmazonDs();
+  kg::MetaGraphMatcher matcher(*ds.kg);
+  kg::MetaGraph m = ds.relevance->Meta(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.CountAllPairs(m));
+  }
+}
+BENCHMARK(BM_MetaGraphAllPairs);
+
+void BM_MioaRegion(benchmark::State& state) {
+  const data::Dataset& ds = AmazonDs();
+  std::vector<graph::UserId> sources{0, 1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::UnionInfluenceRegion(*ds.social, sources, 0.01, 8));
+  }
+}
+BENCHMARK(BM_MioaRegion);
+
+void BM_EvalMarketWithPi(benchmark::State& state) {
+  const data::Dataset& ds = AmazonDs();
+  diffusion::Problem p = ds.MakeProblem(300.0, 5);
+  diffusion::MonteCarloEngine engine(p, {}, 8);
+  std::vector<graph::UserId> market;
+  for (graph::UserId u = 0; u < 50; ++u) market.push_back(u);
+  diffusion::SeedGroup seeds{{0, 0, 1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.EvalMarket(seeds, market).pi);
+  }
+}
+BENCHMARK(BM_EvalMarketWithPi);
+
+void BM_CandidateUniverse(benchmark::State& state) {
+  const data::Dataset& ds = AmazonDs();
+  diffusion::Problem p = ds.MakeProblem(300.0, 5);
+  core::CandidateConfig cfg;
+  cfg.max_users = 20;
+  cfg.max_items = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildCandidateUniverse(p, cfg));
+  }
+}
+BENCHMARK(BM_CandidateUniverse);
+
+}  // namespace
+}  // namespace imdpp
+
+BENCHMARK_MAIN();

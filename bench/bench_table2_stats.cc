@@ -1,0 +1,39 @@
+// Table II + Table III reproduction: dataset statistics. Rows are datasets
+// (the paper prints datasets as columns). Absolute sizes are scaled down;
+// the qualitative columns (directedness, influence-strength ordering,
+// importance ordering, node/edge-type counts) match the paper.
+#include <cstdio>
+
+#include "data/catalog.h"
+#include "data/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace imdpp;
+  std::printf("=== Table II: dataset statistics (scaled synthetics) ===\n");
+  TextTable t2;
+  data::SetStatsHeader(t2);
+  data::AppendStatsRow(t2, data::ComputeStats(data::MakeDoubanLike()));
+  data::AppendStatsRow(t2, data::ComputeStats(data::MakeGowallaLike()));
+  data::AppendStatsRow(t2, data::ComputeStats(data::MakeYelpLike()));
+  data::AppendStatsRow(t2, data::ComputeStats(data::MakeAmazonLike()));
+  std::printf("%s", t2.Render().c_str());
+  std::printf(
+      "\nPaper check: Amazon directed, all others undirected; influence "
+      "strength yelp > gowalla > amazon > douban; douban largest.\n");
+
+  std::printf("\n=== Table III: recruited classes (empirical study) ===\n");
+  TextTable t3;
+  t3.SetHeader({"class", "#users", "#edges"});
+  const char* names[5] = {"A", "B", "C", "D", "E"};
+  for (int c = 0; c < 5; ++c) {
+    data::Dataset ds = data::MakeClassroom(c);
+    data::DatasetStats s = data::ComputeStats(ds);
+    t3.AddRow({names[c], TextTable::Int(s.users),
+               TextTable::Int(s.friendships)});
+  }
+  std::printf("%s", t3.Render().c_str());
+  std::printf("\nPaper check: user counts 33/26/22/20/20, hundreds of "
+              "edges per class.\n");
+  return 0;
+}

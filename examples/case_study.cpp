@@ -1,0 +1,98 @@
+// Case studies in the spirit of Sec. VI-F: trace how dynamic perception
+// changes one user's behaviour across promotions on an Amazon-flavor
+// dataset.
+//
+//   1) substitutable perception growth after adopting related items;
+//   2) a complementary adoption raising the preference for a follow-up
+//      item between promotions (the Kindle / Kindle-Unlimited effect);
+//   3) influence strength growing between two users after a shared
+//      adoption (the Garmin effect).
+//
+//   $ ./case_study
+#include <cstdio>
+
+#include "data/catalog.h"
+#include "diffusion/campaign_simulator.h"
+#include "diffusion/monte_carlo.h"
+
+int main() {
+  using namespace imdpp;
+  data::Dataset ds = data::MakeAmazonLike(0.3);
+  pin::PerceptionParams params;
+  diffusion::Problem p = ds.MakeProblem(500.0, 10, params);
+  pin::Dynamics dyn(*ds.relevance, params);
+
+  // Pick a strongly complementary pair and a substitutable pair.
+  std::vector<float> w0(ds.relevance->NumMetas(), 0.45f);
+  int cx = 0, cy = 1, sx = 0, sy = 1;
+  double best_c = -1, best_s = -1;
+  for (int i = 0; i < ds.NumItems(); ++i) {
+    for (int j = 0; j < ds.NumItems(); ++j) {
+      if (i == j) continue;
+      double rc = dyn.pin().RelC(w0, i, j);
+      double rs = dyn.pin().RelS(w0, i, j);
+      if (rc - rs > best_c) { best_c = rc - rs; cx = i; cy = j; }
+      if (rs - rc > best_s) { best_s = rs - rc; sx = i; sy = j; }
+    }
+  }
+  std::printf("complementary pair: %s + %s (net %.2f)\n",
+              ds.kg->ItemLabel(cx).c_str(), ds.kg->ItemLabel(cy).c_str(),
+              best_c);
+  std::printf("substitutable pair: %s vs %s (net %.2f)\n\n",
+              ds.kg->ItemLabel(sx).c_str(), ds.kg->ItemLabel(sy).c_str(),
+              best_s);
+
+  // Case 2 (Kindle effect): adopting cx raises the user's preference for
+  // cy, so a later promotion succeeds more often.
+  pin::UserState u(ds.NumItems(), std::vector<float>(w0.begin(), w0.end()));
+  pin::PreferenceModel pref(dyn.pin());
+  double before = pref.Eval(u, ds.base_pref[cy], cy);
+  u.Add(cx);
+  std::vector<kg::ItemId> newly{cx};
+  dyn.pin().UpdateWeights(u, newly);
+  double after = pref.Eval(u, ds.base_pref[cy], cy);
+  std::printf("case 2: preference for %s %.2f -> %.2f after adopting %s\n",
+              ds.kg->ItemLabel(cy).c_str(), before, after,
+              ds.kg->ItemLabel(cx).c_str());
+
+  // Case 1 (substitutable suppression): after adopting sx, the preference
+  // for its substitute sy drops.
+  pin::UserState v(ds.NumItems(), std::vector<float>(w0.begin(), w0.end()));
+  double pre_s = pref.Eval(v, ds.base_pref[sy], sy);
+  v.Add(sx);
+  std::vector<kg::ItemId> newly2{sx};
+  dyn.pin().UpdateWeights(v, newly2);
+  double post_s = pref.Eval(v, ds.base_pref[sy], sy);
+  std::printf("case 1: preference for %s %.2f -> %.2f after adopting the "
+              "substitute %s\n",
+              ds.kg->ItemLabel(sy).c_str(), pre_s, post_s,
+              ds.kg->ItemLabel(sx).c_str());
+
+  // Case 3 (Garmin effect): shared adoptions strengthen an edge.
+  pin::InfluenceModel act(params);
+  pin::UserState a(ds.NumItems(), std::vector<float>(w0.begin(), w0.end()));
+  pin::UserState b(ds.NumItems(), std::vector<float>(w0.begin(), w0.end()));
+  double base_w = 0.39;
+  double w_before = act.Eval(base_w, a, b);
+  a.Add(cx);
+  b.Add(cx);
+  double w_after = act.Eval(base_w, a, b);
+  std::printf("case 3: influence strength %.2f -> %.2f after both users "
+              "adopt %s\n",
+              w_before, w_after, ds.kg->ItemLabel(cx).c_str());
+
+  // End-to-end: does the second-wave re-promotion of cy benefit from cx's
+  // first wave? (paired Monte-Carlo comparison)
+  diffusion::MonteCarloEngine engine(p, {}, 128);
+  int hub = 0;
+  for (int uu = 0; uu < ds.NumUsers(); ++uu) {
+    if (ds.social->OutDegree(uu) > ds.social->OutDegree(hub)) hub = uu;
+  }
+  double together = engine.Sigma({{hub, cx, 1}, {hub, cy, 1}});
+  double sequenced = engine.Sigma({{hub, cx, 1}, {hub, cy, 2}});
+  std::printf(
+      "\nsequencing check from hub user %d: simultaneous sigma %.2f vs "
+      "sequenced sigma %.2f\n",
+      hub, together, sequenced);
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "baselines/bgrd.h"
+
+#include <algorithm>
+
+#include "baselines/cr_greedy.h"
+
+namespace imdpp::baselines {
+
+namespace {
+
+/// The affordable prefix of the bundle for user u: items in descending
+/// importance while the running cost fits the remaining budget.
+std::vector<Nominee> BundleFor(const Problem& problem, graph::UserId u,
+                               const std::vector<kg::ItemId>& items_by_w,
+                               double remaining) {
+  std::vector<Nominee> bundle;
+  double cost = 0.0;
+  for (kg::ItemId x : items_by_w) {
+    double c = problem.Cost(u, x);
+    if (cost + c > remaining) continue;
+    cost += c;
+    bundle.push_back(Nominee{u, x});
+  }
+  return bundle;
+}
+
+}  // namespace
+
+BaselineResult RunBgrd(const Problem& problem, const BaselineConfig& config) {
+  MonteCarloEngine engine(problem, config.campaign, config.selection_samples);
+
+  // Candidate users (top by out-degree when pruned).
+  core::CandidateConfig cand = config.candidates;
+  cand.max_items = 1;  // only used to enumerate users cheaply
+  std::vector<Nominee> unit = core::BuildCandidateUniverse(problem, cand);
+  std::vector<graph::UserId> users;
+  for (const Nominee& n : unit) {
+    if (users.empty() || users.back() != n.user) users.push_back(n.user);
+  }
+
+  std::vector<kg::ItemId> items_by_w(problem.NumItems());
+  for (int i = 0; i < problem.NumItems(); ++i) items_by_w[i] = i;
+  std::stable_sort(items_by_w.begin(), items_by_w.end(),
+                   [&](kg::ItemId a, kg::ItemId b) {
+                     return problem.importance[a] > problem.importance[b];
+                   });
+
+  std::vector<Nominee> selected;
+  std::vector<uint8_t> used(users.size(), 0);
+  double spent = 0.0;
+  double sigma_cur = 0.0;
+  auto at_first = [](const std::vector<Nominee>& ns) {
+    SeedGroup g;
+    for (const Nominee& n : ns) g.push_back({n.user, n.item, 1});
+    return g;
+  };
+
+  while (true) {
+    int best_u = -1;
+    double best_ratio = 0.0;
+    std::vector<Nominee> best_bundle;
+    for (size_t i = 0; i < users.size(); ++i) {
+      if (used[i]) continue;
+      std::vector<Nominee> bundle =
+          BundleFor(problem, users[i], items_by_w, problem.budget - spent);
+      if (bundle.empty()) continue;
+      double cost = 0.0;
+      for (const Nominee& n : bundle) cost += problem.Cost(n.user, n.item);
+      std::vector<Nominee> with = selected;
+      with.insert(with.end(), bundle.begin(), bundle.end());
+      double gain = engine.Sigma(at_first(with)) - sigma_cur;
+      double ratio = gain / cost;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_u = static_cast<int>(i);
+        best_bundle = std::move(bundle);
+      }
+    }
+    if (best_u < 0) break;
+    used[best_u] = 1;
+    for (const Nominee& n : best_bundle) {
+      spent += problem.Cost(n.user, n.item);
+      selected.push_back(n);
+    }
+    sigma_cur = engine.Sigma(at_first(selected));
+  }
+
+  SeedGroup seeds = CrGreedyTimings(engine, selected);
+  return FinalizeResult(problem, config, std::move(seeds),
+                        engine.num_simulations());
+}
+
+}  // namespace imdpp::baselines

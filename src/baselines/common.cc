@@ -1,0 +1,17 @@
+#include "baselines/common.h"
+
+namespace imdpp::baselines {
+
+BaselineResult FinalizeResult(const Problem& problem,
+                              const BaselineConfig& config, SeedGroup seeds,
+                              int64_t search_simulations) {
+  BaselineResult result;
+  MonteCarloEngine eval(problem, config.campaign, config.eval_samples);
+  result.sigma = eval.Sigma(seeds);
+  result.total_cost = problem.TotalCost(seeds);
+  result.seeds = std::move(seeds);
+  result.simulations = search_simulations + eval.num_simulations();
+  return result;
+}
+
+}  // namespace imdpp::baselines

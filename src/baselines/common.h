@@ -1,0 +1,44 @@
+// Shared types for the comparison approaches of Sec. VI-A. Each baseline
+// selects nominees its own way; all are extended (as in the paper) with a
+// CR-Greedy-style timing assignment to support multiple promotions, and
+// with cost-awareness when selecting from the remaining budget.
+#ifndef IMDPP_BASELINES_COMMON_H_
+#define IMDPP_BASELINES_COMMON_H_
+
+#include <vector>
+
+#include "core/nominee_selection.h"
+#include "diffusion/monte_carlo.h"
+#include "diffusion/problem.h"
+
+namespace imdpp::baselines {
+
+using core::CandidateConfig;
+using diffusion::MonteCarloEngine;
+using diffusion::Nominee;
+using diffusion::Problem;
+using diffusion::Seed;
+using diffusion::SeedGroup;
+
+struct BaselineConfig {
+  int selection_samples = 12;
+  int eval_samples = 48;
+  CandidateConfig candidates;
+  diffusion::CampaignConfig campaign;
+};
+
+struct BaselineResult {
+  SeedGroup seeds;
+  double sigma = 0.0;
+  double total_cost = 0.0;
+  int64_t simulations = 0;
+};
+
+/// Final σ̂ at eval_samples plus bookkeeping, shared by every baseline.
+BaselineResult FinalizeResult(const Problem& problem,
+                              const BaselineConfig& config, SeedGroup seeds,
+                              int64_t search_simulations);
+
+}  // namespace imdpp::baselines
+
+#endif  // IMDPP_BASELINES_COMMON_H_

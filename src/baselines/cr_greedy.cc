@@ -1,0 +1,29 @@
+#include "baselines/cr_greedy.h"
+
+namespace imdpp::baselines {
+
+SeedGroup CrGreedyTimings(const MonteCarloEngine& engine,
+                          const std::vector<Nominee>& nominees) {
+  const int T = engine.simulator().problem().num_promotions;
+  SeedGroup placed;
+  double sigma_placed = 0.0;
+  for (const Nominee& n : nominees) {
+    int best_t = 1;
+    double best_sigma = -1.0;
+    for (int t = 1; t <= T; ++t) {
+      SeedGroup with = placed;
+      with.push_back({n.user, n.item, t});
+      double s = engine.Sigma(with);
+      if (s > best_sigma) {
+        best_sigma = s;
+        best_t = t;
+      }
+    }
+    placed.push_back({n.user, n.item, best_t});
+    sigma_placed = best_sigma;
+  }
+  (void)sigma_placed;
+  return placed;
+}
+
+}  // namespace imdpp::baselines

@@ -1,0 +1,20 @@
+// CR-Greedy timing assignment (after Sun et al., "Multi-round influence
+// maximization", KDD'18): given nominees in selection order, greedily place
+// each at the promotion round with the highest paired marginal σ̂. The
+// paper augments every single-promotion baseline with this scheduler to
+// make them comparable under multiple promotions (Sec. VI-A).
+#ifndef IMDPP_BASELINES_CR_GREEDY_H_
+#define IMDPP_BASELINES_CR_GREEDY_H_
+
+#include "baselines/common.h"
+
+namespace imdpp::baselines {
+
+/// Assigns a promotion in [1, T] to every nominee (T from the engine's
+/// problem). Deterministic; ties prefer earlier rounds.
+SeedGroup CrGreedyTimings(const MonteCarloEngine& engine,
+                          const std::vector<Nominee>& nominees);
+
+}  // namespace imdpp::baselines
+
+#endif  // IMDPP_BASELINES_CR_GREEDY_H_

@@ -1,0 +1,79 @@
+#include "baselines/drhga.h"
+
+#include <algorithm>
+
+#include "baselines/cr_greedy.h"
+
+namespace imdpp::baselines {
+
+BaselineResult RunDrhga(const Problem& problem, const BaselineConfig& config) {
+  MonteCarloEngine engine(problem, config.campaign, config.selection_samples);
+
+  // Candidate users (top by out-degree when pruned).
+  core::CandidateConfig cand = config.candidates;
+  cand.max_items = 1;
+  std::vector<Nominee> unit = core::BuildCandidateUniverse(problem, cand);
+  std::vector<graph::UserId> users;
+  for (const Nominee& n : unit) {
+    if (users.empty() || users.back() != n.user) users.push_back(n.user);
+  }
+
+  // Items in importance order with proportional budget shares.
+  std::vector<kg::ItemId> items(problem.NumItems());
+  for (int i = 0; i < problem.NumItems(); ++i) items[i] = i;
+  std::stable_sort(items.begin(), items.end(),
+                   [&](kg::ItemId a, kg::ItemId b) {
+                     return problem.importance[a] > problem.importance[b];
+                   });
+  double w_total = 0.0;
+  for (double w : problem.importance) w_total += w;
+
+  auto at_first = [](const std::vector<Nominee>& ns) {
+    SeedGroup g;
+    for (const Nominee& n : ns) g.push_back({n.user, n.item, 1});
+    return g;
+  };
+
+  std::vector<Nominee> selected;
+  double carry = 0.0;  // unspent share rolls over to the next item
+  double sigma_cur = 0.0;
+  for (kg::ItemId x : items) {
+    double share =
+        w_total > 0.0
+            ? problem.budget * (problem.importance[x] / w_total) + carry
+            : carry;
+    double spent_x = 0.0;
+    std::vector<uint8_t> used(users.size(), 0);
+    while (true) {
+      int best = -1;
+      double best_ratio = 0.0;
+      double best_sigma = 0.0;
+      for (size_t i = 0; i < users.size(); ++i) {
+        if (used[i]) continue;
+        double cost = problem.Cost(users[i], x);
+        if (cost > share - spent_x) continue;
+        std::vector<Nominee> with = selected;
+        with.push_back(Nominee{users[i], x});
+        double sigma = engine.Sigma(at_first(with));
+        double ratio = (sigma - sigma_cur) / cost;
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best = static_cast<int>(i);
+          best_sigma = sigma;
+        }
+      }
+      if (best < 0) break;
+      used[best] = 1;
+      selected.push_back(Nominee{users[best], x});
+      spent_x += problem.Cost(users[best], x);
+      sigma_cur = best_sigma;
+    }
+    carry = share - spent_x;
+  }
+
+  SeedGroup seeds = CrGreedyTimings(engine, selected);
+  return FinalizeResult(problem, config, std::move(seeds),
+                        engine.num_simulations());
+}
+
+}  // namespace imdpp::baselines

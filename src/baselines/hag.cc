@@ -1,0 +1,54 @@
+#include "baselines/hag.h"
+
+#include "baselines/cr_greedy.h"
+
+namespace imdpp::baselines {
+
+BaselineResult RunHag(const Problem& problem, const BaselineConfig& config) {
+  MonteCarloEngine engine(problem, config.campaign, config.selection_samples);
+  std::vector<Nominee> candidates =
+      core::BuildCandidateUniverse(problem, config.candidates);
+
+  // Plain (non-lazy) greedy over pairs — deliberately the expensive
+  // enumeration the paper attributes to HAG.
+  std::vector<Nominee> selected;
+  std::vector<uint8_t> used(candidates.size(), 0);
+  double spent = 0.0;
+  double sigma_cur = 0.0;
+  auto at_first = [](const std::vector<Nominee>& ns) {
+    SeedGroup g;
+    for (const Nominee& n : ns) g.push_back({n.user, n.item, 1});
+    return g;
+  };
+  while (true) {
+    int best = -1;
+    double best_ratio = 0.0;
+    double best_sigma = 0.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const Nominee& n = candidates[i];
+      double cost = problem.Cost(n.user, n.item);
+      if (cost > problem.budget - spent) continue;
+      std::vector<Nominee> with = selected;
+      with.push_back(n);
+      double sigma = engine.Sigma(at_first(with));
+      double ratio = (sigma - sigma_cur) / cost;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<int>(i);
+        best_sigma = sigma;
+      }
+    }
+    if (best < 0) break;
+    used[best] = 1;
+    selected.push_back(candidates[best]);
+    spent += problem.Cost(candidates[best].user, candidates[best].item);
+    sigma_cur = best_sigma;
+  }
+
+  SeedGroup seeds = CrGreedyTimings(engine, selected);
+  return FinalizeResult(problem, config, std::move(seeds),
+                        engine.num_simulations());
+}
+
+}  // namespace imdpp::baselines

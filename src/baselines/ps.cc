@@ -1,0 +1,68 @@
+#include "baselines/ps.h"
+
+#include <unordered_map>
+
+#include "baselines/cr_greedy.h"
+#include "graph/graph_algos.h"
+
+namespace imdpp::baselines {
+
+BaselineResult RunPs(const Problem& problem, const PsConfig& config) {
+  MonteCarloEngine engine(problem, config.campaign, config.selection_samples);
+  std::vector<Nominee> candidates =
+      core::BuildCandidateUniverse(problem, config.candidates);
+
+  // Max-influence-path regions per distinct candidate user (memoized).
+  std::unordered_map<graph::UserId, graph::InfluencePaths> regions;
+  auto region_of = [&](graph::UserId u) -> const graph::InfluencePaths& {
+    auto it = regions.find(u);
+    if (it == regions.end()) {
+      it = regions
+               .emplace(u, graph::MaxInfluencePaths(*problem.graph, u,
+                                                    config.path_threshold,
+                                                    config.max_hops))
+               .first;
+    }
+    return it->second;
+  };
+
+  std::vector<uint8_t> covered(problem.NumUsers(), 0);
+  std::vector<uint8_t> used(candidates.size(), 0);
+  std::vector<Nominee> selected;
+  double spent = 0.0;
+  while (true) {
+    int best = -1;
+    double best_ratio = 0.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const Nominee& n = candidates[i];
+      double cost = problem.Cost(n.user, n.item);
+      if (cost > problem.budget - spent) continue;
+      const graph::InfluencePaths& region = region_of(n.user);
+      double score = 0.0;
+      for (size_t r = 0; r < region.users.size(); ++r) {
+        graph::UserId v = region.users[r];
+        double mass = region.path_prob[r] * problem.BasePref(v, n.item) *
+                      problem.importance[n.item];
+        score += covered[v] ? config.covered_discount * mass : mass;
+      }
+      double ratio = score / cost;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    const Nominee& n = candidates[best];
+    used[best] = 1;
+    selected.push_back(n);
+    spent += problem.Cost(n.user, n.item);
+    for (graph::UserId v : region_of(n.user).users) covered[v] = 1;
+  }
+
+  SeedGroup seeds = CrGreedyTimings(engine, selected);
+  return FinalizeResult(problem, config, std::move(seeds),
+                        engine.num_simulations());
+}
+
+}  // namespace imdpp::baselines

@@ -1,0 +1,25 @@
+#include "cluster/mioa.h"
+
+#include <algorithm>
+
+namespace imdpp::cluster {
+
+InfluenceRegion UnionInfluenceRegion(const graph::SocialGraph& g,
+                                     const std::vector<UserId>& sources,
+                                     double threshold, int max_hops) {
+  InfluenceRegion out;
+  for (UserId s : sources) {
+    graph::InfluencePaths paths =
+        graph::MaxInfluencePaths(g, s, threshold, max_hops);
+    for (size_t i = 0; i < paths.users.size(); ++i) {
+      out.users.push_back(paths.users[i]);
+      out.radius_hops = std::max(out.radius_hops, paths.hops[i]);
+    }
+  }
+  std::sort(out.users.begin(), out.users.end());
+  out.users.erase(std::unique(out.users.begin(), out.users.end()),
+                  out.users.end());
+  return out;
+}
+
+}  // namespace imdpp::cluster

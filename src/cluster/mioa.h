@@ -1,0 +1,29 @@
+// MIOA-style influence regions (Chen, Wang, Wang, KDD'10), used by TMI to
+// identify the users of a target market: every user reachable from a
+// nominee's user along a maximum-influence path whose probability stays
+// above a threshold belongs to the market.
+#ifndef IMDPP_CLUSTER_MIOA_H_
+#define IMDPP_CLUSTER_MIOA_H_
+
+#include <vector>
+
+#include "graph/graph_algos.h"
+#include "graph/social_graph.h"
+
+namespace imdpp::cluster {
+
+using graph::UserId;
+
+struct InfluenceRegion {
+  std::vector<UserId> users;  ///< sorted, deduplicated
+  int radius_hops = 0;        ///< max hop distance of any reached user
+};
+
+/// Union of max-influence-path regions of all `sources`.
+InfluenceRegion UnionInfluenceRegion(const graph::SocialGraph& g,
+                                     const std::vector<UserId>& sources,
+                                     double threshold, int max_hops = 16);
+
+}  // namespace imdpp::cluster
+
+#endif  // IMDPP_CLUSTER_MIOA_H_

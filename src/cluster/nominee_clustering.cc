@@ -1,0 +1,83 @@
+#include "cluster/nominee_clustering.h"
+
+#include <limits>
+
+#include "graph/graph_algos.h"
+
+namespace imdpp::cluster {
+
+namespace {
+
+/// Pairwise nominee distance: normalized social hops minus net relevance.
+double PairDistance(const graph::SocialGraph& g, const Nominee& a,
+                    const Nominee& b, const NetRelevanceFn& net_relevance,
+                    const ClusteringConfig& cfg) {
+  int hops = graph::UndirectedHopDistance(g, a.user, b.user, cfg.max_hops);
+  double social =
+      hops == graph::kUnreachable
+          ? 1.0 + 1.0 / cfg.max_hops
+          : static_cast<double>(hops) / static_cast<double>(cfg.max_hops);
+  double rel = a.item == b.item ? 1.0 : net_relevance(a.item, b.item);
+  return cfg.social_weight * social - cfg.relevance_weight * rel;
+}
+
+}  // namespace
+
+std::vector<std::vector<Nominee>> ClusterNominees(
+    const graph::SocialGraph& g, const std::vector<Nominee>& nominees,
+    const NetRelevanceFn& net_relevance, const ClusteringConfig& config) {
+  const int n = static_cast<int>(nominees.size());
+  std::vector<std::vector<Nominee>> clusters;
+  if (n == 0) return clusters;
+
+  // Precompute the symmetric pairwise distance matrix.
+  std::vector<double> dist(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double d =
+          PairDistance(g, nominees[i], nominees[j], net_relevance, config);
+      dist[static_cast<size_t>(i) * n + j] = d;
+      dist[static_cast<size_t>(j) * n + i] = d;
+    }
+  }
+
+  // Average-linkage agglomeration over index sets.
+  std::vector<std::vector<int>> groups(n);
+  for (int i = 0; i < n; ++i) groups[i] = {i};
+  auto linkage = [&](const std::vector<int>& a, const std::vector<int>& b) {
+    double s = 0.0;
+    for (int i : a) {
+      for (int j : b) s += dist[static_cast<size_t>(i) * n + j];
+    }
+    return s / (static_cast<double>(a.size()) * b.size());
+  };
+
+  while (groups.size() > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    int bi = -1, bj = -1;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      for (size_t j = i + 1; j < groups.size(); ++j) {
+        double d = linkage(groups[i], groups[j]);
+        if (d < best) {
+          best = d;
+          bi = static_cast<int>(i);
+          bj = static_cast<int>(j);
+        }
+      }
+    }
+    if (best >= config.merge_threshold) break;
+    groups[bi].insert(groups[bi].end(), groups[bj].begin(), groups[bj].end());
+    groups.erase(groups.begin() + bj);
+  }
+
+  clusters.reserve(groups.size());
+  for (const auto& grp : groups) {
+    std::vector<Nominee> c;
+    c.reserve(grp.size());
+    for (int idx : grp) c.push_back(nominees[idx]);
+    clusters.push_back(std::move(c));
+  }
+  return clusters;
+}
+
+}  // namespace imdpp::cluster

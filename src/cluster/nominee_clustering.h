@@ -1,0 +1,42 @@
+// Nominee clustering (Procedure 3). The paper delegates to POT / FGCC; we
+// substitute average-linkage agglomerative clustering on the same signal
+// those methods consume here: social closeness of the nominee users and the
+// net relevance r̄^C − r̄^S of their promoted items (larger complementary
+// and smaller substitutable relevance encouraged).
+#ifndef IMDPP_CLUSTER_NOMINEE_CLUSTERING_H_
+#define IMDPP_CLUSTER_NOMINEE_CLUSTERING_H_
+
+#include <functional>
+#include <vector>
+
+#include "diffusion/seed.h"
+#include "graph/social_graph.h"
+
+namespace imdpp::cluster {
+
+using diffusion::Nominee;
+
+struct ClusteringConfig {
+  /// Weight of the (normalized) social hop distance term.
+  double social_weight = 1.0;
+  /// Weight of the net item relevance term (subtracted from distance).
+  double relevance_weight = 1.0;
+  /// Merge clusters while their average-linkage distance stays below this.
+  double merge_threshold = 0.75;
+  /// Hop search truncation; unreachable pairs count as max_hops + 1.
+  int max_hops = 4;
+};
+
+/// Net-relevance oracle: returns r̄^C_{x,y} − r̄^S_{x,y} in [-1, 1]
+/// averaged over all users (same-item pairs should return 1).
+using NetRelevanceFn = std::function<double(kg::ItemId, kg::ItemId)>;
+
+/// Clusters nominees; returns disjoint clusters covering all nominees.
+/// Deterministic: ties break by nominee order.
+std::vector<std::vector<Nominee>> ClusterNominees(
+    const graph::SocialGraph& g, const std::vector<Nominee>& nominees,
+    const NetRelevanceFn& net_relevance, const ClusteringConfig& config);
+
+}  // namespace imdpp::cluster
+
+#endif  // IMDPP_CLUSTER_NOMINEE_CLUSTERING_H_

@@ -1,0 +1,106 @@
+#include "cluster/target_market.h"
+
+#include <algorithm>
+
+#include "cluster/union_find.h"
+
+namespace imdpp::cluster {
+
+int CommonUsers(const TargetMarket& a, const TargetMarket& b) {
+  size_t i = 0, j = 0;
+  int common = 0;
+  while (i < a.users.size() && j < b.users.size()) {
+    if (a.users[i] == b.users[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a.users[i] < b.users[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return common;
+}
+
+MarketPlan BuildMarketPlan(const graph::SocialGraph& g,
+                           const std::vector<std::vector<Nominee>>& clusters,
+                           const MarketPlanConfig& config) {
+  MarketPlan plan;
+  for (const auto& cluster : clusters) {
+    if (cluster.empty()) continue;
+    TargetMarket market;
+    market.nominees = cluster;
+    std::vector<UserId> sources;
+    for (const Nominee& n : cluster) {
+      sources.push_back(n.user);
+      market.items.push_back(n.item);
+    }
+    std::sort(market.items.begin(), market.items.end());
+    market.items.erase(std::unique(market.items.begin(), market.items.end()),
+                       market.items.end());
+    InfluenceRegion region = UnionInfluenceRegion(
+        g, sources, config.mioa_threshold, config.mioa_max_hops);
+    market.users = std::move(region.users);
+    market.diameter = std::max(1, region.radius_hops);
+    plan.markets.push_back(std::move(market));
+  }
+
+  // Group markets whose common-user count exceeds θ.
+  const int m = static_cast<int>(plan.markets.size());
+  UnionFind uf(m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      if (CommonUsers(plan.markets[i], plan.markets[j]) >
+          config.overlap_theta) {
+        uf.Union(i, j);
+      }
+    }
+  }
+  std::vector<int> root_to_group(m, -1);
+  for (int i = 0; i < m; ++i) {
+    int r = uf.Find(i);
+    if (root_to_group[r] == -1) {
+      root_to_group[r] = static_cast<int>(plan.groups.size());
+      plan.groups.emplace_back();
+    }
+    plan.groups[root_to_group[r]].order.push_back(i);
+  }
+  return plan;
+}
+
+double AntagonisticExtent(const MarketPlan& plan, const MarketGroup& group,
+                          int market_index, const SubRelevanceFn& rel_s) {
+  const TargetMarket& ti = plan.markets[market_index];
+  double ae = 0.0;
+  for (int j : group.order) {
+    if (j == market_index) continue;
+    const TargetMarket& tj = plan.markets[j];
+    for (ItemId x : ti.items) {
+      for (ItemId y : tj.items) {
+        if (x == y) continue;
+        ae += rel_s(x, y);
+      }
+    }
+  }
+  return ae;
+}
+
+void OrderGroupsByAe(MarketPlan& plan, const SubRelevanceFn& rel_s) {
+  for (MarketGroup& group : plan.groups) {
+    std::vector<std::pair<double, int>> keyed;
+    keyed.reserve(group.order.size());
+    for (int idx : group.order) {
+      keyed.emplace_back(AntagonisticExtent(plan, group, idx, rel_s), idx);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.first != b.first) return a.first < b.first;
+                       return a.second < b.second;
+                     });
+    group.order.clear();
+    for (const auto& [ae, idx] : keyed) group.order.push_back(idx);
+  }
+}
+
+}  // namespace imdpp::cluster

@@ -1,0 +1,71 @@
+// Target markets and market groups (TMI, Sec. IV-B.1).
+//
+// A target market τ is identified from a cluster of nominees: its users are
+// the union of the nominees' MIOA influence regions, its items the distinct
+// promoted items, and its diameter d_τ the hop radius of the region. Target
+// markets sharing more than θ common users form a group G; within a group
+// the promoting order is the Antagonistic Extent (AE) ascending
+// (or an alternative metric, Sec. VI-D).
+#ifndef IMDPP_CLUSTER_TARGET_MARKET_H_
+#define IMDPP_CLUSTER_TARGET_MARKET_H_
+
+#include <functional>
+#include <vector>
+
+#include "cluster/mioa.h"
+#include "cluster/nominee_clustering.h"
+#include "diffusion/seed.h"
+
+namespace imdpp::cluster {
+
+using diffusion::Nominee;
+using kg::ItemId;
+
+struct TargetMarket {
+  std::vector<Nominee> nominees;
+  std::vector<UserId> users;  ///< sorted, includes the nominee users
+  std::vector<ItemId> items;  ///< sorted distinct promoted items
+  int diameter = 1;           ///< d_τ (at least 1)
+};
+
+/// A set G of overlapping target markets; `order` holds market indices into
+/// the plan's `markets`, already sorted by the chosen priority metric.
+struct MarketGroup {
+  std::vector<int> order;
+};
+
+struct MarketPlan {
+  std::vector<TargetMarket> markets;
+  std::vector<MarketGroup> groups;
+};
+
+struct MarketPlanConfig {
+  double mioa_threshold = 0.01;
+  int mioa_max_hops = 8;
+  /// θ: markets sharing more than this many users join the same group.
+  int overlap_theta = 1;
+};
+
+/// Substitutable-relevance oracle r̄^S_{x,y} over all users.
+using SubRelevanceFn = std::function<double(ItemId, ItemId)>;
+
+/// Builds target markets from nominee clusters (MIOA user regions) and
+/// groups them by user overlap.
+MarketPlan BuildMarketPlan(const graph::SocialGraph& g,
+                           const std::vector<std::vector<Nominee>>& clusters,
+                           const MarketPlanConfig& config);
+
+/// Antagonistic Extent of market `i` within its group:
+/// AE(τ_i) = Σ_{x ∈ τ_i, y ∈ τ_j, j ≠ i} r̄^S_{x,y}.
+double AntagonisticExtent(const MarketPlan& plan, const MarketGroup& group,
+                          int market_index, const SubRelevanceFn& rel_s);
+
+/// Orders every group's markets by AE ascending (Procedure 4).
+void OrderGroupsByAe(MarketPlan& plan, const SubRelevanceFn& rel_s);
+
+/// Number of common users of two markets (sorted-vector intersection).
+int CommonUsers(const TargetMarket& a, const TargetMarket& b);
+
+}  // namespace imdpp::cluster
+
+#endif  // IMDPP_CLUSTER_TARGET_MARKET_H_

@@ -1,0 +1,44 @@
+// Disjoint-set union used to group overlapping target markets into G sets.
+#ifndef IMDPP_CLUSTER_UNION_FIND_H_
+#define IMDPP_CLUSTER_UNION_FIND_H_
+
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace imdpp::cluster {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    IMDPP_DCHECK(x >= 0 && x < static_cast<int>(parent_.size()));
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if the merge joined two distinct sets.
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+  bool Same(int a, int b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace imdpp::cluster
+
+#endif  // IMDPP_CLUSTER_UNION_FIND_H_

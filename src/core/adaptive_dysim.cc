@@ -1,0 +1,143 @@
+#include "core/adaptive_dysim.h"
+
+#include <algorithm>
+
+namespace imdpp::core {
+
+namespace {
+
+std::vector<pin::UserState> InitialStates(const Problem& problem) {
+  std::vector<pin::UserState> states;
+  states.reserve(problem.NumUsers());
+  for (graph::UserId u = 0; u < problem.NumUsers(); ++u) {
+    std::span<const float> w0 = problem.Wmeta0(u);
+    states.emplace_back(problem.NumItems(),
+                        std::vector<float>(w0.begin(), w0.end()));
+  }
+  return states;
+}
+
+}  // namespace
+
+AdaptiveResult RunAdaptiveDysim(const Problem& problem,
+                                const AdaptiveConfig& config) {
+  problem.Validate();
+  AdaptiveResult result;
+  const int T = problem.num_promotions;
+  double remaining = problem.budget;
+  std::vector<pin::UserState> reality = InitialStates(problem);
+
+  // Initial-perception substitutability oracle for the antagonism check.
+  diffusion::CampaignConfig camp = config.base.campaign;
+  diffusion::MonteCarloEngine oracle_engine(problem, camp, 1);
+  const pin::PersonalItemNetwork& pin =
+      oracle_engine.simulator().dynamics().pin();
+  std::vector<float> avg_w0(problem.NumMetas(), 0.0f);
+  for (graph::UserId u = 0; u < problem.NumUsers(); ++u) {
+    std::span<const float> w = problem.Wmeta0(u);
+    for (int m = 0; m < problem.NumMetas(); ++m) avg_w0[m] += w[m];
+  }
+  for (float& w : avg_w0) w /= static_cast<float>(problem.NumUsers());
+  auto antagonistic = [&](kg::ItemId a, kg::ItemId b) {
+    if (a == b) return false;
+    double rs = pin.RelS(avg_w0, a, b);
+    return rs > config.antagonism_threshold && rs > pin.RelC(avg_w0, a, b);
+  };
+
+  for (int t = 1; t <= T; ++t) {
+    const int horizon = T - t + 1;
+    // Sub-problem over the remaining horizon, starting from reality.
+    Problem sub = problem;
+    sub.num_promotions = horizon;
+    sub.budget = remaining;
+    diffusion::MonteCarloEngine engine(sub, camp,
+                                       config.base.selection_samples);
+    engine.SetInitialStates(&reality);
+
+    std::vector<Nominee> candidates =
+        BuildCandidateUniverse(sub, config.base.candidates);
+
+    AdaptiveRound round;
+    round.promotion = t;
+    SeedGroup chosen;  // sub-time: promotion index 1 = this round
+    double sigma_base = 0.0;
+    bool open = true;
+    while (open && !candidates.empty()) {
+      // Highest-MCP affordable candidate over the observed state.
+      int best_idx = -1;
+      double best_ratio = 0.0;
+      double best_gain = 0.0;
+      for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+        const Nominee& n = candidates[i];
+        double cost = sub.Cost(n.user, n.item);
+        if (cost > remaining - round.spent) continue;
+        if (diffusion::ContainsNominee(chosen, n)) continue;
+        SeedGroup with = chosen;
+        with.push_back({n.user, n.item, 1});
+        double gain = engine.Sigma(with) - sigma_base;
+        double ratio = gain / cost;
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_gain = gain;
+          best_idx = i;
+        }
+      }
+      if (best_idx < 0 || best_gain <= 0.0) break;
+      const Nominee n = candidates[best_idx];
+
+      // Antagonism: never promote substitutable items in the same round.
+      bool clash = false;
+      for (const diffusion::Seed& s : chosen) {
+        if (antagonistic(s.item, n.item)) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) break;
+
+      // Two-slot timing check (skip in the final round).
+      if (t < T && horizon >= 2) {
+        SeedGroup with_now = chosen;
+        with_now.push_back({n.user, n.item, 1});
+        SeedGroup with_later = chosen;
+        with_later.push_back({n.user, n.item, 2});
+        double g_now = engine.Sigma(with_now) - sigma_base;
+        double g_later = engine.Sigma(with_later) - sigma_base;
+        if (g_later > g_now) {
+          // The best candidate prefers the next promotion: close this
+          // round and carry the budget over.
+          open = false;
+          break;
+        }
+      }
+
+      chosen.push_back({n.user, n.item, 1});
+      round.spent += sub.Cost(n.user, n.item);
+      sigma_base += best_gain;
+      candidates.erase(candidates.begin() + best_idx);
+    }
+
+    // Realize this promotion once from the observed state.
+    if (!chosen.empty()) {
+      Problem one = problem;
+      one.num_promotions = 1;
+      diffusion::CampaignSimulator sim(one, camp);
+      diffusion::SampleOutcome o = sim.RunSample(
+          chosen, config.reality_seed + static_cast<uint64_t>(t), nullptr,
+          /*keep_states=*/true, &reality);
+      reality = std::move(o.states);
+      round.realized_sigma = o.sigma;
+      result.realized_sigma += o.sigma;
+    }
+    for (const diffusion::Seed& s : chosen) {
+      round.seeds.push_back({s.user, s.item, t});
+      result.seeds.push_back({s.user, s.item, t});
+    }
+    remaining -= round.spent;
+    result.total_spent += round.spent;
+    result.rounds.push_back(std::move(round));
+  }
+  return result;
+}
+
+}  // namespace imdpp::core

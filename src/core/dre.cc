@@ -1,0 +1,115 @@
+#include "core/dre.h"
+
+#include <cmath>
+#include <limits>
+
+namespace imdpp::core {
+
+namespace {
+constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+}
+
+DreEvaluator::DreEvaluator(const pin::PersonalItemNetwork& pin,
+                           const ExpectedState& state,
+                           const std::vector<UserId>& market_users,
+                           const std::vector<double>& importance,
+                           int max_depth)
+    : pin_(pin), importance_(importance), max_depth_(max_depth) {
+  IMDPP_CHECK_GE(max_depth, 0);
+  const int num_metas = pin_.relevance().NumMetas();
+  avg_wmeta_.assign(num_metas, 0.0f);
+  int n = 0;
+  auto add = [&](UserId u) {
+    std::span<const float> w = state.AvgWmeta(u);
+    for (int m = 0; m < num_metas; ++m) avg_wmeta_[m] += w[m];
+    ++n;
+  };
+  if (market_users.empty()) {
+    for (UserId u = 0; u < state.num_users(); ++u) add(u);
+  } else {
+    for (UserId u : market_users) add(u);
+  }
+  if (n > 0) {
+    for (float& w : avg_wmeta_) w /= static_cast<float>(n);
+  }
+  const size_t slots =
+      static_cast<size_t>(pin_.relevance().NumItems()) * (max_depth_ + 1);
+  pi_memo_.assign(slots, kUnset);
+  ri_unit_memo_.assign(slots, kUnset);
+}
+
+double DreEvaluator::AvgRelC(ItemId x, ItemId y) const {
+  return pin_.RelC(avg_wmeta_, x, y);
+}
+
+double DreEvaluator::AvgRelS(ItemId x, ItemId y) const {
+  return pin_.RelS(avg_wmeta_, x, y);
+}
+
+double DreEvaluator::PiRec(ItemId x, int d) {
+  if (d <= 0) return 0.0;
+  const size_t key = static_cast<size_t>(x) * (max_depth_ + 1) + d;
+  if (!std::isnan(pi_memo_[key])) return pi_memo_[key];
+  pi_memo_[key] = 0.0;  // break cycles: a revisited item contributes 0
+  double total = 0.0;
+  for (ItemId y : pin_.relevance().RelatedItems(x)) {
+    const double rc = AvgRelC(x, y);
+    const double rs = AvgRelS(x, y);
+    const double denom = rc + rs;
+    if (denom > 0.0) {
+      const double lc = rc / denom;
+      const double ls = rs / denom;
+      total += (lc * rc - ls * rs) * importance_[y];
+    }
+    total += PiRec(y, d - 1);
+  }
+  pi_memo_[key] = total;
+  return total;
+}
+
+double DreEvaluator::RiUnitRec(ItemId x, int d) {
+  if (d <= 0) return 0.0;
+  const size_t key = static_cast<size_t>(x) * (max_depth_ + 1) + d;
+  if (!std::isnan(ri_unit_memo_[key])) return ri_unit_memo_[key];
+  ri_unit_memo_[key] = 0.0;
+  double total = 0.0;
+  // z ranges over items relevant to x; relevance support is symmetric
+  // enough that RelatedItems(x) serves as the in-neighborhood too.
+  for (ItemId z : pin_.relevance().RelatedItems(x)) {
+    const double rc = AvgRelC(z, x);
+    const double rs = AvgRelS(z, x);
+    const double denom = rc + rs;
+    if (denom > 0.0) {
+      const double lc = rc / denom;
+      const double ls = rs / denom;
+      total += lc * rc - ls * rs;
+    }
+    total += RiUnitRec(z, d - 1);
+  }
+  ri_unit_memo_[key] = total;
+  return total;
+}
+
+double DreEvaluator::ProactiveImpact(ItemId x, int d) {
+  return PiRec(x, std::min(d, max_depth_));
+}
+
+double DreEvaluator::ReactiveImpact(ItemId x, int d) {
+  return importance_[x] * RiUnitRec(x, std::min(d, max_depth_));
+}
+
+ItemId DreEvaluator::ArgMaxDr(const std::vector<ItemId>& items, int d) {
+  IMDPP_CHECK(!items.empty());
+  ItemId best = items[0];
+  double best_dr = -std::numeric_limits<double>::infinity();
+  for (ItemId x : items) {
+    double dr = DynamicReachability(x, d);
+    if (dr > best_dr) {
+      best_dr = dr;
+      best = x;
+    }
+  }
+  return best;
+}
+
+}  // namespace imdpp::core

@@ -1,0 +1,76 @@
+// Dynamic Reachability Evaluation (DRE, Sec. IV-B.2, Eqs. 1, 9, 10).
+//
+// DR(x) = PI(x, d_τ) + RI(x, d_τ), where
+//   PI(x,d) = Σ_y [ L_C(x,y)·r̄C_{x,y}·w_y − L_S(x,y)·r̄S_{x,y}·w_y
+//                   + PI(y, d−1) ]                              (Eq. 9)
+//   RI(x,d) = Σ_z [ L_C(z,x)·r̄C_{z,x}·w_x − L_S(z,x)·r̄S_{z,x}·w_x
+//                   + RI(z, d−1) ]                              (Eq. 10)
+//   L_C = r̄C / (r̄C + r̄S),  L_S = r̄S / (r̄C + r̄S)            (0 if both 0)
+//
+// r̄C / r̄S are the market-average relevance after the promotion of the
+// current seed group S_G. We evaluate them at the *market-average expected
+// weighting* vector (mean over the market's users of their Monte-Carlo
+// expected Wmeta) — relevance is linear in the weightings up to clipping,
+// so averaging weightings first is a tight approximation and keeps DR
+// evaluation O(|I|² · d) instead of O(|τ|·|I|²·d).
+//
+// RI is linear in w_x (every term of the recursion carries the same w_x),
+// so we compute the unit-importance recursion once and scale.
+#ifndef IMDPP_CORE_DRE_H_
+#define IMDPP_CORE_DRE_H_
+
+#include <vector>
+
+#include "diffusion/monte_carlo.h"
+#include "pin/personal_item_network.h"
+
+namespace imdpp::core {
+
+using diffusion::ExpectedState;
+using graph::UserId;
+using kg::ItemId;
+
+class DreEvaluator {
+ public:
+  /// `market_users` — the market τ (all users if empty);
+  /// `importance` — W; `max_depth` caps d_τ.
+  DreEvaluator(const pin::PersonalItemNetwork& pin, const ExpectedState& state,
+               const std::vector<UserId>& market_users,
+               const std::vector<double>& importance, int max_depth);
+
+  /// Proactive impact PI_{W,τ}(S_G, x, d).
+  double ProactiveImpact(ItemId x, int d);
+
+  /// Reactive impact RI_{w_x,τ}(S_G, x, d).
+  double ReactiveImpact(ItemId x, int d);
+
+  /// DR_{W,τ}(S_G, x) at depth d (Eq. 1).
+  double DynamicReachability(ItemId x, int d) {
+    return ProactiveImpact(x, d) + ReactiveImpact(x, d);
+  }
+
+  /// Item in `items` with the highest DR at depth d; ties break toward the
+  /// lower item id. Requires non-empty `items`.
+  ItemId ArgMaxDr(const std::vector<ItemId>& items, int d);
+
+  /// Market-average relevance at the expected weightings.
+  double AvgRelC(ItemId x, ItemId y) const;
+  double AvgRelS(ItemId x, ItemId y) const;
+
+ private:
+  double PiRec(ItemId x, int d);
+  double RiUnitRec(ItemId x, int d);
+
+  const pin::PersonalItemNetwork& pin_;
+  const std::vector<double>& importance_;
+  int max_depth_;
+  std::vector<float> avg_wmeta_;  ///< market-average expected weightings
+
+  // Memo tables keyed by x * (max_depth+1) + d; NaN = unset.
+  std::vector<double> pi_memo_;
+  std::vector<double> ri_unit_memo_;
+};
+
+}  // namespace imdpp::core
+
+#endif  // IMDPP_CORE_DRE_H_

@@ -1,0 +1,236 @@
+#include "core/dysim.h"
+
+#include <algorithm>
+
+#include "core/dre.h"
+#include "core/tdsi.h"
+
+namespace imdpp::core {
+
+namespace {
+
+/// Global average of the initial per-user meta-graph weightings; the
+/// initial-state relevance oracles for clustering / AE evaluate at this
+/// average perception.
+std::vector<float> AverageInitialWmeta(const Problem& problem) {
+  const int metas = problem.NumMetas();
+  std::vector<float> avg(metas, 0.0f);
+  for (graph::UserId u = 0; u < problem.NumUsers(); ++u) {
+    std::span<const float> w = problem.Wmeta0(u);
+    for (int m = 0; m < metas; ++m) avg[m] += w[m];
+  }
+  for (float& w : avg) w /= static_cast<float>(std::max(1, problem.NumUsers()));
+  return avg;
+}
+
+}  // namespace
+
+DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
+  problem.Validate();
+  DysimResult result;
+  const int T = problem.num_promotions;
+
+  diffusion::MonteCarloEngine engine(problem, config.campaign,
+                                     config.selection_samples);
+  const pin::PersonalItemNetwork& pin = engine.simulator().dynamics().pin();
+
+  // ---- TMI phase: nominee selection (Procedure 2). ----
+  std::vector<Nominee> candidates =
+      BuildCandidateUniverse(problem, config.candidates);
+  SelectionResult sel =
+      SelectNominees(engine, problem, candidates, problem.budget);
+  result.nominees = sel.nominees;
+  result.total_cost = sel.total_cost;
+
+  // ---- TMI phase: clustering and market identification. ----
+  const std::vector<float> avg_w0 = AverageInitialWmeta(problem);
+  cluster::NetRelevanceFn net_rel = [&](kg::ItemId x, kg::ItemId y) {
+    return pin.RelC(avg_w0, x, y) - pin.RelS(avg_w0, x, y);
+  };
+  cluster::SubRelevanceFn rel_s = [&](kg::ItemId x, kg::ItemId y) {
+    return pin.RelS(avg_w0, x, y);
+  };
+
+  std::vector<std::vector<Nominee>> clusters;
+  if (config.use_target_markets) {
+    clusters = cluster::ClusterNominees(*problem.graph, sel.nominees, net_rel,
+                                        config.clustering);
+  } else if (!sel.nominees.empty()) {
+    clusters.push_back(sel.nominees);  // ablation: one market for everyone
+  }
+  cluster::MarketPlan plan =
+      cluster::BuildMarketPlan(*problem.graph, clusters, config.market);
+  if (!config.use_target_markets) {
+    for (cluster::TargetMarket& m : plan.markets) {
+      m.users.resize(problem.NumUsers());
+      for (graph::UserId u = 0; u < problem.NumUsers(); ++u) m.users[u] = u;
+      m.diameter = config.dr_max_depth;
+    }
+  }
+
+  MarketOrderContext octx;
+  octx.problem = &problem;
+  octx.engine = &engine;
+  octx.rel_s = rel_s;
+  OrderGroups(plan, config.order, octx);
+
+  // ---- DRE + TDSI phases, per group G (groups are independent). ----
+  const diffusion::ExpectedState es0 =
+      diffusion::ExpectedState::InitialOf(problem);
+  SeedGroup all_seeds;
+  for (const cluster::MarketGroup& group : plan.groups) {
+    SeedGroup sg;
+    // Promotional durations T_{τ_k} proportional to nominee counts
+    // (at least 1), with prefix sums bounding the TDSI timing search.
+    int total_nominees = 0;
+    for (int idx : group.order) {
+      total_nominees +=
+          static_cast<int>(plan.markets[idx].nominees.size());
+    }
+    std::vector<int> prefix;  // Σ_{i≤k} T_{τ_i}
+    {
+      int acc = 0;
+      for (int idx : group.order) {
+        int n = static_cast<int>(plan.markets[idx].nominees.size());
+        int dur = std::max(
+            1, total_nominees == 0 ? 1 : (n * T) / total_nominees);
+        acc += dur;
+        prefix.push_back(acc);
+      }
+    }
+
+    for (size_t k = 0; k < group.order.size(); ++k) {
+      const cluster::TargetMarket& market = plan.markets[group.order[k]];
+
+      if (!config.use_item_priority) {
+        // Ablation "w/o IP": promote all of the market's items at the
+        // market's start slot, simultaneously.
+        int t_start = std::clamp(1 + (k > 0 ? prefix[k - 1] : 0), 1, T);
+        for (const Nominee& n : market.nominees) {
+          sg.push_back({n.user, n.item, t_start});
+        }
+        continue;
+      }
+
+      std::vector<kg::ItemId> remaining_items = market.items;
+      TimingSelector tdsi(engine, market.users, T);
+      while (!remaining_items.empty()) {
+        // DRE: re-evaluate reachability under the current seed group.
+        diffusion::ExpectedState es =
+            sg.empty() ? es0 : engine.Expected(sg);
+        DreEvaluator dre(pin, es, market.users, problem.importance,
+                         config.dr_max_depth);
+        int depth = std::min(market.diameter, config.dr_max_depth);
+        kg::ItemId xp = dre.ArgMaxDr(remaining_items, depth);
+        remaining_items.erase(std::find(remaining_items.begin(),
+                                        remaining_items.end(), xp));
+
+        std::vector<Nominee> pending;
+        for (const Nominee& n : market.nominees) {
+          if (n.item == xp) pending.push_back(n);
+        }
+        // TDSI: timing per nominee, window [t̂, min(t̂+1, Σ_{i≤k}T_τ)].
+        while (!pending.empty()) {
+          int t_hat = sg.empty() ? 1 : diffusion::LatestTiming(sg);
+          int t_hi = std::min(t_hat + 1, prefix[k]);
+          int idx = 0;
+          diffusion::Seed best =
+              tdsi.PickBest(sg, pending, t_hat, t_hi, &idx);
+          sg.push_back(best);
+          pending.erase(pending.begin() + idx);
+        }
+      }
+    }
+    all_seeds.insert(all_seeds.end(), sg.begin(), sg.end());
+  }
+
+  // ---- Theorem-5 guard: best of SG, N_first, and e_max. ----
+  diffusion::MonteCarloEngine eval(problem, config.campaign,
+                                   config.eval_samples);
+  double best_sigma = eval.Sigma(all_seeds);
+  SeedGroup best_seeds = all_seeds;
+
+  SeedGroup n_first;
+  for (const Nominee& n : sel.nominees) n_first.push_back({n.user, n.item, 1});
+  if (config.use_theorem5_guard && n_first != all_seeds) {
+    double s = eval.Sigma(n_first);
+    if (s > best_sigma) {
+      best_sigma = s;
+      best_seeds = n_first;
+    }
+  }
+  // Round-greedy placement of the same nominees (CR-Greedy style): for each
+  // nominee in selection order, the promotion with the highest paired σ̂.
+  if (config.use_theorem5_guard && T > 1 && !sel.nominees.empty()) {
+    SeedGroup placed;
+    for (const Nominee& n : sel.nominees) {
+      int best_t = 1;
+      double best_s = -1.0;
+      for (int t = 1; t <= T; ++t) {
+        SeedGroup with = placed;
+        with.push_back({n.user, n.item, t});
+        double s = engine.Sigma(with);
+        if (s > best_s) {
+          best_s = s;
+          best_t = t;
+        }
+      }
+      placed.push_back({n.user, n.item, best_t});
+    }
+    double s = eval.Sigma(placed);
+    if (s > best_sigma) {
+      best_sigma = s;
+      best_seeds = placed;
+    }
+  }
+  if (config.use_theorem5_guard && sel.best_single_gain > 0.0) {
+    SeedGroup single{{sel.best_single.user, sel.best_single.item, 1}};
+    double s = eval.Sigma(single);
+    if (s > best_sigma) {
+      best_sigma = s;
+      best_seeds = single;
+    }
+  }
+
+  // Timing refinement: coordinate ascent over the chosen seeds' rounds.
+  // Greedy per-nominee placement is myopic (it fixes each timing before
+  // later seeds exist); two sweeps of "move one seed to its best round
+  // given all the others" recover most of the jointly-scheduled value.
+  if (config.use_theorem5_guard && T > 1 && !best_seeds.empty()) {
+    SeedGroup refined = best_seeds;
+    double refined_sigma = engine.Sigma(refined);
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      bool moved = false;
+      for (size_t i = 0; i < refined.size(); ++i) {
+        int original = refined[i].promotion;
+        int best_t = original;
+        for (int t = 1; t <= T; ++t) {
+          if (t == original) continue;
+          refined[i].promotion = t;
+          double s = engine.Sigma(refined);
+          if (s > refined_sigma) {
+            refined_sigma = s;
+            best_t = t;
+            moved = true;
+          }
+        }
+        refined[i].promotion = best_t;
+      }
+      if (!moved) break;
+    }
+    double s = eval.Sigma(refined);
+    if (s > best_sigma) {
+      best_sigma = s;
+      best_seeds = refined;
+    }
+  }
+
+  result.seeds = std::move(best_seeds);
+  result.sigma = best_sigma;
+  result.total_cost = problem.TotalCost(result.seeds);
+  result.plan = std::move(plan);
+  result.simulations = engine.num_simulations() + eval.num_simulations();
+  return result;
+}
+
+}  // namespace imdpp::core

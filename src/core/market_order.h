@@ -1,0 +1,52 @@
+// Market-order metrics (Sec. VI-D): how TMI prioritizes the target markets
+// inside a group G. The paper's default is Antagonistic Extent (AE)
+// ascending; the comparison study adds Proﬁtability (PF), market Size (SZ),
+// Relative Market Share (RMS) and a Random order (RD).
+#ifndef IMDPP_CORE_MARKET_ORDER_H_
+#define IMDPP_CORE_MARKET_ORDER_H_
+
+#include "cluster/target_market.h"
+#include "diffusion/monte_carlo.h"
+#include "diffusion/problem.h"
+
+namespace imdpp::core {
+
+enum class MarketOrderMetric {
+  kAntagonisticExtent,   ///< AE ascending (default)
+  kProfitability,        ///< PF descending: E[adoptions] − nominee cost
+  kSize,                 ///< SZ descending: number of market users
+  kRelativeMarketShare,  ///< RMS descending
+  kRandom,               ///< RD: deterministic hash shuffle
+};
+
+const char* MarketOrderName(MarketOrderMetric metric);
+
+struct MarketOrderContext {
+  const diffusion::Problem* problem = nullptr;
+  /// σ̂ engine, required for PF.
+  const diffusion::MonteCarloEngine* engine = nullptr;
+  /// r̄^S oracle over all users, required for AE and RMS.
+  cluster::SubRelevanceFn rel_s;
+  /// Shuffle seed for RD.
+  uint64_t seed = 7;
+};
+
+/// Reorders every group's `order` in `plan` by the chosen metric.
+void OrderGroups(cluster::MarketPlan& plan, MarketOrderMetric metric,
+                 const MarketOrderContext& ctx);
+
+/// PF(τ): expected importance-aware adoptions in τ when τ's nominees seed
+/// the first promotion, minus the nominees' total cost.
+double Profitability(const cluster::TargetMarket& market,
+                     const diffusion::Problem& problem,
+                     const diffusion::MonteCarloEngine& engine);
+
+/// RMS(τ): mean over τ's items x of share(x) / max substitutable share,
+/// where share(x) = #users whose highest base preference is x.
+double RelativeMarketShare(const cluster::TargetMarket& market,
+                           const diffusion::Problem& problem,
+                           const cluster::SubRelevanceFn& rel_s);
+
+}  // namespace imdpp::core
+
+#endif  // IMDPP_CORE_MARKET_ORDER_H_

@@ -1,0 +1,60 @@
+// Submodular Maximization under a Knapsack constraint (SMK) — the
+// enumeration-free 1/12-approximation of Theorem 3 / Theorem 4.
+//
+// For the static setting (Ppref/Pact/Pext frozen at their initial values)
+// Lemma 1 shows σ is non-monotone submodular, and the paper builds a
+// 1/12-approximation within O(n²) oracle calls from three ingredients:
+//   * two MCP-greedy passes S1 (on the ground set) and S2 (on the ground
+//     set minus S1), each run until the budget is just violated or the
+//     marginal gain turns negative (Lemma 3 gives f(Si) ≥ f(Si ∪ C)/2
+//     against any feasible C disjoint from the earlier passes);
+//   * a linear-time Unconstrained Submodular Maximization (USM)
+//     double-greedy (Buchbinder et al.) on the ground set S1;
+//   * a feasibility repair (drop the budget-violating element) and a
+//     best-singleton fallback; the output is the best feasible candidate.
+//
+// The implementation is generic over a set-function oracle so it is
+// testable against hand-built modular/submodular functions; the IMDPP
+// instantiation (f = σ̂ with nominees seeded in the first promotion) is
+// provided as SelectNomineesSmk.
+#ifndef IMDPP_CORE_SMK_H_
+#define IMDPP_CORE_SMK_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/nominee_selection.h"
+
+namespace imdpp::core {
+
+/// Set-function oracle over ground-set indices [0, n).
+using SetFunction =
+    std::function<double(const std::vector<int>& /*sorted unique*/)>;
+
+struct SmkResult {
+  std::vector<int> selected;  ///< sorted ground-set indices
+  double value = 0.0;
+  int64_t oracle_calls = 0;
+};
+
+/// Deterministic double-greedy USM (1/3 guarantee; the randomized variant
+/// achieves 1/2 — determinism is worth more to this library than the
+/// constant). Restricted to the `ground` subset.
+SmkResult DoubleGreedyUsm(const std::vector<int>& ground,
+                          const SetFunction& f);
+
+/// The Theorem-3 algorithm. `cost[i]` > 0, `budget` >= 0.
+SmkResult SolveSmk(int ground_size, const SetFunction& f,
+                   const std::vector<double>& cost, double budget);
+
+/// IMDPP instantiation: nominees selected by SolveSmk with
+/// f(N) = σ̂(N seeded at t = 1). Carries the Theorem-4 guarantee when the
+/// problem's dynamics are frozen (pin::PerceptionParams::FrozenDynamics).
+SelectionResult SelectNomineesSmk(const diffusion::MonteCarloEngine& engine,
+                                  const diffusion::Problem& problem,
+                                  const std::vector<diffusion::Nominee>& candidates,
+                                  double budget);
+
+}  // namespace imdpp::core
+
+#endif  // IMDPP_CORE_SMK_H_

@@ -1,0 +1,48 @@
+#include "core/tdsi.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace imdpp::core {
+
+double TimingSelector::SubstantialInfluence(
+    const SeedGroup& sg, const MonteCarloEngine::MarketEval& base,
+    const Seed& cand) const {
+  SeedGroup with = sg;
+  with.push_back(cand);
+  MonteCarloEngine::MarketEval ev = engine_.EvalMarket(with, market_);
+  const double ma = ev.sigma_market - base.sigma_market;
+  const double ml = ev.pi - base.pi;
+  const double remaining =
+      static_cast<double>(total_promotions_ - cand.promotion + 1) /
+      static_cast<double>(total_promotions_);
+  return ma + remaining * ml;
+}
+
+Seed TimingSelector::PickBest(const SeedGroup& sg,
+                              const std::vector<Nominee>& pending, int t_lo,
+                              int t_hi, int* best_index) const {
+  IMDPP_CHECK(!pending.empty());
+  t_lo = std::max(1, t_lo);
+  t_hi = std::min(total_promotions_, std::max(t_lo, t_hi));
+  MonteCarloEngine::MarketEval base = engine_.EvalMarket(sg, market_);
+
+  Seed best{};
+  double best_si = -std::numeric_limits<double>::infinity();
+  int best_idx = 0;
+  for (int i = 0; i < static_cast<int>(pending.size()); ++i) {
+    for (int t = t_lo; t <= t_hi; ++t) {
+      Seed cand{pending[i].user, pending[i].item, t};
+      double si = SubstantialInfluence(sg, base, cand);
+      if (si > best_si) {
+        best_si = si;
+        best = cand;
+        best_idx = i;
+      }
+    }
+  }
+  if (best_index != nullptr) *best_index = best_idx;
+  return best;
+}
+
+}  // namespace imdpp::core

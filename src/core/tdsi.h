@@ -1,0 +1,59 @@
+// Timing Determination by Substantial Inﬂuence (TDSI, Sec. IV-B.3,
+// Eqs. 2, 11, 12, 13).
+//
+//   SI_τ(S_G, (u,x,t), T) = MA_τ(S_G,(u,x,t))
+//                           + (T − t + 1)/T · ML_τ(S_G,(u,x,t))
+//   MA = σ_τ(S_G ∪ {(u,x,t)}) − σ_τ(S_G)      (immediate adoptions)
+//   ML = π_τ(S_G ∪ {(u,x,t)}) − π_τ(S_G)      (subsequent adoptions)
+//
+// Both differences are common-random-number paired Monte-Carlo estimates.
+// The search window for t is [t̂, min(t̂+1, Σ_{i≤k} T_{τ_i})] (see the
+// paper's argument that later timings only shrink the ML term).
+#ifndef IMDPP_CORE_TDSI_H_
+#define IMDPP_CORE_TDSI_H_
+
+#include <vector>
+
+#include "diffusion/monte_carlo.h"
+#include "diffusion/seed.h"
+
+namespace imdpp::core {
+
+using diffusion::MonteCarloEngine;
+using diffusion::Nominee;
+using diffusion::Seed;
+using diffusion::SeedGroup;
+using graph::UserId;
+
+class TimingSelector {
+ public:
+  /// `market_users` is τ_k; `total_promotions` is T.
+  TimingSelector(const MonteCarloEngine& engine,
+                 const std::vector<UserId>& market_users,
+                 int total_promotions)
+      : engine_(engine),
+        market_(market_users),
+        total_promotions_(total_promotions) {}
+
+  /// SI of candidate seed `cand` given the current group seeds `sg`.
+  /// `base` must be engine.EvalMarket(sg, market) — passed in so callers
+  /// amortize it across candidates.
+  double SubstantialInfluence(const SeedGroup& sg,
+                              const MonteCarloEngine::MarketEval& base,
+                              const Seed& cand) const;
+
+  /// Picks the (nominee, timing) pair with maximal SI over nominees in
+  /// `pending` and timings in [t_lo, t_hi] (clamped to [1, T]).
+  /// Returns the index into `pending` via `best_index`.
+  Seed PickBest(const SeedGroup& sg, const std::vector<Nominee>& pending,
+                int t_lo, int t_hi, int* best_index) const;
+
+ private:
+  const MonteCarloEngine& engine_;
+  const std::vector<UserId>& market_;
+  int total_promotions_;
+};
+
+}  // namespace imdpp::core
+
+#endif  // IMDPP_CORE_TDSI_H_

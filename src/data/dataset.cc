@@ -1,0 +1,40 @@
+#include "data/dataset.h"
+
+namespace imdpp::data {
+
+diffusion::Problem Dataset::MakeProblem(double budget, int num_promotions,
+                                        pin::PerceptionParams params) const {
+  return MakeProblemWithRelevance(*relevance, budget, num_promotions, params);
+}
+
+diffusion::Problem Dataset::MakeProblemWithRelevance(
+    const kg::RelevanceModel& relevance_override, double budget,
+    int num_promotions, pin::PerceptionParams params,
+    const std::vector<int>* meta_indices) const {
+  diffusion::Problem p;
+  p.graph = social.get();
+  p.relevance = &relevance_override;
+  p.params = params;
+  p.importance = importance;
+  p.base_pref = base_pref;
+  p.cost = cost;
+  p.budget = budget;
+  p.num_promotions = num_promotions;
+  // The weighting matrix must match the override's meta count; reuse the
+  // dataset's initial weights for the shared prefix of metas.
+  const int metas = relevance_override.NumMetas();
+  const int own_metas = relevance->NumMetas();
+  p.wmeta0.assign(static_cast<size_t>(NumUsers()) * metas, 0.0f);
+  for (int u = 0; u < NumUsers(); ++u) {
+    for (int m = 0; m < metas; ++m) {
+      int src = meta_indices != nullptr ? (*meta_indices)[m] : m;
+      if (src < 0 || src >= own_metas) continue;
+      p.wmeta0[static_cast<size_t>(u) * metas + m] =
+          wmeta0[static_cast<size_t>(u) * own_metas + src];
+    }
+  }
+  p.Validate();
+  return p;
+}
+
+}  // namespace imdpp::data

@@ -1,0 +1,52 @@
+// A self-contained IMDPP dataset: knowledge graph, meta-graphs, relevance
+// model, social network, preferences, costs, importances and initial
+// perceptions. Owns its components behind stable heap storage so Problem
+// views remain valid across moves.
+#ifndef IMDPP_DATA_DATASET_H_
+#define IMDPP_DATA_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "diffusion/problem.h"
+#include "graph/social_graph.h"
+#include "kg/knowledge_graph.h"
+#include "kg/relevance.h"
+
+namespace imdpp::data {
+
+struct Dataset {
+  std::string name;
+  bool directed_friendship = false;
+
+  std::unique_ptr<kg::KnowledgeGraph> kg;
+  std::unique_ptr<kg::RelevanceModel> relevance;
+  std::unique_ptr<graph::SocialGraph> social;
+
+  std::vector<double> importance;  ///< per item
+  std::vector<float> base_pref;    ///< |V| x |I| row-major
+  std::vector<float> cost;         ///< |V| x |I| row-major
+  std::vector<float> wmeta0;       ///< |V| x M row-major
+
+  int NumUsers() const { return social->NumUsers(); }
+  int NumItems() const { return relevance->NumItems(); }
+
+  /// Problem view with the given budget / promotion count / dynamics.
+  /// The Dataset must outlive the returned Problem.
+  diffusion::Problem MakeProblem(double budget, int num_promotions,
+                                 pin::PerceptionParams params = {}) const;
+
+  /// Same but with the relevance model restricted to a meta-graph subset
+  /// (sensitivity study, Fig. 13). The override must be kept alive by the
+  /// caller. `meta_indices` maps the override's metas back to this
+  /// dataset's metas for the initial weightings (nullptr = identity prefix).
+  diffusion::Problem MakeProblemWithRelevance(
+      const kg::RelevanceModel& relevance_override, double budget,
+      int num_promotions, pin::PerceptionParams params = {},
+      const std::vector<int>* meta_indices = nullptr) const;
+};
+
+}  // namespace imdpp::data
+
+#endif  // IMDPP_DATA_DATASET_H_

@@ -1,0 +1,41 @@
+#include "data/stats.h"
+
+namespace imdpp::data {
+
+DatasetStats ComputeStats(const Dataset& ds) {
+  DatasetStats s;
+  s.name = ds.name;
+  s.node_types = ds.kg->NumNodeTypes() + 1;  // + USER
+  s.nodes = ds.kg->NumNodes() + ds.social->NumUsers();
+  s.users = ds.social->NumUsers();
+  s.items = ds.kg->NumItems();
+  s.edge_types = ds.kg->NumEdgeTypes() + 1;  // + FRIENDSHIP
+  s.friendships = ds.social->NumEdges();
+  s.edges = ds.kg->NumEdges() + s.friendships;
+  s.directed_friendship = ds.directed_friendship;
+  s.avg_influence = ds.social->AverageInfluenceStrength();
+  double w = 0.0;
+  for (double x : ds.importance) w += x;
+  s.avg_importance = ds.importance.empty()
+                         ? 0.0
+                         : w / static_cast<double>(ds.importance.size());
+  return s;
+}
+
+void SetStatsHeader(TextTable& table) {
+  table.SetHeader({"dataset", "#node-types", "#nodes", "#users", "#items",
+                   "#edge-types", "#edges", "#friendships", "directed?",
+                   "avg-influence", "avg-importance"});
+}
+
+void AppendStatsRow(TextTable& table, const DatasetStats& s) {
+  table.AddRow({s.name, TextTable::Int(s.node_types), TextTable::Int(s.nodes),
+                TextTable::Int(s.users), TextTable::Int(s.items),
+                TextTable::Int(s.edge_types), TextTable::Int(s.edges),
+                TextTable::Int(s.friendships),
+                s.directed_friendship ? "yes" : "no",
+                TextTable::Num(s.avg_influence, 3),
+                TextTable::Num(s.avg_importance, 2)});
+}
+
+}  // namespace imdpp::data

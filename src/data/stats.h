@@ -1,0 +1,37 @@
+// Dataset statistics in the shape of the paper's Table II / Table III.
+#ifndef IMDPP_DATA_STATS_H_
+#define IMDPP_DATA_STATS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/table.h"
+
+namespace imdpp::data {
+
+struct DatasetStats {
+  std::string name;
+  int node_types = 0;  ///< KG node types + USER
+  int64_t nodes = 0;   ///< KG nodes + users
+  int users = 0;
+  int items = 0;
+  int edge_types = 0;  ///< KG edge types + FRIENDSHIP
+  int64_t edges = 0;   ///< KG edges + friendships
+  int64_t friendships = 0;
+  bool directed_friendship = false;
+  double avg_influence = 0.0;
+  double avg_importance = 0.0;
+};
+
+DatasetStats ComputeStats(const Dataset& ds);
+
+/// Appends one dataset column per call, Table II style (datasets as
+/// columns works poorly in ASCII; we emit datasets as rows instead).
+void AppendStatsRow(TextTable& table, const DatasetStats& s);
+
+/// Header matching AppendStatsRow.
+void SetStatsHeader(TextTable& table);
+
+}  // namespace imdpp::data
+
+#endif  // IMDPP_DATA_STATS_H_

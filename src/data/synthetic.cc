@@ -1,0 +1,200 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include "kg/meta_graph.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace imdpp::data {
+
+namespace {
+
+/// The six standard meta-graphs, in a fixed order so prefix subsets are
+/// meaningful: per relationship kind, most informative first.
+///   C: shared feature; also-bought; shared feature AND shared brand.
+///   S: shared category; also-viewed; shared brand.
+std::vector<kg::MetaGraph> StandardMetas(kg::KnowledgeGraph& g,
+                                         const KgTypeNames& t) {
+  using kg::RelationKind;
+  std::vector<kg::MetaGraph> metas;
+  kg::MetaGraph shared_feature = kg::SharedNeighborMeta(
+      g, "C:shared-" + t.feature, RelationKind::kComplementary, t.supports,
+      t.feature);
+  kg::MetaGraph shared_brand_c = kg::SharedNeighborMeta(
+      g, "brand-leg", RelationKind::kComplementary, t.has_brand, t.brand);
+  metas.push_back(shared_feature);
+  metas.push_back(kg::SharedNeighborMeta(g, "S:shared-" + t.category,
+                                         RelationKind::kSubstitutable,
+                                         t.in_category, t.category));
+  metas.push_back(kg::DirectEdgeMeta(g, "C:" + t.also_bought,
+                                     RelationKind::kComplementary,
+                                     t.also_bought));
+  metas.push_back(kg::DirectEdgeMeta(g, "S:" + t.also_viewed,
+                                     RelationKind::kSubstitutable,
+                                     t.also_viewed));
+  metas.push_back(kg::ConjunctionMeta(
+      "C:shared-" + t.feature + "-and-" + t.brand,
+      RelationKind::kComplementary, {shared_feature, shared_brand_c}));
+  metas.push_back(kg::SharedNeighborMeta(g, "S:shared-" + t.brand,
+                                         RelationKind::kSubstitutable,
+                                         t.has_brand, t.brand));
+  return metas;
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec) {
+  IMDPP_CHECK_GT(spec.num_items, 1);
+  IMDPP_CHECK_GT(spec.num_users, 1);
+  Rng rng(spec.seed);
+  Dataset ds;
+  ds.name = spec.name;
+  ds.directed_friendship = spec.directed;
+
+  // --- knowledge graph -----------------------------------------------------
+  ds.kg = std::make_unique<kg::KnowledgeGraph>(spec.types.item);
+  kg::KnowledgeGraph& g = *ds.kg;
+  std::vector<kg::KgNodeId> items, features, brands, categories;
+  for (int i = 0; i < spec.num_items; ++i) {
+    items.push_back(
+        g.AddNode(spec.types.item, spec.types.item + std::to_string(i)));
+  }
+  for (int i = 0; i < spec.num_features; ++i) {
+    features.push_back(
+        g.AddNode(spec.types.feature, spec.types.feature + std::to_string(i)));
+  }
+  for (int i = 0; i < spec.num_brands; ++i) {
+    brands.push_back(
+        g.AddNode(spec.types.brand, spec.types.brand + std::to_string(i)));
+  }
+  for (int i = 0; i < spec.num_categories; ++i) {
+    categories.push_back(g.AddNode(spec.types.category,
+                                   spec.types.category + std::to_string(i)));
+  }
+
+  // Per-item attributes. Categories partition items; brands cluster within
+  // a category; features are drawn with category affinity so shared-feature
+  // complementarity concentrates in themed groups.
+  std::vector<int> item_category(spec.num_items);
+  for (int i = 0; i < spec.num_items; ++i) {
+    int cat = static_cast<int>(rng.NextBelow(spec.num_categories));
+    item_category[i] = cat;
+    g.AddEdge(items[i], categories[cat], spec.types.in_category);
+    int brand = (cat + static_cast<int>(rng.NextBelow(
+                           std::max(1, spec.num_brands / 2)))) %
+                spec.num_brands;
+    g.AddEdge(items[i], brands[brand], spec.types.has_brand);
+    for (int f = 0; f < spec.features_per_item; ++f) {
+      // Half the features come from a category-themed block.
+      int feat;
+      if (rng.NextBool(0.5) && spec.num_features >= spec.num_categories) {
+        int block = spec.num_features / spec.num_categories;
+        feat = cat * block + static_cast<int>(rng.NextBelow(
+                                 std::max(1, block)));
+      } else {
+        feat = static_cast<int>(rng.NextBelow(spec.num_features));
+      }
+      g.AddEdge(items[i], features[feat], spec.types.supports);
+    }
+  }
+  // Direct item-item edges: also-bought across categories (complementary),
+  // also-viewed within a category (substitutable alternatives).
+  for (int i = 0; i < spec.num_items; ++i) {
+    for (int k = 0; k < spec.also_bought_per_item; ++k) {
+      int j = static_cast<int>(rng.NextBelow(spec.num_items));
+      if (j != i) g.AddEdge(items[i], items[j], spec.types.also_bought);
+    }
+    for (int k = 0; k < spec.also_viewed_per_item; ++k) {
+      // Rejection-sample a same-category partner.
+      for (int tries = 0; tries < 16; ++tries) {
+        int j = static_cast<int>(rng.NextBelow(spec.num_items));
+        if (j != i && item_category[j] == item_category[i]) {
+          g.AddEdge(items[i], items[j], spec.types.also_viewed);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<kg::MetaGraph> metas = StandardMetas(g, spec.types);
+  ds.relevance = std::make_unique<kg::RelevanceModel>(
+      kg::RelevanceModel::FromKg(g, std::move(metas), spec.relevance_kappa));
+
+  // --- social network ------------------------------------------------------
+  graph::TopologyConfig tcfg;
+  tcfg.num_users = spec.num_users;
+  tcfg.mean_influence = spec.mean_influence;
+  tcfg.directed = spec.directed;
+  tcfg.seed = SplitMix64(spec.seed ^ 0x50c1a1ULL);
+  graph::SocialGraph social;
+  switch (spec.topology) {
+    case SocialTopology::kPreferentialAttachment:
+      social = graph::MakePreferentialAttachment(tcfg, spec.pa_edges_per_node);
+      break;
+    case SocialTopology::kSmallWorld:
+      social = graph::MakeSmallWorld(tcfg, spec.sw_neighbors, spec.sw_rewire);
+      break;
+    case SocialTopology::kCommunity:
+      social = graph::MakeCommunityGraph(tcfg, spec.community_blocks,
+                                         spec.community_p_in,
+                                         spec.community_p_out);
+      break;
+  }
+  ds.social = std::make_unique<graph::SocialGraph>(std::move(social));
+
+  // --- item importance -----------------------------------------------------
+  ds.importance.resize(spec.num_items);
+  for (int i = 0; i < spec.num_items; ++i) {
+    ds.importance[i] =
+        spec.importance == ImportanceKind::kLogNormalPrice
+            ? rng.NextLogNormal(spec.importance_mu, spec.importance_sigma)
+            : rng.NextRange(0.1, 1.0);
+  }
+
+  // --- user preferences, perceptions, costs --------------------------------
+  const int v = spec.num_users;
+  const int ni = spec.num_items;
+  const int nm = ds.relevance->NumMetas();
+  ds.base_pref.resize(static_cast<size_t>(v) * ni);
+  ds.cost.resize(static_cast<size_t>(v) * ni);
+  ds.wmeta0.resize(static_cast<size_t>(v) * nm);
+  std::vector<float> raw_cost(static_cast<size_t>(v) * ni);
+  for (int u = 0; u < v; ++u) {
+    int interest = static_cast<int>(rng.NextBelow(spec.num_categories));
+    for (int x = 0; x < ni; ++x) {
+      double p = rng.NextRange(spec.base_pref_lo, spec.base_pref_hi);
+      if (item_category[x] == interest) {
+        p += spec.interest_boost * rng.NextRange(0.5, 1.0);
+      }
+      ds.base_pref[static_cast<size_t>(u) * ni + x] =
+          static_cast<float>(Clip01(p));
+    }
+    for (int m = 0; m < nm; ++m) {
+      ds.wmeta0[static_cast<size_t>(u) * nm + m] =
+          static_cast<float>(rng.NextRange(spec.wmeta_lo, spec.wmeta_hi));
+    }
+  }
+  // Costs ∝ out-degree / preference (Sec. VI-A), rescaled to the target
+  // median so budget sweeps are comparable across dataset sizes.
+  for (int u = 0; u < v; ++u) {
+    double deg = 1.0 + ds.social->OutDegree(u);
+    for (int x = 0; x < ni; ++x) {
+      double pref = ds.base_pref[static_cast<size_t>(u) * ni + x];
+      raw_cost[static_cast<size_t>(u) * ni + x] =
+          static_cast<float>(deg / (0.15 + pref));
+    }
+  }
+  std::vector<float> sorted = raw_cost;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  double median = sorted[sorted.size() / 2];
+  double scale = median > 0.0 ? spec.target_median_cost / median : 1.0;
+  for (size_t i = 0; i < raw_cost.size(); ++i) {
+    ds.cost[i] = static_cast<float>(
+        std::max(0.5, static_cast<double>(raw_cost[i]) * scale));
+  }
+  return ds;
+}
+
+}  // namespace imdpp::data

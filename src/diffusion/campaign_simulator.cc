@@ -1,0 +1,223 @@
+#include "diffusion/campaign_simulator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/mathutil.h"
+
+namespace imdpp::diffusion {
+
+namespace {
+
+// Purpose tags keep coin flips for different event kinds independent.
+enum Purpose : uint64_t {
+  kAdoptFlip = 1,
+  kExtraFlip = 2,
+  kLtThreshold = 3,
+};
+
+int64_t PairKey(UserId u, ItemId x, int num_items) {
+  return static_cast<int64_t>(u) * num_items + x;
+}
+
+}  // namespace
+
+CampaignSimulator::CampaignSimulator(const Problem& problem,
+                                     const CampaignConfig& config)
+    : problem_(problem), config_(config) {
+  problem_.Validate();
+  dynamics_ =
+      std::make_unique<pin::Dynamics>(*problem_.relevance, problem_.params);
+}
+
+SampleOutcome CampaignSimulator::RunSample(
+    const SeedGroup& seeds, uint64_t sample_idx,
+    const std::vector<uint8_t>* market_mask, bool keep_states,
+    const std::vector<pin::UserState>* initial_states) const {
+  const graph::SocialGraph& g = *problem_.graph;
+  const int num_items = problem_.NumItems();
+  const int num_users = problem_.NumUsers();
+  const pin::PersonalItemNetwork& pin = dynamics_->pin();
+  const pin::PreferenceModel& pref_model = dynamics_->preference();
+  const pin::InfluenceModel& act_model = dynamics_->influence();
+  const pin::AssociationModel& assoc_model = dynamics_->association();
+  const kg::RelevanceModel& rel = *problem_.relevance;
+  const uint64_t sseed = HashTuple(config_.base_seed, sample_idx);
+
+  // Initial states.
+  std::vector<pin::UserState> state;
+  if (initial_states != nullptr) {
+    IMDPP_CHECK_EQ(initial_states->size(), static_cast<size_t>(num_users));
+    state = *initial_states;
+  } else {
+    state.reserve(num_users);
+    for (UserId u = 0; u < num_users; ++u) {
+      std::span<const float> w0 = problem_.Wmeta0(u);
+      state.emplace_back(num_items, std::vector<float>(w0.begin(), w0.end()));
+    }
+  }
+
+  SampleOutcome out;
+  auto count_adoption = [&](UserId u, ItemId x) {
+    out.sigma += problem_.importance[x];
+    ++out.adoptions;
+    if (market_mask != nullptr && (*market_mask)[u]) {
+      out.sigma_market += problem_.importance[x];
+    }
+  };
+
+  // Seeds grouped by promotion (1-based).
+  int t_max = problem_.num_promotions;
+  std::vector<SeedGroup> by_promotion(t_max + 1);
+  for (const Seed& s : seeds) {
+    IMDPP_CHECK(s.promotion >= 1 && s.promotion <= t_max);
+    IMDPP_CHECK(s.user >= 0 && s.user < num_users);
+    IMDPP_CHECK(s.item >= 0 && s.item < num_items);
+    by_promotion[s.promotion].push_back(s);
+  }
+
+  // Accumulated LT influence per (user, item); thresholds are hash-drawn.
+  std::unordered_map<int64_t, double> lt_acc;
+
+  for (int t = 1; t <= t_max; ++t) {
+    // --- ζ_t = 0: seeds adopt their items. ---
+    std::vector<std::pair<UserId, ItemId>> frontier;
+    {
+      std::unordered_map<UserId, std::vector<ItemId>> new_by_user;
+      for (const Seed& s : by_promotion[t]) {
+        if (state[s.user].Add(s.item)) {
+          count_adoption(s.user, s.item);
+          new_by_user[s.user].push_back(s.item);
+        }
+        // Even if the item was adopted earlier, a re-seeded user promotes
+        // it again (Lemma 1's re-seeding case).
+        frontier.emplace_back(s.user, s.item);
+      }
+      for (auto& [u, items] : new_by_user) {
+        pin.UpdateWeights(state[u], items);
+      }
+    }
+
+    // --- ζ_t ≥ 1: influence propagation. ---
+    for (int step = 1; step <= config_.max_steps && !frontier.empty();
+         ++step) {
+      std::vector<std::pair<UserId, ItemId>> pending;
+      std::unordered_set<int64_t> pending_keys;
+      auto try_queue = [&](UserId u, ItemId x) {
+        int64_t key = PairKey(u, x, num_items);
+        if (state[u].Has(x)) return;
+        if (!pending_keys.insert(key).second) return;
+        pending.emplace_back(u, x);
+      };
+
+      for (const auto& [src, x] : frontier) {
+        for (const graph::Edge& e : g.OutEdges(src)) {
+          const UserId u = e.to;
+          const bool has_x = state[u].Has(x);
+          const double pact = act_model.Eval(e.weight, state[src], state[u]);
+          if (pact <= 0.0) continue;
+          // A user can only be promoted an item she has not adopted.
+          if (has_x) continue;
+          const double ppref =
+              pref_model.Eval(state[u], problem_.BasePref(u, x), x);
+          bool adopt = false;
+          if (config_.model == DiffusionModel::kIndependentCascade) {
+            const double p = pact * ppref;
+            if (p > 0.0 &&
+                UnitHash(sseed, kAdoptFlip, t, step, src, u, x) < p) {
+              adopt = true;
+            }
+          } else {
+            // LT: accumulate preference-scaled influence mass against a
+            // per-(user,item) threshold drawn once per realization.
+            int64_t key = PairKey(u, x, num_items);
+            double& acc = lt_acc[key];
+            acc += pact * ppref;
+            const double theta = UnitHash(sseed, kLtThreshold, u, x);
+            if (acc >= theta) adopt = true;
+          }
+          if (adopt) try_queue(u, x);
+
+          // Item associations: being promoted x can trigger adoption of
+          // relevant items y, independently of the adoption of x.
+          if (ppref <= 0.0) continue;
+          for (ItemId y : rel.RelatedItems(x)) {
+            if (state[u].Has(y)) continue;
+            const double pe =
+                assoc_model.ExtraProb(state[u], pact, ppref, x, y);
+            if (pe > 0.0 &&
+                UnitHash(sseed, kExtraFlip, t, step, src, u, x, y) < pe) {
+              try_queue(u, y);
+            }
+          }
+        }
+      }
+
+      // Commit simultaneously, then update perceptions (ripple effect).
+      std::unordered_map<UserId, std::vector<ItemId>> new_by_user;
+      for (const auto& [u, x] : pending) {
+        if (state[u].Add(x)) {
+          count_adoption(u, x);
+          new_by_user[u].push_back(x);
+        }
+      }
+      for (auto& [u, items] : new_by_user) {
+        pin.UpdateWeights(state[u], items);
+      }
+      frontier.swap(pending);
+    }
+  }
+
+  if (keep_states) out.states = std::move(state);
+  return out;
+}
+
+double CampaignSimulator::LikelihoodPi(
+    const std::vector<pin::UserState>& states,
+    const std::vector<UserId>& market) const {
+  const graph::SocialGraph& g = *problem_.graph;
+  const int num_items = problem_.NumItems();
+  const pin::PreferenceModel& pref_model = dynamics_->preference();
+  const pin::InfluenceModel& act_model = dynamics_->influence();
+  IMDPP_CHECK_EQ(states.size(), static_cast<size_t>(problem_.NumUsers()));
+
+  double pi = 0.0;
+  // AIS per item: for IC, 1 - Π over adopter-in-neighbors of (1 - Pact);
+  // scratch reused across market users.
+  std::vector<double> no_influence(num_items);
+  std::vector<double> lt_mass(num_items);
+  for (UserId v : market) {
+    std::fill(no_influence.begin(), no_influence.end(), 1.0);
+    std::fill(lt_mass.begin(), lt_mass.end(), 0.0);
+    bool any = false;
+    for (const graph::Edge& e : g.InEdges(v)) {
+      const UserId vp = e.to;
+      if (states[vp].Adopted().empty()) continue;
+      const double pact = act_model.Eval(e.weight, states[vp], states[v]);
+      if (pact <= 0.0) continue;
+      for (ItemId y : states[vp].Adopted()) {
+        if (states[v].Has(y)) continue;
+        no_influence[y] *= (1.0 - pact);
+        lt_mass[y] += pact;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    for (ItemId y = 0; y < num_items; ++y) {
+      double ais;
+      if (config_.model == DiffusionModel::kIndependentCascade) {
+        ais = 1.0 - no_influence[y];
+      } else {
+        ais = Clip01(lt_mass[y]);
+      }
+      if (ais <= 0.0) continue;
+      const double ppref =
+          pref_model.Eval(states[v], problem_.BasePref(v, y), y);
+      pi += ais * ppref;
+    }
+  }
+  return pi;
+}
+
+}  // namespace imdpp::diffusion

@@ -1,0 +1,92 @@
+// One Monte-Carlo realization of the multi-promotion diffusion process of
+// Sec. III, with the dynamic factors of Sec. V-A applied after every step.
+//
+// Process per promotion t:
+//   ζ_t = 0: seeds (u,x,t) adopt x (if not yet adopted) and become the
+//            frontier; perception weights update.
+//   ζ_t ≥ 1: every (u', x) in the frontier promotes x to each out-neighbor
+//            u that has not adopted x. Adoption fires with probability
+//            Pact(u',u) * Ppref(u,x) (IC) or via accumulated-threshold (LT).
+//            Being promoted x also triggers extra adoptions of relevant
+//            items y with probability Pext (item associations), flipped
+//            independently. Adoptions commit at the end of the step; then
+//            the adopters' meta-graph weightings update (which implicitly
+//            updates preferences, influence strengths and associations for
+//            the next step — the ripple effect).
+//   The promotion ends when a step produces no adoption; then t+1 starts
+//   from the resulting state.
+//
+// All coin flips are counter-based hashes of
+// (sample_seed, t, ζ, u', u, item, purpose), so realizations are
+// reproducible and common across seed-group variations.
+#ifndef IMDPP_DIFFUSION_CAMPAIGN_SIMULATOR_H_
+#define IMDPP_DIFFUSION_CAMPAIGN_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "diffusion/problem.h"
+#include "diffusion/seed.h"
+#include "pin/dynamics.h"
+#include "pin/user_state.h"
+
+namespace imdpp::diffusion {
+
+enum class DiffusionModel { kIndependentCascade, kLinearThreshold };
+
+struct CampaignConfig {
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  /// Safety cap on steps within one promotion.
+  int max_steps = 64;
+  /// Base seed mixed into every coin flip.
+  uint64_t base_seed = 0x1234abcdULL;
+};
+
+/// Outcome of one realization.
+struct SampleOutcome {
+  /// Importance-weighted adoptions over the whole campaign (the σ summand).
+  double sigma = 0.0;
+  /// Same, restricted to users with market_mask[u] != 0 (0 if no mask).
+  double sigma_market = 0.0;
+  /// Unweighted adoption count.
+  int adoptions = 0;
+  /// Final user states (only if keep_states was requested).
+  std::vector<pin::UserState> states;
+};
+
+class CampaignSimulator {
+ public:
+  CampaignSimulator(const Problem& problem, const CampaignConfig& config);
+
+  /// Runs realization `sample_idx` of the campaign induced by `seeds`.
+  /// `market_mask` (optional, size |V|) restricts sigma_market.
+  /// `keep_states` returns the final per-user states (for π / expected
+  /// perception extraction). `initial_states` (optional) starts the
+  /// campaign from a previously observed state instead of the problem's
+  /// initial preferences/weightings — the hook for adaptive IM (Sec. V-D).
+  SampleOutcome RunSample(
+      const SeedGroup& seeds, uint64_t sample_idx,
+      const std::vector<uint8_t>* market_mask = nullptr,
+      bool keep_states = false,
+      const std::vector<pin::UserState>* initial_states = nullptr) const;
+
+  /// Likelihood π_τ(SG) of Eq. 13 evaluated on the final states of one
+  /// realization: Σ_{v ∈ market} Σ_{y ∉ A(v)} AIS(v,y) * Ppref(v,y), where
+  /// AIS aggregates the dynamic influence of v's in-neighbors that have
+  /// adopted y (IC form: 1 - Π(1 - Pact); LT form: Σ Pact capped at 1).
+  double LikelihoodPi(const std::vector<pin::UserState>& states,
+                      const std::vector<UserId>& market) const;
+
+  const Problem& problem() const { return problem_; }
+  const pin::Dynamics& dynamics() const { return *dynamics_; }
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  const Problem& problem_;
+  CampaignConfig config_;
+  std::unique_ptr<pin::Dynamics> dynamics_;
+};
+
+}  // namespace imdpp::diffusion
+
+#endif  // IMDPP_DIFFUSION_CAMPAIGN_SIMULATOR_H_

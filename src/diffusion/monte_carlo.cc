@@ -1,0 +1,108 @@
+#include "diffusion/monte_carlo.h"
+
+namespace imdpp::diffusion {
+
+ExpectedState::ExpectedState(int num_users, int num_items, int num_metas)
+    : num_users_(num_users),
+      num_items_(num_items),
+      num_metas_(num_metas),
+      adoption_prob_(static_cast<size_t>(num_users) * num_items, 0.0f),
+      avg_wmeta_(static_cast<size_t>(num_users) * num_metas, 0.0f) {}
+
+double ExpectedState::AvgRel(const pin::PersonalItemNetwork& pin,
+                             const std::vector<UserId>& users, ItemId x,
+                             ItemId y, bool complementary) const {
+  double s = 0.0;
+  int n = 0;
+  auto add = [&](UserId u) {
+    std::span<const float> w = AvgWmeta(u);
+    s += complementary ? pin.RelC(w, x, y) : pin.RelS(w, x, y);
+    ++n;
+  };
+  if (users.empty()) {
+    for (UserId u = 0; u < num_users_; ++u) add(u);
+  } else {
+    for (UserId u : users) add(u);
+  }
+  return n == 0 ? 0.0 : s / n;
+}
+
+double ExpectedState::AvgRelC(const pin::PersonalItemNetwork& pin,
+                              const std::vector<UserId>& users, ItemId x,
+                              ItemId y) const {
+  return AvgRel(pin, users, x, y, /*complementary=*/true);
+}
+
+double ExpectedState::AvgRelS(const pin::PersonalItemNetwork& pin,
+                              const std::vector<UserId>& users, ItemId x,
+                              ItemId y) const {
+  return AvgRel(pin, users, x, y, /*complementary=*/false);
+}
+
+ExpectedState ExpectedState::InitialOf(const Problem& problem) {
+  ExpectedState es(problem.NumUsers(), problem.NumItems(), problem.NumMetas());
+  es.avg_wmeta_ = problem.wmeta0;
+  return es;
+}
+
+MonteCarloEngine::MonteCarloEngine(const Problem& problem,
+                                   const CampaignConfig& config,
+                                   int num_samples)
+    : sim_(problem, config), num_samples_(num_samples) {
+  IMDPP_CHECK_GT(num_samples, 0);
+}
+
+double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
+  double total = 0.0;
+  for (int s = 0; s < num_samples_; ++s) {
+    total += sim_.RunSample(seeds, static_cast<uint64_t>(s), nullptr,
+                            /*keep_states=*/false, initial_states_)
+                 .sigma;
+    ++num_simulations_;
+  }
+  return total / num_samples_;
+}
+
+MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
+    const SeedGroup& seeds, const std::vector<UserId>& users) const {
+  const Problem& p = sim_.problem();
+  std::vector<uint8_t> mask(p.NumUsers(), 0);
+  for (UserId u : users) mask[u] = 1;
+  MarketEval out;
+  for (int s = 0; s < num_samples_; ++s) {
+    SampleOutcome o = sim_.RunSample(seeds, static_cast<uint64_t>(s), &mask,
+                                     /*keep_states=*/true, initial_states_);
+    ++num_simulations_;
+    out.sigma += o.sigma;
+    out.sigma_market += o.sigma_market;
+    out.pi += sim_.LikelihoodPi(o.states, users);
+  }
+  out.sigma /= num_samples_;
+  out.sigma_market /= num_samples_;
+  out.pi /= num_samples_;
+  return out;
+}
+
+ExpectedState MonteCarloEngine::Expected(const SeedGroup& seeds) const {
+  const Problem& p = sim_.problem();
+  ExpectedState es(p.NumUsers(), p.NumItems(), p.NumMetas());
+  const float inv = 1.0f / static_cast<float>(num_samples_);
+  for (int s = 0; s < num_samples_; ++s) {
+    SampleOutcome o = sim_.RunSample(seeds, static_cast<uint64_t>(s), nullptr,
+                                     /*keep_states=*/true, initial_states_);
+    ++num_simulations_;
+    for (UserId u = 0; u < p.NumUsers(); ++u) {
+      const pin::UserState& st = o.states[u];
+      for (ItemId x : st.Adopted()) {
+        es.adoption_prob_[static_cast<size_t>(u) * p.NumItems() + x] += inv;
+      }
+      const std::vector<float>& w = st.wmeta();
+      for (int m = 0; m < p.NumMetas(); ++m) {
+        es.avg_wmeta_[static_cast<size_t>(u) * p.NumMetas() + m] += w[m] * inv;
+      }
+    }
+  }
+  return es;
+}
+
+}  // namespace imdpp::diffusion

@@ -1,0 +1,102 @@
+// Monte-Carlo estimation of the importance-aware influence σ (Def. 1), the
+// market-restricted σ_τ, the likelihood π_τ (Eq. 13), and the *expected
+// state* (average adoption probabilities and meta-graph weightings) that
+// the Dysim machinery consumes for r̄^C / r̄^S, AE, and DR.
+//
+// Because coin flips are counter-based on (sample index, event), estimates
+// for different seed groups under the same engine are common-random-number
+// paired: Sigma(S ∪ {s}) - Sigma(S) is a low-variance paired estimate of
+// the marginal gain.
+#ifndef IMDPP_DIFFUSION_MONTE_CARLO_H_
+#define IMDPP_DIFFUSION_MONTE_CARLO_H_
+
+#include <vector>
+
+#include "diffusion/campaign_simulator.h"
+
+namespace imdpp::diffusion {
+
+/// Sample-averaged end-of-campaign state.
+class ExpectedState {
+ public:
+  ExpectedState(int num_users, int num_items, int num_metas);
+
+  double AdoptionProb(UserId u, ItemId x) const {
+    return adoption_prob_[static_cast<size_t>(u) * num_items_ + x];
+  }
+  std::span<const float> AvgWmeta(UserId u) const {
+    return {avg_wmeta_.data() + static_cast<size_t>(u) * num_metas_,
+            static_cast<size_t>(num_metas_)};
+  }
+
+  /// Average complementary relevance r̄^C_{x,y} over `users` (all users if
+  /// empty), evaluated at each user's expected weightings.
+  double AvgRelC(const pin::PersonalItemNetwork& pin,
+                 const std::vector<UserId>& users, ItemId x, ItemId y) const;
+  double AvgRelS(const pin::PersonalItemNetwork& pin,
+                 const std::vector<UserId>& users, ItemId x, ItemId y) const;
+
+  int num_users() const { return num_users_; }
+
+  /// Expected state before any promotion: zero adoptions, initial Wmeta.
+  static ExpectedState InitialOf(const Problem& problem);
+
+ private:
+  friend class MonteCarloEngine;
+  double AvgRel(const pin::PersonalItemNetwork& pin,
+                const std::vector<UserId>& users, ItemId x, ItemId y,
+                bool complementary) const;
+
+  int num_users_;
+  int num_items_;
+  int num_metas_;
+  std::vector<float> adoption_prob_;  ///< |V| x |I|
+  std::vector<float> avg_wmeta_;      ///< |V| x M
+};
+
+class MonteCarloEngine {
+ public:
+  /// `num_samples` realizations per estimate (M in the paper, Sec. VI-A).
+  MonteCarloEngine(const Problem& problem, const CampaignConfig& config,
+                   int num_samples);
+
+  /// σ̂(S): mean importance-weighted adoptions.
+  double Sigma(const SeedGroup& seeds) const;
+
+  struct MarketEval {
+    double sigma = 0.0;         ///< campaign-wide σ̂
+    double sigma_market = 0.0;  ///< σ̂ restricted to the market's users
+    double pi = 0.0;            ///< likelihood π̂_τ (Eq. 13)
+  };
+
+  /// Joint estimate of σ, σ_τ and π_τ for the market `users` in one pass.
+  MarketEval EvalMarket(const SeedGroup& seeds,
+                        const std::vector<UserId>& users) const;
+
+  /// Expected end-of-campaign state under `seeds`.
+  ExpectedState Expected(const SeedGroup& seeds) const;
+
+  /// Starts every realization from `states` instead of the problem's
+  /// initial state (adaptive IM). Pass nullptr to reset. The pointee must
+  /// outlive subsequent estimate calls.
+  void SetInitialStates(const std::vector<pin::UserState>* states) {
+    initial_states_ = states;
+  }
+
+  const CampaignSimulator& simulator() const { return sim_; }
+  int num_samples() const { return num_samples_; }
+
+  /// Total simulator invocations since construction (mutable counter used
+  /// by the benchmarks to report work; not thread-safe by design).
+  int64_t num_simulations() const { return num_simulations_; }
+
+ private:
+  CampaignSimulator sim_;
+  int num_samples_;
+  const std::vector<pin::UserState>* initial_states_ = nullptr;
+  mutable int64_t num_simulations_ = 0;
+};
+
+}  // namespace imdpp::diffusion
+
+#endif  // IMDPP_DIFFUSION_MONTE_CARLO_H_

@@ -1,0 +1,23 @@
+#include "diffusion/problem.h"
+
+namespace imdpp::diffusion {
+
+void Problem::Validate() const {
+  IMDPP_CHECK(graph != nullptr);
+  IMDPP_CHECK(relevance != nullptr);
+  const size_t v = static_cast<size_t>(NumUsers());
+  const size_t i = static_cast<size_t>(NumItems());
+  const size_t m = static_cast<size_t>(NumMetas());
+  IMDPP_CHECK_EQ(importance.size(), i);
+  IMDPP_CHECK_EQ(base_pref.size(), v * i);
+  IMDPP_CHECK_EQ(cost.size(), v * i);
+  IMDPP_CHECK_EQ(wmeta0.size(), v * m);
+  IMDPP_CHECK_GE(num_promotions, 1);
+  IMDPP_CHECK_GE(budget, 0.0);
+  for (double w : importance) IMDPP_CHECK_GE(w, 0.0);
+  for (float p : base_pref) IMDPP_CHECK(p >= 0.0f && p <= 1.0f);
+  for (float c : cost) IMDPP_CHECK_GT(c, 0.0f);
+  for (float w : wmeta0) IMDPP_CHECK(w >= 0.0f && w <= 1.0f);
+}
+
+}  // namespace imdpp::diffusion

@@ -1,0 +1,68 @@
+// The IMDPP problem instance: everything Definition 2 takes as given.
+//
+// Owns the per-(user,item) base preferences and seeding costs, the item
+// importance vector W, the initial personal meta-graph weightings, and the
+// budget/promotion-count knobs. The social graph and relevance model are
+// referenced, not owned (they typically live in a data::Dataset).
+#ifndef IMDPP_DIFFUSION_PROBLEM_H_
+#define IMDPP_DIFFUSION_PROBLEM_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "kg/relevance.h"
+#include "pin/perception_params.h"
+#include "diffusion/seed.h"
+
+namespace imdpp::diffusion {
+
+struct Problem {
+  const graph::SocialGraph* graph = nullptr;
+  const kg::RelevanceModel* relevance = nullptr;
+  pin::PerceptionParams params;
+
+  /// Item importance w_x (Definition 1).
+  std::vector<double> importance;
+
+  /// Row-major |V| x |I| initial preferences Ppref(u, x, 0) in [0,1].
+  std::vector<float> base_pref;
+
+  /// Row-major |V| x |I| seeding costs c_{u,x} > 0.
+  std::vector<float> cost;
+
+  /// Row-major |V| x NumMetas initial weightings Wmeta(u, m, 0) in [0,1].
+  std::vector<float> wmeta0;
+
+  /// Total campaign budget b and number of promotions T.
+  double budget = 0.0;
+  int num_promotions = 1;
+
+  int NumUsers() const { return graph->NumUsers(); }
+  int NumItems() const { return relevance->NumItems(); }
+  int NumMetas() const { return relevance->NumMetas(); }
+
+  double BasePref(UserId u, ItemId x) const {
+    return base_pref[static_cast<size_t>(u) * NumItems() + x];
+  }
+  double Cost(UserId u, ItemId x) const {
+    return cost[static_cast<size_t>(u) * NumItems() + x];
+  }
+  std::span<const float> Wmeta0(UserId u) const {
+    return {wmeta0.data() + static_cast<size_t>(u) * NumMetas(),
+            static_cast<size_t>(NumMetas())};
+  }
+
+  double TotalCost(const SeedGroup& seeds) const {
+    double c = 0.0;
+    for (const Seed& s : seeds) c += Cost(s.user, s.item);
+    return c;
+  }
+
+  /// Sanity-checks array shapes and value ranges; aborts on violation.
+  void Validate() const;
+};
+
+}  // namespace imdpp::diffusion
+
+#endif  // IMDPP_DIFFUSION_PROBLEM_H_

@@ -1,0 +1,151 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace imdpp::graph {
+
+std::vector<int> BfsHops(const SocialGraph& g, UserId src, int max_hops) {
+  std::vector<int> dist(g.NumUsers(), kUnreachable);
+  IMDPP_CHECK(src >= 0 && src < g.NumUsers());
+  dist[src] = 0;
+  std::vector<UserId> frontier{src};
+  for (int h = 0; h < max_hops && !frontier.empty(); ++h) {
+    std::vector<UserId> next;
+    for (UserId u : frontier) {
+      for (const Edge& e : g.OutEdges(u)) {
+        if (dist[e.to] == kUnreachable) {
+          dist[e.to] = h + 1;
+          next.push_back(e.to);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+int UndirectedHopDistance(const SocialGraph& g, UserId a, UserId b,
+                          int max_hops) {
+  if (a == b) return 0;
+  std::unordered_map<UserId, int> dist;
+  dist.emplace(a, 0);
+  std::vector<UserId> frontier{a};
+  for (int h = 0; h < max_hops && !frontier.empty(); ++h) {
+    std::vector<UserId> next;
+    for (UserId u : frontier) {
+      auto visit = [&](UserId v) {
+        if (v == b) return true;
+        if (dist.emplace(v, h + 1).second) next.push_back(v);
+        return false;
+      };
+      for (const Edge& e : g.OutEdges(u)) {
+        if (visit(e.to)) return h + 1;
+      }
+      for (const Edge& e : g.InEdges(u)) {
+        if (visit(e.to)) return h + 1;
+      }
+    }
+    frontier.swap(next);
+  }
+  return kUnreachable;
+}
+
+InfluencePaths MaxInfluencePaths(const SocialGraph& g, UserId src,
+                                 double threshold, int max_hops) {
+  IMDPP_CHECK(src >= 0 && src < g.NumUsers());
+  IMDPP_CHECK(threshold > 0.0 && threshold <= 1.0);
+  // Max-product Dijkstra: expand in order of decreasing path probability.
+  struct Entry {
+    double prob;
+    int hops;
+    UserId user;
+    bool operator<(const Entry& o) const { return prob < o.prob; }
+  };
+  std::priority_queue<Entry> pq;
+  std::unordered_map<UserId, double> best;
+  std::unordered_map<UserId, int> best_hops;
+  pq.push({1.0, 0, src});
+  best[src] = 1.0;
+  best_hops[src] = 0;
+  InfluencePaths out;
+  std::unordered_set<UserId> done;
+  while (!pq.empty()) {
+    Entry top = pq.top();
+    pq.pop();
+    if (done.count(top.user)) continue;
+    done.insert(top.user);
+    out.users.push_back(top.user);
+    out.path_prob.push_back(top.prob);
+    out.hops.push_back(best_hops[top.user]);
+    if (top.hops >= max_hops) continue;
+    for (const Edge& e : g.OutEdges(top.user)) {
+      if (e.weight <= 0.0f) continue;
+      double p = top.prob * e.weight;
+      if (p < threshold) continue;
+      auto it = best.find(e.to);
+      if (it == best.end() || p > it->second) {
+        best[e.to] = p;
+        best_hops[e.to] = top.hops + 1;
+        pq.push({p, top.hops + 1, e.to});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> WeakComponents(const SocialGraph& g, int* num_components) {
+  std::vector<int> comp(g.NumUsers(), -1);
+  int next_id = 0;
+  for (UserId s = 0; s < g.NumUsers(); ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = next_id;
+    std::vector<UserId> stack{s};
+    while (!stack.empty()) {
+      UserId u = stack.back();
+      stack.pop_back();
+      auto visit = [&](UserId v) {
+        if (comp[v] == -1) {
+          comp[v] = next_id;
+          stack.push_back(v);
+        }
+      };
+      for (const Edge& e : g.OutEdges(u)) visit(e.to);
+      for (const Edge& e : g.InEdges(u)) visit(e.to);
+    }
+    ++next_id;
+  }
+  if (num_components != nullptr) *num_components = next_id;
+  return comp;
+}
+
+int SubsetEccentricity(const SocialGraph& g, UserId src,
+                       const std::vector<UserId>& members, int max_hops) {
+  std::unordered_set<UserId> member_set(members.begin(), members.end());
+  IMDPP_CHECK(member_set.count(src) > 0);
+  std::unordered_map<UserId, int> dist;
+  dist.emplace(src, 0);
+  std::vector<UserId> frontier{src};
+  int ecc = 0;
+  for (int h = 0; h < max_hops && !frontier.empty(); ++h) {
+    std::vector<UserId> next;
+    for (UserId u : frontier) {
+      auto visit = [&](UserId v) {
+        if (!member_set.count(v)) return;
+        if (dist.emplace(v, h + 1).second) {
+          next.push_back(v);
+          ecc = h + 1;
+        }
+      };
+      for (const Edge& e : g.OutEdges(u)) visit(e.to);
+      for (const Edge& e : g.InEdges(u)) visit(e.to);
+    }
+    frontier.swap(next);
+  }
+  return ecc;
+}
+
+}  // namespace imdpp::graph

@@ -1,0 +1,54 @@
+// Classic graph algorithms over SocialGraph used by the market machinery:
+// truncated BFS hop distances (nominee clustering), max-probability Dijkstra
+// (MIOA influence regions), and component/diameter helpers.
+#ifndef IMDPP_GRAPH_GRAPH_ALGOS_H_
+#define IMDPP_GRAPH_GRAPH_ALGOS_H_
+
+#include <limits>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace imdpp::graph {
+
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// Hop distances from `src` following out-edges, truncated at `max_hops`.
+/// Unreached users get kUnreachable.
+std::vector<int> BfsHops(const SocialGraph& g, UserId src, int max_hops);
+
+/// Hop distance between two users, ignoring edge direction, truncated at
+/// `max_hops` (returns kUnreachable beyond). Used as the social distance in
+/// nominee clustering.
+int UndirectedHopDistance(const SocialGraph& g, UserId a, UserId b,
+                          int max_hops);
+
+/// Result of a maximum-influence-path search (the MIOA primitive of
+/// Chen et al., KDD'10): for each reached user, the maximum product of edge
+/// influence strengths over any path from src, and the hop count of that
+/// path.
+struct InfluencePaths {
+  std::vector<UserId> users;     ///< users with path probability >= threshold
+  std::vector<double> path_prob; ///< aligned with `users`
+  std::vector<int> hops;         ///< aligned with `users`
+};
+
+/// Dijkstra on -log(weight): finds all users reachable from `src` with
+/// maximum path influence probability >= `threshold`. `src` itself is
+/// included with probability 1 and 0 hops. Edge weights are the graph's
+/// base influence strengths; edges with weight <= 0 are skipped.
+InfluencePaths MaxInfluencePaths(const SocialGraph& g, UserId src,
+                                 double threshold, int max_hops = 64);
+
+/// Weakly connected components; returns component id per user and fills
+/// `num_components`.
+std::vector<int> WeakComponents(const SocialGraph& g, int* num_components);
+
+/// Eccentricity of `src` restricted to the user subset `members`
+/// (hop distance over the induced subgraph, ignoring direction).
+int SubsetEccentricity(const SocialGraph& g, UserId src,
+                       const std::vector<UserId>& members, int max_hops);
+
+}  // namespace imdpp::graph
+
+#endif  // IMDPP_GRAPH_GRAPH_ALGOS_H_

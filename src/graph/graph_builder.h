@@ -1,0 +1,44 @@
+// Mutable edge-list accumulator that finalizes into a CSR SocialGraph.
+#ifndef IMDPP_GRAPH_GRAPH_BUILDER_H_
+#define IMDPP_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace imdpp::graph {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int num_users) : num_users_(num_users) {
+    IMDPP_CHECK_GE(num_users, 0);
+  }
+
+  /// Adds directed edge (u -> v) with base influence strength w in [0,1].
+  /// Self-loops are ignored; duplicate edges keep the maximum weight.
+  void AddEdge(UserId u, UserId v, double w);
+
+  /// Adds both (u -> v) and (v -> u) with the same weight.
+  void AddUndirectedEdge(UserId u, UserId v, double w) {
+    AddEdge(u, v, w);
+    AddEdge(v, u, w);
+  }
+
+  int NumUsers() const { return num_users_; }
+
+  /// Sorts, deduplicates, and freezes into a CSR graph.
+  SocialGraph Build();
+
+ private:
+  struct Raw {
+    UserId from;
+    UserId to;
+    float weight;
+  };
+  int num_users_;
+  std::vector<Raw> raw_;
+};
+
+}  // namespace imdpp::graph
+
+#endif  // IMDPP_GRAPH_GRAPH_BUILDER_H_

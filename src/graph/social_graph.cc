@@ -1,0 +1,19 @@
+#include "graph/social_graph.h"
+
+namespace imdpp::graph {
+
+double SocialGraph::BaseWeight(UserId u, UserId v) const {
+  for (const Edge& e : OutEdges(u)) {
+    if (e.to == v) return e.weight;
+  }
+  return 0.0;
+}
+
+double SocialGraph::AverageInfluenceStrength() const {
+  if (out_edges_.empty()) return 0.0;
+  double s = 0.0;
+  for (const Edge& e : out_edges_) s += e.weight;
+  return s / static_cast<double>(out_edges_.size());
+}
+
+}  // namespace imdpp::graph

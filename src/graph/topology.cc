@@ -1,0 +1,110 @@
+#include "graph/topology.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/mathutil.h"
+
+namespace imdpp::graph {
+
+namespace {
+
+/// Draws a per-edge influence strength around the configured mean.
+double DrawWeight(const TopologyConfig& cfg, Rng& rng) {
+  double w = cfg.mean_influence * rng.NextRange(0.2, 1.8);
+  return Clip(w, 0.01, 0.95);
+}
+
+void Connect(GraphBuilder& b, const TopologyConfig& cfg, Rng& rng, UserId u,
+             UserId v) {
+  if (cfg.directed) {
+    b.AddEdge(u, v, DrawWeight(cfg, rng));
+  } else {
+    // Undirected friendships still have asymmetric influence in real data;
+    // draw the two directions independently.
+    b.AddEdge(u, v, DrawWeight(cfg, rng));
+    b.AddEdge(v, u, DrawWeight(cfg, rng));
+  }
+}
+
+}  // namespace
+
+SocialGraph MakePreferentialAttachment(const TopologyConfig& cfg,
+                                       int edges_per_node) {
+  IMDPP_CHECK_GT(cfg.num_users, 1);
+  IMDPP_CHECK_GT(edges_per_node, 0);
+  Rng rng(cfg.seed);
+  GraphBuilder b(cfg.num_users);
+  // Repeated-endpoint list implements preferential attachment in O(E).
+  std::vector<UserId> endpoints;
+  endpoints.reserve(static_cast<size_t>(cfg.num_users) * edges_per_node * 2);
+  int seed_core = std::min(cfg.num_users, edges_per_node + 1);
+  for (UserId u = 0; u < seed_core; ++u) {
+    for (UserId v = 0; v < u; ++v) {
+      Connect(b, cfg, rng, u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (UserId u = seed_core; u < cfg.num_users; ++u) {
+    std::vector<UserId> targets;
+    int guard = 0;
+    while (static_cast<int>(targets.size()) < edges_per_node &&
+           guard++ < 64 * edges_per_node) {
+      UserId v = endpoints.empty()
+                     ? static_cast<UserId>(rng.NextBelow(u))
+                     : endpoints[rng.NextBelow(
+                           static_cast<uint32_t>(endpoints.size()))];
+      if (v == u) continue;
+      if (std::find(targets.begin(), targets.end(), v) != targets.end()) {
+        continue;
+      }
+      targets.push_back(v);
+    }
+    for (UserId v : targets) {
+      Connect(b, cfg, rng, u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return b.Build();
+}
+
+SocialGraph MakeSmallWorld(const TopologyConfig& cfg, int k, double beta) {
+  IMDPP_CHECK_GT(cfg.num_users, 2 * k);
+  IMDPP_CHECK(beta >= 0.0 && beta <= 1.0);
+  Rng rng(cfg.seed);
+  GraphBuilder b(cfg.num_users);
+  int n = cfg.num_users;
+  for (UserId u = 0; u < n; ++u) {
+    for (int j = 1; j <= k; ++j) {
+      UserId v = static_cast<UserId>((u + j) % n);
+      if (rng.NextBool(beta)) {
+        // Rewire to a uniform random target.
+        UserId w = static_cast<UserId>(rng.NextBelow(n));
+        if (w != u) v = w;
+      }
+      if (v != u) Connect(b, cfg, rng, u, v);
+    }
+  }
+  return b.Build();
+}
+
+SocialGraph MakeCommunityGraph(const TopologyConfig& cfg, int num_blocks,
+                               double p_in, double p_out) {
+  IMDPP_CHECK_GT(num_blocks, 0);
+  Rng rng(cfg.seed);
+  GraphBuilder b(cfg.num_users);
+  int n = cfg.num_users;
+  auto block_of = [&](UserId u) { return (u * num_blocks) / n; };
+  for (UserId u = 0; u < n; ++u) {
+    for (UserId v = static_cast<UserId>(u + 1); v < n; ++v) {
+      double p = block_of(u) == block_of(v) ? p_in : p_out;
+      if (rng.NextBool(p)) Connect(b, cfg, rng, u, v);
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace imdpp::graph

@@ -1,0 +1,40 @@
+// Synthetic social topologies. The paper's social networks are real crawls
+// (Douban, Gowalla, Yelp friendship graphs, Pokec for Amazon); we substitute
+// generators that reproduce the structural features the algorithms react to:
+// heavy-tailed degrees, local clustering, and community structure.
+#ifndef IMDPP_GRAPH_TOPOLOGY_H_
+#define IMDPP_GRAPH_TOPOLOGY_H_
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace imdpp::graph {
+
+/// Parameters shared by the topology generators.
+struct TopologyConfig {
+  int num_users = 100;
+  /// Mean influence strength of generated edges; per-edge strengths are
+  /// drawn uniformly in [0.2, 1.8] * mean, clipped to [0.01, 0.95].
+  double mean_influence = 0.1;
+  bool directed = false;
+  uint64_t seed = 1;
+};
+
+/// Barabasi-Albert preferential attachment (heavy-tailed degrees).
+/// `edges_per_node` new links per arriving node.
+SocialGraph MakePreferentialAttachment(const TopologyConfig& cfg,
+                                       int edges_per_node);
+
+/// Watts-Strogatz small world: ring lattice with `k` neighbors per side and
+/// rewiring probability `beta` (high clustering, short paths).
+SocialGraph MakeSmallWorld(const TopologyConfig& cfg, int k, double beta);
+
+/// Stochastic block model with `num_blocks` equal communities,
+/// within-community edge probability `p_in`, cross probability `p_out`.
+/// Used for the classroom datasets (dense cliques per class).
+SocialGraph MakeCommunityGraph(const TopologyConfig& cfg, int num_blocks,
+                               double p_in, double p_out);
+
+}  // namespace imdpp::graph
+
+#endif  // IMDPP_GRAPH_TOPOLOGY_H_

@@ -1,0 +1,33 @@
+#include "kg/knowledge_graph.h"
+
+namespace imdpp::kg {
+
+KnowledgeGraph::KnowledgeGraph(std::string item_type_name) {
+  item_type_ = node_types_.Intern(item_type_name);
+}
+
+KgNodeId KnowledgeGraph::AddNode(NodeTypeId type, std::string label) {
+  IMDPP_CHECK(type >= 0 && type < node_types_.Size());
+  KgNodeId id = static_cast<KgNodeId>(node_type_of_.size());
+  node_type_of_.push_back(type);
+  labels_.push_back(std::move(label));
+  adj_.emplace_back();
+  if (type == item_type_) {
+    item_of_node_.push_back(static_cast<ItemId>(item_nodes_.size()));
+    item_nodes_.push_back(id);
+  } else {
+    item_of_node_.push_back(-1);
+  }
+  return id;
+}
+
+void KnowledgeGraph::AddEdge(KgNodeId a, KgNodeId b, EdgeTypeId type) {
+  IMDPP_CHECK(a >= 0 && a < NumNodes());
+  IMDPP_CHECK(b >= 0 && b < NumNodes());
+  IMDPP_CHECK(type >= 0 && type < edge_types_.Size());
+  adj_[a].push_back(KgEdge{b, type, /*forward=*/true});
+  adj_[b].push_back(KgEdge{a, type, /*forward=*/false});
+  ++num_edges_;
+}
+
+}  // namespace imdpp::kg

@@ -1,0 +1,111 @@
+// Heterogeneous information network G_KG = (V, E, Φ, Ψ).
+//
+// Nodes carry a node type; edges carry an edge type and are stored in both
+// directions so meta-graph legs can traverse them forward or backward.
+// Nodes whose type is the designated item type are additionally given dense
+// ItemIds (0..NumItems-1) — the diffusion layer speaks ItemId only.
+#ifndef IMDPP_KG_KNOWLEDGE_GRAPH_H_
+#define IMDPP_KG_KNOWLEDGE_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kg/types.h"
+
+namespace imdpp::kg {
+
+/// A typed KG edge as seen from one endpoint.
+struct KgEdge {
+  KgNodeId to = -1;
+  EdgeTypeId type = -1;
+  bool forward = true;  ///< true if stored direction matches insertion order
+};
+
+class KnowledgeGraph {
+ public:
+  /// `item_type_name` designates which node type is the promotable ITEM.
+  explicit KnowledgeGraph(std::string item_type_name = "ITEM");
+
+  /// Interns (or finds) a node type.
+  NodeTypeId NodeType(std::string_view name) { return node_types_.Intern(name); }
+  /// Interns (or finds) an edge type.
+  EdgeTypeId EdgeType(std::string_view name) { return edge_types_.Intern(name); }
+
+  /// Adds a node of the given type; returns its id. If the type is the item
+  /// type, the node also receives the next dense ItemId.
+  KgNodeId AddNode(NodeTypeId type, std::string label = "");
+
+  /// Convenience overload interning the type name.
+  KgNodeId AddNode(std::string_view type_name, std::string label = "") {
+    return AddNode(NodeType(type_name), std::move(label));
+  }
+
+  /// Adds a typed edge a -> b (stored in both directions with a forward
+  /// flag). Multi-edges are allowed — meta-graph instance counts use them.
+  void AddEdge(KgNodeId a, KgNodeId b, EdgeTypeId type);
+  void AddEdge(KgNodeId a, KgNodeId b, std::string_view type_name) {
+    AddEdge(a, b, EdgeType(type_name));
+  }
+
+  int NumNodes() const { return static_cast<int>(node_type_of_.size()); }
+  int64_t NumEdges() const { return num_edges_; }
+  int NumNodeTypes() const { return node_types_.Size(); }
+  int NumEdgeTypes() const { return edge_types_.Size(); }
+
+  NodeTypeId TypeOf(KgNodeId n) const {
+    IMDPP_CHECK(n >= 0 && n < NumNodes());
+    return node_type_of_[n];
+  }
+
+  const std::string& LabelOf(KgNodeId n) const {
+    IMDPP_CHECK(n >= 0 && n < NumNodes());
+    return labels_[n];
+  }
+
+  std::span<const KgEdge> EdgesOf(KgNodeId n) const {
+    IMDPP_CHECK(n >= 0 && n < NumNodes());
+    return adj_[n];
+  }
+
+  // --- Item view -----------------------------------------------------------
+
+  int NumItems() const { return static_cast<int>(item_nodes_.size()); }
+
+  /// KG node backing item x.
+  KgNodeId ItemNode(ItemId x) const {
+    IMDPP_CHECK(x >= 0 && x < NumItems());
+    return item_nodes_[x];
+  }
+
+  /// Dense item id of KG node n, or -1 if n is not an item.
+  ItemId ItemOf(KgNodeId n) const {
+    IMDPP_CHECK(n >= 0 && n < NumNodes());
+    return item_of_node_[n];
+  }
+
+  const std::string& ItemLabel(ItemId x) const { return labels_[ItemNode(x)]; }
+
+  NodeTypeId item_type() const { return item_type_; }
+
+  const TypeRegistry& node_types() const { return node_types_; }
+  const TypeRegistry& edge_types() const { return edge_types_; }
+
+ private:
+  TypeRegistry node_types_;
+  TypeRegistry edge_types_;
+  NodeTypeId item_type_;
+
+  std::vector<NodeTypeId> node_type_of_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<KgEdge>> adj_;
+  int64_t num_edges_ = 0;
+
+  std::vector<KgNodeId> item_nodes_;
+  std::vector<ItemId> item_of_node_;
+};
+
+}  // namespace imdpp::kg
+
+#endif  // IMDPP_KG_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,45 @@
+#include "kg/meta_graph.h"
+
+#include "kg/knowledge_graph.h"
+
+namespace imdpp::kg {
+
+MetaGraph SharedNeighborMeta(KnowledgeGraph& kg, std::string name,
+                             RelationKind kind, std::string_view edge_type,
+                             std::string_view middle_node_type) {
+  EdgeTypeId e = kg.EdgeType(edge_type);
+  NodeTypeId mid = kg.NodeType(middle_node_type);
+  MetaLeg leg;
+  leg.steps.push_back(LegStep{e, /*forward=*/true, mid});
+  leg.steps.push_back(LegStep{e, /*forward=*/false, kg.item_type()});
+  MetaGraph m;
+  m.name = std::move(name);
+  m.kind = kind;
+  m.legs.push_back(std::move(leg));
+  return m;
+}
+
+MetaGraph DirectEdgeMeta(KnowledgeGraph& kg, std::string name,
+                         RelationKind kind, std::string_view edge_type) {
+  EdgeTypeId e = kg.EdgeType(edge_type);
+  MetaLeg leg;
+  leg.steps.push_back(LegStep{e, /*forward=*/true, kg.item_type()});
+  MetaGraph m;
+  m.name = std::move(name);
+  m.kind = kind;
+  m.legs.push_back(std::move(leg));
+  return m;
+}
+
+MetaGraph ConjunctionMeta(std::string name, RelationKind kind,
+                          const std::vector<MetaGraph>& parts) {
+  MetaGraph m;
+  m.name = std::move(name);
+  m.kind = kind;
+  for (const MetaGraph& p : parts) {
+    for (const MetaLeg& leg : p.legs) m.legs.push_back(leg);
+  }
+  return m;
+}
+
+}  // namespace imdpp::kg

@@ -1,0 +1,68 @@
+// Meta-graph schemas.
+//
+// A meta-graph is a typed pattern whose instances are KG subgraphs with two
+// distinguished ITEM endpoints (Fig. 1(b) of the paper). We represent a
+// meta-graph as a set of *legs*: each leg is a typed walk pattern from the
+// source item to the destination item. A single-leg meta-graph is exactly a
+// meta-path (e.g. m1 = ITEM -SUPPORT-> FEATURE <-SUPPORT- ITEM); multi-leg
+// meta-graphs require all legs to be instantiable simultaneously (e.g. the
+// paper's m3, which joins a shared-feature path with a shared-brand path).
+//
+// Instance counting semantics (see MetaGraphMatcher): the count of a leg is
+// the number of distinct typed walks between the endpoints; the count of a
+// multi-leg meta-graph is the minimum over its legs (each joint instance
+// needs one walk per leg).
+#ifndef IMDPP_KG_META_GRAPH_H_
+#define IMDPP_KG_META_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/types.h"
+
+namespace imdpp::kg {
+
+/// One hop of a leg: traverse an edge of `edge_type` (in the stored
+/// `forward` direction or against it) into a node of `node_type`.
+struct LegStep {
+  EdgeTypeId edge_type = -1;
+  bool forward = true;
+  NodeTypeId node_type = -1;
+};
+
+/// A typed walk pattern from the source ITEM to the destination ITEM.
+/// The final step's node_type must be the KG's item type.
+struct MetaLeg {
+  std::vector<LegStep> steps;
+};
+
+/// A meta-graph with the relationship it expresses.
+struct MetaGraph {
+  std::string name;
+  RelationKind kind = RelationKind::kComplementary;
+  std::vector<MetaLeg> legs;
+};
+
+/// Builders for the common shapes. All take type *names* and intern them in
+/// `kg`'s registries, so they can be called before or after data loading.
+
+class KnowledgeGraph;
+
+/// Shared-middle meta-path: ITEM -e-> M <-e- ITEM
+/// (e.g. two items SUPPORT the same FEATURE).
+MetaGraph SharedNeighborMeta(KnowledgeGraph& kg, std::string name,
+                             RelationKind kind, std::string_view edge_type,
+                             std::string_view middle_node_type);
+
+/// Direct-edge meta-path: ITEM -e-> ITEM (e.g. ALSO_BOUGHT).
+MetaGraph DirectEdgeMeta(KnowledgeGraph& kg, std::string name,
+                         RelationKind kind, std::string_view edge_type);
+
+/// Conjunction of existing meta-graphs' legs under a new name/kind; used to
+/// express Fig. 1(b)'s m3 (shared feature AND shared brand).
+MetaGraph ConjunctionMeta(std::string name, RelationKind kind,
+                          const std::vector<MetaGraph>& parts);
+
+}  // namespace imdpp::kg
+
+#endif  // IMDPP_KG_META_GRAPH_H_

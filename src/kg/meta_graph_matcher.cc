@@ -1,0 +1,77 @@
+#include "kg/meta_graph_matcher.h"
+
+#include <algorithm>
+
+namespace imdpp::kg {
+
+void MetaGraphMatcher::WalkLeg(const MetaLeg& leg, ItemId x,
+                               std::vector<int64_t>& counts) const {
+  counts.assign(kg_.NumNodes(), 0);
+  IMDPP_CHECK(!leg.steps.empty());
+  // Frontier as sparse (node, count) pairs to stay cheap on large KGs.
+  std::vector<std::pair<KgNodeId, int64_t>> frontier{{kg_.ItemNode(x), 1}};
+  for (size_t si = 0; si < leg.steps.size(); ++si) {
+    const LegStep& step = leg.steps[si];
+    // Accumulate next-frontier counts in a dense scratch keyed by node.
+    std::vector<std::pair<KgNodeId, int64_t>> next;
+    std::vector<int64_t> acc(kg_.NumNodes(), 0);
+    for (const auto& [node, cnt] : frontier) {
+      for (const KgEdge& e : kg_.EdgesOf(node)) {
+        if (e.type != step.edge_type) continue;
+        if (e.forward != step.forward) continue;
+        if (kg_.TypeOf(e.to) != step.node_type) continue;
+        if (acc[e.to] == 0) next.emplace_back(e.to, 0);
+        acc[e.to] += cnt;
+      }
+    }
+    for (auto& [node, cnt] : next) cnt = acc[node];
+    frontier.swap(next);
+    if (frontier.empty()) break;
+  }
+  for (const auto& [node, cnt] : frontier) counts[node] = cnt;
+}
+
+int64_t MetaGraphMatcher::CountLegWalks(const MetaLeg& leg, ItemId x,
+                                        ItemId y) const {
+  std::vector<int64_t> counts;
+  WalkLeg(leg, x, counts);
+  return counts[kg_.ItemNode(y)];
+}
+
+int64_t MetaGraphMatcher::CountInstances(const MetaGraph& m, ItemId x,
+                                         ItemId y) const {
+  IMDPP_CHECK(!m.legs.empty());
+  if (x == y) return 0;
+  int64_t best = INT64_MAX;
+  for (const MetaLeg& leg : m.legs) {
+    best = std::min(best, CountLegWalks(leg, x, y));
+    if (best == 0) return 0;
+  }
+  return best;
+}
+
+std::vector<int64_t> MetaGraphMatcher::CountAllPairs(const MetaGraph& m) const {
+  const int n = kg_.NumItems();
+  std::vector<int64_t> out(static_cast<size_t>(n) * n, 0);
+  std::vector<int64_t> counts;
+  // Per-source walk over each leg; combine legs with min.
+  std::vector<int64_t> leg_min(n);
+  for (ItemId x = 0; x < n; ++x) {
+    std::fill(leg_min.begin(), leg_min.end(), INT64_MAX);
+    for (const MetaLeg& leg : m.legs) {
+      WalkLeg(leg, x, counts);
+      for (ItemId y = 0; y < n; ++y) {
+        int64_t c = counts[kg_.ItemNode(y)];
+        leg_min[y] = std::min(leg_min[y], c);
+      }
+    }
+    for (ItemId y = 0; y < n; ++y) {
+      if (y == x) continue;
+      int64_t c = leg_min[y] == INT64_MAX ? 0 : leg_min[y];
+      out[static_cast<size_t>(x) * n + y] = c;
+    }
+  }
+  return out;
+}
+
+}  // namespace imdpp::kg

@@ -1,0 +1,84 @@
+#include "kg/relevance.h"
+
+#include "kg/meta_graph_matcher.h"
+
+namespace imdpp::kg {
+
+RelevanceModel RelevanceModel::FromKg(const KnowledgeGraph& kg,
+                                      std::vector<MetaGraph> metas,
+                                      double kappa) {
+  IMDPP_CHECK_GT(kappa, 0.0);
+  RelevanceModel model;
+  model.num_items_ = kg.NumItems();
+  model.metas_ = std::move(metas);
+  MetaGraphMatcher matcher(kg);
+  for (const MetaGraph& m : model.metas_) {
+    std::vector<int64_t> counts = matcher.CountAllPairs(m);
+    std::vector<float> mat(counts.size());
+    for (size_t i = 0; i < counts.size(); ++i) {
+      double c = static_cast<double>(counts[i]);
+      mat[i] = static_cast<float>(c / (c + kappa));
+    }
+    model.matrices_.push_back(std::move(mat));
+  }
+  model.BuildRelated();
+  return model;
+}
+
+RelevanceModel RelevanceModel::FromMatrices(
+    int num_items, std::vector<MetaGraph> metas,
+    std::vector<std::vector<float>> matrices) {
+  IMDPP_CHECK_EQ(metas.size(), matrices.size());
+  RelevanceModel model;
+  model.num_items_ = num_items;
+  model.metas_ = std::move(metas);
+  for (auto& mat : matrices) {
+    IMDPP_CHECK_EQ(mat.size(),
+                   static_cast<size_t>(num_items) * num_items);
+    for (float v : mat) IMDPP_CHECK(v >= 0.0f && v <= 1.0f);
+    model.matrices_.push_back(std::move(mat));
+  }
+  model.BuildRelated();
+  return model;
+}
+
+void RelevanceModel::BuildRelated() {
+  related_.assign(num_items_, {});
+  for (ItemId x = 0; x < num_items_; ++x) {
+    for (ItemId y = 0; y < num_items_; ++y) {
+      if (y == x) continue;
+      for (int m = 0; m < NumMetas(); ++m) {
+        if (Score(m, x, y) > 0.0f) {
+          related_[x].push_back(y);
+          break;
+        }
+      }
+    }
+  }
+}
+
+RelevanceModel RelevanceModel::WithMetaSubset(
+    const std::vector<int>& indices) const {
+  IMDPP_CHECK(!indices.empty());
+  RelevanceModel model;
+  model.num_items_ = num_items_;
+  for (int i : indices) {
+    IMDPP_CHECK(i >= 0 && i < NumMetas());
+    model.metas_.push_back(metas_[i]);
+    model.matrices_.push_back(matrices_[i]);
+  }
+  model.BuildRelated();
+  return model;
+}
+
+RelevanceModel RelevanceModel::WithFirstMetas(int k) const {
+  IMDPP_CHECK(k >= 1 && k <= NumMetas());
+  RelevanceModel model;
+  model.num_items_ = num_items_;
+  model.metas_.assign(metas_.begin(), metas_.begin() + k);
+  model.matrices_.assign(matrices_.begin(), matrices_.begin() + k);
+  model.BuildRelated();
+  return model;
+}
+
+}  // namespace imdpp::kg

@@ -1,0 +1,63 @@
+// String-interned node/edge types for the heterogeneous information network.
+// The paper's KG is G_KG = (V, E, Φ, Ψ) where Φ maps nodes to node types
+// (ITEM, FEATURE, BRAND, ...) and Ψ maps edges to edge types (SUPPORT,
+// BELONG, ...). We intern the type strings once and use dense ids after.
+#ifndef IMDPP_KG_TYPES_H_
+#define IMDPP_KG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace imdpp::kg {
+
+using NodeTypeId = int16_t;
+using EdgeTypeId = int16_t;
+using KgNodeId = int32_t;
+using ItemId = int32_t;
+
+/// Bidirectional string <-> dense-id mapping for type names.
+class TypeRegistry {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  int16_t Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    int16_t id = static_cast<int16_t>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name`, or -1 if never interned.
+  int16_t Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? static_cast<int16_t>(-1) : it->second;
+  }
+
+  const std::string& Name(int16_t id) const {
+    IMDPP_CHECK(id >= 0 && id < static_cast<int16_t>(names_.size()));
+    return names_[id];
+  }
+
+  int Size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int16_t> ids_;
+};
+
+/// The relationship an item-item relevance signal describes. IMDPP uses two
+/// meta-graph families: {m^C} (complementary) and {m^S} (substitutable).
+enum class RelationKind : uint8_t {
+  kComplementary,
+  kSubstitutable,
+};
+
+}  // namespace imdpp::kg
+
+#endif  // IMDPP_KG_TYPES_H_

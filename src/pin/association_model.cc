@@ -1,0 +1,20 @@
+#include "pin/association_model.h"
+
+#include <algorithm>
+
+#include "util/mathutil.h"
+
+namespace imdpp::pin {
+
+double AssociationModel::ExtraProb(const UserState& state, double pact,
+                                   double ppref_x, kg::ItemId x,
+                                   kg::ItemId y) const {
+  const PerceptionParams& params = pin_.params();
+  if (params.assoc_scale <= 0.0) return 0.0;
+  if (state.Has(y)) return 0.0;
+  double net = pin_.RelNet(state.wmeta(), x, y);
+  if (net <= 0.0) return 0.0;
+  return Clip01(params.assoc_scale * pact * ppref_x * net);
+}
+
+}  // namespace imdpp::pin

@@ -1,0 +1,36 @@
+// Factor (3), influence learning: Pact(u, v, ζ_t).
+//
+// The paper infers influence strength from the similarity of two users'
+// adopted items and personal item networks (friends who adopt similar items
+// and share perceptions grow closer). We realize this as
+//
+//   sim(u,v)  = a * Jaccard(A(u), A(v)) + (1-a) * cosine(Wmeta_u, Wmeta_v)
+//   Pact(u,v) = min(act_cap, base(u,v) * (1 + act_gain * sim(u,v)))
+//
+// where base(u,v) is the static edge strength of the social graph. With
+// act_gain = 0 this degenerates to the classic IC edge probability.
+#ifndef IMDPP_PIN_INFLUENCE_MODEL_H_
+#define IMDPP_PIN_INFLUENCE_MODEL_H_
+
+#include "pin/perception_params.h"
+#include "pin/user_state.h"
+
+namespace imdpp::pin {
+
+class InfluenceModel {
+ public:
+  explicit InfluenceModel(const PerceptionParams& params) : params_(params) {}
+
+  /// Similarity in [0,1] of two users' dynamic states.
+  double Similarity(const UserState& u, const UserState& v) const;
+
+  /// Dynamic influence strength of edge with static weight `base_weight`.
+  double Eval(double base_weight, const UserState& u, const UserState& v) const;
+
+ private:
+  const PerceptionParams& params_;
+};
+
+}  // namespace imdpp::pin
+
+#endif  // IMDPP_PIN_INFLUENCE_MODEL_H_

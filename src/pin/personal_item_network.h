@@ -1,0 +1,67 @@
+// Factor (1), relevance measurement: the personal item network
+// G_PIN(u, ζ_t) and the update of personal meta-graph weightings.
+//
+// r^C(u,x,y) = clip01( Σ_{m ∈ {m^C}} Wmeta(u,m) * s(x,y|m) )
+// r^S(u,x,y) = clip01( Σ_{m ∈ {m^S}} Wmeta(u,m) * s(x,y|m) )
+//
+// Weight update (after u's adoption decisions at a step): for each meta m,
+// the *evidence* is the mean relevance s(a,b|m) over pairs of previously
+// adopted items a and newly adopted items b (for a first adoption, pairs
+// within the new items). Weights move by a saturating step
+//   w += eta * evidence * (1 - w),
+// mirroring Fig. 1(c)->(d): metas that connect what the user just adopted
+// gain significance, bounded by 1.
+#ifndef IMDPP_PIN_PERSONAL_ITEM_NETWORK_H_
+#define IMDPP_PIN_PERSONAL_ITEM_NETWORK_H_
+
+#include <span>
+#include <vector>
+
+#include "kg/relevance.h"
+#include "pin/perception_params.h"
+#include "pin/user_state.h"
+
+namespace imdpp::pin {
+
+class PersonalItemNetwork {
+ public:
+  PersonalItemNetwork(const kg::RelevanceModel& relevance,
+                      const PerceptionParams& params)
+      : rel_(relevance), params_(params) {}
+
+  /// Complementary relevance between x and y in the perception encoded by
+  /// `wmeta`.
+  double RelC(std::span<const float> wmeta, kg::ItemId x, kg::ItemId y) const {
+    return Rel(wmeta, x, y, kg::RelationKind::kComplementary);
+  }
+
+  /// Substitutable relevance.
+  double RelS(std::span<const float> wmeta, kg::ItemId x, kg::ItemId y) const {
+    return Rel(wmeta, x, y, kg::RelationKind::kSubstitutable);
+  }
+
+  /// Net relevance r^C - r^S (can be negative).
+  double RelNet(std::span<const float> wmeta, kg::ItemId x,
+                kg::ItemId y) const {
+    return RelC(wmeta, x, y) - RelS(wmeta, x, y);
+  }
+
+  /// Applies the weight update to `state` given the items newly adopted at
+  /// this step. Call *after* the items were added to the adoption set.
+  void UpdateWeights(UserState& state,
+                     std::span<const kg::ItemId> newly_adopted) const;
+
+  const kg::RelevanceModel& relevance() const { return rel_; }
+  const PerceptionParams& params() const { return params_; }
+
+ private:
+  double Rel(std::span<const float> wmeta, kg::ItemId x, kg::ItemId y,
+             kg::RelationKind kind) const;
+
+  const kg::RelevanceModel& rel_;
+  const PerceptionParams& params_;
+};
+
+}  // namespace imdpp::pin
+
+#endif  // IMDPP_PIN_PERSONAL_ITEM_NETWORK_H_

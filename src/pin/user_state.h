@@ -1,0 +1,62 @@
+// Per-user dynamic state inside one Monte-Carlo realization: the adoption
+// set A(u, ζ_t) and the personal meta-graph weightings Wmeta(u, m, ζ_t).
+// Everything else the paper treats as dynamic (personal item network,
+// preferences, influence strengths, association probabilities) is *derived*
+// from this state plus the static KG relevance, so it never needs to be
+// materialized or invalidated.
+#ifndef IMDPP_PIN_USER_STATE_H_
+#define IMDPP_PIN_USER_STATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "kg/types.h"
+#include "util/check.h"
+
+namespace imdpp::pin {
+
+using kg::ItemId;
+
+class UserState {
+ public:
+  UserState() = default;
+
+  /// num_items sizes the adoption bitset; wmeta0 is the user's initial
+  /// meta-graph weighting vector.
+  UserState(int num_items, std::vector<float> wmeta0)
+      : bits_((num_items + 63) / 64, 0), wmeta_(std::move(wmeta0)) {}
+
+  bool Has(ItemId x) const {
+    IMDPP_DCHECK(x >= 0);
+    size_t w = static_cast<size_t>(x) >> 6;
+    IMDPP_DCHECK(w < bits_.size());
+    return (bits_[w] >> (x & 63)) & 1;
+  }
+
+  /// Adds x to the adoption set (keeps the sorted list in order).
+  /// Returns false if already adopted.
+  bool Add(ItemId x) {
+    if (Has(x)) return false;
+    bits_[static_cast<size_t>(x) >> 6] |= uint64_t{1} << (x & 63);
+    adopted_.insert(std::upper_bound(adopted_.begin(), adopted_.end(), x), x);
+    return true;
+  }
+
+  /// Sorted adopted item ids.
+  const std::vector<ItemId>& Adopted() const { return adopted_; }
+
+  int NumAdopted() const { return static_cast<int>(adopted_.size()); }
+
+  std::vector<float>& wmeta() { return wmeta_; }
+  const std::vector<float>& wmeta() const { return wmeta_; }
+
+ private:
+  std::vector<uint64_t> bits_;
+  std::vector<ItemId> adopted_;
+  std::vector<float> wmeta_;
+};
+
+}  // namespace imdpp::pin
+
+#endif  // IMDPP_PIN_USER_STATE_H_

@@ -1,0 +1,46 @@
+// Lightweight assertion macros used across the library.
+//
+// CHECK() is always on (also in release builds): the algorithms in this
+// library are driven by configuration structs supplied by callers, and a
+// silent out-of-range index or violated precondition would corrupt a
+// Monte-Carlo estimate rather than crash, which is far harder to debug.
+// DCHECK() compiles away in NDEBUG builds and is meant for hot paths.
+#ifndef IMDPP_UTIL_CHECK_H_
+#define IMDPP_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace imdpp {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace imdpp
+
+#define IMDPP_CHECK(expr)                                \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::imdpp::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                    \
+  } while (0)
+
+#define IMDPP_CHECK_GE(a, b) IMDPP_CHECK((a) >= (b))
+#define IMDPP_CHECK_GT(a, b) IMDPP_CHECK((a) > (b))
+#define IMDPP_CHECK_LE(a, b) IMDPP_CHECK((a) <= (b))
+#define IMDPP_CHECK_LT(a, b) IMDPP_CHECK((a) < (b))
+#define IMDPP_CHECK_EQ(a, b) IMDPP_CHECK((a) == (b))
+#define IMDPP_CHECK_NE(a, b) IMDPP_CHECK((a) != (b))
+
+#ifdef NDEBUG
+#define IMDPP_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define IMDPP_DCHECK(expr) IMDPP_CHECK(expr)
+#endif
+
+#endif  // IMDPP_UTIL_CHECK_H_

@@ -1,0 +1,73 @@
+// Small numeric helpers shared across modules.
+#ifndef IMDPP_UTIL_MATHUTIL_H_
+#define IMDPP_UTIL_MATHUTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace imdpp {
+
+/// Clamps v into [0, 1]; probabilities throughout the library live there.
+inline double Clip01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Clamps v into [lo, hi].
+inline double Clip(double v, double lo, double hi) {
+  return std::clamp(v, lo, hi);
+}
+
+/// Arithmetic mean; 0 for an empty range.
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Sample standard deviation; 0 for fewer than two points.
+inline double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+/// Jaccard similarity of two sorted id vectors.
+template <typename T>
+double JaccardSorted(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// Cosine similarity of two equal-length vectors; 0 if either is zero.
+inline double Cosine(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace imdpp
+
+#endif  // IMDPP_UTIL_MATHUTIL_H_

@@ -1,0 +1,86 @@
+// Sequential pseudo-random generator used by the synthetic dataset
+// generators (graph wiring, price sampling, ...). The diffusion simulator
+// itself never uses this class; it uses counter-based hashing (hash.h) so
+// that simulations are order-independent. Dataset generation, in contrast,
+// is naturally sequential and a small PCG stream keeps it simple.
+#ifndef IMDPP_UTIL_RNG_H_
+#define IMDPP_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace imdpp {
+
+/// PCG32 generator (O'Neill, pcg-random.org; minimal variant).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(0), inc_(0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    NextU32();
+    state_ += SplitMix64(seed);
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18) ^ old) >> 27);
+    uint32_t rot = static_cast<uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextUnit() { return NextU32() * 0x1.0p-32; }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint32_t NextBelow(uint32_t n) {
+    IMDPP_CHECK_GT(n, 0u);
+    // Unbiased rejection-free multiplication trick is overkill here; simple
+    // modulo bias is negligible for the generator use cases (n << 2^32).
+    return static_cast<uint32_t>((static_cast<uint64_t>(NextU32()) * n) >> 32);
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextRange(double lo, double hi) { return lo + (hi - lo) * NextUnit(); }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p) { return NextUnit() < p; }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextUnit();
+    double u2 = NextUnit();
+    if (u1 < 1e-12) u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Log-normal draw; used for price-like item importance.
+  double NextLogNormal(double mu, double sigma) {
+    return std::exp(mu + sigma * NextGaussian());
+  }
+
+  /// Zipf-like integer in [0, n): rank r sampled with weight (r+1)^-alpha.
+  /// Uses inverse-CDF on a precomputation-free approximation (rejection).
+  uint32_t NextZipf(uint32_t n, double alpha) {
+    IMDPP_CHECK_GT(n, 0u);
+    // Inverse-transform on the continuous Pareto envelope, then clamp.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      double u = NextUnit();
+      double x = std::pow(1.0 - u, -1.0 / (alpha - 1.0 + 1e-9)) - 1.0;
+      if (x < n) return static_cast<uint32_t>(x);
+    }
+    return NextBelow(n);
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace imdpp
+
+#endif  // IMDPP_UTIL_RNG_H_

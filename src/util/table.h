@@ -1,0 +1,36 @@
+// Plain-text table printer used by the per-figure benchmark harnesses to
+// emit the rows/series the paper's plots report.
+#ifndef IMDPP_UTIL_TABLE_H_
+#define IMDPP_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace imdpp {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; rows may have differing cell counts.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long long v);
+
+  /// Renders the table with column alignment and a header separator.
+  std::string Render() const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace imdpp
+
+#endif  // IMDPP_UTIL_TABLE_H_

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the benchmark harnesses to reproduce the
+// execution-time figures (Fig. 9(d), 9(g), 9(h)).
+#ifndef IMDPP_UTIL_TIMER_H_
+#define IMDPP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace imdpp {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace imdpp
+
+#endif  // IMDPP_UTIL_TIMER_H_

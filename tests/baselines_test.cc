@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bgrd.h"
+#include "baselines/cr_greedy.h"
+#include "baselines/drhga.h"
+#include "baselines/hag.h"
+#include "baselines/opt.h"
+#include "baselines/ps.h"
+#include "data/catalog.h"
+#include "tests/test_util.h"
+
+namespace imdpp::baselines {
+namespace {
+
+using testutil::MakeWorld;
+using testutil::TinyWorld;
+using testutil::TinyWorldSpec;
+
+BaselineConfig FastConfig() {
+  BaselineConfig cfg;
+  cfg.selection_samples = 6;
+  cfg.eval_samples = 16;
+  cfg.candidates.max_users = 8;
+  cfg.candidates.max_items = 3;
+  return cfg;
+}
+
+diffusion::Problem SampleProblem(const data::Dataset& ds, double budget,
+                                 int promotions) {
+  return ds.MakeProblem(budget, promotions);
+}
+
+TEST(CrGreedy, AssignsAllNomineesWithinHorizon) {
+  TinyWorldSpec s;
+  s.params = pin::PerceptionParams::FrozenDynamics();
+  s.params.act_cap = 1.0;
+  s.num_promotions = 3;
+  TinyWorld w = MakeWorld(4, {{0, 1, 1.0}, {2, 3, 1.0}}, s);
+  diffusion::MonteCarloEngine engine(w.problem, {}, 8);
+  SeedGroup seeds = CrGreedyTimings(engine, {{0, 0}, {2, 0}});
+  ASSERT_EQ(seeds.size(), 2u);
+  for (const diffusion::Seed& seed : seeds) {
+    EXPECT_GE(seed.promotion, 1);
+    EXPECT_LE(seed.promotion, 3);
+  }
+}
+
+TEST(CrGreedy, EmptyNominees) {
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}});
+  diffusion::MonteCarloEngine engine(w.problem, {}, 4);
+  EXPECT_TRUE(CrGreedyTimings(engine, {}).empty());
+}
+
+class BaselinesOnSample : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = data::MakeSmallAmazonSample();
+    problem_ = ds_.MakeProblem(80.0, 2);
+  }
+  data::Dataset ds_;
+  diffusion::Problem problem_;
+};
+
+TEST_F(BaselinesOnSample, BgrdFeasibleAndPositive) {
+  BaselineResult r = RunBgrd(problem_, FastConfig());
+  EXPECT_LE(r.total_cost, problem_.budget + 1e-9);
+  EXPECT_GT(r.sigma, 0.0);
+  EXPECT_FALSE(r.seeds.empty());
+}
+
+TEST_F(BaselinesOnSample, BgrdBundlesUsers) {
+  // Every selected user should carry more than one item when affordable —
+  // the defining trait of bundle promotion.
+  BaselineConfig cfg = FastConfig();
+  BaselineResult r = RunBgrd(problem_, cfg);
+  std::map<int, int> items_per_user;
+  for (const diffusion::Seed& s : r.seeds) ++items_per_user[s.user];
+  int max_items = 0;
+  for (const auto& [u, n] : items_per_user) max_items = std::max(max_items, n);
+  EXPECT_GE(max_items, 2);
+}
+
+TEST_F(BaselinesOnSample, HagFeasibleAndPositive) {
+  BaselineResult r = RunHag(problem_, FastConfig());
+  EXPECT_LE(r.total_cost, problem_.budget + 1e-9);
+  EXPECT_GT(r.sigma, 0.0);
+}
+
+TEST_F(BaselinesOnSample, PsFeasibleAndPositive) {
+  PsConfig cfg;
+  static_cast<BaselineConfig&>(cfg) = FastConfig();
+  BaselineResult r = RunPs(problem_, cfg);
+  EXPECT_LE(r.total_cost, problem_.budget + 1e-9);
+  EXPECT_GT(r.sigma, 0.0);
+}
+
+TEST_F(BaselinesOnSample, DrhgaFeasibleAndPositive) {
+  BaselineResult r = RunDrhga(problem_, FastConfig());
+  EXPECT_LE(r.total_cost, problem_.budget + 1e-9);
+  EXPECT_GT(r.sigma, 0.0);
+}
+
+TEST_F(BaselinesOnSample, DrhgaCoversMultipleItems) {
+  BaselineConfig cfg = FastConfig();
+  cfg.candidates.max_items = 3;
+  BaselineResult r = RunDrhga(problem_, cfg);
+  std::set<int> items;
+  for (const diffusion::Seed& s : r.seeds) items.insert(s.item);
+  EXPECT_GE(items.size(), 2u);
+}
+
+TEST_F(BaselinesOnSample, AllDeterministic) {
+  BaselineConfig cfg = FastConfig();
+  EXPECT_EQ(RunBgrd(problem_, cfg).seeds, RunBgrd(problem_, cfg).seeds);
+  EXPECT_EQ(RunHag(problem_, cfg).seeds, RunHag(problem_, cfg).seeds);
+  EXPECT_EQ(RunDrhga(problem_, cfg).seeds, RunDrhga(problem_, cfg).seeds);
+  PsConfig pcfg;
+  static_cast<BaselineConfig&>(pcfg) = cfg;
+  EXPECT_EQ(RunPs(problem_, pcfg).seeds, RunPs(problem_, pcfg).seeds);
+}
+
+TEST(Opt, FindsTheExactOptimumOnTinyInstance) {
+  // Two candidate users: 0 cascades to 2 users, 2 is isolated. With budget
+  // for one seed, OPT must take user 0 at t=1.
+  TinyWorldSpec s;
+  s.params = pin::PerceptionParams::FrozenDynamics();
+  s.params.act_cap = 1.0;
+  s.cost = 10.0;
+  s.budget = 10.0;
+  TinyWorld w = MakeWorld(3, {{0, 1, 1.0}}, s);
+  w.problem.budget = 10.0;
+  OptConfig cfg;
+  cfg.selection_samples = 8;
+  cfg.eval_samples = 8;
+  cfg.max_candidates = 0;
+  cfg.max_seeds = 2;
+  BaselineResult r = RunOpt(w.problem, cfg);
+  ASSERT_EQ(r.seeds.size(), 1u);
+  EXPECT_EQ(r.seeds[0].user, 0);
+  EXPECT_DOUBLE_EQ(r.sigma, 2.0);
+}
+
+TEST(Opt, NeverWorseThanAnySingleton) {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem p = ds.MakeProblem(60.0, 2);
+  OptConfig cfg;
+  cfg.selection_samples = 6;
+  cfg.eval_samples = 16;
+  cfg.candidates.max_users = 4;
+  cfg.candidates.max_items = 2;
+  cfg.max_candidates = 6;
+  cfg.max_seeds = 2;
+  BaselineResult opt = RunOpt(p, cfg);
+  // Compare against each singleton of its own candidate space.
+  diffusion::MonteCarloEngine eval(p, cfg.campaign, cfg.eval_samples);
+  std::vector<Nominee> cands = core::BuildCandidateUniverse(p, cfg.candidates);
+  for (const Nominee& n : cands) {
+    if (p.Cost(n.user, n.item) > p.budget) continue;
+    EXPECT_GE(opt.sigma + 1e-9, eval.Sigma({{n.user, n.item, 1}}));
+  }
+}
+
+TEST(Opt, RespectsSeedCap) {
+  TinyWorldSpec s;
+  s.cost = 1.0;
+  s.budget = 100.0;
+  TinyWorld w = MakeWorld(4, {{0, 1, 0.5}, {2, 3, 0.5}}, s);
+  w.problem.budget = 100.0;
+  OptConfig cfg;
+  cfg.selection_samples = 4;
+  cfg.eval_samples = 4;
+  cfg.max_candidates = 0;
+  cfg.max_seeds = 1;
+  BaselineResult r = RunOpt(w.problem, cfg);
+  EXPECT_LE(r.seeds.size(), 1u);
+}
+
+}  // namespace
+}  // namespace imdpp::baselines

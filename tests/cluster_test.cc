@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "cluster/mioa.h"
+#include "cluster/nominee_clustering.h"
+#include "cluster/target_market.h"
+#include "cluster/union_find.h"
+#include "graph/graph_builder.h"
+
+namespace imdpp::cluster {
+namespace {
+
+TEST(UnionFind, BasicMerge) {
+  UnionFind uf(4);
+  EXPECT_FALSE(uf.Same(0, 1));
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Same(0, 1));
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Same(0, 3));
+}
+
+graph::SocialGraph TwoIslands() {
+  // Island A: 0-1-2 strongly linked; island B: 3-4.
+  graph::GraphBuilder b(5);
+  b.AddUndirectedEdge(0, 1, 0.5);
+  b.AddUndirectedEdge(1, 2, 0.5);
+  b.AddUndirectedEdge(3, 4, 0.5);
+  return b.Build();
+}
+
+TEST(Mioa, UnionRegionCoversReachableUsers) {
+  graph::SocialGraph g = TwoIslands();
+  InfluenceRegion r = UnionInfluenceRegion(g, {0}, 0.2);
+  EXPECT_EQ(r.users, (std::vector<graph::UserId>{0, 1, 2}));
+  EXPECT_EQ(r.radius_hops, 2);
+}
+
+TEST(Mioa, ThresholdShrinksRegion) {
+  graph::SocialGraph g = TwoIslands();
+  InfluenceRegion r = UnionInfluenceRegion(g, {0}, 0.4);
+  EXPECT_EQ(r.users, (std::vector<graph::UserId>{0, 1}));  // 0.25 pruned
+}
+
+TEST(Mioa, MultipleSourcesUnion) {
+  graph::SocialGraph g = TwoIslands();
+  InfluenceRegion r = UnionInfluenceRegion(g, {0, 3}, 0.2);
+  EXPECT_EQ(r.users.size(), 5u);
+}
+
+TEST(NomineeClustering, SociallyCloseComplementaryMerge) {
+  graph::SocialGraph g = TwoIslands();
+  std::vector<Nominee> noms{{0, 0}, {1, 1}, {3, 2}};
+  // Items 0,1 complementary; 2 unrelated.
+  auto net = [](kg::ItemId a, kg::ItemId b) {
+    if ((a == 0 && b == 1) || (a == 1 && b == 0)) return 0.8;
+    return 0.0;
+  };
+  ClusteringConfig cfg;
+  cfg.merge_threshold = 0.2;
+  auto clusters = ClusterNominees(g, noms, net, cfg);
+  ASSERT_EQ(clusters.size(), 2u);
+  // The island-A pair merged; nominee on island B stayed alone.
+  size_t big = clusters[0].size() >= clusters[1].size() ? 0 : 1;
+  EXPECT_EQ(clusters[big].size(), 2u);
+  EXPECT_EQ(clusters[1 - big].size(), 1u);
+}
+
+TEST(NomineeClustering, SubstitutableItemsRepel) {
+  graph::SocialGraph g = TwoIslands();
+  std::vector<Nominee> noms{{0, 0}, {1, 1}};
+  auto net = [](kg::ItemId, kg::ItemId) { return -0.9; };  // substitutable
+  ClusteringConfig cfg;
+  cfg.merge_threshold = 0.2;
+  auto clusters = ClusterNominees(g, noms, net, cfg);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(NomineeClustering, SameItemSameUserNeighborhoodMerges) {
+  graph::SocialGraph g = TwoIslands();
+  std::vector<Nominee> noms{{0, 0}, {1, 0}};
+  auto net = [](kg::ItemId, kg::ItemId) { return 0.0; };
+  ClusteringConfig cfg;
+  cfg.merge_threshold = 0.2;  // same item counts as net relevance 1
+  auto clusters = ClusterNominees(g, noms, net, cfg);
+  EXPECT_EQ(clusters.size(), 1u);
+}
+
+TEST(NomineeClustering, EmptyInput) {
+  graph::SocialGraph g = TwoIslands();
+  auto clusters =
+      ClusterNominees(g, {}, [](kg::ItemId, kg::ItemId) { return 0.0; }, {});
+  EXPECT_TRUE(clusters.empty());
+}
+
+TEST(TargetMarket, BuildFromClusters) {
+  graph::SocialGraph g = TwoIslands();
+  std::vector<std::vector<Nominee>> clusters{{{0, 0}, {1, 1}}, {{3, 2}}};
+  MarketPlanConfig cfg;
+  cfg.mioa_threshold = 0.2;
+  MarketPlan plan = BuildMarketPlan(g, clusters, cfg);
+  ASSERT_EQ(plan.markets.size(), 2u);
+  EXPECT_EQ(plan.markets[0].users, (std::vector<graph::UserId>{0, 1, 2}));
+  EXPECT_EQ(plan.markets[0].items, (std::vector<kg::ItemId>{0, 1}));
+  EXPECT_GE(plan.markets[0].diameter, 1);
+  EXPECT_EQ(plan.markets[1].users, (std::vector<graph::UserId>{3, 4}));
+}
+
+TEST(TargetMarket, OverlapGroups) {
+  graph::SocialGraph g = TwoIslands();
+  // Two clusters on the same island share users 0,1,2 -> same group.
+  std::vector<std::vector<Nominee>> clusters{{{0, 0}}, {{1, 1}}, {{3, 2}}};
+  MarketPlanConfig cfg;
+  cfg.mioa_threshold = 0.2;
+  cfg.overlap_theta = 1;
+  MarketPlan plan = BuildMarketPlan(g, clusters, cfg);
+  ASSERT_EQ(plan.markets.size(), 3u);
+  ASSERT_EQ(plan.groups.size(), 2u);
+  // One group holds the two island-A markets, the other holds island B.
+  size_t big = plan.groups[0].order.size() == 2 ? 0 : 1;
+  EXPECT_EQ(plan.groups[big].order.size(), 2u);
+  EXPECT_EQ(plan.groups[1 - big].order.size(), 1u);
+}
+
+TEST(TargetMarket, CommonUsersIntersection) {
+  TargetMarket a, b;
+  a.users = {1, 2, 3, 5};
+  b.users = {2, 3, 4};
+  EXPECT_EQ(CommonUsers(a, b), 2);
+  EXPECT_EQ(CommonUsers(a, a), 4);
+}
+
+TEST(TargetMarket, AntagonisticExtentAndOrdering) {
+  // Example 1 of the paper: three markets in one group; AE from pairwise
+  // substitutable relevance of their items.
+  MarketPlan plan;
+  plan.markets.resize(3);
+  plan.markets[0].items = {0};  // iPad
+  plan.markets[1].items = {1};  // iPad (another market)
+  plan.markets[2].items = {2, 3};  // AirPods + iPhone
+  MarketGroup group;
+  group.order = {0, 1, 2};
+  plan.groups.push_back(group);
+  // r̄S: items 0-2 and 1-2 substitutable at 0.5 (iPad vs iPhone-ish).
+  auto rel_s = [](kg::ItemId a, kg::ItemId b) {
+    auto pair = [&](kg::ItemId x, kg::ItemId y) {
+      return (a == x && b == y) || (a == y && b == x);
+    };
+    if (pair(0, 2) || pair(1, 2)) return 0.5;
+    return 0.0;
+  };
+  EXPECT_DOUBLE_EQ(
+      AntagonisticExtent(plan, plan.groups[0], 0, rel_s), 0.5);
+  EXPECT_DOUBLE_EQ(
+      AntagonisticExtent(plan, plan.groups[0], 2, rel_s), 1.0);
+  OrderGroupsByAe(plan, rel_s);
+  // Market 2 (AE = 1.0) must come last.
+  EXPECT_EQ(plan.groups[0].order.back(), 2);
+}
+
+}  // namespace
+}  // namespace imdpp::cluster

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "core/dre.h"
+#include "core/market_order.h"
+#include "core/nominee_selection.h"
+#include "core/tdsi.h"
+#include "tests/test_util.h"
+
+namespace imdpp::core {
+namespace {
+
+using testutil::MakeRelevance;
+using testutil::MakeWorld;
+using testutil::TinyWorld;
+using testutil::TinyWorldSpec;
+
+TinyWorldSpec DetSpec(int items = 1, int promotions = 1) {
+  TinyWorldSpec s;
+  s.num_items = items;
+  s.num_promotions = promotions;
+  s.params = pin::PerceptionParams::FrozenDynamics();
+  s.params.act_cap = 1.0;
+  return s;
+}
+
+TEST(CandidateUniverse, FullWhenUnpruned) {
+  TinyWorld w = MakeWorld(3, {{0, 1, 0.5}}, DetSpec(2));
+  std::vector<Nominee> c = BuildCandidateUniverse(w.problem, {});
+  EXPECT_EQ(c.size(), 6u);  // 3 users x 2 items
+}
+
+TEST(CandidateUniverse, PrunesByDegreeAndImportance) {
+  TinyWorld w =
+      MakeWorld(4, {{0, 1, 0.5}, {0, 2, 0.5}, {0, 3, 0.5}, {1, 2, 0.5}},
+                DetSpec(3));
+  w.problem.importance = {0.1, 5.0, 1.0};
+  CandidateConfig cfg;
+  cfg.max_users = 1;  // user 0 has the top out-degree
+  cfg.max_items = 2;  // items 1 and 2 by importance
+  std::vector<Nominee> c = BuildCandidateUniverse(w.problem, cfg);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].user, 0);
+  EXPECT_EQ(c[0].item, 1);
+  EXPECT_EQ(c[1].item, 2);
+}
+
+TEST(CandidateUniverse, ExcludesUnaffordable) {
+  TinyWorldSpec s = DetSpec();
+  s.cost = 50.0;
+  s.budget = 10.0;
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, s);
+  w.problem.budget = 10.0;
+  EXPECT_TRUE(BuildCandidateUniverse(w.problem, {}).empty());
+}
+
+TEST(SelectNominees, RespectsBudget) {
+  // Three disconnected components; every seed has positive gain but only
+  // two 10-cost seeds fit within the budget of 25.
+  TinyWorldSpec s = DetSpec();
+  s.cost = 10.0;
+  s.budget = 25.0;
+  TinyWorld w = MakeWorld(6, {{0, 1, 1.0}, {2, 3, 1.0}, {4, 5, 1.0}}, s);
+  w.problem.budget = 25.0;
+  diffusion::MonteCarloEngine engine(w.problem, {}, 8);
+  std::vector<Nominee> cands = BuildCandidateUniverse(w.problem, {});
+  SelectionResult r = SelectNominees(engine, w.problem, cands, 25.0);
+  EXPECT_LE(r.total_cost, 25.0);
+  EXPECT_EQ(r.nominees.size(), 2u);
+}
+
+TEST(SelectNominees, StopsOnNonPositiveMarginal) {
+  // Seeding user 0 saturates the deterministic chain; every further seed
+  // has zero marginal gain and must be rejected.
+  TinyWorldSpec s = DetSpec();
+  s.cost = 1.0;
+  s.budget = 100.0;
+  TinyWorld w = MakeWorld(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}}, s);
+  diffusion::MonteCarloEngine engine(w.problem, {}, 8);
+  std::vector<Nominee> cands = BuildCandidateUniverse(w.problem, {});
+  SelectionResult r = SelectNominees(engine, w.problem, cands, 100.0);
+  EXPECT_EQ(r.nominees.size(), 1u);
+  EXPECT_EQ(r.nominees[0].user, 0);
+}
+
+TEST(SelectNominees, PicksHighestImpactFirst) {
+  // User 0 reaches everyone deterministically; others reach nobody.
+  TinyWorld w = MakeWorld(4, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}},
+                          DetSpec());
+  diffusion::MonteCarloEngine engine(w.problem, {}, 4);
+  std::vector<Nominee> cands = BuildCandidateUniverse(w.problem, {});
+  SelectionResult r = SelectNominees(engine, w.problem, cands, 100.0);
+  ASSERT_FALSE(r.nominees.empty());
+  EXPECT_EQ(r.nominees[0].user, 0);
+  EXPECT_EQ(r.best_single.user, 0);
+  EXPECT_DOUBLE_EQ(r.best_single_gain, 4.0);
+}
+
+TEST(SelectNominees, CostNormalizationMatters) {
+  // User 0 reaches 2 users but costs 40; user 3 reaches 1 user at cost 5.
+  // MCP picks user 3 first (ratio 0.4 vs 0.075).
+  TinyWorldSpec s = DetSpec();
+  s.budget = 100.0;
+  TinyWorld w = MakeWorld(5, {{0, 1, 1.0}, {0, 2, 1.0}, {3, 4, 1.0}}, s);
+  w.problem.cost = {40.0f, 40.0f, 40.0f, 5.0f, 40.0f};  // per user (1 item)
+  diffusion::MonteCarloEngine engine(w.problem, {}, 4);
+  std::vector<Nominee> cands = BuildCandidateUniverse(w.problem, {});
+  SelectionResult r = SelectNominees(engine, w.problem, cands, 100.0);
+  ASSERT_GE(r.nominees.size(), 2u);
+  EXPECT_EQ(r.nominees[0].user, 3);
+}
+
+TEST(SelectNominees, EmptyCandidates) {
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, DetSpec());
+  diffusion::MonteCarloEngine engine(w.problem, {}, 4);
+  SelectionResult r = SelectNominees(engine, w.problem, {}, 10.0);
+  EXPECT_TRUE(r.nominees.empty());
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+}
+
+// ---- DRE -------------------------------------------------------------------
+
+TEST(Dre, ProactiveImpactMatchesHandComputation) {
+  // Items 0,1 complementary 0.6; no substitutable relevance; weights 1.
+  std::vector<float> c{0, 0.6f, 0.6f, 0};
+  std::vector<float> s(4, 0.0f);
+  TinyWorldSpec spec = DetSpec(2);
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, spec, MakeRelevance(2, c, s));
+  pin::Dynamics dyn(*w.relevance, spec.params);
+  diffusion::ExpectedState es =
+      diffusion::ExpectedState::InitialOf(w.problem);
+  DreEvaluator dre(dyn.pin(), es, {}, w.problem.importance, 3);
+  // d=1: PI(0) = L_C * r̄C * w_1 = 1 * 0.6 * 1 = 0.6 (PI(1,0) = 0).
+  EXPECT_NEAR(dre.ProactiveImpact(0, 1), 0.6, 1e-6);
+  // d=2 adds PI(1,1) = 0.6 (impact propagating back through item 1).
+  EXPECT_NEAR(dre.ProactiveImpact(0, 2), 1.2, 1e-6);
+  // RI mirrors PI here by symmetry (w_0 = 1).
+  EXPECT_NEAR(dre.ReactiveImpact(0, 1), 0.6, 1e-6);
+  EXPECT_NEAR(dre.DynamicReachability(0, 1), 1.2, 1e-6);
+}
+
+TEST(Dre, SubstitutableRelevanceSubtracts) {
+  // 0-1: r̄C = 0.3, r̄S = 0.6 -> L_C = 1/3, L_S = 2/3:
+  // term = (1/3)*0.3 - (2/3)*0.6 = 0.1 - 0.4 = -0.3.
+  std::vector<float> c{0, 0.3f, 0.3f, 0};
+  std::vector<float> s{0, 0.6f, 0.6f, 0};
+  TinyWorldSpec spec = DetSpec(2);
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, spec, MakeRelevance(2, c, s));
+  pin::Dynamics dyn(*w.relevance, spec.params);
+  diffusion::ExpectedState es =
+      diffusion::ExpectedState::InitialOf(w.problem);
+  DreEvaluator dre(dyn.pin(), es, {}, w.problem.importance, 3);
+  EXPECT_NEAR(dre.ProactiveImpact(0, 1), -0.3, 1e-6);
+}
+
+TEST(Dre, ReactiveImpactScalesWithImportance) {
+  std::vector<float> c{0, 0.5f, 0.5f, 0};
+  std::vector<float> s(4, 0.0f);
+  TinyWorldSpec spec = DetSpec(2);
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, spec, MakeRelevance(2, c, s));
+  w.problem.importance = {4.0, 1.0};
+  pin::Dynamics dyn(*w.relevance, spec.params);
+  diffusion::ExpectedState es =
+      diffusion::ExpectedState::InitialOf(w.problem);
+  DreEvaluator dre(dyn.pin(), es, {}, w.problem.importance, 2);
+  EXPECT_NEAR(dre.ReactiveImpact(0, 1), 4.0 * 0.5, 1e-6);
+  EXPECT_NEAR(dre.ReactiveImpact(1, 1), 1.0 * 0.5, 1e-6);
+}
+
+TEST(Dre, DepthZeroIsZero) {
+  std::vector<float> c{0, 0.5f, 0.5f, 0};
+  std::vector<float> s(4, 0.0f);
+  TinyWorldSpec spec = DetSpec(2);
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, spec, MakeRelevance(2, c, s));
+  pin::Dynamics dyn(*w.relevance, spec.params);
+  diffusion::ExpectedState es =
+      diffusion::ExpectedState::InitialOf(w.problem);
+  DreEvaluator dre(dyn.pin(), es, {}, w.problem.importance, 3);
+  EXPECT_DOUBLE_EQ(dre.DynamicReachability(0, 0), 0.0);
+}
+
+TEST(Dre, ArgMaxPrefersComplementaryHub) {
+  // Item 0 is complementary to both 1 and 2; item 2 only to 0.
+  std::vector<float> c{0,    0.5f, 0.5f,  //
+                       0.5f, 0,    0,     //
+                       0.5f, 0,    0};
+  std::vector<float> s(9, 0.0f);
+  TinyWorldSpec spec = DetSpec(3);
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, spec, MakeRelevance(3, c, s));
+  pin::Dynamics dyn(*w.relevance, spec.params);
+  diffusion::ExpectedState es =
+      diffusion::ExpectedState::InitialOf(w.problem);
+  DreEvaluator dre(dyn.pin(), es, {}, w.problem.importance, 2);
+  EXPECT_EQ(dre.ArgMaxDr({0, 1, 2}, 1), 0);
+}
+
+// ---- TDSI ------------------------------------------------------------------
+
+TEST(Tdsi, ImmediateAdoptionDominatesWhenNoFuture) {
+  // Deterministic chain: seeding 0 at t=1 adds 3 market adoptions.
+  TinyWorld w = MakeWorld(3, {{0, 1, 1.0}, {1, 2, 1.0}}, DetSpec(1, 2));
+  diffusion::MonteCarloEngine engine(w.problem, {}, 8);
+  std::vector<graph::UserId> market{0, 1, 2};
+  TimingSelector tdsi(engine, market, 2);
+  auto base = engine.EvalMarket({}, market);
+  double si1 = tdsi.SubstantialInfluence({}, base, {0, 0, 1});
+  EXPECT_GT(si1, 2.9);
+}
+
+TEST(Tdsi, PickBestClampsWindow) {
+  TinyWorld w = MakeWorld(3, {{0, 1, 1.0}, {1, 2, 1.0}}, DetSpec(1, 2));
+  diffusion::MonteCarloEngine engine(w.problem, {}, 8);
+  std::vector<graph::UserId> market{0, 1, 2};
+  TimingSelector tdsi(engine, market, 2);
+  int idx = -1;
+  diffusion::Seed s = tdsi.PickBest({}, {{0, 0}}, 5, 9, &idx);
+  EXPECT_EQ(idx, 0);
+  EXPECT_LE(s.promotion, 2);
+  EXPECT_GE(s.promotion, 1);
+}
+
+TEST(Tdsi, PrefersInfluentialNominee) {
+  // User 0 cascades to 2 others; user 3 is isolated.
+  TinyWorld w = MakeWorld(4, {{0, 1, 1.0}, {0, 2, 1.0}}, DetSpec(1, 1));
+  diffusion::MonteCarloEngine engine(w.problem, {}, 8);
+  std::vector<graph::UserId> market{0, 1, 2, 3};
+  TimingSelector tdsi(engine, market, 1);
+  int idx = -1;
+  diffusion::Seed s = tdsi.PickBest({}, {{3, 0}, {0, 0}}, 1, 1, &idx);
+  EXPECT_EQ(s.user, 0);
+  EXPECT_EQ(idx, 1);
+}
+
+// ---- Market orders ----------------------------------------------------------
+
+TEST(MarketOrder, Names) {
+  EXPECT_STREQ(MarketOrderName(MarketOrderMetric::kAntagonisticExtent), "AE");
+  EXPECT_STREQ(MarketOrderName(MarketOrderMetric::kProfitability), "PF");
+  EXPECT_STREQ(MarketOrderName(MarketOrderMetric::kSize), "SZ");
+  EXPECT_STREQ(MarketOrderName(MarketOrderMetric::kRelativeMarketShare),
+               "RMS");
+  EXPECT_STREQ(MarketOrderName(MarketOrderMetric::kRandom), "RD");
+}
+
+TEST(MarketOrder, SizeOrdering) {
+  cluster::MarketPlan plan;
+  plan.markets.resize(2);
+  plan.markets[0].users = {0};
+  plan.markets[1].users = {1, 2, 3};
+  cluster::MarketGroup g;
+  g.order = {0, 1};
+  plan.groups.push_back(g);
+  MarketOrderContext ctx;
+  OrderGroups(plan, MarketOrderMetric::kSize, ctx);
+  EXPECT_EQ(plan.groups[0].order.front(), 1);  // bigger market first
+}
+
+TEST(MarketOrder, ProfitabilityOrdering) {
+  TinyWorld w = MakeWorld(4, {{0, 1, 1.0}, {0, 2, 1.0}}, DetSpec());
+  diffusion::MonteCarloEngine engine(w.problem, {}, 8);
+  cluster::MarketPlan plan;
+  plan.markets.resize(2);
+  plan.markets[0].nominees = {{0, 0}};  // cascades to 3 users
+  plan.markets[0].users = {0, 1, 2};
+  plan.markets[1].nominees = {{3, 0}};  // isolated
+  plan.markets[1].users = {3};
+  cluster::MarketGroup g;
+  g.order = {1, 0};
+  plan.groups.push_back(g);
+  MarketOrderContext ctx;
+  ctx.problem = &w.problem;
+  ctx.engine = &engine;
+  OrderGroups(plan, MarketOrderMetric::kProfitability, ctx);
+  EXPECT_EQ(plan.groups[0].order.front(), 0);
+}
+
+TEST(MarketOrder, RandomDeterministicInSeed) {
+  cluster::MarketPlan plan;
+  plan.markets.resize(3);
+  cluster::MarketGroup g;
+  g.order = {0, 1, 2};
+  plan.groups.push_back(g);
+  MarketOrderContext ctx;
+  ctx.seed = 5;
+  cluster::MarketPlan plan2 = plan;
+  OrderGroups(plan, MarketOrderMetric::kRandom, ctx);
+  OrderGroups(plan2, MarketOrderMetric::kRandom, ctx);
+  EXPECT_EQ(plan.groups[0].order, plan2.groups[0].order);
+}
+
+TEST(MarketOrder, RelativeMarketShare) {
+  // Items 0 and 1 substitutable; everyone's favorite is item 0.
+  std::vector<float> c(4, 0.0f);
+  std::vector<float> s{0, 0.5f, 0.5f, 0};
+  TinyWorldSpec spec = DetSpec(2);
+  TinyWorld w = MakeWorld(3, {{0, 1, 0.5}}, spec, MakeRelevance(2, c, s));
+  for (int u = 0; u < 3; ++u) {
+    w.problem.base_pref[u * 2 + 0] = 0.9f;
+    w.problem.base_pref[u * 2 + 1] = 0.1f;
+  }
+  auto rel_s = [&](kg::ItemId a, kg::ItemId b) {
+    return a != b ? 0.5 : 0.0;
+  };
+  cluster::TargetMarket dominant;
+  dominant.items = {0};
+  cluster::TargetMarket weak;
+  weak.items = {1};
+  double rms_dom = RelativeMarketShare(dominant, w.problem, rel_s);
+  double rms_weak = RelativeMarketShare(weak, w.problem, rel_s);
+  EXPECT_GT(rms_dom, rms_weak);
+}
+
+}  // namespace
+}  // namespace imdpp::core

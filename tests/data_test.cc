@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "data/catalog.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+
+namespace imdpp::data {
+namespace {
+
+TEST(Synthetic, ShapesMatchSpec) {
+  SyntheticSpec spec;
+  spec.num_users = 50;
+  spec.num_items = 10;
+  Dataset ds = GenerateSynthetic(spec);
+  EXPECT_EQ(ds.NumUsers(), 50);
+  EXPECT_EQ(ds.NumItems(), 10);
+  EXPECT_EQ(ds.importance.size(), 10u);
+  EXPECT_EQ(ds.base_pref.size(), 500u);
+  EXPECT_EQ(ds.cost.size(), 500u);
+  EXPECT_EQ(ds.wmeta0.size(),
+            static_cast<size_t>(50 * ds.relevance->NumMetas()));
+  EXPECT_EQ(ds.relevance->NumMetas(), 6);
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.num_users = 40;
+  spec.num_items = 8;
+  spec.seed = 77;
+  Dataset a = GenerateSynthetic(spec);
+  Dataset b = GenerateSynthetic(spec);
+  EXPECT_EQ(a.base_pref, b.base_pref);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.social->NumEdges(), b.social->NumEdges());
+}
+
+TEST(Synthetic, ValuesInRange) {
+  SyntheticSpec spec;
+  spec.num_users = 60;
+  spec.num_items = 12;
+  Dataset ds = GenerateSynthetic(spec);
+  for (float p : ds.base_pref) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+  for (float c : ds.cost) EXPECT_GT(c, 0.0f);
+  for (double w : ds.importance) EXPECT_GT(w, 0.0);
+  for (float w : ds.wmeta0) {
+    EXPECT_GE(w, 0.0f);
+    EXPECT_LE(w, 1.0f);
+  }
+}
+
+TEST(Synthetic, MedianCostNearTarget) {
+  SyntheticSpec spec;
+  spec.num_users = 100;
+  spec.num_items = 20;
+  spec.target_median_cost = 25.0;
+  Dataset ds = GenerateSynthetic(spec);
+  std::vector<float> sorted = ds.cost;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  EXPECT_NEAR(sorted[sorted.size() / 2], 25.0, 2.0);
+}
+
+TEST(Synthetic, CostsGrowWithOutDegree) {
+  SyntheticSpec spec;
+  spec.num_users = 120;
+  spec.num_items = 10;
+  Dataset ds = GenerateSynthetic(spec);
+  // Compare the max-degree user against a zero/low-degree one at equal
+  // preference: cost must favor the influential user being pricier.
+  int hi = 0, lo = 0;
+  for (int u = 0; u < ds.NumUsers(); ++u) {
+    if (ds.social->OutDegree(u) > ds.social->OutDegree(hi)) hi = u;
+    if (ds.social->OutDegree(u) < ds.social->OutDegree(lo)) lo = u;
+  }
+  double hi_avg = 0, lo_avg = 0;
+  for (int x = 0; x < ds.NumItems(); ++x) {
+    hi_avg += ds.cost[static_cast<size_t>(hi) * ds.NumItems() + x];
+    lo_avg += ds.cost[static_cast<size_t>(lo) * ds.NumItems() + x];
+  }
+  EXPECT_GT(hi_avg, lo_avg);
+}
+
+TEST(Synthetic, MakesUsableProblem) {
+  SyntheticSpec spec;
+  spec.num_users = 30;
+  spec.num_items = 6;
+  Dataset ds = GenerateSynthetic(spec);
+  diffusion::Problem p = ds.MakeProblem(100.0, 3);
+  p.Validate();
+  EXPECT_EQ(p.num_promotions, 3);
+  EXPECT_DOUBLE_EQ(p.budget, 100.0);
+}
+
+TEST(Synthetic, MetaSubsetProblem) {
+  SyntheticSpec spec;
+  spec.num_users = 30;
+  spec.num_items = 6;
+  Dataset ds = GenerateSynthetic(spec);
+  std::vector<int> subset{0, 1};  // first complementary + first substitutable
+  kg::RelevanceModel sub = ds.relevance->WithMetaSubset(subset);
+  diffusion::Problem p =
+      ds.MakeProblemWithRelevance(sub, 50.0, 2, {}, &subset);
+  p.Validate();
+  EXPECT_EQ(p.NumMetas(), 2);
+  // Initial weightings must map back to the dataset's meta 0 and 1.
+  EXPECT_FLOAT_EQ(p.wmeta0[0], ds.wmeta0[0]);
+  EXPECT_FLOAT_EQ(p.wmeta0[1], ds.wmeta0[1]);
+}
+
+TEST(Catalog, FlavorsHaveTableIiCharacter) {
+  Dataset amazon = MakeAmazonLike(0.2);
+  Dataset yelp = MakeYelpLike(0.2);
+  Dataset douban = MakeDoubanLike(0.2);
+  Dataset gowalla = MakeGowallaLike(0.2);
+
+  EXPECT_TRUE(amazon.directed_friendship);
+  EXPECT_FALSE(yelp.directed_friendship);
+  // Influence strengths track Table II's ordering:
+  // yelp (0.121) > gowalla (0.092) > amazon (0.050) > douban (0.011).
+  DatasetStats sy = ComputeStats(yelp);
+  DatasetStats sg = ComputeStats(gowalla);
+  DatasetStats sa = ComputeStats(amazon);
+  DatasetStats sd = ComputeStats(douban);
+  EXPECT_GT(sy.avg_influence, sg.avg_influence);
+  EXPECT_GT(sg.avg_influence, sa.avg_influence);
+  EXPECT_GT(sa.avg_influence, sd.avg_influence);
+  // Douban is the largest, yelp the smallest (scaled).
+  EXPECT_GT(sd.users, sa.users);
+  EXPECT_GT(sa.users, sy.users);
+}
+
+TEST(Catalog, SmallSampleHas100Users) {
+  Dataset ds = MakeSmallAmazonSample();
+  EXPECT_EQ(ds.NumUsers(), 100);
+  EXPECT_TRUE(ds.directed_friendship);
+}
+
+TEST(Catalog, ClassroomSizesMatchTableIii) {
+  const int expected[5] = {33, 26, 22, 20, 20};
+  for (int c = 0; c < 5; ++c) {
+    Dataset ds = MakeClassroom(c);
+    EXPECT_EQ(ds.NumUsers(), expected[c]) << "class " << c;
+    EXPECT_EQ(ds.NumItems(), 30);  // 30 elective courses
+    EXPECT_EQ(ds.kg->node_types().Find("COURSE"), ds.kg->item_type());
+  }
+}
+
+TEST(Catalog, ClassroomsAreDenselyConnected) {
+  Dataset ds = MakeClassroom(0);
+  DatasetStats s = ComputeStats(ds);
+  // Table III lists hundreds of edges for ~30 students.
+  EXPECT_GT(s.friendships, 150);
+}
+
+TEST(Stats, CountsAddUp) {
+  Dataset ds = MakeFig1Toy();
+  DatasetStats s = ComputeStats(ds);
+  EXPECT_EQ(s.users, 3);
+  EXPECT_EQ(s.items, 4);
+  EXPECT_EQ(s.nodes, ds.kg->NumNodes() + 3);
+  EXPECT_EQ(s.friendships, 3);
+  EXPECT_EQ(s.edges, ds.kg->NumEdges() + 3);
+  EXPECT_TRUE(s.directed_friendship);
+  EXPECT_GT(s.avg_importance, 0.0);
+}
+
+TEST(Stats, TableRendering) {
+  TextTable t;
+  SetStatsHeader(t);
+  AppendStatsRow(t, ComputeStats(MakeFig1Toy()));
+  std::string out = t.Render();
+  EXPECT_NE(out.find("fig1-toy"), std::string::npos);
+  EXPECT_NE(out.find("#users"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace imdpp::data

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "core/adaptive_dysim.h"
+#include "core/dysim.h"
+#include "data/catalog.h"
+#include "tests/test_util.h"
+
+namespace imdpp::core {
+namespace {
+
+using testutil::MakeWorld;
+using testutil::TinyWorld;
+using testutil::TinyWorldSpec;
+
+DysimConfig FastConfig() {
+  DysimConfig cfg;
+  cfg.selection_samples = 6;
+  cfg.eval_samples = 16;
+  return cfg;
+}
+
+TEST(Dysim, PicksTheObviousSeedOnDeterministicChain) {
+  TinyWorldSpec s;
+  s.params = pin::PerceptionParams::FrozenDynamics();
+  s.params.act_cap = 1.0;
+  s.cost = 10.0;
+  s.budget = 15.0;
+  TinyWorld w = MakeWorld(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}}, s);
+  w.problem.budget = 15.0;
+  DysimResult r = RunDysim(w.problem, FastConfig());
+  ASSERT_EQ(r.seeds.size(), 1u);
+  EXPECT_EQ(r.seeds[0].user, 0);
+  EXPECT_DOUBLE_EQ(r.sigma, 4.0);
+}
+
+TEST(Dysim, RespectsBudget) {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem p = ds.MakeProblem(80.0, 2);
+  DysimConfig cfg = FastConfig();
+  cfg.candidates.max_users = 10;
+  cfg.candidates.max_items = 4;
+  DysimResult r = RunDysim(p, cfg);
+  EXPECT_LE(r.total_cost, p.budget + 1e-9);
+  for (const diffusion::Seed& s : r.seeds) {
+    EXPECT_GE(s.promotion, 1);
+    EXPECT_LE(s.promotion, 2);
+  }
+}
+
+TEST(Dysim, DeterministicGivenConfig) {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem p = ds.MakeProblem(60.0, 2);
+  DysimConfig cfg = FastConfig();
+  cfg.candidates.max_users = 8;
+  cfg.candidates.max_items = 3;
+  DysimResult a = RunDysim(p, cfg);
+  DysimResult b = RunDysim(p, cfg);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_DOUBLE_EQ(a.sigma, b.sigma);
+}
+
+TEST(Dysim, NomineesNeverExceedOnePlacementEach) {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem p = ds.MakeProblem(100.0, 3);
+  DysimConfig cfg = FastConfig();
+  cfg.candidates.max_users = 10;
+  cfg.candidates.max_items = 4;
+  DysimResult r = RunDysim(p, cfg);
+  std::set<std::pair<int, int>> nominees;
+  for (const diffusion::Seed& s : r.seeds) {
+    EXPECT_TRUE(nominees.emplace(s.user, s.item).second)
+        << "duplicate nominee";
+  }
+}
+
+TEST(Dysim, AblationsRunAndStayFeasible) {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem p = ds.MakeProblem(80.0, 3);
+  DysimConfig cfg = FastConfig();
+  cfg.candidates.max_users = 8;
+  cfg.candidates.max_items = 3;
+
+  cfg.use_target_markets = false;
+  DysimResult no_tm = RunDysim(p, cfg);
+  EXPECT_LE(no_tm.total_cost, p.budget + 1e-9);
+
+  cfg.use_target_markets = true;
+  cfg.use_item_priority = false;
+  DysimResult no_ip = RunDysim(p, cfg);
+  EXPECT_LE(no_ip.total_cost, p.budget + 1e-9);
+  EXPECT_GT(no_tm.sigma, 0.0);
+  EXPECT_GT(no_ip.sigma, 0.0);
+}
+
+TEST(Dysim, MarketOrderMetricsAllRun) {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem p = ds.MakeProblem(60.0, 2);
+  DysimConfig cfg = FastConfig();
+  cfg.candidates.max_users = 6;
+  cfg.candidates.max_items = 3;
+  for (MarketOrderMetric m :
+       {MarketOrderMetric::kAntagonisticExtent,
+        MarketOrderMetric::kProfitability, MarketOrderMetric::kSize,
+        MarketOrderMetric::kRelativeMarketShare, MarketOrderMetric::kRandom}) {
+    cfg.order = m;
+    DysimResult r = RunDysim(p, cfg);
+    EXPECT_GE(r.sigma, 0.0) << MarketOrderName(m);
+  }
+}
+
+TEST(Dysim, EmptyWhenBudgetTooSmall) {
+  TinyWorldSpec s;
+  s.cost = 50.0;
+  s.budget = 1.0;
+  TinyWorld w = MakeWorld(3, {{0, 1, 0.5}}, s);
+  w.problem.budget = 1.0;
+  DysimResult r = RunDysim(w.problem, FastConfig());
+  EXPECT_TRUE(r.seeds.empty());
+  EXPECT_DOUBLE_EQ(r.sigma, 0.0);
+}
+
+TEST(Dysim, TimingsRespectWindowDiscipline) {
+  // Timings in the seed group should be non-decreasing in acceptance
+  // order within each group (TDSI only searches [t̂, t̂+1]).
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem p = ds.MakeProblem(120.0, 4);
+  DysimConfig cfg = FastConfig();
+  cfg.candidates.max_users = 10;
+  cfg.candidates.max_items = 4;
+  DysimResult r = RunDysim(p, cfg);
+  for (const diffusion::Seed& s : r.seeds) {
+    EXPECT_LE(s.promotion, 4);
+    EXPECT_GE(s.promotion, 1);
+  }
+}
+
+TEST(AdaptiveDysim, SpendsWithinBudgetAndObservesReality) {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem p = ds.MakeProblem(80.0, 3);
+  AdaptiveConfig cfg;
+  cfg.base = FastConfig();
+  cfg.base.candidates.max_users = 8;
+  cfg.base.candidates.max_items = 3;
+  AdaptiveResult r = RunAdaptiveDysim(p, cfg);
+  EXPECT_LE(r.total_spent, p.budget + 1e-9);
+  EXPECT_EQ(r.rounds.size(), 3u);
+  for (const AdaptiveRound& round : r.rounds) {
+    for (const diffusion::Seed& s : round.seeds) {
+      EXPECT_EQ(s.promotion, round.promotion);
+    }
+  }
+  // Realized adoptions should be positive if any seed was placed.
+  if (!r.seeds.empty()) EXPECT_GT(r.realized_sigma, 0.0);
+}
+
+TEST(AdaptiveDysim, DeterministicInRealitySeed) {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem p = ds.MakeProblem(60.0, 2);
+  AdaptiveConfig cfg;
+  cfg.base = FastConfig();
+  cfg.base.candidates.max_users = 6;
+  cfg.base.candidates.max_items = 2;
+  AdaptiveResult a = RunAdaptiveDysim(p, cfg);
+  AdaptiveResult b = RunAdaptiveDysim(p, cfg);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_DOUBLE_EQ(a.realized_sigma, b.realized_sigma);
+}
+
+}  // namespace
+}  // namespace imdpp::core

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "diffusion/monte_carlo.h"
+#include "tests/test_util.h"
+
+namespace imdpp::diffusion {
+namespace {
+
+using testutil::MakeWorld;
+using testutil::TinyWorld;
+using testutil::TinyWorldSpec;
+
+TinyWorldSpec DetSpec(int items = 1, int promotions = 1) {
+  TinyWorldSpec s;
+  s.num_items = items;
+  s.num_promotions = promotions;
+  s.params = pin::PerceptionParams::FrozenDynamics();
+  s.params.act_cap = 1.0;
+  return s;
+}
+
+TEST(MonteCarloEngine, SigmaOfEmptySeedGroupIsZero) {
+  TinyWorld w = MakeWorld(3, {{0, 1, 0.5}}, DetSpec());
+  MonteCarloEngine engine(w.problem, {}, 16);
+  EXPECT_DOUBLE_EQ(engine.Sigma({}), 0.0);
+}
+
+TEST(MonteCarloEngine, SigmaDeterministicAcrossEngines) {
+  TinyWorld w = MakeWorld(4, {{0, 1, 0.4}, {1, 2, 0.6}, {0, 3, 0.3}},
+                          DetSpec());
+  MonteCarloEngine a(w.problem, {}, 32);
+  MonteCarloEngine b(w.problem, {}, 32);
+  EXPECT_DOUBLE_EQ(a.Sigma({{0, 0, 1}}), b.Sigma({{0, 0, 1}}));
+}
+
+TEST(MonteCarloEngine, SigmaMatchesClosedFormSingleEdge) {
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, DetSpec());
+  MonteCarloEngine engine(w.problem, {}, 4000);
+  // E[sigma] = 1 (seed) + 0.5.
+  EXPECT_NEAR(engine.Sigma({{0, 0, 1}}), 1.5, 0.05);
+}
+
+TEST(MonteCarloEngine, SimulationCounterAdvances) {
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, DetSpec());
+  MonteCarloEngine engine(w.problem, {}, 10);
+  engine.Sigma({{0, 0, 1}});
+  EXPECT_EQ(engine.num_simulations(), 10);
+  engine.Sigma({{0, 0, 1}});
+  EXPECT_EQ(engine.num_simulations(), 20);
+}
+
+TEST(MonteCarloEngine, EvalMarketSigmaConsistent) {
+  TinyWorld w = MakeWorld(3, {{0, 1, 1.0}, {1, 2, 1.0}}, DetSpec());
+  MonteCarloEngine engine(w.problem, {}, 8);
+  MonteCarloEngine::MarketEval ev = engine.EvalMarket({{0, 0, 1}}, {1, 2});
+  EXPECT_DOUBLE_EQ(ev.sigma, 3.0);
+  EXPECT_DOUBLE_EQ(ev.sigma_market, 2.0);
+  EXPECT_GE(ev.pi, 0.0);
+}
+
+TEST(MonteCarloEngine, MarketSigmaNeverExceedsTotal) {
+  TinyWorld w = MakeWorld(5, {{0, 1, 0.6}, {1, 2, 0.6}, {2, 3, 0.6},
+                              {3, 4, 0.6}},
+                          DetSpec());
+  MonteCarloEngine engine(w.problem, {}, 24);
+  MonteCarloEngine::MarketEval ev = engine.EvalMarket({{0, 0, 1}}, {2, 3});
+  EXPECT_LE(ev.sigma_market, ev.sigma + 1e-12);
+}
+
+TEST(MonteCarloEngine, PiPositiveWhenFrontierHasUnadoptedNeighbors) {
+  // Seed at 0; market user 1 is influenced but may not adopt (p=0.5);
+  // when it doesn't adopt, the 0->1 edge contributes to pi.
+  TinyWorldSpec s = DetSpec();
+  s.base_pref = 0.5;
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, s);
+  MonteCarloEngine engine(w.problem, {}, 64);
+  MonteCarloEngine::MarketEval ev = engine.EvalMarket({{0, 0, 1}}, {1});
+  EXPECT_GT(ev.pi, 0.0);
+}
+
+TEST(MonteCarloEngine, PairedMarginalNonNegativeSinglePromotion) {
+  // Static single-promotion sigma is monotone; paired estimates should
+  // reflect that up to tiny noise.
+  TinyWorld w = MakeWorld(
+      6, {{0, 1, 0.5}, {1, 2, 0.5}, {3, 4, 0.5}, {4, 5, 0.5}, {2, 3, 0.2}},
+      DetSpec());
+  MonteCarloEngine engine(w.problem, {}, 200);
+  double base = engine.Sigma({{0, 0, 1}});
+  double with = engine.Sigma({{0, 0, 1}, {3, 0, 1}});
+  EXPECT_GE(with, base);
+}
+
+TEST(ExpectedState, InitialOfMatchesProblem) {
+  TinyWorldSpec s = DetSpec();
+  s.wmeta0 = 0.4;
+  TinyWorld w = MakeWorld(3, {{0, 1, 0.5}}, s);
+  ExpectedState es = ExpectedState::InitialOf(w.problem);
+  EXPECT_DOUBLE_EQ(es.AdoptionProb(0, 0), 0.0);
+  EXPECT_FLOAT_EQ(es.AvgWmeta(1)[0], 0.4f);
+}
+
+TEST(ExpectedState, SeedAdoptionProbabilityIsOne) {
+  TinyWorld w = MakeWorld(3, {{0, 1, 1.0}, {1, 2, 1.0}}, DetSpec());
+  MonteCarloEngine engine(w.problem, {}, 16);
+  ExpectedState es = engine.Expected({{0, 0, 1}});
+  EXPECT_DOUBLE_EQ(es.AdoptionProb(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(es.AdoptionProb(2, 0), 1.0);
+}
+
+TEST(ExpectedState, HalfEdgeAdoptionProbability) {
+  TinyWorld w = MakeWorld(2, {{0, 1, 0.5}}, DetSpec());
+  MonteCarloEngine engine(w.problem, {}, 2000);
+  ExpectedState es = engine.Expected({{0, 0, 1}});
+  EXPECT_NEAR(es.AdoptionProb(1, 0), 0.5, 0.05);
+}
+
+TEST(ExpectedState, AvgRelUsesAverageWeightings) {
+  std::vector<float> c{0, 0.8f, 0.8f, 0};
+  std::vector<float> s(4, 0.0f);
+  TinyWorldSpec spec = DetSpec(2);
+  spec.wmeta0 = 0.5;
+  TinyWorld w =
+      MakeWorld(2, {{0, 1, 0.5}}, spec, testutil::MakeRelevance(2, c, s));
+  MonteCarloEngine engine(w.problem, {}, 4);
+  pin::Dynamics dyn(*w.relevance, spec.params);
+  ExpectedState es = ExpectedState::InitialOf(w.problem);
+  EXPECT_NEAR(es.AvgRelC(dyn.pin(), {}, 0, 1), 0.4, 1e-6);  // 0.5 * 0.8
+  EXPECT_NEAR(es.AvgRelS(dyn.pin(), {0, 1}, 0, 1), 0.0, 1e-9);
+}
+
+TEST(MonteCarloEngine, InitialStatesRespected) {
+  TinyWorld w = MakeWorld(3, {{0, 1, 1.0}, {1, 2, 1.0}}, DetSpec());
+  MonteCarloEngine engine(w.problem, {}, 4);
+  std::vector<pin::UserState> init;
+  for (int u = 0; u < 3; ++u) init.emplace_back(1, std::vector<float>{1.0f});
+  init[1].Add(0);
+  engine.SetInitialStates(&init);
+  EXPECT_DOUBLE_EQ(engine.Sigma({{0, 0, 1}}), 1.0);
+  engine.SetInitialStates(nullptr);
+  EXPECT_DOUBLE_EQ(engine.Sigma({{0, 0, 1}}), 3.0);
+}
+
+}  // namespace
+}  // namespace imdpp::diffusion

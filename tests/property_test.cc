@@ -1,0 +1,219 @@
+// Property-based tests on diffusion invariants, parameterized over random
+// topologies (TEST_P sweeps). The deterministic-cascade configuration
+// (edge probability 1, frozen dynamics) turns σ into an exact coverage
+// function, so Lemma 1's monotonicity/submodularity are testable *exactly*
+// rather than statistically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "diffusion/monte_carlo.h"
+#include "graph/graph_builder.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace imdpp::diffusion {
+namespace {
+
+using testutil::MakeWorld;
+using testutil::TinyWorld;
+using testutil::TinyWorldSpec;
+
+/// Random directed graph with n users and roughly 2n edges, all weight 1.
+std::vector<std::tuple<int, int, double>> RandomEdges(int n, uint64_t seed,
+                                                      double weight) {
+  Rng rng(seed);
+  std::vector<std::tuple<int, int, double>> edges;
+  for (int i = 0; i < 2 * n; ++i) {
+    int a = static_cast<int>(rng.NextBelow(n));
+    int b = static_cast<int>(rng.NextBelow(n));
+    if (a != b) edges.emplace_back(a, b, weight);
+  }
+  return edges;
+}
+
+class DeterministicCascade : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  TinyWorld MakeDetWorld(int n, int promotions = 1) {
+    TinyWorldSpec s;
+    s.params = pin::PerceptionParams::FrozenDynamics();
+    s.params.act_cap = 1.0;
+    s.num_promotions = promotions;
+    return MakeWorld(n, RandomEdges(n, GetParam(), 1.0), s);
+  }
+};
+
+TEST_P(DeterministicCascade, SigmaIsMonotoneInSeeds) {
+  TinyWorld w = MakeDetWorld(12);
+  MonteCarloEngine engine(w.problem, {}, 1);  // deterministic: 1 sample
+  Rng rng(GetParam() * 31 + 7);
+  SeedGroup sg;
+  double prev = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    sg.push_back({static_cast<graph::UserId>(rng.NextBelow(12)), 0, 1});
+    double cur = engine.Sigma(sg);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST_P(DeterministicCascade, SigmaIsSubmodularSinglePromotion) {
+  TinyWorld w = MakeDetWorld(12);
+  MonteCarloEngine engine(w.problem, {}, 1);
+  Rng rng(GetParam() * 17 + 3);
+  // X ⊂ Y, e ∉ Y: marginal at Y must not exceed marginal at X.
+  for (int trial = 0; trial < 10; ++trial) {
+    graph::UserId u1 = static_cast<graph::UserId>(rng.NextBelow(12));
+    graph::UserId u2 = static_cast<graph::UserId>(rng.NextBelow(12));
+    graph::UserId e = static_cast<graph::UserId>(rng.NextBelow(12));
+    if (e == u1 || e == u2) continue;
+    SeedGroup x{{u1, 0, 1}};
+    SeedGroup y{{u1, 0, 1}, {u2, 0, 1}};
+    double mx = engine.Sigma({{u1, 0, 1}, {e, 0, 1}}) - engine.Sigma(x);
+    double my =
+        engine.Sigma({{u1, 0, 1}, {u2, 0, 1}, {e, 0, 1}}) - engine.Sigma(y);
+    EXPECT_LE(my, mx + 1e-9);
+  }
+}
+
+TEST_P(DeterministicCascade, SeedOrderInvariance) {
+  TinyWorld w = MakeDetWorld(10, 2);
+  MonteCarloEngine engine(w.problem, {}, 4);
+  SeedGroup a{{1, 0, 1}, {4, 0, 1}, {7, 0, 2}};
+  SeedGroup b{{7, 0, 2}, {1, 0, 1}, {4, 0, 1}};
+  EXPECT_DOUBLE_EQ(engine.Sigma(a), engine.Sigma(b));
+}
+
+TEST_P(DeterministicCascade, IcAndLtAgreeWhenSaturated) {
+  // With p = 1 and preferences 1, both models produce the full reachable
+  // set.
+  TinyWorld w = MakeDetWorld(10);
+  CampaignConfig ic, lt;
+  lt.model = DiffusionModel::kLinearThreshold;
+  MonteCarloEngine eic(w.problem, ic, 1);
+  MonteCarloEngine elt(w.problem, lt, 1);
+  SeedGroup sg{{0, 0, 1}, {5, 0, 1}};
+  EXPECT_DOUBLE_EQ(eic.Sigma(sg), elt.Sigma(sg));
+}
+
+TEST_P(DeterministicCascade, SigmaBoundedByUniverse) {
+  TinyWorld w = MakeDetWorld(12, 2);
+  MonteCarloEngine engine(w.problem, {}, 2);
+  SeedGroup sg{{0, 0, 1}, {3, 0, 1}, {6, 0, 2}};
+  EXPECT_LE(engine.Sigma(sg), 12.0 + 1e-9);  // 12 users x 1 item x w=1
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, DeterministicCascade,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Stochastic/dynamic sweeps ----------------------------------------------
+
+class StochasticDynamics : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  TinyWorld MakeDynWorld(int n, int items, int promotions) {
+    TinyWorldSpec s;
+    s.num_items = items;
+    s.num_promotions = promotions;
+    s.params = pin::PerceptionParams();  // full dynamics ON
+    s.base_pref = 0.5;
+    // Random complementary/substitutable structure.
+    Rng rng(GetParam() * 101 + 13);
+    std::vector<float> c(static_cast<size_t>(items) * items, 0.0f);
+    std::vector<float> sm(static_cast<size_t>(items) * items, 0.0f);
+    for (int i = 0; i < items; ++i) {
+      for (int j = 0; j < items; ++j) {
+        if (i == j) continue;
+        if (rng.NextBool(0.3)) {
+          c[static_cast<size_t>(i) * items + j] =
+              static_cast<float>(rng.NextRange(0.1, 0.9));
+        }
+        if (rng.NextBool(0.2)) {
+          sm[static_cast<size_t>(i) * items + j] =
+              static_cast<float>(rng.NextRange(0.1, 0.9));
+        }
+      }
+    }
+    return MakeWorld(n, RandomEdges(n, GetParam(), 0.4), s,
+                     testutil::MakeRelevance(items, c, sm));
+  }
+};
+
+TEST_P(StochasticDynamics, AdoptionCountsBounded) {
+  TinyWorld w = MakeDynWorld(15, 4, 3);
+  CampaignSimulator sim(w.problem, {});
+  SeedGroup sg{{0, 0, 1}, {1, 1, 2}, {2, 2, 3}};
+  for (uint64_t i = 0; i < 16; ++i) {
+    SampleOutcome o = sim.RunSample(sg, i, nullptr, true);
+    EXPECT_LE(o.adoptions, 15 * 4);
+    EXPECT_GE(o.sigma, 0.0);
+    // Adoption sets are consistent with the recorded count.
+    int total = 0;
+    for (const pin::UserState& st : o.states) total += st.NumAdopted();
+    EXPECT_EQ(total, o.adoptions);
+  }
+}
+
+TEST_P(StochasticDynamics, WeightingsStayInUnitInterval) {
+  TinyWorld w = MakeDynWorld(12, 4, 2);
+  CampaignSimulator sim(w.problem, {});
+  SampleOutcome o = sim.RunSample({{0, 0, 1}, {1, 1, 1}}, 3, nullptr, true);
+  for (const pin::UserState& st : o.states) {
+    for (float wm : st.wmeta()) {
+      EXPECT_GE(wm, 0.0f);
+      EXPECT_LE(wm, 1.0f);
+    }
+  }
+}
+
+TEST_P(StochasticDynamics, WeightingsNeverDecrease) {
+  // The saturating update only moves weights toward 1.
+  TinyWorld w = MakeDynWorld(12, 4, 2);
+  CampaignSimulator sim(w.problem, {});
+  SampleOutcome o = sim.RunSample({{0, 0, 1}, {1, 1, 1}}, 5, nullptr, true);
+  for (graph::UserId u = 0; u < 12; ++u) {
+    std::span<const float> w0 = w.problem.Wmeta0(u);
+    for (size_t m = 0; m < w0.size(); ++m) {
+      EXPECT_GE(o.states[u].wmeta()[m] + 1e-6f, w0[m]);
+    }
+  }
+}
+
+TEST_P(StochasticDynamics, EngineEstimatesAreDeterministic) {
+  TinyWorld w = MakeDynWorld(15, 4, 3);
+  MonteCarloEngine a(w.problem, {}, 8);
+  MonteCarloEngine b(w.problem, {}, 8);
+  SeedGroup sg{{0, 0, 1}, {1, 1, 2}};
+  EXPECT_DOUBLE_EQ(a.Sigma(sg), b.Sigma(sg));
+  auto ea = a.EvalMarket(sg, {0, 1, 2, 3});
+  auto eb = b.EvalMarket(sg, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(ea.pi, eb.pi);
+  EXPECT_DOUBLE_EQ(ea.sigma_market, eb.sigma_market);
+}
+
+TEST_P(StochasticDynamics, ExpectedProbabilitiesInRange) {
+  TinyWorld w = MakeDynWorld(12, 4, 2);
+  MonteCarloEngine engine(w.problem, {}, 8);
+  ExpectedState es = engine.Expected({{0, 0, 1}, {1, 1, 1}});
+  for (graph::UserId u = 0; u < 12; ++u) {
+    for (kg::ItemId x = 0; x < 4; ++x) {
+      EXPECT_GE(es.AdoptionProb(u, x), 0.0);
+      EXPECT_LE(es.AdoptionProb(u, x), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_P(StochasticDynamics, MoreBudgetedSeedsNeverHurtOnAverage) {
+  // Statistical (paired) monotonicity under full dynamics in a single
+  // promotion: adding an isolated extra seed cannot lower σ̂ materially.
+  TinyWorld w = MakeDynWorld(15, 4, 1);
+  MonteCarloEngine engine(w.problem, {}, 64);
+  double base = engine.Sigma({{0, 0, 1}});
+  double with = engine.Sigma({{0, 0, 1}, {9, 2, 1}});
+  EXPECT_GE(with, base - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StochasticDynamics,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace imdpp::diffusion
