@@ -3,33 +3,26 @@
 // plot reports (algorithm x sweep-point -> σ and/or seconds) as an ASCII
 // table, plus a "shape" note saying what qualitative relation to expect.
 //
+// All algorithms run through the unified api:: planner layer: a harness
+// names a registered planner ("dysim", "bgrd", "hag", "ps", "drhga",
+// "opt", ...) on an api::CampaignSession and gets back one
+// api::PlanResult — no per-algorithm plumbing here.
+//
 // Scaling note: our datasets are laptop-scale synthetics (DESIGN.md), so
 // absolute σ values are NOT comparable to the paper; orderings and trends
 // are.
 #ifndef IMDPP_BENCH_BENCH_COMMON_H_
 #define IMDPP_BENCH_BENCH_COMMON_H_
 
+#include <cctype>
 #include <cstdio>
 #include <string>
 
-#include "baselines/bgrd.h"
-#include "baselines/drhga.h"
-#include "baselines/hag.h"
-#include "baselines/opt.h"
-#include "baselines/ps.h"
-#include "core/adaptive_dysim.h"
-#include "core/dysim.h"
+#include "api/session.h"
 #include "data/catalog.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 namespace imdpp::bench {
-
-struct AlgoOutcome {
-  double sigma = 0.0;
-  double seconds = 0.0;
-  size_t num_seeds = 0;
-};
 
 /// Search/eval effort shared by all algorithms so comparisons are fair.
 struct Effort {
@@ -39,8 +32,8 @@ struct Effort {
   int max_items = 8;
 };
 
-inline core::DysimConfig MakeDysimConfig(const Effort& e) {
-  core::DysimConfig cfg;
+inline api::PlannerConfig MakeConfig(const Effort& e) {
+  api::PlannerConfig cfg;
   cfg.selection_samples = e.selection_samples;
   cfg.eval_samples = e.eval_samples;
   cfg.candidates.max_users = e.max_users;
@@ -48,42 +41,14 @@ inline core::DysimConfig MakeDysimConfig(const Effort& e) {
   return cfg;
 }
 
-inline baselines::BaselineConfig MakeBaselineConfig(const Effort& e) {
-  baselines::BaselineConfig cfg;
-  cfg.selection_samples = e.selection_samples;
-  cfg.eval_samples = e.eval_samples;
-  cfg.candidates.max_users = e.max_users;
-  cfg.candidates.max_items = e.max_items;
-  return cfg;
-}
-
-inline AlgoOutcome RunDysimTimed(const diffusion::Problem& p,
-                                 const core::DysimConfig& cfg) {
-  Timer t;
-  core::DysimResult r = core::RunDysim(p, cfg);
-  return {r.sigma, t.Seconds(), r.seeds.size()};
-}
-
-inline AlgoOutcome RunBaselineTimed(
-    const std::string& name, const diffusion::Problem& p, const Effort& e) {
-  baselines::BaselineConfig cfg = MakeBaselineConfig(e);
-  Timer t;
-  baselines::BaselineResult r;
-  if (name == "BGRD") {
-    r = baselines::RunBgrd(p, cfg);
-  } else if (name == "HAG") {
-    r = baselines::RunHag(p, cfg);
-  } else if (name == "PS") {
-    baselines::PsConfig pcfg;
-    static_cast<baselines::BaselineConfig&>(pcfg) = cfg;
-    r = baselines::RunPs(p, pcfg);
-  } else if (name == "DRHGA") {
-    r = baselines::RunDrhga(p, cfg);
-  } else {
-    std::fprintf(stderr, "unknown baseline %s\n", name.c_str());
-    std::abort();
-  }
-  return {r.sigma, t.Seconds(), r.seeds.size()};
+/// Paper-style display label for a registry name ("dysim" -> "Dysim").
+inline std::string Label(const std::string& registry_name) {
+  if (registry_name == "dysim") return "Dysim";
+  if (registry_name == "adaptive") return "Adaptive";
+  if (registry_name == "cr_greedy") return "CR-Greedy";
+  std::string label = registry_name;
+  for (char& c : label) c = static_cast<char>(std::toupper(c));
+  return label;
 }
 
 inline void PrintShapeNote(const char* figure, const char* expectation) {

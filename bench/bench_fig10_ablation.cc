@@ -8,29 +8,26 @@
 namespace imdpp::bench {
 namespace {
 
-AlgoOutcome RunVariant(const diffusion::Problem& p, const Effort& e,
-                       bool target_markets, bool item_priority) {
-  core::DysimConfig cfg = MakeDysimConfig(e);
-  cfg.use_target_markets = target_markets;
-  cfg.use_item_priority = item_priority;
-  cfg.use_theorem5_guard = false;  // compare raw schedules
-  return RunDysimTimed(p, cfg);
+double RunVariant(api::CampaignSession& session, bool target_markets,
+                  bool item_priority) {
+  api::PlannerConfig cfg = session.config();
+  cfg.dysim.use_target_markets = target_markets;
+  cfg.dysim.use_item_priority = item_priority;
+  cfg.dysim.use_theorem5_guard = false;  // compare raw schedules
+  return session.Run("dysim", cfg).sigma;
 }
 
-void BudgetSweep(const data::Dataset& ds) {
-  Effort effort;
-  effort.selection_samples = 6;
-  std::printf("--- %s: ablation, sigma vs b (T = 8) ---\n", ds.name.c_str());
+void BudgetSweep(api::CampaignSession& session) {
+  std::printf("--- %s: ablation, sigma vs b (T = 8) ---\n",
+              session.dataset().name.c_str());
   TextTable t;
   t.SetHeader({"variant", "b=150", "b=300", "b=450"});
   std::vector<std::string> full{"Dysim"}, no_tm{"w/o TM"}, no_ip{"w/o IP"};
   for (double b : {150.0, 300.0, 450.0}) {
-    diffusion::Problem p = ds.MakeProblem(b, 8);
-    full.push_back(TextTable::Num(RunVariant(p, effort, true, true).sigma, 1));
-    no_tm.push_back(
-        TextTable::Num(RunVariant(p, effort, false, true).sigma, 1));
-    no_ip.push_back(
-        TextTable::Num(RunVariant(p, effort, true, false).sigma, 1));
+    session.SetProblem(b, 8);
+    full.push_back(TextTable::Num(RunVariant(session, true, true), 1));
+    no_tm.push_back(TextTable::Num(RunVariant(session, false, true), 1));
+    no_ip.push_back(TextTable::Num(RunVariant(session, true, false), 1));
   }
   t.AddRow(full);
   t.AddRow(no_tm);
@@ -38,21 +35,17 @@ void BudgetSweep(const data::Dataset& ds) {
   std::printf("%s\n", t.Render().c_str());
 }
 
-void PromotionSweep(const data::Dataset& ds) {
-  Effort effort;
-  effort.selection_samples = 6;
+void PromotionSweep(api::CampaignSession& session) {
   std::printf("--- %s: ablation, sigma vs T (b = 300) ---\n",
-              ds.name.c_str());
+              session.dataset().name.c_str());
   TextTable t;
   t.SetHeader({"variant", "T=2", "T=8", "T=16"});
   std::vector<std::string> full{"Dysim"}, no_tm{"w/o TM"}, no_ip{"w/o IP"};
   for (int T : {2, 8, 16}) {
-    diffusion::Problem p = ds.MakeProblem(300.0, T);
-    full.push_back(TextTable::Num(RunVariant(p, effort, true, true).sigma, 1));
-    no_tm.push_back(
-        TextTable::Num(RunVariant(p, effort, false, true).sigma, 1));
-    no_ip.push_back(
-        TextTable::Num(RunVariant(p, effort, true, false).sigma, 1));
+    session.SetProblem(300.0, T);
+    full.push_back(TextTable::Num(RunVariant(session, true, true), 1));
+    no_tm.push_back(TextTable::Num(RunVariant(session, false, true), 1));
+    no_ip.push_back(TextTable::Num(RunVariant(session, true, false), 1));
   }
   t.AddRow(full);
   t.AddRow(no_tm);
@@ -67,8 +60,10 @@ int main() {
   using namespace imdpp;
   using namespace imdpp::bench;
   std::printf("=== Fig. 10: ablation study (w/o TM, w/o IP) ===\n");
-  data::Dataset yelp = data::MakeYelpLike(0.5);
-  data::Dataset amazon = data::MakeAmazonLike(0.5);
+  Effort effort;
+  effort.selection_samples = 6;
+  api::CampaignSession yelp(data::MakeYelpLike(0.5), MakeConfig(effort));
+  api::CampaignSession amazon(data::MakeAmazonLike(0.5), MakeConfig(effort));
   BudgetSweep(yelp);
   PromotionSweep(yelp);
   BudgetSweep(amazon);

@@ -15,42 +15,40 @@ const core::MarketOrderMetric kMetrics[] = {
     core::MarketOrderMetric::kRandom,
 };
 
-void BudgetSweep(const data::Dataset& ds) {
-  Effort effort;
-  effort.selection_samples = 6;
+double RunWithOrder(api::CampaignSession& session,
+                    core::MarketOrderMetric metric) {
+  api::PlannerConfig cfg = session.config();
+  cfg.dysim.order = metric;
+  cfg.dysim.use_theorem5_guard = false;  // compare raw market orders
+  return session.Run("dysim", cfg).sigma;
+}
+
+void BudgetSweep(api::CampaignSession& session) {
   std::printf("--- %s: market orders, sigma vs b (T = 8) ---\n",
-              ds.name.c_str());
+              session.dataset().name.c_str());
   TextTable t;
   t.SetHeader({"order", "b=200", "b=400"});
   for (core::MarketOrderMetric m : kMetrics) {
     std::vector<std::string> row{core::MarketOrderName(m)};
     for (double b : {200.0, 400.0}) {
-      diffusion::Problem p = ds.MakeProblem(b, 8);
-      core::DysimConfig cfg = MakeDysimConfig(effort);
-      cfg.order = m;
-      cfg.use_theorem5_guard = false;  // compare raw market orders
-      row.push_back(TextTable::Num(RunDysimTimed(p, cfg).sigma, 1));
+      session.SetProblem(b, 8);
+      row.push_back(TextTable::Num(RunWithOrder(session, m), 1));
     }
     t.AddRow(row);
   }
   std::printf("%s\n", t.Render().c_str());
 }
 
-void PromotionSweep(const data::Dataset& ds) {
-  Effort effort;
-  effort.selection_samples = 6;
+void PromotionSweep(api::CampaignSession& session) {
   std::printf("--- %s: market orders, sigma vs T (b = 300) ---\n",
-              ds.name.c_str());
+              session.dataset().name.c_str());
   TextTable t;
   t.SetHeader({"order", "T=4", "T=12"});
   for (core::MarketOrderMetric m : kMetrics) {
     std::vector<std::string> row{core::MarketOrderName(m)};
     for (int T : {4, 12}) {
-      diffusion::Problem p = ds.MakeProblem(300.0, T);
-      core::DysimConfig cfg = MakeDysimConfig(effort);
-      cfg.order = m;
-      cfg.use_theorem5_guard = false;  // compare raw market orders
-      row.push_back(TextTable::Num(RunDysimTimed(p, cfg).sigma, 1));
+      session.SetProblem(300.0, T);
+      row.push_back(TextTable::Num(RunWithOrder(session, m), 1));
     }
     t.AddRow(row);
   }
@@ -64,8 +62,10 @@ int main() {
   using namespace imdpp;
   using namespace imdpp::bench;
   std::printf("=== Fig. 11: market-order comparison (AE/PF/SZ/RMS/RD) ===\n");
-  data::Dataset yelp = data::MakeYelpLike(0.5);
-  data::Dataset amazon = data::MakeAmazonLike(0.5);
+  Effort effort;
+  effort.selection_samples = 6;
+  api::CampaignSession yelp(data::MakeYelpLike(0.5), MakeConfig(effort));
+  api::CampaignSession amazon(data::MakeAmazonLike(0.5), MakeConfig(effort));
   BudgetSweep(yelp);
   PromotionSweep(yelp);
   BudgetSweep(amazon);

@@ -3,6 +3,7 @@
 // T = 3. The paper recruited real students; we simulate the same campaign
 // shapes (see DESIGN.md). Course importance is flattened to 1 so σ is
 // literally the expected number of course selections.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -17,20 +18,22 @@ int main() {
   effort.max_items = 10;
   effort.eval_samples = 48;
 
+  const std::vector<std::string> algos{"dysim", "bgrd", "hag", "ps"};
   TextTable t;
-  t.SetHeader({"class", "Dysim", "BGRD", "HAG", "PS"});
+  std::vector<std::string> header{"class"};
+  for (const std::string& a : algos) header.push_back(Label(a));
+  t.SetHeader(header);
   const char* names[5] = {"A", "B", "C", "D", "E"};
   for (int c = 0; c < 5; ++c) {
-    data::Dataset ds = data::MakeClassroom(c);
-    diffusion::Problem p = ds.MakeProblem(50.0, 3);
+    api::CampaignSession session(data::MakeClassroom(c), MakeConfig(effort));
+    session.SetProblem(50.0, 3);
     // Equal-importance courses: sigma == expected #selections.
+    diffusion::Problem& p = session.mutable_problem();
     std::fill(p.importance.begin(), p.importance.end(), 1.0);
     std::vector<std::string> row{names[c]};
-    row.push_back(
-        TextTable::Num(RunDysimTimed(p, MakeDysimConfig(effort)).sigma, 1));
-    row.push_back(TextTable::Num(RunBaselineTimed("BGRD", p, effort).sigma, 1));
-    row.push_back(TextTable::Num(RunBaselineTimed("HAG", p, effort).sigma, 1));
-    row.push_back(TextTable::Num(RunBaselineTimed("PS", p, effort).sigma, 1));
+    for (api::PlanResult& r : session.Compare(algos)) {
+      row.push_back(TextTable::Num(r.sigma, 1));
+    }
     t.AddRow(row);
   }
   std::printf("%s", t.Render().c_str());

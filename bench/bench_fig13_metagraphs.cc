@@ -9,18 +9,16 @@
 namespace imdpp::bench {
 namespace {
 
-void RunDataset(const data::Dataset& ds, TextTable& t) {
+void RunDataset(data::Dataset ds, TextTable& t) {
   Effort effort;
   effort.selection_samples = 6;
-  std::vector<std::string> row{ds.name};
+  api::CampaignSession session(std::move(ds), MakeConfig(effort));
+  std::vector<std::string> row{session.dataset().name};
   for (int k = 1; k <= 3; ++k) {
     std::vector<int> subset;
     for (int m = 0; m < 2 * k; ++m) subset.push_back(m);
-    kg::RelevanceModel sub = ds.relevance->WithMetaSubset(subset);
-    diffusion::Problem p =
-        ds.MakeProblemWithRelevance(sub, 100.0, 3, {}, &subset);
-    row.push_back(
-        TextTable::Num(RunDysimTimed(p, MakeDysimConfig(effort)).sigma, 1));
+    session.SetProblemWithMetaSubset(subset, 100.0, 3);
+    row.push_back(TextTable::Num(session.Run("dysim").sigma, 1));
   }
   t.AddRow(row);
 }
@@ -35,14 +33,10 @@ int main() {
       "=== Fig. 13: sigma vs #meta-graphs per kind (b=100, T=3) ===\n");
   TextTable t;
   t.SetHeader({"dataset", "m=1", "m=2", "m=3"});
-  data::Dataset yelp = data::MakeYelpLike(0.4);
-  data::Dataset gowalla = data::MakeGowallaLike(0.4);
-  data::Dataset amazon = data::MakeAmazonLike(0.4);
-  data::Dataset douban = data::MakeDoubanLike(0.3);
-  RunDataset(yelp, t);
-  RunDataset(gowalla, t);
-  RunDataset(amazon, t);
-  RunDataset(douban, t);
+  RunDataset(data::MakeYelpLike(0.4), t);
+  RunDataset(data::MakeGowallaLike(0.4), t);
+  RunDataset(data::MakeAmazonLike(0.4), t);
+  RunDataset(data::MakeDoubanLike(0.3), t);
   std::printf("%s", t.Render().c_str());
   PrintShapeNote("Fig.13",
                  "sigma grows with the number of meta-graphs: richer "

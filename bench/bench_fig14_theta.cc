@@ -9,16 +9,16 @@
 namespace imdpp::bench {
 namespace {
 
-void RunDataset(const data::Dataset& ds, TextTable& t,
+void RunDataset(data::Dataset ds, TextTable& t,
                 const std::vector<int>& thetas) {
   Effort effort;
   effort.selection_samples = 6;
-  std::vector<std::string> row{ds.name};
+  api::CampaignSession session(std::move(ds), MakeConfig(effort));
+  std::vector<std::string> row{session.dataset().name};
   for (int theta : thetas) {
-    diffusion::Problem p = ds.MakeProblem(400.0, 8);
-    core::DysimConfig cfg = MakeDysimConfig(effort);
-    cfg.market.overlap_theta = theta;
-    row.push_back(TextTable::Num(RunDysimTimed(p, cfg).sigma, 1));
+    session.SetProblem(400.0, 8);
+    session.mutable_config().market.overlap_theta = theta;
+    row.push_back(TextTable::Num(session.Run("dysim").sigma, 1));
   }
   t.AddRow(row);
 }
@@ -35,14 +35,10 @@ int main() {
   std::vector<std::string> header{"dataset"};
   for (int th : thetas) header.push_back("theta=" + TextTable::Int(th));
   t.SetHeader(header);
-  data::Dataset yelp = data::MakeYelpLike(0.4);
-  data::Dataset gowalla = data::MakeGowallaLike(0.4);
-  data::Dataset amazon = data::MakeAmazonLike(0.4);
-  data::Dataset douban = data::MakeDoubanLike(0.3);
-  RunDataset(yelp, t, thetas);
-  RunDataset(gowalla, t, thetas);
-  RunDataset(amazon, t, thetas);
-  RunDataset(douban, t, thetas);
+  RunDataset(data::MakeYelpLike(0.4), t, thetas);
+  RunDataset(data::MakeGowallaLike(0.4), t, thetas);
+  RunDataset(data::MakeAmazonLike(0.4), t, thetas);
+  RunDataset(data::MakeDoubanLike(0.3), t, thetas);
   std::printf("%s", t.Render().c_str());
   PrintShapeNote("Fig.14",
                  "interior sweet spot: very small theta over-fragments "

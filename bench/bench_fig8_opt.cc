@@ -12,46 +12,45 @@ namespace {
 
 /// OPT over the strongest singletons PLUS the heuristic's own nominees
 /// (so the pruned enumeration provably upper-bounds it).
-AlgoOutcome RunOptTimed(const diffusion::Problem& p, const Effort& e,
-                        const diffusion::SeedGroup& heuristic_seeds) {
-  baselines::OptConfig cfg;
-  static_cast<baselines::BaselineConfig&>(cfg) = MakeBaselineConfig(e);
+api::PlanResult RunOpt(api::CampaignSession& session, const Effort& e,
+                       const diffusion::SeedGroup& heuristic_seeds) {
+  api::PlannerConfig cfg = MakeConfig(e);
   cfg.selection_samples = 6;  // OPT evaluates tens of thousands of subsets
-  cfg.max_candidates = 10;
+  cfg.opt.max_candidates = 10;
   for (const diffusion::Seed& s : heuristic_seeds) {
-    cfg.extra_candidates.push_back(s.AsNominee());
+    cfg.opt.extra_candidates.push_back(s.AsNominee());
   }
   // Seed cap = what the budget can possibly buy (min cost is 22 on the
   // 100-user sample), keeping the enumeration exact w.r.t. spend.
-  cfg.max_seeds = std::clamp(static_cast<int>(p.budget / 22.0), 1, 5);
-  Timer t;
-  baselines::BaselineResult r = baselines::RunOpt(p, cfg);
-  return {r.sigma, t.Seconds(), r.seeds.size()};
+  cfg.opt.max_seeds =
+      std::clamp(static_cast<int>(session.problem().budget / 22.0), 1, 5);
+  return session.Run("opt", cfg);
 }
 
 void RunSweep() {
-  data::Dataset ds = data::MakeSmallAmazonSample();
   Effort effort;
   effort.max_users = 14;
   effort.max_items = 5;
-  const char* algos[] = {"OPT", "Dysim", "BGRD", "HAG", "PS", "DRHGA"};
+  api::CampaignSession session(data::MakeSmallAmazonSample(),
+                               MakeConfig(effort));
+  const std::vector<std::string> algos{"opt",  "dysim", "bgrd",
+                                       "hag", "ps",    "drhga"};
 
   std::printf("=== Fig. 8(a): sigma vs budget (T = 2, 100 users) ===\n");
   TextTable ta;
   ta.SetHeader({"algorithm", "b=50", "b=75", "b=100", "b=125"});
-  std::vector<std::vector<double>> cols(6);
+  std::vector<std::vector<double>> cols(algos.size());
   for (double b : {50.0, 75.0, 100.0, 125.0}) {
-    diffusion::Problem p = ds.MakeProblem(b, 2);
-    core::DysimResult dysim = core::RunDysim(p, MakeDysimConfig(effort));
-    cols[0].push_back(RunOptTimed(p, effort, dysim.seeds).sigma);
+    session.SetProblem(b, 2);
+    api::PlanResult dysim = session.Run("dysim");
+    cols[0].push_back(RunOpt(session, effort, dysim.seeds).sigma);
     cols[1].push_back(dysim.sigma);
-    cols[2].push_back(RunBaselineTimed("BGRD", p, effort).sigma);
-    cols[3].push_back(RunBaselineTimed("HAG", p, effort).sigma);
-    cols[4].push_back(RunBaselineTimed("PS", p, effort).sigma);
-    cols[5].push_back(RunBaselineTimed("DRHGA", p, effort).sigma);
+    for (size_t a = 2; a < algos.size(); ++a) {
+      cols[a].push_back(session.Run(algos[a]).sigma);
+    }
   }
-  for (int a = 0; a < 6; ++a) {
-    std::vector<std::string> row{algos[a]};
+  for (size_t a = 0; a < algos.size(); ++a) {
+    std::vector<std::string> row{Label(algos[a])};
     for (double v : cols[a]) row.push_back(TextTable::Num(v, 2));
     ta.AddRow(row);
   }
@@ -63,19 +62,18 @@ void RunSweep() {
   std::printf("\n=== Fig. 8(b): sigma vs T (b = 100, 100 users) ===\n");
   TextTable tb;
   tb.SetHeader({"algorithm", "T=1", "T=2", "T=3"});
-  std::vector<std::vector<double>> colsb(6);
+  std::vector<std::vector<double>> colsb(algos.size());
   for (int T : {1, 2, 3}) {
-    diffusion::Problem p = ds.MakeProblem(100.0, T);
-    core::DysimResult dysim = core::RunDysim(p, MakeDysimConfig(effort));
-    colsb[0].push_back(RunOptTimed(p, effort, dysim.seeds).sigma);
+    session.SetProblem(100.0, T);
+    api::PlanResult dysim = session.Run("dysim");
+    colsb[0].push_back(RunOpt(session, effort, dysim.seeds).sigma);
     colsb[1].push_back(dysim.sigma);
-    colsb[2].push_back(RunBaselineTimed("BGRD", p, effort).sigma);
-    colsb[3].push_back(RunBaselineTimed("HAG", p, effort).sigma);
-    colsb[4].push_back(RunBaselineTimed("PS", p, effort).sigma);
-    colsb[5].push_back(RunBaselineTimed("DRHGA", p, effort).sigma);
+    for (size_t a = 2; a < algos.size(); ++a) {
+      colsb[a].push_back(session.Run(algos[a]).sigma);
+    }
   }
-  for (int a = 0; a < 6; ++a) {
-    std::vector<std::string> row{algos[a]};
+  for (size_t a = 0; a < algos.size(); ++a) {
+    std::vector<std::string> row{Label(algos[a])};
     for (double v : colsb[a]) row.push_back(TextTable::Num(v, 2));
     tb.AddRow(row);
   }

@@ -11,34 +11,33 @@ namespace {
 
 const std::vector<double> kBudgets{100, 200, 300, 400, 500};
 
-void RunDataset(const data::Dataset& ds, bool include_hag,
-                TextTable* time_table) {
+void RunDataset(data::Dataset ds, bool include_hag, TextTable* time_table) {
   Effort effort;
-  std::printf("--- %s: sigma vs b (T = 10) ---\n", ds.name.c_str());
+  api::CampaignSession session(std::move(ds), MakeConfig(effort));
+  std::printf("--- %s: sigma vs b (T = 10) ---\n",
+              session.dataset().name.c_str());
   TextTable t;
   std::vector<std::string> header{"algorithm"};
   for (double b : kBudgets) header.push_back("b=" + TextTable::Int(b));
   t.SetHeader(header);
 
-  std::vector<std::string> algos{"Dysim", "BGRD"};
-  if (include_hag) algos.push_back("HAG");
-  algos.push_back("PS");
-  algos.push_back("DRHGA");
+  std::vector<std::string> algos{"dysim", "bgrd"};
+  if (include_hag) algos.push_back("hag");
+  algos.push_back("ps");
+  algos.push_back("drhga");
 
   std::vector<std::vector<std::string>> rows(algos.size());
   std::vector<std::vector<std::string>> time_rows(algos.size());
   for (size_t a = 0; a < algos.size(); ++a) {
-    rows[a].push_back(algos[a]);
-    time_rows[a].push_back(algos[a]);
+    rows[a].push_back(Label(algos[a]));
+    time_rows[a].push_back(Label(algos[a]));
   }
   for (double b : kBudgets) {
-    diffusion::Problem p = ds.MakeProblem(b, 10);
+    session.SetProblem(b, 10);
     for (size_t a = 0; a < algos.size(); ++a) {
-      AlgoOutcome o = algos[a] == "Dysim"
-                          ? RunDysimTimed(p, MakeDysimConfig(effort))
-                          : RunBaselineTimed(algos[a], p, effort);
-      rows[a].push_back(TextTable::Num(o.sigma, 1));
-      time_rows[a].push_back(TextTable::Num(o.seconds, 2));
+      api::PlanResult r = session.Run(algos[a]);
+      rows[a].push_back(TextTable::Num(r.sigma, 1));
+      time_rows[a].push_back(TextTable::Num(r.wall_seconds, 2));
     }
   }
   for (auto& r : rows) t.AddRow(r);
@@ -58,14 +57,10 @@ int main() {
   using namespace imdpp::bench;
 
   std::printf("=== Fig. 9(a)-(c): influence vs budget ===\n");
-  data::Dataset yelp = data::MakeYelpLike(0.5);
-  data::Dataset amazon = data::MakeAmazonLike(0.5);
-  data::Dataset douban = data::MakeDoubanLike(0.35);
-
-  RunDataset(yelp, /*include_hag=*/true, nullptr);
+  RunDataset(data::MakeYelpLike(0.5), /*include_hag=*/true, nullptr);
   TextTable amazon_times;
-  RunDataset(amazon, /*include_hag=*/true, &amazon_times);
-  RunDataset(douban, /*include_hag=*/false, nullptr);
+  RunDataset(data::MakeAmazonLike(0.5), /*include_hag=*/true, &amazon_times);
+  RunDataset(data::MakeDoubanLike(0.35), /*include_hag=*/false, nullptr);
 
   std::printf("=== Fig. 9(d): execution time (seconds) vs b, Amazon ===\n");
   std::printf("%s", amazon_times.Render().c_str());

@@ -9,33 +9,33 @@ namespace {
 
 const std::vector<int> kPromotions{1, 5, 10, 20};
 
-void RunDataset(const data::Dataset& ds, TextTable* time_table) {
+void RunDataset(data::Dataset ds, TextTable* time_table) {
   Effort effort;
   effort.selection_samples = 6;
   effort.max_users = 16;
   effort.max_items = 6;
-  std::printf("--- %s: sigma vs T (b = 500) ---\n", ds.name.c_str());
+  api::CampaignSession session(std::move(ds), MakeConfig(effort));
+  std::printf("--- %s: sigma vs T (b = 500) ---\n",
+              session.dataset().name.c_str());
   TextTable t;
   std::vector<std::string> header{"algorithm"};
   for (int T : kPromotions) header.push_back("T=" + TextTable::Int(T));
   t.SetHeader(header);
 
-  const std::vector<std::string> algos{"Dysim", "BGRD", "HAG", "PS",
-                                       "DRHGA"};
+  const std::vector<std::string> algos{"dysim", "bgrd", "hag", "ps",
+                                       "drhga"};
   std::vector<std::vector<std::string>> rows(algos.size());
   std::vector<std::vector<std::string>> time_rows(algos.size());
   for (size_t a = 0; a < algos.size(); ++a) {
-    rows[a].push_back(algos[a]);
-    time_rows[a].push_back(algos[a]);
+    rows[a].push_back(Label(algos[a]));
+    time_rows[a].push_back(Label(algos[a]));
   }
   for (int T : kPromotions) {
-    diffusion::Problem p = ds.MakeProblem(500.0, T);
+    session.SetProblem(500.0, T);
     for (size_t a = 0; a < algos.size(); ++a) {
-      AlgoOutcome o = algos[a] == "Dysim"
-                          ? RunDysimTimed(p, MakeDysimConfig(effort))
-                          : RunBaselineTimed(algos[a], p, effort);
-      rows[a].push_back(TextTable::Num(o.sigma, 1));
-      time_rows[a].push_back(TextTable::Num(o.seconds, 2));
+      api::PlanResult r = session.Run(algos[a]);
+      rows[a].push_back(TextTable::Num(r.sigma, 1));
+      time_rows[a].push_back(TextTable::Num(r.wall_seconds, 2));
     }
   }
   for (auto& r : rows) t.AddRow(r);
@@ -54,11 +54,9 @@ int main() {
   using namespace imdpp::bench;
 
   std::printf("=== Fig. 9(e)-(f): influence vs number of promotions ===\n");
-  data::Dataset yelp = data::MakeYelpLike(0.5);
-  data::Dataset amazon = data::MakeAmazonLike(0.5);
-  RunDataset(yelp, nullptr);
+  RunDataset(data::MakeYelpLike(0.5), nullptr);
   TextTable amazon_times;
-  RunDataset(amazon, &amazon_times);
+  RunDataset(data::MakeAmazonLike(0.5), &amazon_times);
 
   std::printf("=== Fig. 9(g): execution time (seconds) vs T, Amazon ===\n");
   std::printf("%s", amazon_times.Render().c_str());

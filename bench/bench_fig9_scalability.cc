@@ -21,12 +21,14 @@ int main() {
   datasets.push_back(data::MakeGowallaLike(0.5));
   datasets.push_back(data::MakeDoubanLike(0.5));
 
-  for (const data::Dataset& ds : datasets) {
-    diffusion::Problem p = ds.MakeProblem(500.0, 10);
-    AlgoOutcome o = RunDysimTimed(p, MakeDysimConfig(effort));
-    t.AddRow({ds.name, TextTable::Int(ds.NumUsers()),
-              TextTable::Int(ds.NumItems()), TextTable::Num(o.sigma, 1),
-              TextTable::Num(o.seconds, 2)});
+  for (data::Dataset& ds : datasets) {
+    api::CampaignSession session(std::move(ds), MakeConfig(effort));
+    session.SetProblem(500.0, 10);
+    api::PlanResult r = session.Run("dysim");
+    t.AddRow({session.dataset().name,
+              TextTable::Int(session.dataset().NumUsers()),
+              TextTable::Int(session.dataset().NumItems()),
+              TextTable::Num(r.sigma, 1), TextTable::Num(r.wall_seconds, 2)});
   }
   std::printf("%s", t.Render().c_str());
   PrintShapeNote("Fig.9(h)",

@@ -1,10 +1,11 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
 // primitives: one campaign realization, σ̂ estimation, meta-graph
-// all-pairs matching, MIOA region queries, and market evaluation with π.
+// all-pairs matching, MIOA region queries, market evaluation with π, and
+// end-to-end planning through the unified api:: registry.
 #include <benchmark/benchmark.h>
 
+#include "api/registry.h"
 #include "cluster/mioa.h"
-#include "core/nominee_selection.h"
 #include "data/catalog.h"
 #include "diffusion/monte_carlo.h"
 #include "kg/meta_graph_matcher.h"
@@ -86,6 +87,34 @@ void BM_CandidateUniverse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CandidateUniverse);
+
+void BM_RegistryCreate(benchmark::State& state) {
+  api::PlannerConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(api::PlannerRegistry::Create("dysim", cfg));
+  }
+}
+BENCHMARK(BM_RegistryCreate);
+
+/// End-to-end planning cost through the unified api layer (small sample
+/// dataset, low effort, so one iteration stays sub-second).
+void BM_PlannerPlan(benchmark::State& state) {
+  static const data::Dataset* ds =
+      new data::Dataset(data::MakeSmallAmazonSample());
+  diffusion::Problem p = ds->MakeProblem(100.0, 2);
+  api::PlannerConfig cfg;
+  cfg.selection_samples = 4;
+  cfg.eval_samples = 8;
+  cfg.candidates.max_users = 10;
+  cfg.candidates.max_items = 4;
+  const char* names[] = {"dysim", "bgrd", "ps"};
+  auto planner =
+      api::PlannerRegistry::CreateOrDie(names[state.range(0)], cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner->Plan(p).sigma);
+  }
+}
+BENCHMARK(BM_PlannerPlan)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 }  // namespace imdpp

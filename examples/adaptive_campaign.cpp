@@ -6,27 +6,28 @@
 //   $ ./adaptive_campaign
 #include <cstdio>
 
-#include "core/adaptive_dysim.h"
+#include "api/session.h"
 #include "data/catalog.h"
 
 int main() {
   using namespace imdpp;
 
-  data::Dataset ds = data::MakeYelpLike(0.4);
-  diffusion::Problem problem = ds.MakeProblem(200.0, 5);
+  api::PlannerConfig cfg;
+  cfg.candidates.max_users = 16;
+  cfg.candidates.max_items = 6;
+  cfg.selection_samples = 8;
+  api::CampaignSession session(data::MakeYelpLike(0.4), 200.0, 5, cfg);
 
-  core::AdaptiveConfig cfg;
-  cfg.base.candidates.max_users = 16;
-  cfg.base.candidates.max_items = 6;
-  cfg.base.selection_samples = 8;
+  api::PlanResult result = session.Run("adaptive");
 
-  core::AdaptiveResult result = core::RunAdaptiveDysim(problem, cfg);
-
+  const data::Dataset& ds = session.dataset();
   std::printf("adaptive campaign on %d users, %d items, T = 5, b = 200\n\n",
               ds.NumUsers(), ds.NumItems());
-  for (const core::AdaptiveRound& round : result.rounds) {
+  double realized = 0.0;
+  for (const api::PlanRound& round : result.rounds) {
     std::printf("round %d: spent %.1f, realized adoptions (weighted) %.1f\n",
                 round.promotion, round.spent, round.realized_sigma);
+    realized += round.realized_sigma;
     for (const diffusion::Seed& s : round.seeds) {
       std::printf("    user %-4d promotes %s\n", s.user,
                   ds.kg->ItemLabel(s.item).c_str());
@@ -37,8 +38,8 @@ int main() {
   }
   std::printf(
       "\ntotal: %.1f spent of %.1f, realized importance-weighted adoption "
-      "%.1f across %zu seeds\n",
-      result.total_spent, problem.budget, result.realized_sigma,
-      result.seeds.size());
+      "%.1f across %zu seeds (sigma re-estimate %.1f)\n",
+      result.total_cost, session.problem().budget, realized,
+      result.seeds.size(), result.sigma);
   return 0;
 }

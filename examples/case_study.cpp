@@ -11,15 +11,16 @@
 //   $ ./case_study
 #include <cstdio>
 
+#include "api/session.h"
 #include "data/catalog.h"
-#include "diffusion/campaign_simulator.h"
-#include "diffusion/monte_carlo.h"
 
 int main() {
   using namespace imdpp;
-  data::Dataset ds = data::MakeAmazonLike(0.3);
+  api::PlannerConfig cfg;
+  cfg.eval_samples = 128;
+  api::CampaignSession session(data::MakeAmazonLike(0.3), 500.0, 10, cfg);
+  const data::Dataset& ds = session.dataset();
   pin::PerceptionParams params;
-  diffusion::Problem p = ds.MakeProblem(500.0, 10, params);
   pin::Dynamics dyn(*ds.relevance, params);
 
   // Pick a strongly complementary pair and a substitutable pair.
@@ -82,14 +83,14 @@ int main() {
               w_before, w_after, ds.kg->ItemLabel(cx).c_str());
 
   // End-to-end: does the second-wave re-promotion of cy benefit from cx's
-  // first wave? (paired Monte-Carlo comparison)
-  diffusion::MonteCarloEngine engine(p, {}, 128);
+  // first wave? (paired Monte-Carlo comparison on the session's shared
+  // engine)
   int hub = 0;
   for (int uu = 0; uu < ds.NumUsers(); ++uu) {
     if (ds.social->OutDegree(uu) > ds.social->OutDegree(hub)) hub = uu;
   }
-  double together = engine.Sigma({{hub, cx, 1}, {hub, cy, 1}});
-  double sequenced = engine.Sigma({{hub, cx, 1}, {hub, cy, 2}});
+  double together = session.Sigma({{hub, cx, 1}, {hub, cy, 1}});
+  double sequenced = session.Sigma({{hub, cx, 1}, {hub, cy, 2}});
   std::printf(
       "\nsequencing check from hub user %d: simultaneous sigma %.2f vs "
       "sequenced sigma %.2f\n",

@@ -1,38 +1,38 @@
 // Course-promotion campaign: the paper's empirical study (Sec. VI-E).
 // Five classes of students, 30 elective courses with a curriculum KG
 // (keywords / fields / prerequisite chains); plan a 3-round campaign with
-// budget 50 per class and compare Dysim against PS.
+// budget 50 per class and compare Dysim against PS — one CampaignSession
+// per class, both algorithms through the registry.
 //
 //   $ ./course_promotion
+#include <algorithm>
 #include <cstdio>
 
-#include "baselines/ps.h"
-#include "core/dysim.h"
+#include "api/session.h"
 #include "data/catalog.h"
 
 int main() {
   using namespace imdpp;
 
   std::printf("course promotion across five classes (b = 50, T = 3)\n\n");
+  api::PlannerConfig cfg;
+  cfg.candidates.max_items = 10;  // all students, top-10 courses
+
   double total_dysim = 0.0, total_ps = 0.0;
   for (int c = 0; c < 5; ++c) {
-    data::Dataset ds = data::MakeClassroom(c);
-    diffusion::Problem p = ds.MakeProblem(50.0, 3);
+    api::CampaignSession session(data::MakeClassroom(c), 50.0, 3, cfg);
+    diffusion::Problem& p = session.mutable_problem();
     std::fill(p.importance.begin(), p.importance.end(), 1.0);
 
-    core::DysimConfig cfg;
-    cfg.candidates.max_items = 10;  // all students, top-10 courses
-    core::DysimResult plan = core::RunDysim(p, cfg);
-
-    baselines::PsConfig pcfg;
-    pcfg.candidates.max_items = 10;
-    baselines::BaselineResult ps = baselines::RunPs(p, pcfg);
+    std::vector<api::PlanResult> results = session.Compare({"dysim", "ps"});
+    const api::PlanResult& plan = results[0];
+    const api::PlanResult& ps = results[1];
 
     std::printf("class %c (%2d students): Dysim %.1f selections, PS %.1f\n",
-                'A' + c, ds.NumUsers(), plan.sigma, ps.sigma);
+                'A' + c, session.dataset().NumUsers(), plan.sigma, ps.sigma);
     for (const diffusion::Seed& s : plan.seeds) {
       std::printf("    round %d: student %2d champions %s\n", s.promotion,
-                  s.user, ds.kg->ItemLabel(s.item).c_str());
+                  s.user, session.dataset().kg->ItemLabel(s.item).c_str());
     }
     total_dysim += plan.sigma;
     total_ps += ps.sigma;

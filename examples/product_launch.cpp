@@ -7,9 +7,8 @@
 //   $ ./product_launch
 #include <cstdio>
 
-#include "core/dysim.h"
+#include "api/session.h"
 #include "data/catalog.h"
-#include "diffusion/monte_carlo.h"
 
 int main() {
   using namespace imdpp;
@@ -41,25 +40,24 @@ int main() {
       "adopting iPhone+AirPods (Fig. 1(c)->(d))\n",
       before, after);
 
-  // Full launch: Amazon-flavor crowd, 4 promotions, budget 200.
-  data::Dataset market = data::MakeAmazonLike(0.35);
-  diffusion::Problem problem = market.MakeProblem(200.0, 4);
-  core::DysimConfig cfg;
+  // Full launch: Amazon-flavor crowd, 4 promotions, budget 200 — planned
+  // through the unified api layer.
+  api::PlannerConfig cfg;
   cfg.candidates.max_users = 20;
   cfg.candidates.max_items = 8;
-  core::DysimResult plan = core::RunDysim(problem, cfg);
+  api::CampaignSession session(data::MakeAmazonLike(0.35), 200.0, 4, cfg);
+  api::PlanResult plan = session.Run("dysim");
+  const data::Dataset& market = session.dataset();
   std::printf("\nLaunch plan on %d users / %d products (sigma = %.1f):\n",
               market.NumUsers(), market.NumItems(), plan.sigma);
-  int last_t = 0;
-  for (const diffusion::Seed& s : plan.seeds) {
-    if (s.promotion != last_t) {
-      std::printf("  -- promotion wave %d --\n", s.promotion);
-      last_t = s.promotion;
+  for (const api::PlanRound& round : plan.rounds) {
+    std::printf("  -- promotion wave %d --\n", round.promotion);
+    for (const diffusion::Seed& s : round.seeds) {
+      std::printf("  ambassador user %-4d promotes %s\n", s.user,
+                  market.kg->ItemLabel(s.item).c_str());
     }
-    std::printf("  ambassador user %-4d promotes %s\n", s.user,
-                market.kg->ItemLabel(s.item).c_str());
   }
   std::printf("total cost %.1f / budget %.1f, markets=%zu\n", plan.total_cost,
-              problem.budget, plan.plan.markets.size());
+              session.problem().budget, plan.num_markets);
   return 0;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verify + smoke: configure, build, ctest, and run the quickstart
+# example end-to-end. This is what CI runs; run it locally before pushing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== smoke: examples/quickstart =="
+"$BUILD_DIR/quickstart"
+
+echo "== OK =="

@@ -1,0 +1,31 @@
+#include "api/planner.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace imdpp::api {
+
+PlanResult Planner::Plan(const diffusion::Problem& problem) const {
+  Timer timer;
+  PlanResult result = PlanImpl(problem);
+  result.wall_seconds = timer.Seconds();
+  result.planner = std::string(name());
+  if (result.total_cost == 0.0 && !result.seeds.empty()) {
+    result.total_cost = problem.TotalCost(result.seeds);
+  }
+  if (result.rounds.empty() && !result.seeds.empty()) {
+    for (int t = 1; t <= diffusion::LatestTiming(result.seeds); ++t) {
+      diffusion::SeedGroup at_t = diffusion::SubgroupAt(result.seeds, t);
+      if (at_t.empty()) continue;
+      PlanRound round;
+      round.promotion = t;
+      round.spent = problem.TotalCost(at_t);
+      round.seeds = std::move(at_t);
+      result.rounds.push_back(std::move(round));
+    }
+  }
+  return result;
+}
+
+}  // namespace imdpp::api

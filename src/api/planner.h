@@ -1,0 +1,142 @@
+// The unified planner layer: one config, one result type, one abstract
+// interface for every IMDPP algorithm (Dysim, Adaptive Dysim, SMK nominee
+// selection, and the Sec. VI-A comparison baselines).
+//
+// Every planner consumes the same PlannerConfig — shared search/eval
+// effort, candidate pruning, campaign-simulation settings, the Dysim
+// clustering/market knobs, and ONE master RNG seed — plus a small
+// per-algorithm option sub-struct. Every planner produces the same
+// PlanResult, so harnesses, examples and future scenarios compare
+// algorithms without per-algorithm plumbing. Concrete planners live
+// behind the string-keyed PlannerRegistry (registry.h); CampaignSession
+// (session.h) bundles a Dataset + Problem + shared evaluation engine.
+#ifndef IMDPP_API_PLANNER_H_
+#define IMDPP_API_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/nominee_clustering.h"
+#include "cluster/target_market.h"
+#include "core/market_order.h"
+#include "core/nominee_selection.h"
+#include "diffusion/campaign_simulator.h"
+#include "diffusion/problem.h"
+#include "diffusion/seed.h"
+
+namespace imdpp::api {
+
+/// One configuration for all algorithms. The shared block applies to every
+/// planner; the per-algorithm sub-structs are consumed only by their
+/// namesake. The master `seed` overrides `campaign.base_seed` and derives
+/// every auxiliary stream (e.g. the adaptive "reality" draw), so a fixed
+/// PlannerConfig makes every planner fully deterministic.
+struct PlannerConfig {
+  /// Monte-Carlo samples during search and for the final σ̂ report.
+  int selection_samples = 12;
+  int eval_samples = 48;
+
+  /// Candidate-universe pruning (0 = exhaustive V x I).
+  core::CandidateConfig candidates;
+
+  /// Diffusion model / step caps for every simulation.
+  diffusion::CampaignConfig campaign;
+
+  /// TMI clustering and target-market knobs (Dysim family).
+  cluster::ClusteringConfig clustering;
+  cluster::MarketPlanConfig market;
+
+  /// Master RNG seed for every stochastic choice.
+  uint64_t seed = 0x1234abcdULL;
+
+  struct DysimOptions {
+    core::MarketOrderMetric order =
+        core::MarketOrderMetric::kAntagonisticExtent;
+    int dr_max_depth = 3;
+    bool use_target_markets = true;   ///< Fig. 10 "w/o TM" when false
+    bool use_item_priority = true;    ///< Fig. 10 "w/o IP" when false
+    bool use_theorem5_guard = true;
+  };
+  DysimOptions dysim;
+
+  struct AdaptiveOptions {
+    /// Net substitutable relevance above which two same-round items count
+    /// as antagonistic.
+    double antagonism_threshold = 0.25;
+  };
+  AdaptiveOptions adaptive;
+
+  struct PsOptions {
+    double path_threshold = 0.01;
+    int max_hops = 8;
+    double covered_discount = 0.2;
+  };
+  PsOptions ps;
+
+  struct OptOptions {
+    int max_candidates = 10;  ///< strongest singletons kept (0 = all)
+    int max_seeds = 3;        ///< seed-group size cap (0 = unbounded)
+    /// Extra nominees force-included in the pruned pool (e.g. a
+    /// heuristic's solution, so OPT provably upper-bounds it).
+    std::vector<diffusion::Nominee> extra_candidates;
+  };
+  OptOptions opt;
+};
+
+/// Seeds placed in one promotion round, with what they spent and achieved.
+/// Adaptive planning fills realized_sigma per observed round; static
+/// planners derive rounds from the final schedule (realized_sigma = 0).
+struct PlanRound {
+  int promotion = 0;  ///< 1-based t
+  diffusion::SeedGroup seeds;
+  double spent = 0.0;
+  double realized_sigma = 0.0;
+};
+
+/// One result type for all algorithms.
+struct PlanResult {
+  std::string planner;          ///< registry name that produced this plan
+  diffusion::SeedGroup seeds;   ///< the full schedule (u, x, t)
+  double sigma = 0.0;           ///< σ̂ at eval_samples
+  double total_cost = 0.0;      ///< Σ c_{u,x} over the seeds
+  int64_t simulations = 0;      ///< simulator invocations spent planning
+  double wall_seconds = 0.0;    ///< wall-clock planning time
+  std::vector<PlanRound> rounds;  ///< per-round diagnostics
+
+  /// Dysim-family diagnostics (0 / empty for planners without TMI).
+  std::vector<diffusion::Nominee> nominees;
+  size_t num_markets = 0;
+  size_t num_groups = 0;
+};
+
+/// Abstract planner. Construction binds a PlannerConfig; Plan() may be
+/// called repeatedly on different problems. Plan() times the run and
+/// backfills the result fields every algorithm shares (name, cost,
+/// per-round grouping), so concrete planners only fill what is theirs.
+class Planner {
+ public:
+  explicit Planner(PlannerConfig config) : config_(std::move(config)) {}
+  virtual ~Planner() = default;
+
+  Planner(const Planner&) = delete;
+  Planner& operator=(const Planner&) = delete;
+
+  /// Registry key of the concrete algorithm (e.g. "dysim").
+  virtual std::string_view name() const = 0;
+
+  PlanResult Plan(const diffusion::Problem& problem) const;
+
+  const PlannerConfig& config() const { return config_; }
+
+ protected:
+  virtual PlanResult PlanImpl(const diffusion::Problem& problem) const = 0;
+
+ private:
+  PlannerConfig config_;
+};
+
+}  // namespace imdpp::api
+
+#endif  // IMDPP_API_PLANNER_H_

@@ -1,0 +1,292 @@
+// The built-in planner adapters: one thin class per algorithm, mapping the
+// unified PlannerConfig/PlanResult onto each algorithm's native structs.
+// This file is the ONLY place that knows every per-algorithm header; all
+// harnesses, examples and sessions go through the registry.
+#include <memory>
+#include <utility>
+
+#include "api/registry.h"
+#include "baselines/bgrd.h"
+#include "baselines/cr_greedy.h"
+#include "baselines/drhga.h"
+#include "baselines/hag.h"
+#include "baselines/opt.h"
+#include "baselines/ps.h"
+#include "core/adaptive_dysim.h"
+#include "core/dysim.h"
+#include "core/smk.h"
+#include "diffusion/monte_carlo.h"
+#include "util/hash.h"
+
+namespace imdpp::api {
+namespace {
+
+// ------------------------------------------------------ config adaptation
+
+/// Campaign settings with the master seed folded in: one PlannerConfig
+/// seed drives every coin flip of every planner.
+diffusion::CampaignConfig MakeCampaign(const PlannerConfig& c) {
+  diffusion::CampaignConfig campaign = c.campaign;
+  campaign.base_seed = c.seed;
+  return campaign;
+}
+
+core::DysimConfig ToDysimConfig(const PlannerConfig& c) {
+  core::DysimConfig cfg;
+  cfg.selection_samples = c.selection_samples;
+  cfg.eval_samples = c.eval_samples;
+  cfg.candidates = c.candidates;
+  cfg.clustering = c.clustering;
+  cfg.market = c.market;
+  cfg.order = c.dysim.order;
+  cfg.dr_max_depth = c.dysim.dr_max_depth;
+  cfg.use_target_markets = c.dysim.use_target_markets;
+  cfg.use_item_priority = c.dysim.use_item_priority;
+  cfg.use_theorem5_guard = c.dysim.use_theorem5_guard;
+  cfg.campaign = MakeCampaign(c);
+  return cfg;
+}
+
+baselines::BaselineConfig ToBaselineConfig(const PlannerConfig& c) {
+  baselines::BaselineConfig cfg;
+  cfg.selection_samples = c.selection_samples;
+  cfg.eval_samples = c.eval_samples;
+  cfg.candidates = c.candidates;
+  cfg.campaign = MakeCampaign(c);
+  return cfg;
+}
+
+PlanResult FromBaseline(baselines::BaselineResult r) {
+  PlanResult out;
+  out.seeds = std::move(r.seeds);
+  out.sigma = r.sigma;
+  out.total_cost = r.total_cost;
+  out.simulations = r.simulations;
+  return out;
+}
+
+// --------------------------------------------------------- Dysim family
+
+class DysimPlanner : public Planner {
+ public:
+  using Planner::Planner;
+  std::string_view name() const override { return "dysim"; }
+
+ protected:
+  PlanResult PlanImpl(const diffusion::Problem& problem) const override {
+    core::DysimResult r = core::RunDysim(problem, ToDysimConfig(config()));
+    PlanResult out;
+    out.seeds = std::move(r.seeds);
+    out.sigma = r.sigma;
+    out.total_cost = r.total_cost;
+    out.simulations = r.simulations;
+    out.nominees = std::move(r.nominees);
+    out.num_markets = r.plan.markets.size();
+    out.num_groups = r.plan.groups.size();
+    return out;
+  }
+};
+IMDPP_REGISTER_PLANNER("dysim", DysimPlanner);
+
+class AdaptivePlanner : public Planner {
+ public:
+  using Planner::Planner;
+  std::string_view name() const override { return "adaptive"; }
+
+ protected:
+  PlanResult PlanImpl(const diffusion::Problem& problem) const override {
+    core::AdaptiveConfig cfg;
+    cfg.base = ToDysimConfig(config());
+    cfg.reality_seed = HashTuple(config().seed, 0xada9'711eULL);
+    cfg.antagonism_threshold = config().adaptive.antagonism_threshold;
+    core::AdaptiveResult r = core::RunAdaptiveDysim(problem, cfg);
+
+    PlanResult out;
+    out.seeds = std::move(r.seeds);
+    out.total_cost = r.total_spent;
+    for (core::AdaptiveRound& round : r.rounds) {
+      PlanRound pr;
+      pr.promotion = round.promotion;
+      pr.seeds = std::move(round.seeds);
+      pr.spent = round.spent;
+      pr.realized_sigma = round.realized_sigma;
+      out.rounds.push_back(std::move(pr));
+    }
+    // The adaptive run reports one realized trajectory; re-estimate the
+    // final schedule's σ̂ from the initial state so `sigma` means the same
+    // thing for every planner.
+    diffusion::MonteCarloEngine eval(problem, MakeCampaign(config()),
+                                     config().eval_samples);
+    out.sigma = eval.Sigma(out.seeds);
+    out.simulations = eval.num_simulations();
+    return out;
+  }
+};
+IMDPP_REGISTER_PLANNER("adaptive", AdaptivePlanner);
+
+// ------------------------------------------- selection-only core planners
+
+/// Shares the select-then-finalize shape of the SMK and CR-Greedy
+/// planners: build the candidate universe, pick nominees with `select`,
+/// time them with `schedule`, report σ̂ at eval_samples.
+template <typename SelectFn, typename ScheduleFn>
+PlanResult SelectAndFinalize(const diffusion::Problem& problem,
+                             const PlannerConfig& config,
+                             const SelectFn& select,
+                             const ScheduleFn& schedule) {
+  diffusion::MonteCarloEngine search(problem, MakeCampaign(config),
+                                     config.selection_samples);
+  std::vector<diffusion::Nominee> candidates =
+      core::BuildCandidateUniverse(problem, config.candidates);
+  core::SelectionResult sel = select(search, candidates);
+  diffusion::SeedGroup seeds = schedule(search, sel.nominees);
+
+  PlanResult out;
+  diffusion::MonteCarloEngine eval(problem, MakeCampaign(config),
+                                   config.eval_samples);
+  out.sigma = eval.Sigma(seeds);
+  out.seeds = std::move(seeds);
+  out.total_cost = problem.TotalCost(out.seeds);
+  out.simulations = search.num_simulations() + eval.num_simulations();
+  out.nominees = std::move(sel.nominees);
+  return out;
+}
+
+diffusion::SeedGroup AllInFirstPromotion(
+    const std::vector<diffusion::Nominee>& nominees) {
+  diffusion::SeedGroup seeds;
+  seeds.reserve(nominees.size());
+  for (const diffusion::Nominee& n : nominees) {
+    seeds.push_back({n.user, n.item, 1});
+  }
+  return seeds;
+}
+
+class SmkPlanner : public Planner {
+ public:
+  using Planner::Planner;
+  std::string_view name() const override { return "smk"; }
+
+ protected:
+  PlanResult PlanImpl(const diffusion::Problem& problem) const override {
+    return SelectAndFinalize(
+        problem, config(),
+        [&](const diffusion::MonteCarloEngine& engine,
+            const std::vector<diffusion::Nominee>& candidates) {
+          return core::SelectNomineesSmk(engine, problem, candidates,
+                                         problem.budget);
+        },
+        [](const diffusion::MonteCarloEngine&,
+           const std::vector<diffusion::Nominee>& nominees) {
+          return AllInFirstPromotion(nominees);
+        });
+  }
+};
+IMDPP_REGISTER_PLANNER("smk", SmkPlanner);
+
+class CrGreedyPlanner : public Planner {
+ public:
+  using Planner::Planner;
+  std::string_view name() const override { return "cr_greedy"; }
+
+ protected:
+  PlanResult PlanImpl(const diffusion::Problem& problem) const override {
+    return SelectAndFinalize(
+        problem, config(),
+        [&](const diffusion::MonteCarloEngine& engine,
+            const std::vector<diffusion::Nominee>& candidates) {
+          return core::SelectNominees(engine, problem, candidates,
+                                      problem.budget);
+        },
+        [](const diffusion::MonteCarloEngine& engine,
+           const std::vector<diffusion::Nominee>& nominees) {
+          return baselines::CrGreedyTimings(engine, nominees);
+        });
+  }
+};
+IMDPP_REGISTER_PLANNER("cr_greedy", CrGreedyPlanner);
+
+// ----------------------------------------------------- Sec. VI-A baselines
+
+class BgrdPlanner : public Planner {
+ public:
+  using Planner::Planner;
+  std::string_view name() const override { return "bgrd"; }
+
+ protected:
+  PlanResult PlanImpl(const diffusion::Problem& problem) const override {
+    return FromBaseline(
+        baselines::RunBgrd(problem, ToBaselineConfig(config())));
+  }
+};
+IMDPP_REGISTER_PLANNER("bgrd", BgrdPlanner);
+
+class HagPlanner : public Planner {
+ public:
+  using Planner::Planner;
+  std::string_view name() const override { return "hag"; }
+
+ protected:
+  PlanResult PlanImpl(const diffusion::Problem& problem) const override {
+    return FromBaseline(
+        baselines::RunHag(problem, ToBaselineConfig(config())));
+  }
+};
+IMDPP_REGISTER_PLANNER("hag", HagPlanner);
+
+class DrhgaPlanner : public Planner {
+ public:
+  using Planner::Planner;
+  std::string_view name() const override { return "drhga"; }
+
+ protected:
+  PlanResult PlanImpl(const diffusion::Problem& problem) const override {
+    return FromBaseline(
+        baselines::RunDrhga(problem, ToBaselineConfig(config())));
+  }
+};
+IMDPP_REGISTER_PLANNER("drhga", DrhgaPlanner);
+
+class PsPlanner : public Planner {
+ public:
+  using Planner::Planner;
+  std::string_view name() const override { return "ps"; }
+
+ protected:
+  PlanResult PlanImpl(const diffusion::Problem& problem) const override {
+    baselines::PsConfig cfg;
+    static_cast<baselines::BaselineConfig&>(cfg) = ToBaselineConfig(config());
+    cfg.path_threshold = config().ps.path_threshold;
+    cfg.max_hops = config().ps.max_hops;
+    cfg.covered_discount = config().ps.covered_discount;
+    return FromBaseline(baselines::RunPs(problem, cfg));
+  }
+};
+IMDPP_REGISTER_PLANNER("ps", PsPlanner);
+
+class OptPlanner : public Planner {
+ public:
+  using Planner::Planner;
+  std::string_view name() const override { return "opt"; }
+
+ protected:
+  PlanResult PlanImpl(const diffusion::Problem& problem) const override {
+    baselines::OptConfig cfg;
+    static_cast<baselines::BaselineConfig&>(cfg) = ToBaselineConfig(config());
+    cfg.max_candidates = config().opt.max_candidates;
+    cfg.max_seeds = config().opt.max_seeds;
+    cfg.extra_candidates = config().opt.extra_candidates;
+    return FromBaseline(baselines::RunOpt(problem, cfg));
+  }
+};
+IMDPP_REGISTER_PLANNER("opt", OptPlanner);
+
+}  // namespace
+
+namespace internal {
+// Anchors this translation unit: the registry calls it, the linker keeps
+// the self-registration statics above, static-archive or not.
+void EnsureBuiltinPlanners() {}
+}  // namespace internal
+
+}  // namespace imdpp::api

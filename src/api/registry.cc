@@ -1,0 +1,68 @@
+#include "api/registry.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace imdpp::api {
+namespace {
+
+// Meyers singleton: safe against static-initialization ordering with the
+// self-registration statics in planners.cc.
+std::map<std::string, PlannerRegistry::Factory, std::less<>>& Factories() {
+  static auto* factories =
+      new std::map<std::string, PlannerRegistry::Factory, std::less<>>();
+  return *factories;
+}
+
+}  // namespace
+
+bool PlannerRegistry::Register(std::string name, Factory factory) {
+  IMDPP_CHECK(factory != nullptr);
+  auto [it, inserted] = Factories().emplace(std::move(name), factory);
+  if (!inserted) {
+    std::fprintf(stderr, "duplicate planner registration: %s\n",
+                 it->first.c_str());
+    std::abort();
+  }
+  return true;
+}
+
+std::unique_ptr<Planner> PlannerRegistry::Create(std::string_view name,
+                                                 const PlannerConfig& config) {
+  internal::EnsureBuiltinPlanners();
+  auto it = Factories().find(name);
+  if (it == Factories().end()) return nullptr;
+  return it->second(config);
+}
+
+std::unique_ptr<Planner> PlannerRegistry::CreateOrDie(
+    std::string_view name, const PlannerConfig& config) {
+  std::unique_ptr<Planner> planner = Create(name, config);
+  if (planner == nullptr) {
+    std::fprintf(stderr, "unknown planner \"%.*s\"; registered:",
+                 static_cast<int>(name.size()), name.data());
+    for (const std::string& known : Names()) {
+      std::fprintf(stderr, " %s", known.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::abort();
+  }
+  return planner;
+}
+
+bool PlannerRegistry::Has(std::string_view name) {
+  internal::EnsureBuiltinPlanners();
+  return Factories().find(name) != Factories().end();
+}
+
+std::vector<std::string> PlannerRegistry::Names() {
+  internal::EnsureBuiltinPlanners();
+  std::vector<std::string> names;
+  names.reserve(Factories().size());
+  for (const auto& [name, factory] : Factories()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace imdpp::api

@@ -1,0 +1,64 @@
+// String-keyed planner registry with self-registration. Every concrete
+// algorithm registers a factory under its name at load time
+// (IMDPP_REGISTER_PLANNER), so
+//
+//   auto planner = api::PlannerRegistry::Create("dysim", config);
+//   api::PlanResult r = planner->Plan(problem);
+//
+// works for "dysim", "adaptive", "smk", "cr_greedy", "bgrd", "hag", "ps",
+// "drhga" and "opt" — and a new algorithm costs one registration, not a
+// new harness.
+#ifndef IMDPP_API_REGISTRY_H_
+#define IMDPP_API_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/planner.h"
+
+namespace imdpp::api {
+
+class PlannerRegistry {
+ public:
+  using Factory = std::unique_ptr<Planner> (*)(const PlannerConfig&);
+
+  /// Registers `factory` under `name`; returns true. Duplicate names abort
+  /// (two algorithms claiming one key is a programming error).
+  static bool Register(std::string name, Factory factory);
+
+  /// Creates the planner registered under `name`, or nullptr if the name
+  /// is unknown — callers that want a hard failure use CreateOrDie.
+  static std::unique_ptr<Planner> Create(std::string_view name,
+                                         const PlannerConfig& config = {});
+
+  /// Like Create but aborts with the list of known names on a miss.
+  static std::unique_ptr<Planner> CreateOrDie(
+      std::string_view name, const PlannerConfig& config = {});
+
+  static bool Has(std::string_view name);
+
+  /// All registered names, sorted.
+  static std::vector<std::string> Names();
+};
+
+namespace internal {
+/// Defined in planners.cc; referenced by the registry so the linker keeps
+/// the built-in planners' self-registration statics even when the library
+/// is consumed as a static archive.
+void EnsureBuiltinPlanners();
+}  // namespace internal
+
+/// Registers PlannerClass (constructible from PlannerConfig) under `key`.
+#define IMDPP_REGISTER_PLANNER(key, PlannerClass)                         \
+  [[maybe_unused]] static const bool imdpp_registered_##PlannerClass =    \
+      ::imdpp::api::PlannerRegistry::Register(                            \
+          key, +[](const ::imdpp::api::PlannerConfig& config)             \
+                   -> std::unique_ptr<::imdpp::api::Planner> {            \
+            return std::make_unique<PlannerClass>(config);                \
+          })
+
+}  // namespace imdpp::api
+
+#endif  // IMDPP_API_REGISTRY_H_

@@ -1,0 +1,82 @@
+#include "api/session.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace imdpp::api {
+
+CampaignSession::CampaignSession(data::Dataset dataset, PlannerConfig config)
+    : dataset_(std::move(dataset)), config_(std::move(config)) {}
+
+CampaignSession::CampaignSession(data::Dataset dataset, double budget,
+                                 int num_promotions, PlannerConfig config)
+    : CampaignSession(std::move(dataset), std::move(config)) {
+  SetProblem(budget, num_promotions);
+}
+
+void CampaignSession::SetProblem(double budget, int num_promotions,
+                                 pin::PerceptionParams params) {
+  engine_.reset();
+  relevance_override_.reset();
+  problem_ = dataset_.MakeProblem(budget, num_promotions, params);
+}
+
+void CampaignSession::SetProblemWithMetaSubset(
+    const std::vector<int>& meta_indices, double budget, int num_promotions,
+    pin::PerceptionParams params) {
+  engine_.reset();
+  relevance_override_ = std::make_unique<kg::RelevanceModel>(
+      dataset_.relevance->WithMetaSubset(meta_indices));
+  problem_ = dataset_.MakeProblemWithRelevance(
+      *relevance_override_, budget, num_promotions, params, &meta_indices);
+}
+
+PlanResult CampaignSession::Run(const std::string& planner_name) {
+  return Run(planner_name, config_);
+}
+
+PlanResult CampaignSession::Run(const std::string& planner_name,
+                                const PlannerConfig& config) {
+  IMDPP_CHECK(problem_.graph != nullptr);  // SetProblem first
+  std::unique_ptr<Planner> planner =
+      PlannerRegistry::CreateOrDie(planner_name, config);
+  PlanResult result = planner->Plan(problem_);
+  result.sigma = Sigma(result.seeds);
+  return result;
+}
+
+std::vector<PlanResult> CampaignSession::Compare(
+    const std::vector<std::string>& names) {
+  std::vector<PlanResult> results;
+  results.reserve(names.size());
+  for (const std::string& name : names) results.push_back(Run(name));
+  return results;
+}
+
+double CampaignSession::Sigma(const diffusion::SeedGroup& seeds) {
+  return engine().Sigma(seeds);
+}
+
+diffusion::Problem& CampaignSession::mutable_problem() {
+  engine_.reset();
+  return problem_;
+}
+
+PlannerConfig& CampaignSession::mutable_config() {
+  engine_.reset();
+  return config_;
+}
+
+diffusion::MonteCarloEngine& CampaignSession::engine() {
+  IMDPP_CHECK(problem_.graph != nullptr);  // SetProblem first
+  if (engine_ == nullptr) {
+    diffusion::CampaignConfig campaign = config_.campaign;
+    campaign.base_seed = config_.seed;
+    engine_ = std::make_unique<diffusion::MonteCarloEngine>(
+        problem_, campaign, config_.eval_samples);
+  }
+  return *engine_;
+}
+
+}  // namespace imdpp::api

@@ -1,0 +1,88 @@
+// CampaignSession: the one-stop façade the harnesses and examples want.
+// Owns a data::Dataset, the Problem view currently under study, and a
+// shared evaluation MonteCarloEngine, and can run or compare any set of
+// registered planners on them:
+//
+//   api::CampaignSession session(data::MakeYelpLike(0.5));
+//   session.SetProblem(/*budget=*/150.0, /*num_promotions=*/5);
+//   api::PlanResult plan = session.Run("dysim");
+//   for (api::PlanResult& r : session.Compare({"dysim", "bgrd", "ps"})) ...
+//
+// Every result's σ̂ is re-estimated on the session's shared engine, so a
+// comparison is paired (same samples, same coin flips) and fair.
+#ifndef IMDPP_API_SESSION_H_
+#define IMDPP_API_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "data/dataset.h"
+
+namespace imdpp::api {
+
+class CampaignSession {
+ public:
+  /// Takes ownership of the dataset. No problem is configured yet —
+  /// call SetProblem (or use the budget/promotions constructor).
+  explicit CampaignSession(data::Dataset dataset, PlannerConfig config = {});
+
+  /// Convenience: owns the dataset and configures the problem in one go.
+  CampaignSession(data::Dataset dataset, double budget, int num_promotions,
+                  PlannerConfig config = {});
+
+  /// (Re)configures the problem view; invalidates the shared engine.
+  void SetProblem(double budget, int num_promotions,
+                  pin::PerceptionParams params = {});
+
+  /// Problem restricted to the first metas of `meta_indices` (sensitivity
+  /// study, Fig. 13). The session owns the restricted relevance model.
+  void SetProblemWithMetaSubset(const std::vector<int>& meta_indices,
+                                double budget, int num_promotions,
+                                pin::PerceptionParams params = {});
+
+  /// Plans with the named registered planner (aborts on unknown names —
+  /// use PlannerRegistry::Create for a soft failure), then re-estimates
+  /// σ̂ on the shared engine.
+  PlanResult Run(const std::string& planner_name);
+
+  /// Same, but plans under `config` instead of the session's config
+  /// (ablation/sensitivity sweeps). Scoring stays on the shared engine,
+  /// so variants remain comparable to each other and to Run(name).
+  PlanResult Run(const std::string& planner_name,
+                 const PlannerConfig& config);
+
+  /// Runs every named planner on the current problem.
+  std::vector<PlanResult> Compare(const std::vector<std::string>& names);
+
+  /// σ̂ of an arbitrary schedule on the shared engine (eval_samples).
+  double Sigma(const diffusion::SeedGroup& seeds);
+
+  const data::Dataset& dataset() const { return dataset_; }
+  const diffusion::Problem& problem() const { return problem_; }
+
+  /// Mutable problem access for scenario tweaks (e.g. flattening item
+  /// importance); invalidates the shared engine.
+  diffusion::Problem& mutable_problem();
+
+  const PlannerConfig& config() const { return config_; }
+  /// Mutable config access; invalidates the shared engine (the campaign
+  /// settings and eval_samples feed it).
+  PlannerConfig& mutable_config();
+
+  /// The shared evaluation engine (built lazily from the current problem
+  /// and config).
+  diffusion::MonteCarloEngine& engine();
+
+ private:
+  data::Dataset dataset_;
+  PlannerConfig config_;
+  std::unique_ptr<kg::RelevanceModel> relevance_override_;
+  diffusion::Problem problem_;
+  std::unique_ptr<diffusion::MonteCarloEngine> engine_;
+};
+
+}  // namespace imdpp::api
+
+#endif  // IMDPP_API_SESSION_H_

@@ -5,6 +5,9 @@ namespace imdpp::diffusion {
 void Problem::Validate() const {
   IMDPP_CHECK(graph != nullptr);
   IMDPP_CHECK(relevance != nullptr);
+  IMDPP_CHECK_GE(NumUsers(), 0);
+  IMDPP_CHECK_GE(NumItems(), 0);
+  IMDPP_CHECK_GE(NumMetas(), 0);
   const size_t v = static_cast<size_t>(NumUsers());
   const size_t i = static_cast<size_t>(NumItems());
   const size_t m = static_cast<size_t>(NumMetas());

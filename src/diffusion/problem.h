@@ -42,15 +42,21 @@ struct Problem {
   int NumItems() const { return relevance->NumItems(); }
   int NumMetas() const { return relevance->NumMetas(); }
 
+  /// Row-major index into the |V| x |I| matrices. Uniformly size_t: on
+  /// production-scale instances |V| x |I| overflows int, and mixing int
+  /// operands into the product invites it.
+  size_t UserItemIndex(UserId u, ItemId x) const {
+    return static_cast<size_t>(u) * static_cast<size_t>(NumItems()) +
+           static_cast<size_t>(x);
+  }
+
   double BasePref(UserId u, ItemId x) const {
-    return base_pref[static_cast<size_t>(u) * NumItems() + x];
+    return base_pref[UserItemIndex(u, x)];
   }
-  double Cost(UserId u, ItemId x) const {
-    return cost[static_cast<size_t>(u) * NumItems() + x];
-  }
+  double Cost(UserId u, ItemId x) const { return cost[UserItemIndex(u, x)]; }
   std::span<const float> Wmeta0(UserId u) const {
-    return {wmeta0.data() + static_cast<size_t>(u) * NumMetas(),
-            static_cast<size_t>(NumMetas())};
+    const size_t metas = static_cast<size_t>(NumMetas());
+    return {wmeta0.data() + static_cast<size_t>(u) * metas, metas};
   }
 
   double TotalCost(const SeedGroup& seeds) const {
