@@ -30,6 +30,10 @@ struct Effort {
   int eval_samples = 24;
   int max_users = 24;
   int max_items = 8;
+  /// Monte-Carlo executors per engine (util::kAutoThreads = hardware
+  /// concurrency, 0 = serial). σ̂ values are identical for every setting;
+  /// only wall-clock changes, so figures stay comparable across machines.
+  int num_threads = util::kAutoThreads;
 };
 
 inline api::PlannerConfig MakeConfig(const Effort& e) {
@@ -38,6 +42,7 @@ inline api::PlannerConfig MakeConfig(const Effort& e) {
   cfg.eval_samples = e.eval_samples;
   cfg.candidates.max_users = e.max_users;
   cfg.candidates.max_items = e.max_items;
+  cfg.num_threads = e.num_threads;
   return cfg;
 }
 

@@ -35,13 +35,64 @@ void BM_SigmaEstimate(benchmark::State& state) {
   const data::Dataset& ds = AmazonDs();
   diffusion::Problem p = ds.MakeProblem(300.0, 5);
   diffusion::MonteCarloEngine engine(p, {},
-                                     static_cast<int>(state.range(0)));
+                                     static_cast<int>(state.range(0)),
+                                     /*num_threads=*/0);
   diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 2}};
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.Sigma(seeds));
   }
 }
 BENCHMARK(BM_SigmaEstimate)->Arg(8)->Arg(32);
+
+const data::Dataset& YelpDs() {
+  static const data::Dataset* ds = new data::Dataset(data::MakeYelpLike(0.5));
+  return *ds;
+}
+
+/// σ̂-estimation throughput vs thread count on the yelp-like dataset
+/// (Arg = num_threads; 0 = serial fallback). items_per_second counts
+/// simulated realizations, so speedup(T) = items_per_second(T) /
+/// items_per_second(0) — that ratio is what CI reads out of
+/// BENCH_micro.json. The estimate itself is bit-identical for every Arg.
+void BM_SigmaEstimateThreads(benchmark::State& state) {
+  const data::Dataset& ds = YelpDs();
+  diffusion::Problem p = ds.MakeProblem(300.0, 5);
+  constexpr int kSamples = 32;
+  diffusion::MonteCarloEngine engine(p, {}, kSamples,
+                                     static_cast<int>(state.range(0)));
+  diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 2}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Sigma(seeds));
+  }
+  state.SetItemsProcessed(state.iterations() * kSamples);
+  state.counters["threads"] =
+      static_cast<double>(engine.num_threads());
+}
+// UseRealTime: the engine threads internally, so wall clock — not the
+// main thread's CPU time — is the meaningful throughput denominator.
+BENCHMARK(BM_SigmaEstimateThreads)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+/// Same sweep for the Expected() path (per-shard ExpectedState partials
+/// are the heaviest reduction).
+void BM_ExpectedStateThreads(benchmark::State& state) {
+  const data::Dataset& ds = YelpDs();
+  diffusion::Problem p = ds.MakeProblem(300.0, 5);
+  constexpr int kSamples = 16;
+  diffusion::MonteCarloEngine engine(p, {}, kSamples,
+                                     static_cast<int>(state.range(0)));
+  diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 2}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Expected(seeds).AdoptionProb(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * kSamples);
+}
+BENCHMARK(BM_ExpectedStateThreads)->Arg(0)->Arg(4)->UseRealTime();
 
 void BM_MetaGraphAllPairs(benchmark::State& state) {
   const data::Dataset& ds = AmazonDs();

@@ -1,15 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 verify + smoke: configure, build, ctest, and run the quickstart
-# example end-to-end. This is what CI runs; run it locally before pushing.
+# example end-to-end — twice, diffing the runs as a determinism gate.
+# This is what every CI matrix cell runs; run it locally before pushing.
+#
+# Env knobs (all optional):
+#   BUILD_DIR                    build tree             (default: build)
+#   BUILD_TYPE                   CMake build type       (default: Release)
+#   IMDPP_SANITIZE               -fsanitize list, e.g. thread / address,undefined
+#   CMAKE_CXX_COMPILER_LAUNCHER  e.g. ccache (forwarded to CMake)
+#   CC / CXX                     compiler selection (read natively by CMake)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
+BUILD_TYPE="${BUILD_TYPE:-Release}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== configure =="
-cmake -B "$BUILD_DIR" -S .
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE="$BUILD_TYPE")
+if [[ -n "${IMDPP_SANITIZE:-}" ]]; then
+  CMAKE_ARGS+=(-DIMDPP_SANITIZE="$IMDPP_SANITIZE")
+fi
+if [[ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]]; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER="$CMAKE_CXX_COMPILER_LAUNCHER")
+fi
+
+echo "== configure ($BUILD_TYPE${IMDPP_SANITIZE:+, sanitize=$IMDPP_SANITIZE}) =="
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -17,7 +34,13 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== smoke: examples/quickstart =="
-"$BUILD_DIR/quickstart"
+echo "== smoke: examples/quickstart (run twice, diff = determinism gate) =="
+# Wall-clock lines differ run to run by construction; everything else
+# (seeds, σ̂, schedules) must be byte-identical.
+strip_timing() { sed -E 's/ in [0-9.]+s$//'; }
+"$BUILD_DIR/quickstart" | strip_timing > "$BUILD_DIR/quickstart.run1.txt"
+"$BUILD_DIR/quickstart" | strip_timing > "$BUILD_DIR/quickstart.run2.txt"
+diff "$BUILD_DIR/quickstart.run1.txt" "$BUILD_DIR/quickstart.run2.txt"
+cat "$BUILD_DIR/quickstart.run1.txt"
 
 echo "== OK =="

@@ -25,6 +25,7 @@
 #include "diffusion/campaign_simulator.h"
 #include "diffusion/problem.h"
 #include "diffusion/seed.h"
+#include "util/thread_pool.h"
 
 namespace imdpp::api {
 
@@ -50,6 +51,12 @@ struct PlannerConfig {
 
   /// Master RNG seed for every stochastic choice.
   uint64_t seed = 0x1234abcdULL;
+
+  /// Executor count for every Monte-Carlo sample loop the planner (or its
+  /// session) builds: util::kAutoThreads = hardware concurrency, 0 = serial
+  /// fallback. Purely a throughput knob — estimates are bit-identical for
+  /// every value (see diffusion::MonteCarloEngine).
+  int num_threads = util::kAutoThreads;
 
   struct DysimOptions {
     core::MarketOrderMetric order =

@@ -44,6 +44,7 @@ core::DysimConfig ToDysimConfig(const PlannerConfig& c) {
   cfg.use_item_priority = c.dysim.use_item_priority;
   cfg.use_theorem5_guard = c.dysim.use_theorem5_guard;
   cfg.campaign = MakeCampaign(c);
+  cfg.num_threads = c.num_threads;
   return cfg;
 }
 
@@ -53,6 +54,7 @@ baselines::BaselineConfig ToBaselineConfig(const PlannerConfig& c) {
   cfg.eval_samples = c.eval_samples;
   cfg.candidates = c.candidates;
   cfg.campaign = MakeCampaign(c);
+  cfg.num_threads = c.num_threads;
   return cfg;
 }
 
@@ -116,7 +118,8 @@ class AdaptivePlanner : public Planner {
     // final schedule's σ̂ from the initial state so `sigma` means the same
     // thing for every planner.
     diffusion::MonteCarloEngine eval(problem, MakeCampaign(config()),
-                                     config().eval_samples);
+                                     config().eval_samples,
+                                     config().num_threads);
     out.sigma = eval.Sigma(out.seeds);
     out.simulations = eval.num_simulations();
     return out;
@@ -135,7 +138,8 @@ PlanResult SelectAndFinalize(const diffusion::Problem& problem,
                              const SelectFn& select,
                              const ScheduleFn& schedule) {
   diffusion::MonteCarloEngine search(problem, MakeCampaign(config),
-                                     config.selection_samples);
+                                     config.selection_samples,
+                                     config.num_threads);
   std::vector<diffusion::Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
   core::SelectionResult sel = select(search, candidates);
@@ -143,7 +147,7 @@ PlanResult SelectAndFinalize(const diffusion::Problem& problem,
 
   PlanResult out;
   diffusion::MonteCarloEngine eval(problem, MakeCampaign(config),
-                                   config.eval_samples);
+                                   config.eval_samples, config.num_threads);
   out.sigma = eval.Sigma(seeds);
   out.seeds = std::move(seeds);
   out.total_cost = problem.TotalCost(out.seeds);

@@ -74,7 +74,7 @@ diffusion::MonteCarloEngine& CampaignSession::engine() {
     diffusion::CampaignConfig campaign = config_.campaign;
     campaign.base_seed = config_.seed;
     engine_ = std::make_unique<diffusion::MonteCarloEngine>(
-        problem_, campaign, config_.eval_samples);
+        problem_, campaign, config_.eval_samples, config_.num_threads);
   }
   return *engine_;
 }

@@ -27,7 +27,8 @@ std::vector<Nominee> BundleFor(const Problem& problem, graph::UserId u,
 }  // namespace
 
 BaselineResult RunBgrd(const Problem& problem, const BaselineConfig& config) {
-  MonteCarloEngine engine(problem, config.campaign, config.selection_samples);
+  MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
+                          config.num_threads);
 
   // Candidate users (top by out-degree when pruned).
   core::CandidateConfig cand = config.candidates;

@@ -6,7 +6,8 @@ BaselineResult FinalizeResult(const Problem& problem,
                               const BaselineConfig& config, SeedGroup seeds,
                               int64_t search_simulations) {
   BaselineResult result;
-  MonteCarloEngine eval(problem, config.campaign, config.eval_samples);
+  MonteCarloEngine eval(problem, config.campaign, config.eval_samples,
+                        config.num_threads);
   result.sigma = eval.Sigma(seeds);
   result.total_cost = problem.TotalCost(seeds);
   result.seeds = std::move(seeds);

@@ -25,6 +25,9 @@ struct BaselineConfig {
   int eval_samples = 48;
   CandidateConfig candidates;
   diffusion::CampaignConfig campaign;
+  /// Monte-Carlo executor count (util::kAutoThreads = hardware
+  /// concurrency, 0 = serial); estimates are thread-count invariant.
+  int num_threads = util::kAutoThreads;
 };
 
 struct BaselineResult {

@@ -7,7 +7,8 @@
 namespace imdpp::baselines {
 
 BaselineResult RunDrhga(const Problem& problem, const BaselineConfig& config) {
-  MonteCarloEngine engine(problem, config.campaign, config.selection_samples);
+  MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
+                          config.num_threads);
 
   // Candidate users (top by out-degree when pruned).
   core::CandidateConfig cand = config.candidates;

@@ -5,7 +5,8 @@
 namespace imdpp::baselines {
 
 BaselineResult RunHag(const Problem& problem, const BaselineConfig& config) {
-  MonteCarloEngine engine(problem, config.campaign, config.selection_samples);
+  MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
+                          config.num_threads);
   std::vector<Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
 

@@ -35,7 +35,8 @@ void Search(const std::vector<Triple>& triples, size_t from, double remaining,
 }  // namespace
 
 BaselineResult RunOpt(const Problem& problem, const OptConfig& config) {
-  MonteCarloEngine engine(problem, config.campaign, config.selection_samples);
+  MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
+                          config.num_threads);
   std::vector<Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
 

@@ -8,7 +8,8 @@
 namespace imdpp::baselines {
 
 BaselineResult RunPs(const Problem& problem, const PsConfig& config) {
-  MonteCarloEngine engine(problem, config.campaign, config.selection_samples);
+  MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
+                          config.num_threads);
   std::vector<Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
 

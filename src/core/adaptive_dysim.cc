@@ -29,7 +29,8 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
 
   // Initial-perception substitutability oracle for the antagonism check.
   diffusion::CampaignConfig camp = config.base.campaign;
-  diffusion::MonteCarloEngine oracle_engine(problem, camp, 1);
+  diffusion::MonteCarloEngine oracle_engine(problem, camp, 1,
+                                            config.base.num_threads);
   const pin::PersonalItemNetwork& pin =
       oracle_engine.simulator().dynamics().pin();
   std::vector<float> avg_w0(problem.NumMetas(), 0.0f);
@@ -51,7 +52,8 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
     sub.num_promotions = horizon;
     sub.budget = remaining;
     diffusion::MonteCarloEngine engine(sub, camp,
-                                       config.base.selection_samples);
+                                       config.base.selection_samples,
+                                       config.base.num_threads);
     engine.SetInitialStates(&reality);
 
     std::vector<Nominee> candidates =

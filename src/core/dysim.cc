@@ -31,7 +31,8 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   const int T = problem.num_promotions;
 
   diffusion::MonteCarloEngine engine(problem, config.campaign,
-                                     config.selection_samples);
+                                     config.selection_samples,
+                                     config.num_threads);
   const pin::PersonalItemNetwork& pin = engine.simulator().dynamics().pin();
 
   // ---- TMI phase: nominee selection (Procedure 2). ----
@@ -146,7 +147,7 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
 
   // ---- Theorem-5 guard: best of SG, N_first, and e_max. ----
   diffusion::MonteCarloEngine eval(problem, config.campaign,
-                                   config.eval_samples);
+                                   config.eval_samples, config.num_threads);
   double best_sigma = eval.Sigma(all_seeds);
   SeedGroup best_seeds = all_seeds;
 

@@ -58,6 +58,10 @@ struct DysimConfig {
   bool use_theorem5_guard = true;
 
   diffusion::CampaignConfig campaign;
+
+  /// Monte-Carlo executor count (util::kAutoThreads = hardware
+  /// concurrency, 0 = serial); estimates are thread-count invariant.
+  int num_threads = util::kAutoThreads;
 };
 
 struct DysimResult {

@@ -1,6 +1,19 @@
 #include "diffusion/monte_carlo.h"
 
+#include <algorithm>
+
 namespace imdpp::diffusion {
+
+namespace {
+
+/// Shard-count cap. Enough shards to load-balance any plausible core
+/// count, few enough that per-shard partial state (one ExpectedState in
+/// Expected()) stays small. Must depend on nothing but this constant and
+/// the sample count: the shard layout IS the reduction tree, and a fixed
+/// tree is what makes results bit-identical across thread counts.
+constexpr int kMaxShards = 32;
+
+}  // namespace
 
 ExpectedState::ExpectedState(int num_users, int num_items, int num_metas)
     : num_users_(num_users),
@@ -47,19 +60,56 @@ ExpectedState ExpectedState::InitialOf(const Problem& problem) {
 
 MonteCarloEngine::MonteCarloEngine(const Problem& problem,
                                    const CampaignConfig& config,
-                                   int num_samples)
-    : sim_(problem, config), num_samples_(num_samples) {
+                                   int num_samples, int num_threads)
+    : sim_(problem, config),
+      num_samples_(num_samples),
+      num_threads_(util::ResolveNumThreads(num_threads)) {
   IMDPP_CHECK_GT(num_samples, 0);
 }
 
-double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
-  double total = 0.0;
-  for (int s = 0; s < num_samples_; ++s) {
-    total += sim_.RunSample(seeds, static_cast<uint64_t>(s), nullptr,
-                            /*keep_states=*/false, initial_states_)
-                 .sigma;
-    ++num_simulations_;
+int MonteCarloEngine::NumShards() const {
+  return std::min(num_samples_, kMaxShards);
+}
+
+int MonteCarloEngine::ShardBegin(int shard) const {
+  return static_cast<int>(static_cast<int64_t>(num_samples_) * shard /
+                          NumShards());
+}
+
+bool MonteCarloEngine::RunsParallel() const {
+  return num_threads_ > 1 && NumShards() > 1;
+}
+
+void MonteCarloEngine::RunShards(const std::function<void(int)>& fn) const {
+  const int num_shards = NumShards();
+  if (RunsParallel()) {
+    if (pool_ == nullptr) {
+      // More workers than shards could never claim a task, so cap the
+      // spawn count; the shard layout (and thus the result) is unchanged.
+      pool_ = std::make_unique<util::ThreadPool>(
+          std::min(num_threads_, num_shards) - 1);
+    }
+    pool_->ParallelFor(num_shards, fn);
+  } else {
+    for (int shard = 0; shard < num_shards; ++shard) fn(shard);
   }
+  num_simulations_ += num_samples_;
+}
+
+double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
+  std::vector<double> partial(NumShards(), 0.0);
+  RunShards([&](int shard) {
+    double total = 0.0;
+    const int end = ShardBegin(shard + 1);
+    for (int s = ShardBegin(shard); s < end; ++s) {
+      total += sim_.RunSample(seeds, static_cast<uint64_t>(s), nullptr,
+                              /*keep_states=*/false, initial_states_)
+                   .sigma;
+    }
+    partial[shard] = total;
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;  // fixed shard order
   return total / num_samples_;
 }
 
@@ -68,14 +118,24 @@ MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
   const Problem& p = sim_.problem();
   std::vector<uint8_t> mask(p.NumUsers(), 0);
   for (UserId u : users) mask[u] = 1;
+  std::vector<MarketEval> partial(NumShards());
+  RunShards([&](int shard) {
+    MarketEval acc;
+    const int end = ShardBegin(shard + 1);
+    for (int s = ShardBegin(shard); s < end; ++s) {
+      SampleOutcome o = sim_.RunSample(seeds, static_cast<uint64_t>(s), &mask,
+                                       /*keep_states=*/true, initial_states_);
+      acc.sigma += o.sigma;
+      acc.sigma_market += o.sigma_market;
+      acc.pi += sim_.LikelihoodPi(o.states, users);
+    }
+    partial[shard] = acc;
+  });
   MarketEval out;
-  for (int s = 0; s < num_samples_; ++s) {
-    SampleOutcome o = sim_.RunSample(seeds, static_cast<uint64_t>(s), &mask,
-                                     /*keep_states=*/true, initial_states_);
-    ++num_simulations_;
-    out.sigma += o.sigma;
-    out.sigma_market += o.sigma_market;
-    out.pi += sim_.LikelihoodPi(o.states, users);
+  for (const MarketEval& acc : partial) {  // fixed shard order
+    out.sigma += acc.sigma;
+    out.sigma_market += acc.sigma_market;
+    out.pi += acc.pi;
   }
   out.sigma /= num_samples_;
   out.sigma_market /= num_samples_;
@@ -85,23 +145,59 @@ MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
 
 ExpectedState MonteCarloEngine::Expected(const SeedGroup& seeds) const {
   const Problem& p = sim_.problem();
+  const int num_shards = NumShards();
   ExpectedState es(p.NumUsers(), p.NumItems(), p.NumMetas());
-  const float inv = 1.0f / static_cast<float>(num_samples_);
-  for (int s = 0; s < num_samples_; ++s) {
-    SampleOutcome o = sim_.RunSample(seeds, static_cast<uint64_t>(s), nullptr,
-                                     /*keep_states=*/true, initial_states_);
-    ++num_simulations_;
-    for (UserId u = 0; u < p.NumUsers(); ++u) {
-      const pin::UserState& st = o.states[u];
-      for (ItemId x : st.Adopted()) {
-        es.adoption_prob_[static_cast<size_t>(u) * p.NumItems() + x] += inv;
-      }
-      const std::vector<float>& w = st.wmeta();
-      for (int m = 0; m < p.NumMetas(); ++m) {
-        es.avg_wmeta_[static_cast<size_t>(u) * p.NumMetas() + m] += w[m] * inv;
+  // Raw per-shard sums (adoption counts, weighting totals), scaled by
+  // 1/num_samples only after the shard-order fold so the arithmetic is
+  // identical for every thread count.
+  auto accumulate = [&](int shard, ExpectedState& acc) {
+    const int end = ShardBegin(shard + 1);
+    for (int s = ShardBegin(shard); s < end; ++s) {
+      SampleOutcome o = sim_.RunSample(seeds, static_cast<uint64_t>(s), nullptr,
+                                       /*keep_states=*/true, initial_states_);
+      for (UserId u = 0; u < p.NumUsers(); ++u) {
+        const pin::UserState& st = o.states[u];
+        for (ItemId x : st.Adopted()) {
+          acc.adoption_prob_[static_cast<size_t>(u) * p.NumItems() + x] +=
+              1.0f;
+        }
+        const std::vector<float>& w = st.wmeta();
+        for (int m = 0; m < p.NumMetas(); ++m) {
+          acc.avg_wmeta_[static_cast<size_t>(u) * p.NumMetas() + m] += w[m];
+        }
       }
     }
+  };
+  auto fold = [&](const ExpectedState& acc) {
+    for (size_t i = 0; i < es.adoption_prob_.size(); ++i) {
+      es.adoption_prob_[i] += acc.adoption_prob_[i];
+    }
+    for (size_t i = 0; i < es.avg_wmeta_.size(); ++i) {
+      es.avg_wmeta_[i] += acc.avg_wmeta_[i];
+    }
+  };
+  if (RunsParallel()) {
+    // One partial per shard (workers complete out of order), folded in
+    // shard order afterwards.
+    std::vector<ExpectedState> partial(num_shards, es);
+    RunShards([&](int shard) { accumulate(shard, partial[shard]); });
+    for (const ExpectedState& acc : partial) fold(acc);
+  } else {
+    // Serial fallback: one scratch partial reused shard by shard — the
+    // identical reduction tree at 1/num_shards-th the memory.
+    ExpectedState scratch = es;
+    for (int shard = 0; shard < num_shards; ++shard) {
+      std::fill(scratch.adoption_prob_.begin(), scratch.adoption_prob_.end(),
+                0.0f);
+      std::fill(scratch.avg_wmeta_.begin(), scratch.avg_wmeta_.end(), 0.0f);
+      accumulate(shard, scratch);
+      fold(scratch);
+    }
+    num_simulations_ += num_samples_;
   }
+  const float inv = 1.0f / static_cast<float>(num_samples_);
+  for (float& v : es.adoption_prob_) v *= inv;
+  for (float& v : es.avg_wmeta_) v *= inv;
   return es;
 }
 

@@ -7,12 +7,23 @@
 // for different seed groups under the same engine are common-random-number
 // paired: Sigma(S ∪ {s}) - Sigma(S) is a low-variance paired estimate of
 // the marginal gain.
+//
+// Parallelism: the per-sample loop is embarrassingly parallel (every
+// realization is a pure function of its sample index), so estimates are
+// sharded across a util::ThreadPool. The shard layout depends only on the
+// sample count — never the thread count — and per-shard partial sums are
+// reduced in shard order, so every estimate is bit-identical for any
+// num_threads (including the 0 = serial fallback). That keeps the paired
+// marginal-gain property exact under threading.
 #ifndef IMDPP_DIFFUSION_MONTE_CARLO_H_
 #define IMDPP_DIFFUSION_MONTE_CARLO_H_
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "diffusion/campaign_simulator.h"
+#include "util/thread_pool.h"
 
 namespace imdpp::diffusion {
 
@@ -57,8 +68,11 @@ class ExpectedState {
 class MonteCarloEngine {
  public:
   /// `num_samples` realizations per estimate (M in the paper, Sec. VI-A).
+  /// `num_threads` is the total executor count for the sample loop:
+  /// util::kAutoThreads = hardware concurrency, 0 or 1 = serial. Results
+  /// are bit-identical for every value (see file comment).
   MonteCarloEngine(const Problem& problem, const CampaignConfig& config,
-                   int num_samples);
+                   int num_samples, int num_threads = util::kAutoThreads);
 
   /// σ̂(S): mean importance-weighted adoptions.
   double Sigma(const SeedGroup& seeds) const;
@@ -85,15 +99,34 @@ class MonteCarloEngine {
 
   const CampaignSimulator& simulator() const { return sim_; }
   int num_samples() const { return num_samples_; }
+  /// Resolved executor count (>= 0; 0 and 1 both mean serial).
+  int num_threads() const { return num_threads_; }
 
   /// Total simulator invocations since construction (mutable counter used
-  /// by the benchmarks to report work; not thread-safe by design).
+  /// by the benchmarks to report work; bumped once per estimate on the
+  /// calling thread, so it stays race-free under the parallel loop).
   int64_t num_simulations() const { return num_simulations_; }
 
  private:
+  /// Number of per-estimate shards: min(num_samples, kMaxShards). A
+  /// function of the sample count only, so the reduction tree is fixed.
+  int NumShards() const;
+  /// First sample index of `shard` (shard == NumShards() -> num_samples).
+  int ShardBegin(int shard) const;
+  /// Whether RunShards will use the pool (purely a scheduling question —
+  /// results never depend on it).
+  bool RunsParallel() const;
+  /// Runs fn(shard) for every shard — on the pool when num_threads_ > 1,
+  /// inline otherwise — and charges num_samples_ simulations.
+  void RunShards(const std::function<void(int)>& fn) const;
+
   CampaignSimulator sim_;
   int num_samples_;
+  int num_threads_;
   const std::vector<pin::UserState>* initial_states_ = nullptr;
+  /// Lazily created on the first parallel estimate (num_threads_ - 1
+  /// workers; the calling thread is the remaining executor).
+  mutable std::unique_ptr<util::ThreadPool> pool_;
   mutable int64_t num_simulations_ = 0;
 };
 

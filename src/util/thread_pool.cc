@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace imdpp::util {
+
+int HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ResolveNumThreads(int requested) {
+  return requested < 0 ? HardwareConcurrency() : requested;
+}
+
+ThreadPool::ThreadPool(int num_workers) {
+  IMDPP_CHECK(num_workers >= 0);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A previous batch is fully drained before ParallelFor returns, so the
+    // batch slot is free here.
+    fn_ = &fn;
+    next_ = 0;
+    total_ = n;
+    unfinished_ = n;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunTasks();  // the calling thread is one of the executors
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait for completion AND for every helper to leave RunTasks, so the
+  // next batch cannot race a straggler that is between claim and finish.
+  done_cv_.wait(lock, [this] { return unfinished_ == 0 && active_ == 0; });
+  fn_ = nullptr;
+  total_ = 0;
+}
+
+void ThreadPool::RunTasks() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++active_;
+  while (next_ < total_) {
+    const int i = next_++;
+    const std::function<void(int)>& fn = *fn_;
+    lock.unlock();
+    fn(i);
+    lock.lock();
+    --unfinished_;
+  }
+  --active_;
+  if (unfinished_ == 0 && active_ == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this, seen_epoch] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    RunTasks();
+  }
+}
+
+}  // namespace imdpp::util

@@ -1,0 +1,74 @@
+// A minimal fixed-size worker pool with a blocking ParallelFor, built for
+// the Monte-Carlo engine's sample loop.
+//
+// Design constraints (ISSUE 2):
+//   * Determinism is the caller's job — the pool only promises that every
+//     index runs exactly once. Callers shard work into partials indexed by
+//     task and reduce them in task order, so results are bit-identical for
+//     any worker count (see diffusion::MonteCarloEngine).
+//   * TSan-clean by construction: every shared field is guarded by one
+//     mutex. Task claiming takes that mutex once per task, which is noise
+//     next to a task that simulates a whole shard of campaign realizations.
+#ifndef IMDPP_UTIL_THREAD_POOL_H_
+#define IMDPP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace imdpp::util {
+
+/// Sentinel thread count: resolve to the hardware concurrency at use time.
+inline constexpr int kAutoThreads = -1;
+
+/// std::thread::hardware_concurrency(), but never 0.
+int HardwareConcurrency();
+
+/// Negative (kAutoThreads) -> HardwareConcurrency(); anything else is
+/// returned as requested (0 = serial fallback, no pool at all).
+int ResolveNumThreads(int requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads. 0 is allowed: ParallelFor then runs
+  /// every task on the calling thread.
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(0) ... fn(n-1), each exactly once, across the workers and the
+  /// calling thread; returns once every call has completed. Not reentrant:
+  /// fn must not call ParallelFor on the same pool.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs tasks of the current batch until none are left.
+  void RunTasks();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait here for a new batch
+  std::condition_variable done_cv_;  ///< ParallelFor waits here for drain
+
+  // All guarded by mu_.
+  const std::function<void(int)>* fn_ = nullptr;
+  int next_ = 0;        ///< next unclaimed task index
+  int total_ = 0;       ///< size of the current batch
+  int unfinished_ = 0;  ///< tasks claimed-or-not that have not completed
+  int active_ = 0;      ///< threads currently inside RunTasks
+  uint64_t epoch_ = 0;  ///< bumped per batch so workers never re-run one
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace imdpp::util
+
+#endif  // IMDPP_UTIL_THREAD_POOL_H_

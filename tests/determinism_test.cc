@@ -1,0 +1,109 @@
+// The determinism gate (ISSUE 2): a CampaignSession::Run must produce a
+// bit-identical PlanResult for num_threads ∈ {1, 2, hardware} — and for
+// the serial fallback 0 — on EVERY registered planner. Coin flips are
+// counter-based on (sample index, event) and the engine reduces per-shard
+// partials in a thread-count-independent order, so nothing may drift, not
+// even low-order float bits. CI runs this binary in a dedicated job; it is
+// also part of the regular ctest suite.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "data/catalog.h"
+#include "util/thread_pool.h"
+
+namespace imdpp::api {
+namespace {
+
+PlannerConfig GateConfig(int num_threads) {
+  PlannerConfig cfg;
+  cfg.selection_samples = 4;
+  cfg.eval_samples = 8;
+  cfg.candidates.max_users = 10;
+  cfg.candidates.max_items = 4;
+  cfg.seed = 20260731;
+  cfg.num_threads = num_threads;
+  // Keep the exhaustive planner tractable at gate effort.
+  cfg.opt.max_candidates = 6;
+  cfg.opt.max_seeds = 2;
+  return cfg;
+}
+
+PlanResult RunWith(const std::string& name, int num_threads) {
+  CampaignSession session(data::MakeSmallAmazonSample(),
+                          GateConfig(num_threads));
+  session.SetProblem(/*budget=*/100.0, /*num_promotions=*/2);
+  return session.Run(name);
+}
+
+/// Everything except wall_seconds must match exactly (EXPECT_EQ on the
+/// doubles: bit-identity, not tolerance).
+void ExpectSamePlan(const PlanResult& a, const PlanResult& b,
+                    const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.planner, b.planner);
+  EXPECT_EQ(a.sigma, b.sigma);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.simulations, b.simulations);
+  ASSERT_EQ(a.seeds.size(), b.seeds.size());
+  for (size_t i = 0; i < a.seeds.size(); ++i) {
+    EXPECT_EQ(a.seeds[i].user, b.seeds[i].user) << "seed " << i;
+    EXPECT_EQ(a.seeds[i].item, b.seeds[i].item) << "seed " << i;
+    EXPECT_EQ(a.seeds[i].promotion, b.seeds[i].promotion) << "seed " << i;
+  }
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].promotion, b.rounds[i].promotion) << "round " << i;
+    EXPECT_EQ(a.rounds[i].spent, b.rounds[i].spent) << "round " << i;
+    EXPECT_EQ(a.rounds[i].realized_sigma, b.rounds[i].realized_sigma)
+        << "round " << i;
+    EXPECT_EQ(a.rounds[i].seeds.size(), b.rounds[i].seeds.size())
+        << "round " << i;
+  }
+  ASSERT_EQ(a.nominees.size(), b.nominees.size());
+  for (size_t i = 0; i < a.nominees.size(); ++i) {
+    EXPECT_EQ(a.nominees[i].user, b.nominees[i].user) << "nominee " << i;
+    EXPECT_EQ(a.nominees[i].item, b.nominees[i].item) << "nominee " << i;
+  }
+  EXPECT_EQ(a.num_markets, b.num_markets);
+  EXPECT_EQ(a.num_groups, b.num_groups);
+}
+
+TEST(DeterminismGate, EveryPlannerBitIdenticalAcrossThreadCounts) {
+  const int hardware = util::HardwareConcurrency();
+  for (const std::string& name : PlannerRegistry::Names()) {
+    SCOPED_TRACE(name);
+    PlanResult serial = RunWith(name, 0);
+    PlanResult one = RunWith(name, 1);
+    PlanResult two = RunWith(name, 2);
+    PlanResult wide = RunWith(name, hardware);
+    ExpectSamePlan(serial, one, "serial fallback vs 1 thread");
+    ExpectSamePlan(one, two, "1 thread vs 2 threads");
+    ExpectSamePlan(one, wide, "1 thread vs hardware threads");
+  }
+}
+
+TEST(DeterminismGate, SerialFallbackMatchesParallel) {
+  PlanResult serial = RunWith("dysim", 0);
+  PlanResult parallel = RunWith("dysim", 4);
+  ExpectSamePlan(serial, parallel, "serial fallback vs 4 threads");
+}
+
+TEST(DeterminismGate, SessionSigmaThreadCountInvariant) {
+  const diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 2}};
+  std::vector<double> sigmas;
+  for (int threads : {0, 1, 2, 4}) {
+    CampaignSession session(data::MakeSmallAmazonSample(),
+                            GateConfig(threads));
+    session.SetProblem(/*budget=*/100.0, /*num_promotions=*/2);
+    sigmas.push_back(session.Sigma(seeds));
+  }
+  for (size_t i = 1; i < sigmas.size(); ++i) {
+    EXPECT_EQ(sigmas[i], sigmas[0]);
+  }
+}
+
+}  // namespace
+}  // namespace imdpp::api

@@ -128,6 +128,117 @@ TEST(ExpectedState, AvgRelUsesAverageWeightings) {
   EXPECT_NEAR(es.AvgRelS(dyn.pin(), {0, 1}, 0, 1), 0.0, 1e-9);
 }
 
+// ---------------------------------------------------------------------
+// Parallel reduction (ISSUE 2): the shard layout depends only on the
+// sample count, so every estimate must be BIT-identical — EXPECT_EQ on
+// doubles, not EXPECT_NEAR — for any thread count, including the serial
+// fallback (0) and over-subscription (more threads than shards).
+
+/// A world with genuinely stochastic edges so a reduction-order bug would
+/// actually change low-order bits.
+TinyWorld NoisyWorld() {
+  return MakeWorld(6,
+                   {{0, 1, 0.37}, {1, 2, 0.61}, {2, 3, 0.53},
+                    {3, 4, 0.29}, {0, 4, 0.47}, {4, 5, 0.71}},
+                   DetSpec(/*items=*/2, /*promotions=*/2));
+}
+
+TEST(MonteCarloEngine, SigmaBitIdenticalAcrossThreadCounts) {
+  TinyWorld w = NoisyWorld();
+  const SeedGroup seeds{{0, 0, 1}, {2, 1, 2}};
+  MonteCarloEngine serial(w.problem, {}, 37, /*num_threads=*/0);
+  const double expected = serial.Sigma(seeds);
+  for (int threads : {1, 2, 3, 4, 8, 64}) {
+    MonteCarloEngine engine(w.problem, {}, 37, threads);
+    EXPECT_EQ(engine.Sigma(seeds), expected) << "threads=" << threads;
+  }
+}
+
+TEST(MonteCarloEngine, EvalMarketBitIdenticalAcrossThreadCounts) {
+  TinyWorld w = NoisyWorld();
+  const SeedGroup seeds{{0, 0, 1}};
+  const std::vector<UserId> market{1, 3, 5};
+  MonteCarloEngine serial(w.problem, {}, 48, /*num_threads=*/0);
+  MonteCarloEngine::MarketEval base = serial.EvalMarket(seeds, market);
+  for (int threads : {1, 2, 4, 8}) {
+    MonteCarloEngine engine(w.problem, {}, 48, threads);
+    MonteCarloEngine::MarketEval ev = engine.EvalMarket(seeds, market);
+    EXPECT_EQ(ev.sigma, base.sigma) << "threads=" << threads;
+    EXPECT_EQ(ev.sigma_market, base.sigma_market) << "threads=" << threads;
+    EXPECT_EQ(ev.pi, base.pi) << "threads=" << threads;
+  }
+}
+
+TEST(ExpectedState, BitIdenticalAcrossThreadCounts) {
+  TinyWorld w = NoisyWorld();
+  const SeedGroup seeds{{0, 0, 1}, {2, 1, 2}};
+  MonteCarloEngine serial(w.problem, {}, 40, /*num_threads=*/0);
+  ExpectedState base = serial.Expected(seeds);
+  for (int threads : {1, 2, 4, 8}) {
+    MonteCarloEngine engine(w.problem, {}, 40, threads);
+    ExpectedState es = engine.Expected(seeds);
+    for (UserId u = 0; u < w.problem.NumUsers(); ++u) {
+      for (ItemId x = 0; x < w.problem.NumItems(); ++x) {
+        EXPECT_EQ(es.AdoptionProb(u, x), base.AdoptionProb(u, x))
+            << "threads=" << threads << " u=" << u << " x=" << x;
+      }
+      std::span<const float> got = es.AvgWmeta(u);
+      std::span<const float> want = base.AvgWmeta(u);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t m = 0; m < got.size(); ++m) {
+        EXPECT_EQ(got[m], want[m])
+            << "threads=" << threads << " u=" << u << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(MonteCarloEngine, PairedMarginalPreservedUnderThreading) {
+  // The common-random-number pairing Sigma(S ∪ {s}) - Sigma(S) must
+  // survive threading exactly: same gain bits on every thread count, and
+  // still non-negative for a static single promotion.
+  TinyWorld w = MakeWorld(
+      6, {{0, 1, 0.5}, {1, 2, 0.5}, {3, 4, 0.5}, {4, 5, 0.5}, {2, 3, 0.2}},
+      DetSpec());
+  MonteCarloEngine serial(w.problem, {}, 200, /*num_threads=*/0);
+  const double gain_serial =
+      serial.Sigma({{0, 0, 1}, {3, 0, 1}}) - serial.Sigma({{0, 0, 1}});
+  EXPECT_GE(gain_serial, 0.0);
+  for (int threads : {2, 4}) {
+    MonteCarloEngine engine(w.problem, {}, 200, threads);
+    const double gain =
+        engine.Sigma({{0, 0, 1}, {3, 0, 1}}) - engine.Sigma({{0, 0, 1}});
+    EXPECT_EQ(gain, gain_serial) << "threads=" << threads;
+  }
+}
+
+TEST(MonteCarloEngine, ThreadCountEdgeCases) {
+  TinyWorld w = NoisyWorld();
+  const SeedGroup seeds{{0, 0, 1}};
+  // Fewer samples than shards/threads, single sample, auto threads.
+  MonteCarloEngine one_sample_serial(w.problem, {}, 1, 0);
+  MonteCarloEngine one_sample_wide(w.problem, {}, 1, 16);
+  EXPECT_EQ(one_sample_serial.Sigma(seeds), one_sample_wide.Sigma(seeds));
+
+  MonteCarloEngine three_serial(w.problem, {}, 3, 0);
+  MonteCarloEngine three_wide(w.problem, {}, 3, 16);
+  EXPECT_EQ(three_serial.Sigma(seeds), three_wide.Sigma(seeds));
+
+  MonteCarloEngine auto_threads(w.problem, {}, 24, util::kAutoThreads);
+  EXPECT_EQ(auto_threads.num_threads(), util::HardwareConcurrency());
+  MonteCarloEngine serial(w.problem, {}, 24, 0);
+  EXPECT_EQ(auto_threads.Sigma(seeds), serial.Sigma(seeds));
+}
+
+TEST(MonteCarloEngine, SimulationCounterExactUnderThreading) {
+  TinyWorld w = NoisyWorld();
+  MonteCarloEngine engine(w.problem, {}, 10, /*num_threads=*/4);
+  engine.Sigma({{0, 0, 1}});
+  EXPECT_EQ(engine.num_simulations(), 10);
+  engine.Expected({{0, 0, 1}});
+  EXPECT_EQ(engine.num_simulations(), 20);
+}
+
 TEST(MonteCarloEngine, InitialStatesRespected) {
   TinyWorld w = MakeWorld(3, {{0, 1, 1.0}, {1, 2, 1.0}}, DetSpec());
   MonteCarloEngine engine(w.problem, {}, 4);

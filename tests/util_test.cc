@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
 #include <vector>
 
@@ -7,6 +9,7 @@
 #include "util/mathutil.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace imdpp {
 namespace {
@@ -137,6 +140,74 @@ TEST(Table, RendersAlignedColumns) {
 TEST(Table, NumFormatting) {
   EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::Int(42), "42");
+}
+
+TEST(ThreadPool, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(util::HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPool, ResolveNumThreads) {
+  EXPECT_EQ(util::ResolveNumThreads(util::kAutoThreads),
+            util::HardwareConcurrency());
+  EXPECT_EQ(util::ResolveNumThreads(-7), util::HardwareConcurrency());
+  EXPECT_EQ(util::ResolveNumThreads(0), 0);
+  EXPECT_EQ(util::ResolveNumThreads(1), 1);
+  EXPECT_EQ(util::ResolveNumThreads(16), 16);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(3);
+  constexpr int kN = 100;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  util::ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> out(7, 0);  // distinct slots: no synchronization needed
+    pool.ParallelFor(7, [&](int i) { out[i] = i * i; });
+    for (int i = 0; i < 7; ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersRunsOnCaller) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(5);
+  pool.ParallelFor(5, [&](int i) { ran[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, EmptyAndNegativeBatchesAreNoops) {
+  util::ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int) { ++calls; });
+  pool.ParallelFor(-3, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, MoreWorkersThanTasks) {
+  util::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(2);
+  pool.ParallelFor(2, [&](int i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ThreadPool, PerIndexPartialsReduceDeterministically) {
+  // The usage pattern the Monte-Carlo engine relies on: each task writes
+  // its own partial, the caller folds in index order.
+  util::ThreadPool pool(4);
+  constexpr int kN = 33;
+  std::vector<double> partial(kN, 0.0);
+  pool.ParallelFor(kN, [&](int i) { partial[i] = 1.0 / (1 + i); });
+  const double total = std::accumulate(partial.begin(), partial.end(), 0.0);
+  double expected = 0.0;
+  for (int i = 0; i < kN; ++i) expected += 1.0 / (1 + i);
+  EXPECT_EQ(total, expected);
 }
 
 }  // namespace
