@@ -94,6 +94,90 @@ void BM_ExpectedStateThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpectedStateThreads)->Arg(0)->Arg(4)->UseRealTime();
 
+/// Checkpoint-resumed σ̂ vs from-scratch σ̂ of the same group (yelp-like,
+/// T = 5): the candidate seed lands in the last promotion, so the
+/// checkpointed path replays only round 5 instead of rounds 1-5. Arg 0 =
+/// naive, Arg 1 = checkpointed; the rounds_per_sigma counter reports the
+/// promotion-rounds each estimate actually simulated (engine counters, so
+/// the 1-vs-4+ gap is deterministic).
+void BM_SigmaCheckpointed(benchmark::State& state) {
+  const data::Dataset& ds = YelpDs();
+  diffusion::Problem p = ds.MakeProblem(300.0, 5);
+  constexpr int kSamples = 16;
+  diffusion::MonteCarloEngine engine(p, {}, kSamples, /*num_threads=*/0);
+  const diffusion::SeedGroup base{{0, 0, 1}, {1, 1, 2}, {5, 3, 3}, {9, 2, 4}};
+  diffusion::CheckpointedEval eval(engine, base);
+  const bool checkpointed = state.range(0) == 1;
+  diffusion::SeedGroup with = base;
+  with.push_back({14, 18, 5});
+  const int64_t rounds_before = engine.num_rounds_simulated();
+  const int64_t sims_before = engine.num_simulations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checkpointed ? eval.Sigma(with)
+                                          : engine.Sigma(with));
+  }
+  const double estimates = static_cast<double>(
+      (engine.num_simulations() - sims_before) / kSamples);
+  if (estimates > 0) {
+    state.counters["rounds_per_sigma"] =
+        static_cast<double>(engine.num_rounds_simulated() - rounds_before) /
+        (estimates * kSamples);
+  }
+}
+BENCHMARK(BM_SigmaCheckpointed)->Arg(0)->Arg(1);
+
+/// CR-Greedy-style timing placement (the loop TDSI/Theorem-5 guard/
+/// CrGreedyTimings all share) on yelp-like, T = 10: plain per-candidate
+/// engine.Sigma (Arg 0) vs checkpoint-resumed candidates (Arg 1). The
+/// rounds_simulated counter is the per-placement promotion-round work;
+/// rounds_naive is what the pre-PR evaluation (T rounds per sample per
+/// estimate, no reuse) would have cost. CI compares the Arg 1 pair
+/// (checkpointed must be >= 2x below naive; tests/perf_smoke_test.cc
+/// asserts the same bar).
+void BM_GreedySelect(benchmark::State& state) {
+  const data::Dataset& ds = YelpDs();
+  diffusion::Problem p = ds.MakeProblem(500.0, 10);
+  constexpr int kSamples = 8;
+  constexpr int kPromotions = 10;
+  const std::vector<diffusion::Nominee> nominees{
+      {0, 0}, {14, 18}, {52, 15}, {111, 10}};
+  const bool checkpointed = state.range(0) == 1;
+  int64_t rounds = 0;
+  int64_t rounds_naive = 0;
+  int64_t placements = 0;
+  for (auto _ : state) {
+    diffusion::MonteCarloEngine engine(p, {}, kSamples, /*num_threads=*/0);
+    diffusion::CheckpointedEval eval(engine, /*base=*/{});
+    diffusion::SeedGroup placed;
+    for (const diffusion::Nominee& n : nominees) {
+      int best_t = 1;
+      double best_sigma = -1.0;
+      for (int t = 1; t <= kPromotions; ++t) {
+        diffusion::SeedGroup with = placed;
+        with.push_back({n.user, n.item, t});
+        const double s = checkpointed ? eval.Sigma(with) : engine.Sigma(with);
+        if (s > best_sigma) {
+          best_sigma = s;
+          best_t = t;
+        }
+      }
+      placed.push_back({n.user, n.item, best_t});
+      if (checkpointed) eval.Rebase(placed);
+    }
+    benchmark::DoNotOptimize(placed.size());
+    rounds += engine.num_rounds_simulated();
+    rounds_naive += engine.num_rounds_simulated() + engine.num_rounds_skipped();
+    ++placements;
+  }
+  if (placements > 0) {
+    state.counters["rounds_simulated"] =
+        static_cast<double>(rounds) / static_cast<double>(placements);
+    state.counters["rounds_naive"] =
+        static_cast<double>(rounds_naive) / static_cast<double>(placements);
+  }
+}
+BENCHMARK(BM_GreedySelect)->Arg(0)->Arg(1);
+
 void BM_MetaGraphAllPairs(benchmark::State& state) {
   const data::Dataset& ds = AmazonDs();
   kg::MetaGraphMatcher matcher(*ds.kg);

@@ -46,6 +46,22 @@ int main() {
   std::printf("expected importance-aware spread sigma = %.2f\n", result.sigma);
   std::printf("target markets: %zu in %zu group(s)\n", result.num_markets,
               result.num_groups);
+  // Evaluation fast-path accounting: promotion-rounds actually simulated
+  // vs avoided (unseeded-round skips, promotion-boundary checkpoint
+  // resumes, sigma-memo hits) relative to naive T-rounds-per-sample
+  // re-simulation. Deterministic, so safe to diff across runs.
+  const long long naive_rounds =
+      static_cast<long long>(result.rounds_simulated + result.rounds_skipped);
+  std::printf(
+      "evaluation fast path: %lld promotion-rounds simulated, %lld skipped "
+      "(%.1fx less than naive), %lld memoized sigma estimates\n",
+      static_cast<long long>(result.rounds_simulated),
+      static_cast<long long>(result.rounds_skipped),
+      result.rounds_simulated == 0
+          ? 1.0
+          : static_cast<double>(naive_rounds) /
+                static_cast<double>(result.rounds_simulated),
+      static_cast<long long>(result.memo_hits));
 
   // 4. Inspect the schedule, round by round.
   for (const api::PlanRound& round : result.rounds) {

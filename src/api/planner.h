@@ -14,6 +14,7 @@
 #define IMDPP_API_PLANNER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,6 +58,12 @@ struct PlannerConfig {
   /// fallback. Purely a throughput knob — estimates are bit-identical for
   /// every value (see diffusion::MonteCarloEngine).
   int num_threads = util::kAutoThreads;
+
+  /// Optional worker pool shared by every engine the planner builds.
+  /// CampaignSession::Run injects the session's pool here, so one set of
+  /// threads serves planning and evaluation alike; null = planners create
+  /// (and share internally) their own.
+  std::shared_ptr<util::ThreadPool> shared_pool;
 
   struct DysimOptions {
     core::MarketOrderMetric order =
@@ -109,6 +116,13 @@ struct PlanResult {
   double sigma = 0.0;           ///< σ̂ at eval_samples
   double total_cost = 0.0;      ///< Σ c_{u,x} over the seeds
   int64_t simulations = 0;      ///< simulator invocations spent planning
+  /// Promotion-round accounting (engines the planner owned): rounds
+  /// executed vs rounds avoided (unseeded-round skips, checkpoint
+  /// resumes, σ-memo hits) relative to naive T-rounds-per-sample
+  /// evaluation. 0/0 for planners that do not report it.
+  int64_t rounds_simulated = 0;
+  int64_t rounds_skipped = 0;
+  int64_t memo_hits = 0;        ///< σ estimates answered from the memo
   double wall_seconds = 0.0;    ///< wall-clock planning time
   std::vector<PlanRound> rounds;  ///< per-round diagnostics
 

@@ -45,6 +45,7 @@ core::DysimConfig ToDysimConfig(const PlannerConfig& c) {
   cfg.use_theorem5_guard = c.dysim.use_theorem5_guard;
   cfg.campaign = MakeCampaign(c);
   cfg.num_threads = c.num_threads;
+  cfg.shared_pool = c.shared_pool;
   return cfg;
 }
 
@@ -55,6 +56,7 @@ baselines::BaselineConfig ToBaselineConfig(const PlannerConfig& c) {
   cfg.candidates = c.candidates;
   cfg.campaign = MakeCampaign(c);
   cfg.num_threads = c.num_threads;
+  cfg.shared_pool = c.shared_pool;
   return cfg;
 }
 
@@ -82,6 +84,9 @@ class DysimPlanner : public Planner {
     out.sigma = r.sigma;
     out.total_cost = r.total_cost;
     out.simulations = r.simulations;
+    out.rounds_simulated = r.rounds_simulated;
+    out.rounds_skipped = r.rounds_skipped;
+    out.memo_hits = r.memo_hits;
     out.nominees = std::move(r.nominees);
     out.num_markets = r.plan.markets.size();
     out.num_groups = r.plan.groups.size();
@@ -119,9 +124,12 @@ class AdaptivePlanner : public Planner {
     // thing for every planner.
     diffusion::MonteCarloEngine eval(problem, MakeCampaign(config()),
                                      config().eval_samples,
-                                     config().num_threads);
+                                     config().num_threads,
+                                     config().shared_pool);
     out.sigma = eval.Sigma(out.seeds);
     out.simulations = eval.num_simulations();
+    out.rounds_simulated = eval.num_rounds_simulated();
+    out.rounds_skipped = eval.num_rounds_skipped();
     return out;
   }
 };
@@ -137,9 +145,18 @@ PlanResult SelectAndFinalize(const diffusion::Problem& problem,
                              const PlannerConfig& config,
                              const SelectFn& select,
                              const ScheduleFn& schedule) {
+  // Search and final-eval engines share one worker pool (the session's
+  // when provided); the search engine memoizes σ so the selection loops'
+  // re-checks of identical seed vectors cost nothing.
+  std::shared_ptr<util::ThreadPool> pool = config.shared_pool;
+  const int resolved_threads = util::ResolveNumThreads(config.num_threads);
+  if (pool == nullptr && resolved_threads > 1) {
+    pool = std::make_shared<util::ThreadPool>(resolved_threads - 1);
+  }
   diffusion::MonteCarloEngine search(problem, MakeCampaign(config),
                                      config.selection_samples,
-                                     config.num_threads);
+                                     config.num_threads, pool);
+  search.EnableSigmaMemo();
   std::vector<diffusion::Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
   core::SelectionResult sel = select(search, candidates);
@@ -147,11 +164,16 @@ PlanResult SelectAndFinalize(const diffusion::Problem& problem,
 
   PlanResult out;
   diffusion::MonteCarloEngine eval(problem, MakeCampaign(config),
-                                   config.eval_samples, config.num_threads);
+                                   config.eval_samples, config.num_threads,
+                                   pool);
   out.sigma = eval.Sigma(seeds);
   out.seeds = std::move(seeds);
   out.total_cost = problem.TotalCost(out.seeds);
   out.simulations = search.num_simulations() + eval.num_simulations();
+  out.rounds_simulated =
+      search.num_rounds_simulated() + eval.num_rounds_simulated();
+  out.rounds_skipped = search.num_rounds_skipped() + eval.num_rounds_skipped();
+  out.memo_hits = search.num_memo_hits() + eval.num_memo_hits();
   out.nominees = std::move(sel.nominees);
   return out;
 }

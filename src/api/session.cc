@@ -39,8 +39,12 @@ PlanResult CampaignSession::Run(const std::string& planner_name) {
 PlanResult CampaignSession::Run(const std::string& planner_name,
                                 const PlannerConfig& config) {
   IMDPP_CHECK(problem_.graph != nullptr);  // SetProblem first
+  PlannerConfig run_config = config;
+  if (run_config.shared_pool == nullptr) {
+    run_config.shared_pool = SharedPool(run_config.num_threads);
+  }
   std::unique_ptr<Planner> planner =
-      PlannerRegistry::CreateOrDie(planner_name, config);
+      PlannerRegistry::CreateOrDie(planner_name, run_config);
   PlanResult result = planner->Plan(problem_);
   result.sigma = Sigma(result.seeds);
   return result;
@@ -74,9 +78,21 @@ diffusion::MonteCarloEngine& CampaignSession::engine() {
     diffusion::CampaignConfig campaign = config_.campaign;
     campaign.base_seed = config_.seed;
     engine_ = std::make_unique<diffusion::MonteCarloEngine>(
-        problem_, campaign, config_.eval_samples, config_.num_threads);
+        problem_, campaign, config_.eval_samples, config_.num_threads,
+        SharedPool(config_.num_threads));
   }
   return *engine_;
+}
+
+std::shared_ptr<util::ThreadPool> CampaignSession::SharedPool(
+    int num_threads) {
+  const int resolved = util::ResolveNumThreads(num_threads);
+  if (resolved <= 1) return nullptr;  // serial: engines never dispatch
+  if (pool_ == nullptr || pool_threads_ != resolved) {
+    pool_ = std::make_shared<util::ThreadPool>(resolved - 1);
+    pool_threads_ = resolved;
+  }
+  return pool_;
 }
 
 }  // namespace imdpp::api

@@ -76,11 +76,19 @@ class CampaignSession {
   diffusion::MonteCarloEngine& engine();
 
  private:
+  /// The session-wide worker pool, built lazily for `num_threads`
+  /// executors (resized if a later caller asks for a different count).
+  /// One set of threads backs the shared engine AND every engine the
+  /// planners build during Run/Compare — no per-engine respawn.
+  std::shared_ptr<util::ThreadPool> SharedPool(int num_threads);
+
   data::Dataset dataset_;
   PlannerConfig config_;
   std::unique_ptr<kg::RelevanceModel> relevance_override_;
   diffusion::Problem problem_;
   std::unique_ptr<diffusion::MonteCarloEngine> engine_;
+  std::shared_ptr<util::ThreadPool> pool_;
+  int pool_threads_ = 0;  ///< resolved thread count pool_ was built for
 };
 
 }  // namespace imdpp::api

@@ -28,7 +28,7 @@ std::vector<Nominee> BundleFor(const Problem& problem, graph::UserId u,
 
 BaselineResult RunBgrd(const Problem& problem, const BaselineConfig& config) {
   MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
-                          config.num_threads);
+                          config.num_threads, config.shared_pool);
 
   // Candidate users (top by out-degree when pruned).
   core::CandidateConfig cand = config.candidates;

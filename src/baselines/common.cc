@@ -7,7 +7,7 @@ BaselineResult FinalizeResult(const Problem& problem,
                               int64_t search_simulations) {
   BaselineResult result;
   MonteCarloEngine eval(problem, config.campaign, config.eval_samples,
-                        config.num_threads);
+                        config.num_threads, config.shared_pool);
   result.sigma = eval.Sigma(seeds);
   result.total_cost = problem.TotalCost(seeds);
   result.seeds = std::move(seeds);

@@ -5,6 +5,7 @@
 #ifndef IMDPP_BASELINES_COMMON_H_
 #define IMDPP_BASELINES_COMMON_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/nominee_selection.h"
@@ -28,6 +29,9 @@ struct BaselineConfig {
   /// Monte-Carlo executor count (util::kAutoThreads = hardware
   /// concurrency, 0 = serial); estimates are thread-count invariant.
   int num_threads = util::kAutoThreads;
+  /// Optional pool shared by every engine the baseline builds (sessions
+  /// pass theirs in); null = per-engine lazy pool.
+  std::shared_ptr<util::ThreadPool> shared_pool;
 };
 
 struct BaselineResult {

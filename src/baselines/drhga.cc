@@ -8,7 +8,7 @@ namespace imdpp::baselines {
 
 BaselineResult RunDrhga(const Problem& problem, const BaselineConfig& config) {
   MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
-                          config.num_threads);
+                          config.num_threads, config.shared_pool);
 
   // Candidate users (top by out-degree when pruned).
   core::CandidateConfig cand = config.candidates;

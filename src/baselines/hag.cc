@@ -6,7 +6,7 @@ namespace imdpp::baselines {
 
 BaselineResult RunHag(const Problem& problem, const BaselineConfig& config) {
   MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
-                          config.num_threads);
+                          config.num_threads, config.shared_pool);
   std::vector<Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
 

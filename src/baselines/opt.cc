@@ -36,7 +36,7 @@ void Search(const std::vector<Triple>& triples, size_t from, double remaining,
 
 BaselineResult RunOpt(const Problem& problem, const OptConfig& config) {
   MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
-                          config.num_threads);
+                          config.num_threads, config.shared_pool);
   std::vector<Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
 

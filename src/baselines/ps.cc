@@ -9,7 +9,7 @@ namespace imdpp::baselines {
 
 BaselineResult RunPs(const Problem& problem, const PsConfig& config) {
   MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
-                          config.num_threads);
+                          config.num_threads, config.shared_pool);
   std::vector<Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
 

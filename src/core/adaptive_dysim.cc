@@ -27,10 +27,19 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
   double remaining = problem.budget;
   std::vector<pin::UserState> reality = InitialStates(problem);
 
+  // One pool serves every per-round engine (ROADMAP: no thread respawn
+  // per adaptive round).
+  std::shared_ptr<util::ThreadPool> pool = config.base.shared_pool;
+  const int resolved_threads =
+      util::ResolveNumThreads(config.base.num_threads);
+  if (pool == nullptr && resolved_threads > 1) {
+    pool = std::make_shared<util::ThreadPool>(resolved_threads - 1);
+  }
+
   // Initial-perception substitutability oracle for the antagonism check.
   diffusion::CampaignConfig camp = config.base.campaign;
   diffusion::MonteCarloEngine oracle_engine(problem, camp, 1,
-                                            config.base.num_threads);
+                                            config.base.num_threads, pool);
   const pin::PersonalItemNetwork& pin =
       oracle_engine.simulator().dynamics().pin();
   std::vector<float> avg_w0(problem.NumMetas(), 0.0f);
@@ -53,7 +62,7 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
     sub.budget = remaining;
     diffusion::MonteCarloEngine engine(sub, camp,
                                        config.base.selection_samples,
-                                       config.base.num_threads);
+                                       config.base.num_threads, pool);
     engine.SetInitialStates(&reality);
 
     std::vector<Nominee> candidates =

@@ -1,6 +1,9 @@
 #include "core/dysim.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <utility>
 
 #include "core/dre.h"
 #include "core/tdsi.h"
@@ -30,9 +33,20 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   DysimResult result;
   const int T = problem.num_promotions;
 
+  // One worker pool serves both the search and the final-eval engine
+  // (ROADMAP: no per-engine thread respawn); sessions can pass theirs in.
+  std::shared_ptr<util::ThreadPool> pool = config.shared_pool;
+  const int resolved_threads = util::ResolveNumThreads(config.num_threads);
+  if (pool == nullptr && resolved_threads > 1) {
+    pool = std::make_shared<util::ThreadPool>(resolved_threads - 1);
+  }
   diffusion::MonteCarloEngine engine(problem, config.campaign,
                                      config.selection_samples,
-                                     config.num_threads);
+                                     config.num_threads, pool);
+  // The selection sweeps below revisit identical seed vectors (singleton
+  // gains re-checked by the greedy, refinement re-testing a timing); the
+  // memo returns the identical bits without re-simulating.
+  engine.EnableSigmaMemo();
   const pin::PersonalItemNetwork& pin = engine.simulator().dynamics().pin();
 
   // ---- TMI phase: nominee selection (Procedure 2). ----
@@ -147,7 +161,8 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
 
   // ---- Theorem-5 guard: best of SG, N_first, and e_max. ----
   diffusion::MonteCarloEngine eval(problem, config.campaign,
-                                   config.eval_samples, config.num_threads);
+                                   config.eval_samples, config.num_threads,
+                                   pool);
   double best_sigma = eval.Sigma(all_seeds);
   SeedGroup best_seeds = all_seeds;
 
@@ -162,7 +177,11 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   }
   // Round-greedy placement of the same nominees (CR-Greedy style): for each
   // nominee in selection order, the promotion with the highest paired σ̂.
+  // Candidate (n, t) shares `placed`'s rounds < t, so each σ̂ resumes from
+  // the round-(t-1) checkpoint; accepting a seed at best_t keeps every
+  // checkpoint below best_t alive.
   if (config.use_theorem5_guard && T > 1 && !sel.nominees.empty()) {
+    diffusion::CheckpointedEval placer(engine, /*base=*/{});
     SeedGroup placed;
     for (const Nominee& n : sel.nominees) {
       int best_t = 1;
@@ -170,13 +189,14 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
       for (int t = 1; t <= T; ++t) {
         SeedGroup with = placed;
         with.push_back({n.user, n.item, t});
-        double s = engine.Sigma(with);
+        double s = placer.Sigma(with);
         if (s > best_s) {
           best_s = s;
           best_t = t;
         }
       }
       placed.push_back({n.user, n.item, best_t});
+      placer.Rebase(placed);
     }
     double s = eval.Sigma(placed);
     if (s > best_sigma) {
@@ -200,15 +220,23 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   if (config.use_theorem5_guard && T > 1 && !best_seeds.empty()) {
     SeedGroup refined = best_seeds;
     double refined_sigma = engine.Sigma(refined);
+    // Moving seed i to round t only perturbs rounds >= min(t, original),
+    // so each trial σ̂ resumes from the checkpoints of `refined` without
+    // seed i; identical configurations revisited across sweeps hit the σ
+    // memo outright.
+    diffusion::CheckpointedEval refiner(engine, refined);
     for (int sweep = 0; sweep < 2; ++sweep) {
       bool moved = false;
       for (size_t i = 0; i < refined.size(); ++i) {
         int original = refined[i].promotion;
         int best_t = original;
+        SeedGroup without = refined;
+        without.erase(without.begin() + static_cast<ptrdiff_t>(i));
+        refiner.Rebase(std::move(without));
         for (int t = 1; t <= T; ++t) {
           if (t == original) continue;
           refined[i].promotion = t;
-          double s = engine.Sigma(refined);
+          double s = refiner.Sigma(refined);
           if (s > refined_sigma) {
             refined_sigma = s;
             best_t = t;
@@ -231,6 +259,11 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   result.total_cost = problem.TotalCost(result.seeds);
   result.plan = std::move(plan);
   result.simulations = engine.num_simulations() + eval.num_simulations();
+  result.rounds_simulated =
+      engine.num_rounds_simulated() + eval.num_rounds_simulated();
+  result.rounds_skipped =
+      engine.num_rounds_skipped() + eval.num_rounds_skipped();
+  result.memo_hits = engine.num_memo_hits() + eval.num_memo_hits();
   return result;
 }
 

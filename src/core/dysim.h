@@ -62,6 +62,11 @@ struct DysimConfig {
   /// Monte-Carlo executor count (util::kAutoThreads = hardware
   /// concurrency, 0 = serial); estimates are thread-count invariant.
   int num_threads = util::kAutoThreads;
+
+  /// Optional pool backing every Monte-Carlo engine this run builds
+  /// (sessions pass theirs in); null = one pool shared between the
+  /// search and eval engines, created on demand.
+  std::shared_ptr<util::ThreadPool> shared_pool;
 };
 
 struct DysimResult {
@@ -71,6 +76,12 @@ struct DysimResult {
   std::vector<Nominee> nominees;    ///< TMI output
   cluster::MarketPlan plan;         ///< diagnostics
   int64_t simulations = 0;          ///< simulator invocations spent
+  /// Promotion-round accounting across both engines: rounds executed vs
+  /// rounds avoided (unseeded-round skips, checkpoint resumes, σ-memo
+  /// hits) relative to the naive T-rounds-per-sample evaluation.
+  int64_t rounds_simulated = 0;
+  int64_t rounds_skipped = 0;
+  int64_t memo_hits = 0;            ///< σ estimates answered from the memo
 };
 
 /// Runs Dysim on `problem` (budget and T come from the problem).

@@ -5,27 +5,35 @@
 
 namespace imdpp::core {
 
+double TimingSelector::SiOf(const MonteCarloEngine::MarketEval& base,
+                            const MonteCarloEngine::MarketEval& with,
+                            int t) const {
+  const double ma = with.sigma_market - base.sigma_market;
+  const double ml = with.pi - base.pi;
+  const double remaining = static_cast<double>(total_promotions_ - t + 1) /
+                           static_cast<double>(total_promotions_);
+  return ma + remaining * ml;
+}
+
 double TimingSelector::SubstantialInfluence(
     const SeedGroup& sg, const MonteCarloEngine::MarketEval& base,
     const Seed& cand) const {
   SeedGroup with = sg;
   with.push_back(cand);
   MonteCarloEngine::MarketEval ev = engine_.EvalMarket(with, market_);
-  const double ma = ev.sigma_market - base.sigma_market;
-  const double ml = ev.pi - base.pi;
-  const double remaining =
-      static_cast<double>(total_promotions_ - cand.promotion + 1) /
-      static_cast<double>(total_promotions_);
-  return ma + remaining * ml;
+  return SiOf(base, ev, cand.promotion);
 }
 
 Seed TimingSelector::PickBest(const SeedGroup& sg,
                               const std::vector<Nominee>& pending, int t_lo,
-                              int t_hi, int* best_index) const {
+                              int t_hi, int* best_index) {
   IMDPP_CHECK(!pending.empty());
   t_lo = std::max(1, t_lo);
   t_hi = std::min(total_promotions_, std::max(t_lo, t_hi));
-  MonteCarloEngine::MarketEval base = engine_.EvalMarket(sg, market_);
+  // The group grows at the latest timings, so checkpoints from earlier
+  // PickBest calls stay valid below t_lo.
+  eval_.Rebase(sg);
+  MonteCarloEngine::MarketEval base = eval_.EvalMarket(sg);
 
   Seed best{};
   double best_si = -std::numeric_limits<double>::infinity();
@@ -33,7 +41,9 @@ Seed TimingSelector::PickBest(const SeedGroup& sg,
   for (int i = 0; i < static_cast<int>(pending.size()); ++i) {
     for (int t = t_lo; t <= t_hi; ++t) {
       Seed cand{pending[i].user, pending[i].item, t};
-      double si = SubstantialInfluence(sg, base, cand);
+      SeedGroup with = sg;
+      with.push_back(cand);
+      double si = SiOf(base, eval_.EvalMarket(with), t);
       if (si > best_si) {
         best_si = si;
         best = cand;

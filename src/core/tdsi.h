@@ -9,6 +9,13 @@
 // Both differences are common-random-number paired Monte-Carlo estimates.
 // The search window for t is [t̂, min(t̂+1, Σ_{i≤k} T_{τ_i})] (see the
 // paper's argument that later timings only shrink the ML term).
+//
+// Evaluation: PickBest runs on a market-bound CheckpointedEval. Every
+// candidate (u,x,t) shares the current group's rounds < t, so its market
+// evaluation resumes from the round-(t−1) checkpoint instead of
+// re-simulating the whole campaign — and because the group only ever
+// grows at the latest timings, the checkpoints survive across PickBest
+// calls. Values are bit-identical to plain EvalMarket.
 #ifndef IMDPP_CORE_TDSI_H_
 #define IMDPP_CORE_TDSI_H_
 
@@ -33,11 +40,13 @@ class TimingSelector {
                  int total_promotions)
       : engine_(engine),
         market_(market_users),
-        total_promotions_(total_promotions) {}
+        total_promotions_(total_promotions),
+        eval_(engine, /*base=*/{}, market_users) {}
 
   /// SI of candidate seed `cand` given the current group seeds `sg`.
   /// `base` must be engine.EvalMarket(sg, market) — passed in so callers
-  /// amortize it across candidates.
+  /// amortize it across candidates. (Reference path; PickBest uses the
+  /// checkpointed equivalent.)
   double SubstantialInfluence(const SeedGroup& sg,
                               const MonteCarloEngine::MarketEval& base,
                               const Seed& cand) const;
@@ -46,12 +55,18 @@ class TimingSelector {
   /// `pending` and timings in [t_lo, t_hi] (clamped to [1, T]).
   /// Returns the index into `pending` via `best_index`.
   Seed PickBest(const SeedGroup& sg, const std::vector<Nominee>& pending,
-                int t_lo, int t_hi, int* best_index) const;
+                int t_lo, int t_hi, int* best_index);
 
  private:
+  /// SI from the two (checkpoint-resumed) market evaluations — the exact
+  /// arithmetic of SubstantialInfluence.
+  double SiOf(const MonteCarloEngine::MarketEval& base,
+              const MonteCarloEngine::MarketEval& with, int t) const;
+
   const MonteCarloEngine& engine_;
   const std::vector<UserId>& market_;
   int total_promotions_;
+  diffusion::CheckpointedEval eval_;
 };
 
 }  // namespace imdpp::core

@@ -1,7 +1,6 @@
 #include "diffusion/campaign_simulator.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
 
 #include "util/hash.h"
 #include "util/mathutil.h"
@@ -23,6 +22,70 @@ int64_t PairKey(UserId u, ItemId x, int num_items) {
 
 }  // namespace
 
+SeedSchedule::SeedSchedule(const SeedGroup& seeds, const Problem& problem)
+    : t_max_(problem.num_promotions) {
+  const int num_users = problem.NumUsers();
+  const int num_items = problem.NumItems();
+  by_promotion_.resize(static_cast<size_t>(t_max_) + 1);
+  for (const Seed& s : seeds) {
+    IMDPP_CHECK(s.promotion >= 1 && s.promotion <= t_max_);
+    IMDPP_CHECK(s.user >= 0 && s.user < num_users);
+    IMDPP_CHECK(s.item >= 0 && s.item < num_items);
+    by_promotion_[static_cast<size_t>(s.promotion)].push_back(s);
+    last_active_ = std::max(last_active_, s.promotion);
+  }
+}
+
+void SimScratch::Bind(const Problem& problem) {
+  const int num_users = problem.NumUsers();
+  const int num_items = problem.NumItems();
+  const int num_metas = problem.NumMetas();
+  if (num_users == num_users_ && num_items == num_items_ &&
+      num_metas == num_metas_) {
+    return;
+  }
+  num_users_ = num_users;
+  num_items_ = num_items;
+  num_metas_ = num_metas;
+  const size_t pairs =
+      static_cast<size_t>(num_users) * static_cast<size_t>(num_items);
+  states_.resize(static_cast<size_t>(num_users));
+  lt_acc_.assign(pairs, 0.0);
+  lt_mark_.assign(pairs, 0);
+  lt_epoch_ = 0;
+  pending_mark_.assign(pairs, 0);
+  touched_user_mark_.assign(static_cast<size_t>(num_users), 0);
+  step_epoch_ = 0;
+  new_items_.resize(static_cast<size_t>(num_users));
+}
+
+void SimScratch::BeginSample() {
+  sigma_ = 0.0;
+  sigma_market_ = 0.0;
+  adoptions_ = 0;
+  lt_touched_.clear();
+  if (++lt_epoch_ == 0) {  // epoch wrap: stale marks could alias
+    std::fill(lt_mark_.begin(), lt_mark_.end(), 0u);
+    lt_epoch_ = 1;
+  }
+}
+
+void SimScratch::BeginStep() {
+  if (++step_epoch_ == 0) {
+    std::fill(pending_mark_.begin(), pending_mark_.end(), 0u);
+    std::fill(touched_user_mark_.begin(), touched_user_mark_.end(), 0u);
+    step_epoch_ = 1;
+  }
+}
+
+void SimScratch::FlushWeightUpdates(const pin::PersonalItemNetwork& pin) {
+  for (UserId u : touched_users_) {
+    pin.UpdateWeights(states_[static_cast<size_t>(u)],
+                      new_items_[static_cast<size_t>(u)]);
+  }
+  touched_users_.clear();
+}
+
 CampaignSimulator::CampaignSimulator(const Problem& problem,
                                      const CampaignConfig& config)
     : problem_(problem), config_(config) {
@@ -31,96 +94,123 @@ CampaignSimulator::CampaignSimulator(const Problem& problem,
       std::make_unique<pin::Dynamics>(*problem_.relevance, problem_.params);
 }
 
-SampleOutcome CampaignSimulator::RunSample(
-    const SeedGroup& seeds, uint64_t sample_idx,
-    const std::vector<uint8_t>* market_mask, bool keep_states,
-    const std::vector<pin::UserState>* initial_states) const {
+void CampaignSimulator::Restore(
+    const SampleCheckpoint* cp,
+    const std::vector<pin::UserState>* initial_states,
+    SimScratch& scratch) const {
+  const int num_users = problem_.NumUsers();
+  scratch.Bind(problem_);
+  scratch.BeginSample();
+  if (cp != nullptr) {
+    IMDPP_CHECK_EQ(cp->states.size(), static_cast<size_t>(num_users));
+    for (UserId u = 0; u < num_users; ++u) {
+      scratch.states_[static_cast<size_t>(u)].CopyFrom(
+          cp->states[static_cast<size_t>(u)]);
+    }
+    for (const auto& [key, acc] : cp->lt) scratch.LtAcc(key) = acc;
+    scratch.sigma_ = cp->sigma;
+    scratch.sigma_market_ = cp->sigma_market;
+    scratch.adoptions_ = cp->adoptions;
+  } else if (initial_states != nullptr) {
+    IMDPP_CHECK_EQ(initial_states->size(), static_cast<size_t>(num_users));
+    for (UserId u = 0; u < num_users; ++u) {
+      scratch.states_[static_cast<size_t>(u)].CopyFrom(
+          (*initial_states)[static_cast<size_t>(u)]);
+    }
+  } else {
+    const int num_items = problem_.NumItems();
+    for (UserId u = 0; u < num_users; ++u) {
+      scratch.states_[static_cast<size_t>(u)].ResetTo(num_items,
+                                                      problem_.Wmeta0(u));
+    }
+  }
+}
+
+void CampaignSimulator::Capture(const SimScratch& scratch,
+                                SampleCheckpoint& cp) const {
+  const size_t num_users = static_cast<size_t>(problem_.NumUsers());
+  cp.states.resize(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    cp.states[u].CopyFrom(scratch.states_[u]);
+  }
+  cp.lt.clear();
+  cp.lt.reserve(scratch.lt_touched_.size());
+  for (int64_t key : scratch.lt_touched_) {
+    cp.lt.emplace_back(key, scratch.lt_acc_[static_cast<size_t>(key)]);
+  }
+  cp.sigma = scratch.sigma_;
+  cp.sigma_market = scratch.sigma_market_;
+  cp.adoptions = scratch.adoptions_;
+}
+
+int CampaignSimulator::SimulateRounds(const SeedSchedule& sched,
+                                      uint64_t sample_idx, int t_begin,
+                                      int t_end,
+                                      const std::vector<uint8_t>* market_mask,
+                                      SimScratch& scratch) const {
   const graph::SocialGraph& g = *problem_.graph;
   const int num_items = problem_.NumItems();
-  const int num_users = problem_.NumUsers();
   const pin::PersonalItemNetwork& pin = dynamics_->pin();
   const pin::PreferenceModel& pref_model = dynamics_->preference();
   const pin::InfluenceModel& act_model = dynamics_->influence();
   const pin::AssociationModel& assoc_model = dynamics_->association();
   const kg::RelevanceModel& rel = *problem_.relevance;
   const uint64_t sseed = HashTuple(config_.base_seed, sample_idx);
+  std::vector<pin::UserState>& state = scratch.states_;
 
-  // Initial states.
-  std::vector<pin::UserState> state;
-  if (initial_states != nullptr) {
-    IMDPP_CHECK_EQ(initial_states->size(), static_cast<size_t>(num_users));
-    state = *initial_states;
-  } else {
-    state.reserve(num_users);
-    for (UserId u = 0; u < num_users; ++u) {
-      std::span<const float> w0 = problem_.Wmeta0(u);
-      state.emplace_back(num_items, std::vector<float>(w0.begin(), w0.end()));
-    }
-  }
-
-  SampleOutcome out;
   auto count_adoption = [&](UserId u, ItemId x) {
-    out.sigma += problem_.importance[x];
-    ++out.adoptions;
-    if (market_mask != nullptr && (*market_mask)[u]) {
-      out.sigma_market += problem_.importance[x];
+    scratch.sigma_ += problem_.importance[static_cast<size_t>(x)];
+    ++scratch.adoptions_;
+    if (market_mask != nullptr && (*market_mask)[static_cast<size_t>(u)]) {
+      scratch.sigma_market_ += problem_.importance[static_cast<size_t>(x)];
     }
   };
 
-  // Seeds grouped by promotion (1-based).
-  int t_max = problem_.num_promotions;
-  std::vector<SeedGroup> by_promotion(t_max + 1);
-  for (const Seed& s : seeds) {
-    IMDPP_CHECK(s.promotion >= 1 && s.promotion <= t_max);
-    IMDPP_CHECK(s.user >= 0 && s.user < num_users);
-    IMDPP_CHECK(s.item >= 0 && s.item < num_items);
-    by_promotion[s.promotion].push_back(s);
-  }
+  int rounds_run = 0;
+  for (int t = t_begin; t <= t_end; ++t) {
+    const SeedGroup& round_seeds = sched.RoundSeeds(t);
+    if (round_seeds.empty()) continue;  // no frontier, no coins: exact no-op
+    ++rounds_run;
 
-  // Accumulated LT influence per (user, item); thresholds are hash-drawn.
-  std::unordered_map<int64_t, double> lt_acc;
-
-  for (int t = 1; t <= t_max; ++t) {
     // --- ζ_t = 0: seeds adopt their items. ---
-    std::vector<std::pair<UserId, ItemId>> frontier;
-    {
-      std::unordered_map<UserId, std::vector<ItemId>> new_by_user;
-      for (const Seed& s : by_promotion[t]) {
-        if (state[s.user].Add(s.item)) {
-          count_adoption(s.user, s.item);
-          new_by_user[s.user].push_back(s.item);
-        }
-        // Even if the item was adopted earlier, a re-seeded user promotes
-        // it again (Lemma 1's re-seeding case).
-        frontier.emplace_back(s.user, s.item);
+    std::vector<std::pair<UserId, ItemId>>& frontier = scratch.frontier_;
+    frontier.clear();
+    scratch.BeginStep();
+    for (const Seed& s : round_seeds) {
+      if (state[static_cast<size_t>(s.user)].Add(s.item)) {
+        count_adoption(s.user, s.item);
+        scratch.QueueNewAdoption(s.user, s.item);
       }
-      for (auto& [u, items] : new_by_user) {
-        pin.UpdateWeights(state[u], items);
-      }
+      // Even if the item was adopted earlier, a re-seeded user promotes
+      // it again (Lemma 1's re-seeding case).
+      frontier.emplace_back(s.user, s.item);
     }
+    scratch.FlushWeightUpdates(pin);
 
     // --- ζ_t ≥ 1: influence propagation. ---
     for (int step = 1; step <= config_.max_steps && !frontier.empty();
          ++step) {
-      std::vector<std::pair<UserId, ItemId>> pending;
-      std::unordered_set<int64_t> pending_keys;
+      std::vector<std::pair<UserId, ItemId>>& pending = scratch.pending_;
+      pending.clear();
+      scratch.BeginStep();
       auto try_queue = [&](UserId u, ItemId x) {
-        int64_t key = PairKey(u, x, num_items);
-        if (state[u].Has(x)) return;
-        if (!pending_keys.insert(key).second) return;
+        if (state[static_cast<size_t>(u)].Has(x)) return;
+        if (!scratch.MarkPending(PairKey(u, x, num_items))) return;
         pending.emplace_back(u, x);
       };
 
       for (const auto& [src, x] : frontier) {
         for (const graph::Edge& e : g.OutEdges(src)) {
           const UserId u = e.to;
-          const bool has_x = state[u].Has(x);
-          const double pact = act_model.Eval(e.weight, state[src], state[u]);
+          const bool has_x = state[static_cast<size_t>(u)].Has(x);
+          const double pact =
+              act_model.Eval(e.weight, state[static_cast<size_t>(src)],
+                             state[static_cast<size_t>(u)]);
           if (pact <= 0.0) continue;
           // A user can only be promoted an item she has not adopted.
           if (has_x) continue;
-          const double ppref =
-              pref_model.Eval(state[u], problem_.BasePref(u, x), x);
+          const double ppref = pref_model.Eval(state[static_cast<size_t>(u)],
+                                               problem_.BasePref(u, x), x);
           bool adopt = false;
           if (config_.model == DiffusionModel::kIndependentCascade) {
             const double p = pact * ppref;
@@ -131,8 +221,7 @@ SampleOutcome CampaignSimulator::RunSample(
           } else {
             // LT: accumulate preference-scaled influence mass against a
             // per-(user,item) threshold drawn once per realization.
-            int64_t key = PairKey(u, x, num_items);
-            double& acc = lt_acc[key];
+            double& acc = scratch.LtAcc(PairKey(u, x, num_items));
             acc += pact * ppref;
             const double theta = UnitHash(sseed, kLtThreshold, u, x);
             if (acc >= theta) adopt = true;
@@ -143,9 +232,9 @@ SampleOutcome CampaignSimulator::RunSample(
           // relevant items y, independently of the adoption of x.
           if (ppref <= 0.0) continue;
           for (ItemId y : rel.RelatedItems(x)) {
-            if (state[u].Has(y)) continue;
-            const double pe =
-                assoc_model.ExtraProb(state[u], pact, ppref, x, y);
+            if (state[static_cast<size_t>(u)].Has(y)) continue;
+            const double pe = assoc_model.ExtraProb(
+                state[static_cast<size_t>(u)], pact, ppref, x, y);
             if (pe > 0.0 &&
                 UnitHash(sseed, kExtraFlip, t, step, src, u, x, y) < pe) {
               try_queue(u, y);
@@ -155,21 +244,47 @@ SampleOutcome CampaignSimulator::RunSample(
       }
 
       // Commit simultaneously, then update perceptions (ripple effect).
-      std::unordered_map<UserId, std::vector<ItemId>> new_by_user;
+      scratch.BeginStep();
       for (const auto& [u, x] : pending) {
-        if (state[u].Add(x)) {
+        if (state[static_cast<size_t>(u)].Add(x)) {
           count_adoption(u, x);
-          new_by_user[u].push_back(x);
+          scratch.QueueNewAdoption(u, x);
         }
       }
-      for (auto& [u, items] : new_by_user) {
-        pin.UpdateWeights(state[u], items);
-      }
+      scratch.FlushWeightUpdates(pin);
       frontier.swap(pending);
     }
   }
+  return rounds_run;
+}
 
-  if (keep_states) out.states = std::move(state);
+SimScratch& ThreadLocalSimScratch() {
+  thread_local SimScratch scratch;
+  return scratch;
+}
+
+SampleOutcome CampaignSimulator::RunSample(
+    const SeedGroup& seeds, uint64_t sample_idx,
+    const std::vector<uint8_t>* market_mask, bool keep_states,
+    const std::vector<pin::UserState>* initial_states) const {
+  return RunSample(seeds, sample_idx, market_mask, keep_states,
+                   initial_states, &ThreadLocalSimScratch());
+}
+
+SampleOutcome CampaignSimulator::RunSample(
+    const SeedGroup& seeds, uint64_t sample_idx,
+    const std::vector<uint8_t>* market_mask, bool keep_states,
+    const std::vector<pin::UserState>* initial_states,
+    SimScratch* scratch) const {
+  SeedSchedule sched(seeds, problem_);
+  Restore(nullptr, initial_states, *scratch);
+  SimulateRounds(sched, sample_idx, 1, sched.last_active_round(), market_mask,
+                 *scratch);
+  SampleOutcome out;
+  out.sigma = scratch->sigma();
+  out.sigma_market = scratch->sigma_market();
+  out.adoptions = scratch->adoptions();
+  if (keep_states) out.states = scratch->states();
   return out;
 }
 

@@ -19,10 +19,25 @@
 // All coin flips are counter-based hashes of
 // (sample_seed, t, ζ, u', u, item, purpose), so realizations are
 // reproducible and common across seed-group variations.
+//
+// Fast path (ISSUE 3): the per-sample state lives in a reusable SimScratch
+// arena — flat epoch-stamped arrays instead of per-sample hash containers,
+// user states reset in place instead of reconstructed — and the simulation
+// core runs an arbitrary promotion range [t_begin, t_end] on top of that
+// state. Because every coin flip is a pure hash of its event coordinates
+// (never of history), the state at a promotion boundary is a function of
+// the seeds scheduled at earlier promotions only; SampleCheckpoint freezes
+// that boundary state so a later evaluation that shares the earlier rounds
+// can resume instead of re-simulating them (MonteCarloEngine::
+// CheckpointedEval). Both paths are bit-identical to a from-scratch run:
+// the exact same floating-point operations happen in the exact same order,
+// merely split across calls.
 #ifndef IMDPP_DIFFUSION_CAMPAIGN_SIMULATOR_H_
 #define IMDPP_DIFFUSION_CAMPAIGN_SIMULATOR_H_
 
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "diffusion/problem.h"
@@ -54,6 +69,139 @@ struct SampleOutcome {
   std::vector<pin::UserState> states;
 };
 
+/// Seeds bucketed by promotion round (1-based), validated against the
+/// problem, built ONCE per estimate so the per-sample loop never
+/// re-buckets. Bucket order preserves the seed group's order, which is
+/// what keeps σ accumulation bit-identical to the historical per-sample
+/// bucketing.
+class SeedSchedule {
+ public:
+  SeedSchedule() = default;
+  SeedSchedule(const SeedGroup& seeds, const Problem& problem);
+
+  /// Seeds scheduled at promotion t (empty for t outside [1, T]).
+  const SeedGroup& RoundSeeds(int t) const {
+    static const SeedGroup kEmpty;
+    if (t < 1 || t >= static_cast<int>(by_promotion_.size())) return kEmpty;
+    return by_promotion_[static_cast<size_t>(t)];
+  }
+  /// T of the underlying problem (0 for a default-constructed schedule).
+  int num_rounds() const { return t_max_; }
+  /// Last promotion with any seed (0 if the group is empty). Rounds after
+  /// it are exact no-ops: the frontier never carries across promotions, so
+  /// an unseeded round draws no coins and changes no state.
+  int last_active_round() const { return last_active_; }
+
+ private:
+  std::vector<SeedGroup> by_promotion_;  ///< index 0 unused
+  int t_max_ = 0;
+  int last_active_ = 0;
+};
+
+/// Reusable per-worker simulation arena: user states reset in place, flat
+/// epoch-stamped LT accumulators / pending-dedup stamps instead of
+/// per-sample unordered_map/unordered_set, and the running outcome of the
+/// realization being simulated. One SimScratch serves any number of
+/// sequential realizations; each worker thread owns its own.
+class SimScratch {
+ public:
+  SimScratch() = default;
+  SimScratch(const SimScratch&) = delete;
+  SimScratch& operator=(const SimScratch&) = delete;
+
+  double sigma() const { return sigma_; }
+  double sigma_market() const { return sigma_market_; }
+  int adoptions() const { return adoptions_; }
+  const std::vector<pin::UserState>& states() const { return states_; }
+
+ private:
+  friend class CampaignSimulator;
+
+  /// Shapes every buffer for `problem` (no-op when shapes already match).
+  void Bind(const Problem& problem);
+  /// Starts a fresh realization: zeroes the running outcome and
+  /// invalidates all LT accumulators via an epoch bump.
+  void BeginSample();
+  /// Invalidates the per-step stamps (pending dedup, adopter grouping).
+  void BeginStep();
+  /// Epoch-stamped LT accumulator for a (user,item) key; zero on first
+  /// touch within the current sample, tracked for sparse checkpointing.
+  double& LtAcc(int64_t key) {
+    if (lt_mark_[static_cast<size_t>(key)] != lt_epoch_) {
+      lt_mark_[static_cast<size_t>(key)] = lt_epoch_;
+      lt_acc_[static_cast<size_t>(key)] = 0.0;
+      lt_touched_.push_back(key);
+    }
+    return lt_acc_[static_cast<size_t>(key)];
+  }
+  /// First time (u,x) is queued this step? (flat stand-in for the
+  /// per-step unordered_set of pending keys)
+  bool MarkPending(int64_t key) {
+    if (pending_mark_[static_cast<size_t>(key)] == step_epoch_) return false;
+    pending_mark_[static_cast<size_t>(key)] = step_epoch_;
+    return true;
+  }
+  /// Groups a committed adoption by user for the weight update, preserving
+  /// first-adoption order (the per-user item lists match the historical
+  /// unordered_map grouping; cross-user order is irrelevant because
+  /// UpdateWeights touches one user's state only).
+  void QueueNewAdoption(UserId u, ItemId x) {
+    if (touched_user_mark_[static_cast<size_t>(u)] != step_epoch_) {
+      touched_user_mark_[static_cast<size_t>(u)] = step_epoch_;
+      new_items_[static_cast<size_t>(u)].clear();
+      touched_users_.push_back(u);
+    }
+    new_items_[static_cast<size_t>(u)].push_back(x);
+  }
+  void FlushWeightUpdates(const pin::PersonalItemNetwork& pin);
+
+  int num_users_ = 0;
+  int num_items_ = 0;
+  int num_metas_ = 0;
+  std::vector<pin::UserState> states_;
+
+  // Running outcome of the current realization.
+  double sigma_ = 0.0;
+  double sigma_market_ = 0.0;
+  int adoptions_ = 0;
+
+  // LT accumulators, valid while lt_mark_[key] == lt_epoch_.
+  std::vector<double> lt_acc_;      ///< |V| x |I|
+  std::vector<uint32_t> lt_mark_;   ///< |V| x |I|
+  std::vector<int64_t> lt_touched_;
+  uint32_t lt_epoch_ = 0;
+
+  // Per-step stamps.
+  std::vector<uint32_t> pending_mark_;       ///< |V| x |I|
+  std::vector<uint32_t> touched_user_mark_;  ///< |V|
+  uint32_t step_epoch_ = 0;
+
+  // Reused containers for the step loop.
+  std::vector<std::pair<UserId, ItemId>> frontier_;
+  std::vector<std::pair<UserId, ItemId>> pending_;
+  std::vector<UserId> touched_users_;
+  std::vector<std::vector<ItemId>> new_items_;  ///< |V| small lists
+};
+
+/// The calling thread's shared simulation arena (one per thread, shaped
+/// on demand): the engine's sample loops and the default RunSample
+/// overload all draw on the same instance, so a thread never holds two
+/// copies of the flat |V| x |I| buffers.
+SimScratch& ThreadLocalSimScratch();
+
+/// Per-sample diffusion state frozen at a promotion boundary: the user
+/// states after promotions 1..k, the LT accumulators touched so far
+/// (sparse), and the running outcome partials. Restoring it and simulating
+/// promotions k+1..T replays the exact operation sequence of a from-scratch
+/// run of the same schedule — the basis of promotion-round checkpoint reuse.
+struct SampleCheckpoint {
+  std::vector<pin::UserState> states;
+  std::vector<std::pair<int64_t, double>> lt;
+  double sigma = 0.0;
+  double sigma_market = 0.0;
+  int adoptions = 0;
+};
+
 class CampaignSimulator {
  public:
   CampaignSimulator(const Problem& problem, const CampaignConfig& config);
@@ -64,11 +212,44 @@ class CampaignSimulator {
   /// perception extraction). `initial_states` (optional) starts the
   /// campaign from a previously observed state instead of the problem's
   /// initial preferences/weightings — the hook for adaptive IM (Sec. V-D).
+  /// Uses a thread-local scratch arena, so repeated calls on one thread
+  /// are allocation-free.
   SampleOutcome RunSample(
       const SeedGroup& seeds, uint64_t sample_idx,
       const std::vector<uint8_t>* market_mask = nullptr,
       bool keep_states = false,
       const std::vector<pin::UserState>* initial_states = nullptr) const;
+
+  /// Same, on a caller-owned arena (embedders and the scratch-reuse
+  /// bit-identity tests).
+  SampleOutcome RunSample(const SeedGroup& seeds, uint64_t sample_idx,
+                          const std::vector<uint8_t>* market_mask,
+                          bool keep_states,
+                          const std::vector<pin::UserState>* initial_states,
+                          SimScratch* scratch) const;
+
+  // --- Checkpointed fast path (MonteCarloEngine internals). ---
+
+  /// Prepares `scratch` to simulate: from a frozen boundary state (`cp`),
+  /// from `initial_states`, or — when both are null — from the problem's
+  /// initial preferences/weightings.
+  void Restore(const SampleCheckpoint* cp,
+               const std::vector<pin::UserState>* initial_states,
+               SimScratch& scratch) const;
+
+  /// Simulates promotions [t_begin, t_end] of `sched` for realization
+  /// `sample_idx` on top of scratch's current state, accumulating into its
+  /// running outcome. Unseeded rounds are skipped (exact no-ops). Returns
+  /// the number of rounds that did work — identical for every sample of a
+  /// given (sched, t_begin, t_end), so callers can account work without
+  /// per-sample bookkeeping.
+  int SimulateRounds(const SeedSchedule& sched, uint64_t sample_idx,
+                     int t_begin, int t_end,
+                     const std::vector<uint8_t>* market_mask,
+                     SimScratch& scratch) const;
+
+  /// Freezes scratch's current state into `cp` (buffers reused).
+  void Capture(const SimScratch& scratch, SampleCheckpoint& cp) const;
 
   /// Likelihood π_τ(SG) of Eq. 13 evaluated on the final states of one
   /// realization: Σ_{v ∈ market} Σ_{y ∉ A(v)} AIS(v,y) * Ppref(v,y), where

@@ -1,6 +1,7 @@
 #include "diffusion/monte_carlo.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace imdpp::diffusion {
 
@@ -12,6 +13,17 @@ namespace {
 /// the sample count: the shard layout IS the reduction tree, and a fixed
 /// tree is what makes results bit-identical across thread counts.
 constexpr int kMaxShards = 32;
+
+/// Serial cutoff (ISSUE 3): below this many realizations per estimate the
+/// pool dispatch overhead is not worth paying; run inline. Scheduling
+/// only — the shard layout and therefore the results are unchanged.
+constexpr int kMinParallelSamples = 8;
+
+/// Per-worker simulation arena. Thread-local rather than engine-owned so
+/// every engine sharing a pool (or a caller thread hopping between
+/// engines) reuses one arena per thread; SimScratch::Bind reshapes only
+/// when the problem dimensions actually change.
+SimScratch& LocalScratch() { return ThreadLocalSimScratch(); }
 
 }  // namespace
 
@@ -60,10 +72,12 @@ ExpectedState ExpectedState::InitialOf(const Problem& problem) {
 
 MonteCarloEngine::MonteCarloEngine(const Problem& problem,
                                    const CampaignConfig& config,
-                                   int num_samples, int num_threads)
+                                   int num_samples, int num_threads,
+                                   std::shared_ptr<util::ThreadPool> shared_pool)
     : sim_(problem, config),
       num_samples_(num_samples),
-      num_threads_(util::ResolveNumThreads(num_threads)) {
+      num_threads_(util::ResolveNumThreads(num_threads)),
+      shared_pool_(std::move(shared_pool)) {
   IMDPP_CHECK_GT(num_samples, 0);
 }
 
@@ -77,59 +91,116 @@ int MonteCarloEngine::ShardBegin(int shard) const {
 }
 
 bool MonteCarloEngine::RunsParallel() const {
-  return num_threads_ > 1 && NumShards() > 1;
+  return num_threads_ > 1 && NumShards() > 1 &&
+         num_samples_ >= kMinParallelSamples;
 }
 
 void MonteCarloEngine::RunShards(const std::function<void(int)>& fn) const {
   const int num_shards = NumShards();
   if (RunsParallel()) {
-    if (pool_ == nullptr) {
-      // More workers than shards could never claim a task, so cap the
-      // spawn count; the shard layout (and thus the result) is unchanged.
-      pool_ = std::make_unique<util::ThreadPool>(
-          std::min(num_threads_, num_shards) - 1);
+    util::ThreadPool* pool = shared_pool_.get();
+    if (pool == nullptr) {
+      if (pool_ == nullptr) {
+        // More workers than shards could never claim a task, so cap the
+        // spawn count; the shard layout (and thus the result) is unchanged.
+        pool_ = std::make_unique<util::ThreadPool>(
+            std::min(num_threads_, num_shards) - 1);
+      }
+      pool = pool_.get();
     }
-    pool_->ParallelFor(num_shards, fn);
+    pool->ParallelFor(num_shards, fn);
   } else {
     for (int shard = 0; shard < num_shards; ++shard) fn(shard);
   }
+}
+
+bool MonteCarloEngine::MemoLookup(const SeedGroup& seeds,
+                                  double* sigma) const {
+  if (!MemoEnabled()) return false;
+  auto it = sigma_memo_.find(seeds);
+  if (it == sigma_memo_.end()) return false;
+  ++num_memo_hits_;
+  num_rounds_skipped_ += static_cast<int64_t>(num_samples_) *
+                         sim_.problem().num_promotions;
+  *sigma = it->second;
+  return true;
+}
+
+void MonteCarloEngine::MemoStore(const SeedGroup& seeds, double sigma) const {
+  if (!MemoEnabled() || sigma_memo_.size() >= sigma_memo_capacity_) return;
+  sigma_memo_.emplace(seeds, sigma);
+}
+
+const std::vector<uint8_t>* MonteCarloEngine::CachedMask(
+    const std::vector<UserId>& users) const {
+  if (!mask_valid_ || users != mask_users_) {
+    mask_users_ = users;
+    mask_.assign(static_cast<size_t>(sim_.problem().NumUsers()), 0);
+    for (UserId u : users) mask_[static_cast<size_t>(u)] = 1;
+    mask_valid_ = true;
+  }
+  return &mask_;
+}
+
+void MonteCarloEngine::ChargeEstimate(int rounds_run) const {
   num_simulations_ += num_samples_;
+  const int64_t samples = num_samples_;
+  num_rounds_simulated_ += samples * rounds_run;
+  num_rounds_skipped_ +=
+      samples * (sim_.problem().num_promotions - rounds_run);
 }
 
 double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
+  double memoized = 0.0;
+  if (MemoLookup(seeds, &memoized)) return memoized;
+  const SeedSchedule sched(seeds, sim_.problem());
+  const int t_end = sched.last_active_round();
   std::vector<double> partial(NumShards(), 0.0);
+  int rounds_run = 0;
   RunShards([&](int shard) {
+    SimScratch& scratch = LocalScratch();
     double total = 0.0;
+    int rounds = 0;
     const int end = ShardBegin(shard + 1);
     for (int s = ShardBegin(shard); s < end; ++s) {
-      total += sim_.RunSample(seeds, static_cast<uint64_t>(s), nullptr,
-                              /*keep_states=*/false, initial_states_)
-                   .sigma;
+      sim_.Restore(nullptr, initial_states_, scratch);
+      rounds = sim_.SimulateRounds(sched, static_cast<uint64_t>(s), 1, t_end,
+                                   nullptr, scratch);
+      total += scratch.sigma();
     }
     partial[shard] = total;
+    if (shard == 0) rounds_run = rounds;  // schedule property: same for all
   });
   double total = 0.0;
   for (double p : partial) total += p;  // fixed shard order
-  return total / num_samples_;
+  ChargeEstimate(rounds_run);
+  const double sigma = total / num_samples_;
+  MemoStore(seeds, sigma);
+  return sigma;
 }
 
 MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
     const SeedGroup& seeds, const std::vector<UserId>& users) const {
-  const Problem& p = sim_.problem();
-  std::vector<uint8_t> mask(p.NumUsers(), 0);
-  for (UserId u : users) mask[u] = 1;
+  const std::vector<uint8_t>* mask = CachedMask(users);
+  const SeedSchedule sched(seeds, sim_.problem());
+  const int t_end = sched.last_active_round();
   std::vector<MarketEval> partial(NumShards());
+  int rounds_run = 0;
   RunShards([&](int shard) {
+    SimScratch& scratch = LocalScratch();
     MarketEval acc;
+    int rounds = 0;
     const int end = ShardBegin(shard + 1);
     for (int s = ShardBegin(shard); s < end; ++s) {
-      SampleOutcome o = sim_.RunSample(seeds, static_cast<uint64_t>(s), &mask,
-                                       /*keep_states=*/true, initial_states_);
-      acc.sigma += o.sigma;
-      acc.sigma_market += o.sigma_market;
-      acc.pi += sim_.LikelihoodPi(o.states, users);
+      sim_.Restore(nullptr, initial_states_, scratch);
+      rounds = sim_.SimulateRounds(sched, static_cast<uint64_t>(s), 1, t_end,
+                                   mask, scratch);
+      acc.sigma += scratch.sigma();
+      acc.sigma_market += scratch.sigma_market();
+      acc.pi += sim_.LikelihoodPi(scratch.states(), users);
     }
     partial[shard] = acc;
+    if (shard == 0) rounds_run = rounds;
   });
   MarketEval out;
   for (const MarketEval& acc : partial) {  // fixed shard order
@@ -137,6 +208,7 @@ MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
     out.sigma_market += acc.sigma_market;
     out.pi += acc.pi;
   }
+  ChargeEstimate(rounds_run);
   out.sigma /= num_samples_;
   out.sigma_market /= num_samples_;
   out.pi /= num_samples_;
@@ -146,17 +218,23 @@ MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
 ExpectedState MonteCarloEngine::Expected(const SeedGroup& seeds) const {
   const Problem& p = sim_.problem();
   const int num_shards = NumShards();
+  const SeedSchedule sched(seeds, p);
+  const int t_end = sched.last_active_round();
   ExpectedState es(p.NumUsers(), p.NumItems(), p.NumMetas());
+  int rounds_run = 0;
   // Raw per-shard sums (adoption counts, weighting totals), scaled by
   // 1/num_samples only after the shard-order fold so the arithmetic is
   // identical for every thread count.
   auto accumulate = [&](int shard, ExpectedState& acc) {
+    SimScratch& scratch = LocalScratch();
+    int rounds = 0;
     const int end = ShardBegin(shard + 1);
     for (int s = ShardBegin(shard); s < end; ++s) {
-      SampleOutcome o = sim_.RunSample(seeds, static_cast<uint64_t>(s), nullptr,
-                                       /*keep_states=*/true, initial_states_);
+      sim_.Restore(nullptr, initial_states_, scratch);
+      rounds = sim_.SimulateRounds(sched, static_cast<uint64_t>(s), 1, t_end,
+                                   nullptr, scratch);
       for (UserId u = 0; u < p.NumUsers(); ++u) {
-        const pin::UserState& st = o.states[u];
+        const pin::UserState& st = scratch.states()[u];
         for (ItemId x : st.Adopted()) {
           acc.adoption_prob_[static_cast<size_t>(u) * p.NumItems() + x] +=
               1.0f;
@@ -167,6 +245,7 @@ ExpectedState MonteCarloEngine::Expected(const SeedGroup& seeds) const {
         }
       }
     }
+    if (shard == 0) rounds_run = rounds;
   };
   auto fold = [&](const ExpectedState& acc) {
     for (size_t i = 0; i < es.adoption_prob_.size(); ++i) {
@@ -183,22 +262,177 @@ ExpectedState MonteCarloEngine::Expected(const SeedGroup& seeds) const {
     RunShards([&](int shard) { accumulate(shard, partial[shard]); });
     for (const ExpectedState& acc : partial) fold(acc);
   } else {
-    // Serial fallback: one scratch partial reused shard by shard — the
-    // identical reduction tree at 1/num_shards-th the memory.
-    ExpectedState scratch = es;
+    // Serial fallback: one partial reused shard by shard — the identical
+    // reduction tree at 1/num_shards-th the memory.
+    ExpectedState shard_acc = es;
     for (int shard = 0; shard < num_shards; ++shard) {
-      std::fill(scratch.adoption_prob_.begin(), scratch.adoption_prob_.end(),
+      std::fill(shard_acc.adoption_prob_.begin(),
+                shard_acc.adoption_prob_.end(), 0.0f);
+      std::fill(shard_acc.avg_wmeta_.begin(), shard_acc.avg_wmeta_.end(),
                 0.0f);
-      std::fill(scratch.avg_wmeta_.begin(), scratch.avg_wmeta_.end(), 0.0f);
-      accumulate(shard, scratch);
-      fold(scratch);
+      accumulate(shard, shard_acc);
+      fold(shard_acc);
     }
-    num_simulations_ += num_samples_;
   }
+  ChargeEstimate(rounds_run);
   const float inv = 1.0f / static_cast<float>(num_samples_);
   for (float& v : es.adoption_prob_) v *= inv;
   for (float& v : es.avg_wmeta_) v *= inv;
   return es;
+}
+
+// --------------------------------------------------------------------------
+// CheckpointedEval
+
+CheckpointedEval::CheckpointedEval(const MonteCarloEngine& engine,
+                                   SeedGroup base, std::vector<UserId> market)
+    : engine_(engine), market_(std::move(market)) {
+  // Checkpoints freeze the diffusion from the problem's initial state;
+  // adaptive-style initial-state overrides are not supported here.
+  IMDPP_CHECK(engine_.initial_states_ == nullptr);
+  if (!market_.empty()) {
+    mask_.assign(static_cast<size_t>(engine_.sim_.problem().NumUsers()), 0);
+    for (UserId u : market_) mask_[static_cast<size_t>(u)] = 1;
+  }
+  base_ = std::move(base);
+  base_sched_ = SeedSchedule(base_, engine_.sim_.problem());
+}
+
+int CheckpointedEval::FirstDivergence(const SeedSchedule& a,
+                                      const SeedSchedule& b, int t_max) {
+  for (int t = 1; t <= t_max; ++t) {
+    if (a.RoundSeeds(t) != b.RoundSeeds(t)) return t;
+  }
+  return t_max + 1;
+}
+
+void CheckpointedEval::Rebase(SeedGroup base) {
+  SeedSchedule sched(base, engine_.sim_.problem());
+  const int diverge = FirstDivergence(base_sched_, sched,
+                                      engine_.sim_.problem().num_promotions);
+  rounds_ready_ = std::min(rounds_ready_, diverge - 1);
+  cp_.resize(static_cast<size_t>(rounds_ready_));
+  base_ = std::move(base);
+  base_sched_ = std::move(sched);
+}
+
+void CheckpointedEval::EnsureCheckpoints(int upto) {
+  upto = std::min(upto, base_sched_.last_active_round());
+  if (upto <= rounds_ready_) return;
+  const int num_samples = engine_.num_samples_;
+  cp_.resize(static_cast<size_t>(upto));
+  for (int k = rounds_ready_; k < upto; ++k) {
+    cp_[static_cast<size_t>(k)].resize(static_cast<size_t>(num_samples));
+  }
+  const int from = rounds_ready_;
+  const std::vector<uint8_t>* mask = mask_.empty() ? nullptr : &mask_;
+  int rounds_built = 0;
+  engine_.RunShards([&](int shard) {
+    SimScratch& scratch = LocalScratch();
+    int rounds = 0;
+    const int end = engine_.ShardBegin(shard + 1);
+    for (int s = engine_.ShardBegin(shard); s < end; ++s) {
+      const SampleCheckpoint* start =
+          from == 0 ? nullptr
+                    : &cp_[static_cast<size_t>(from - 1)][static_cast<size_t>(s)];
+      engine_.sim_.Restore(start, nullptr, scratch);
+      rounds = 0;
+      for (int k = from + 1; k <= upto; ++k) {
+        rounds += engine_.sim_.SimulateRounds(base_sched_,
+                                              static_cast<uint64_t>(s), k, k,
+                                              mask, scratch);
+        engine_.sim_.Capture(
+            scratch, cp_[static_cast<size_t>(k - 1)][static_cast<size_t>(s)]);
+      }
+    }
+    if (shard == 0) rounds_built = rounds;
+  });
+  // Building is amortized shared work, not an estimate of its own: move
+  // its rounds from the skipped to the simulated bucket so that
+  // simulated + skipped stays exactly the naive T-rounds-per-sample
+  // total over the estimates made (a transiently negative skipped count
+  // just means checkpoints were built but not yet reused).
+  engine_.num_rounds_simulated_ +=
+      static_cast<int64_t>(num_samples) * rounds_built;
+  engine_.num_rounds_skipped_ -=
+      static_cast<int64_t>(num_samples) * rounds_built;
+  rounds_ready_ = upto;
+}
+
+CheckpointedEval::Outcome CheckpointedEval::Eval(const SeedGroup& group,
+                                                 bool want_pi) {
+  // Checkpoints (and the prefix-reuse argument) assume the problem's
+  // initial state; a SetInitialStates slipped in after construction must
+  // fail loudly rather than silently evaluate from the wrong state.
+  IMDPP_CHECK(engine_.initial_states_ == nullptr);
+  const Problem& p = engine_.sim_.problem();
+  const int t_max = p.num_promotions;
+  const SeedSchedule sched(group, p);
+  const int diverge = FirstDivergence(base_sched_, sched, t_max);
+  // Stand on the last shared boundary (bounded by what the base can ever
+  // provide: rounds past its last active round are no-ops).
+  int resume = std::min(diverge - 1, base_sched_.last_active_round());
+  EnsureCheckpoints(resume);
+  resume = std::min(resume, rounds_ready_);
+  const int t_end = sched.last_active_round();
+  const std::vector<uint8_t>* mask = mask_.empty() ? nullptr : &mask_;
+
+  struct Part {
+    double sigma = 0.0;
+    double sigma_market = 0.0;
+    double pi = 0.0;
+  };
+  std::vector<Part> partial(engine_.NumShards());
+  int rounds_run = 0;
+  engine_.RunShards([&](int shard) {
+    SimScratch& scratch = LocalScratch();
+    Part acc;
+    int rounds = 0;
+    const int end = engine_.ShardBegin(shard + 1);
+    for (int s = engine_.ShardBegin(shard); s < end; ++s) {
+      const SampleCheckpoint* start =
+          resume == 0
+              ? nullptr
+              : &cp_[static_cast<size_t>(resume - 1)][static_cast<size_t>(s)];
+      engine_.sim_.Restore(start, nullptr, scratch);
+      rounds = 0;
+      if (t_end > resume) {
+        rounds = engine_.sim_.SimulateRounds(sched, static_cast<uint64_t>(s),
+                                             resume + 1, t_end, mask, scratch);
+      }
+      acc.sigma += scratch.sigma();
+      acc.sigma_market += scratch.sigma_market();
+      if (want_pi) acc.pi += engine_.sim_.LikelihoodPi(scratch.states(), market_);
+    }
+    partial[shard] = acc;
+    if (shard == 0) rounds_run = rounds;
+  });
+  Outcome out;
+  for (const Part& acc : partial) {  // fixed shard order
+    out.sigma += acc.sigma;
+    out.sigma_market += acc.sigma_market;
+    out.pi += acc.pi;
+  }
+  engine_.ChargeEstimate(rounds_run);
+  out.sigma /= engine_.num_samples_;
+  out.sigma_market /= engine_.num_samples_;
+  out.pi /= engine_.num_samples_;
+  return out;
+}
+
+double CheckpointedEval::Sigma(const SeedGroup& group) {
+  double memoized = 0.0;
+  if (engine_.MemoLookup(group, &memoized)) return memoized;
+  const double sigma = Eval(group, /*want_pi=*/false).sigma;
+  engine_.MemoStore(group, sigma);
+  return sigma;
+}
+
+MonteCarloEngine::MarketEval CheckpointedEval::EvalMarket(
+    const SeedGroup& group) {
+  IMDPP_CHECK(!market_.empty());
+  const Outcome o = Eval(group, /*want_pi=*/true);
+  return MonteCarloEngine::MarketEval{o.sigma, o.sigma_market, o.pi};
 }
 
 }  // namespace imdpp::diffusion

@@ -10,15 +10,33 @@
 //
 // Parallelism: the per-sample loop is embarrassingly parallel (every
 // realization is a pure function of its sample index), so estimates are
-// sharded across a util::ThreadPool. The shard layout depends only on the
-// sample count — never the thread count — and per-shard partial sums are
-// reduced in shard order, so every estimate is bit-identical for any
-// num_threads (including the 0 = serial fallback). That keeps the paired
-// marginal-gain property exact under threading.
+// sharded across a util::ThreadPool — either an engine-owned lazy pool or
+// a pool shared with other engines (one per CampaignSession / per
+// RunDysim). The shard layout depends only on the sample count — never the
+// thread count — and per-shard partial sums are reduced in shard order, so
+// every estimate is bit-identical for any num_threads (including the 0 =
+// serial fallback). That keeps the paired marginal-gain property exact
+// under threading.
+//
+// Evaluation fast path (ISSUE 3): every estimate runs on per-worker
+// SimScratch arenas (zero per-sample allocation), skips unseeded
+// promotion rounds (exact no-ops), and exposes two reuse levers:
+//   * CheckpointedEval — freezes per-sample states at promotion
+//     boundaries for a base seed group, so evaluating a group that only
+//     differs from the base at rounds ≥ t resumes from the round-(t-1)
+//     checkpoint instead of re-simulating rounds 1..t-1. Exact, because
+//     coin flips are index-hashed and never depend on history.
+//   * an opt-in σ memo keyed on the exact seed vector, so sweeps that
+//     revisit an identical configuration (e.g. Dysim's coordinate-ascent
+//     timing refinement) pay nothing.
+// Work accounting: num_rounds_simulated / num_rounds_skipped split every
+// estimate's promotion-rounds into executed vs avoided (vs the naive
+// T-rounds-per-sample baseline); num_memo_hits counts memoized estimates.
 #ifndef IMDPP_DIFFUSION_MONTE_CARLO_H_
 #define IMDPP_DIFFUSION_MONTE_CARLO_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -70,9 +88,12 @@ class MonteCarloEngine {
   /// `num_samples` realizations per estimate (M in the paper, Sec. VI-A).
   /// `num_threads` is the total executor count for the sample loop:
   /// util::kAutoThreads = hardware concurrency, 0 or 1 = serial. Results
-  /// are bit-identical for every value (see file comment).
+  /// are bit-identical for every value (see file comment). `shared_pool`
+  /// (optional) backs the sample loop instead of an engine-owned lazy
+  /// pool, so several engines can share one set of workers.
   MonteCarloEngine(const Problem& problem, const CampaignConfig& config,
-                   int num_samples, int num_threads = util::kAutoThreads);
+                   int num_samples, int num_threads = util::kAutoThreads,
+                   std::shared_ptr<util::ThreadPool> shared_pool = nullptr);
 
   /// σ̂(S): mean importance-weighted adoptions.
   double Sigma(const SeedGroup& seeds) const;
@@ -84,6 +105,8 @@ class MonteCarloEngine {
   };
 
   /// Joint estimate of σ, σ_τ and π_τ for the market `users` in one pass.
+  /// The |V| market mask is cached per user list, so repeated evaluations
+  /// of the same market (TDSI's inner loop) skip the rebuild.
   MarketEval EvalMarket(const SeedGroup& seeds,
                         const std::vector<UserId>& users) const;
 
@@ -92,9 +115,19 @@ class MonteCarloEngine {
 
   /// Starts every realization from `states` instead of the problem's
   /// initial state (adaptive IM). Pass nullptr to reset. The pointee must
-  /// outlive subsequent estimate calls.
+  /// outlive subsequent estimate calls. Clears (and, while set, disables)
+  /// the σ memo: memoized values assume the problem's initial state.
   void SetInitialStates(const std::vector<pin::UserState>* states) {
     initial_states_ = states;
+    sigma_memo_.clear();
+  }
+
+  /// Opts in to memoizing Sigma() by exact seed vector (identical vector
+  /// => identical estimate, so a hit returns the previously computed bits
+  /// without simulating). Off by default to keep the simulation-counter
+  /// semantics of plain engines.
+  void EnableSigmaMemo(size_t max_entries = 1 << 14) {
+    sigma_memo_capacity_ = max_entries;
   }
 
   const CampaignSimulator& simulator() const { return sim_; }
@@ -105,29 +138,135 @@ class MonteCarloEngine {
   /// Total simulator invocations since construction (mutable counter used
   /// by the benchmarks to report work; bumped once per estimate on the
   /// calling thread, so it stays race-free under the parallel loop).
+  /// Memoized estimates do not simulate and are not charged.
   int64_t num_simulations() const { return num_simulations_; }
+  /// Promotion-rounds actually executed (summed over samples), including
+  /// checkpoint building.
+  int64_t num_rounds_simulated() const { return num_rounds_simulated_; }
+  /// Promotion-rounds a naive evaluation (T rounds per sample, no reuse)
+  /// would have executed on top: unseeded-round skips, checkpoint-prefix
+  /// resumes, and memoized estimates.
+  int64_t num_rounds_skipped() const { return num_rounds_skipped_; }
+  /// Sigma() calls answered from the memo.
+  int64_t num_memo_hits() const { return num_memo_hits_; }
 
  private:
+  friend class CheckpointedEval;
+
   /// Number of per-estimate shards: min(num_samples, kMaxShards). A
   /// function of the sample count only, so the reduction tree is fixed.
   int NumShards() const;
   /// First sample index of `shard` (shard == NumShards() -> num_samples).
   int ShardBegin(int shard) const;
-  /// Whether RunShards will use the pool (purely a scheduling question —
-  /// results never depend on it).
+  /// Whether RunShards will use a pool (purely a scheduling question —
+  /// results never depend on it). Serial below kMinParallelSamples: pool
+  /// dispatch is not worth it for a handful of realizations.
   bool RunsParallel() const;
-  /// Runs fn(shard) for every shard — on the pool when num_threads_ > 1,
-  /// inline otherwise — and charges num_samples_ simulations.
+  /// Runs fn(shard) for every shard — on the pool when parallel, inline
+  /// otherwise. Pure scheduling; callers do their own work accounting.
   void RunShards(const std::function<void(int)>& fn) const;
+
+  bool MemoEnabled() const {
+    return sigma_memo_capacity_ > 0 && initial_states_ == nullptr;
+  }
+  /// Memo lookup; on hit books the skipped work and returns true.
+  bool MemoLookup(const SeedGroup& seeds, double* sigma) const;
+  void MemoStore(const SeedGroup& seeds, double sigma) const;
+  /// |V| market mask for `users`, cached per user list.
+  const std::vector<uint8_t>* CachedMask(
+      const std::vector<UserId>& users) const;
+  /// Books the per-estimate work split for one estimate that executed
+  /// `rounds_run` rounds per sample.
+  void ChargeEstimate(int rounds_run) const;
 
   CampaignSimulator sim_;
   int num_samples_;
   int num_threads_;
   const std::vector<pin::UserState>* initial_states_ = nullptr;
-  /// Lazily created on the first parallel estimate (num_threads_ - 1
-  /// workers; the calling thread is the remaining executor).
+  /// Shared workers (optional); otherwise lazily created on the first
+  /// parallel estimate (num_threads_ - 1 workers; the calling thread is
+  /// the remaining executor).
+  std::shared_ptr<util::ThreadPool> shared_pool_;
   mutable std::unique_ptr<util::ThreadPool> pool_;
   mutable int64_t num_simulations_ = 0;
+  mutable int64_t num_rounds_simulated_ = 0;
+  mutable int64_t num_rounds_skipped_ = 0;
+  mutable int64_t num_memo_hits_ = 0;
+  /// σ memo keyed on the exact seed vector (0 capacity = disabled).
+  mutable std::map<SeedGroup, double> sigma_memo_;
+  size_t sigma_memo_capacity_ = 0;
+  /// EvalMarket mask cache.
+  mutable std::vector<UserId> mask_users_;
+  mutable std::vector<uint8_t> mask_;
+  mutable bool mask_valid_ = false;
+};
+
+/// Promotion-round checkpoint reuse over one engine (ISSUE 3 tentpole).
+///
+/// Holds a *base* seed group and lazily freezes each realization's state
+/// at the promotion boundaries of that base. Evaluating a `group` then
+/// costs only the rounds from its first divergence from the base onward:
+/// coin flips are pure hashes of (sample, round, step, edge, item), so the
+/// boundary state is a function of the earlier rounds' seeds alone, and
+/// resuming replays the exact operation sequence of a from-scratch run —
+/// results are bit-identical, verified by tests/determinism_test.cc.
+///
+/// Typical shapes it accelerates (base grows, candidates differ late):
+///   * TDSI PickBest: base = current group, candidates at rounds t̂/t̂+1;
+///   * greedy timing placement: base = placed, candidate at round t;
+///   * coordinate-ascent refinement: base = schedule minus the moving
+///     seed, candidates = that seed at each round.
+/// Rebase() adopts a new base and keeps every checkpoint before the first
+/// round where the old and new bases diverge, so the reuse compounds
+/// across iterations of those loops.
+///
+/// Requires the engine to evaluate from the problem's initial state (no
+/// SetInitialStates). All estimates run on the engine's sharded sample
+/// loop and are charged to its work counters.
+class CheckpointedEval {
+ public:
+  /// `market` fixes the user list for EvalMarket() (empty = Sigma only);
+  /// checkpoints embed the market's σ_τ partials, so one CheckpointedEval
+  /// serves exactly one market.
+  CheckpointedEval(const MonteCarloEngine& engine, SeedGroup base,
+                   std::vector<UserId> market = {});
+
+  /// σ̂(group). `group` may differ from the base at any rounds; earlier
+  /// shared rounds are resumed from checkpoints. Consults the engine's σ
+  /// memo when enabled.
+  double Sigma(const SeedGroup& group);
+
+  /// Joint σ/σ_τ/π estimate of `group` for the fixed market.
+  MonteCarloEngine::MarketEval EvalMarket(const SeedGroup& group);
+
+  /// Adopts `base` as the new base group, keeping the checkpoints of every
+  /// round before the first divergence from the previous base.
+  void Rebase(SeedGroup base);
+
+  const SeedGroup& base() const { return base_; }
+
+ private:
+  struct Outcome {
+    double sigma = 0.0;
+    double sigma_market = 0.0;
+    double pi = 0.0;
+  };
+  /// First round where the two schedules' buckets differ (T+1 if none).
+  static int FirstDivergence(const SeedSchedule& a, const SeedSchedule& b,
+                             int t_max);
+  /// Simulates base rounds up to `upto` (capped at the base's last active
+  /// round), freezing every boundary along the way.
+  void EnsureCheckpoints(int upto);
+  Outcome Eval(const SeedGroup& group, bool want_pi);
+
+  const MonteCarloEngine& engine_;
+  SeedGroup base_;
+  SeedSchedule base_sched_;
+  std::vector<UserId> market_;
+  std::vector<uint8_t> mask_;  ///< prebuilt; empty when market_ is empty
+  /// cp_[k-1][s] = realization s frozen after base rounds 1..k.
+  std::vector<std::vector<SampleCheckpoint>> cp_;
+  int rounds_ready_ = 0;
 };
 
 }  // namespace imdpp::diffusion

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "kg/types.h"
@@ -41,6 +42,24 @@ class UserState {
     bits_[static_cast<size_t>(x) >> 6] |= uint64_t{1} << (x & 63);
     adopted_.insert(std::upper_bound(adopted_.begin(), adopted_.end(), x), x);
     return true;
+  }
+
+  /// In-place reset to "nothing adopted, weightings = wmeta0". Reuses the
+  /// existing buffers (no frees/allocations when the shape is unchanged),
+  /// which is what lets a simulation scratch arena recycle its per-user
+  /// states across Monte-Carlo realizations.
+  void ResetTo(int num_items, std::span<const float> wmeta0) {
+    bits_.assign(static_cast<size_t>(num_items + 63) / 64, 0);
+    adopted_.clear();
+    wmeta_.assign(wmeta0.begin(), wmeta0.end());
+  }
+
+  /// Structural copy that reuses this state's buffers (vector::assign, so
+  /// equal shapes copy without touching the allocator).
+  void CopyFrom(const UserState& other) {
+    bits_.assign(other.bits_.begin(), other.bits_.end());
+    adopted_.assign(other.adopted_.begin(), other.adopted_.end());
+    wmeta_.assign(other.wmeta_.begin(), other.wmeta_.end());
   }
 
   /// Sorted adopted item ids.

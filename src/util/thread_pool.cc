@@ -32,6 +32,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  // Shared pools: a second owner submitting while a batch is in flight
+  // waits its turn here instead of clobbering fn_/next_/total_.
+  std::lock_guard<std::mutex> batch(batch_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // A previous batch is fully drained before ParallelFor returns, so the

@@ -9,6 +9,10 @@
 //   * TSan-clean by construction: every shared field is guarded by one
 //     mutex. Task claiming takes that mutex once per task, which is noise
 //     next to a task that simulates a whole shard of campaign realizations.
+//   * Shareable (ISSUE 3): one pool can back several Monte-Carlo engines
+//     (session-wide or search+eval in RunDysim). Concurrent ParallelFor
+//     calls from different owners serialize on a batch mutex instead of
+//     corrupting each other's task state.
 #ifndef IMDPP_UTIL_THREAD_POOL_H_
 #define IMDPP_UTIL_THREAD_POOL_H_
 
@@ -43,7 +47,8 @@ class ThreadPool {
 
   /// Runs fn(0) ... fn(n-1), each exactly once, across the workers and the
   /// calling thread; returns once every call has completed. Not reentrant:
-  /// fn must not call ParallelFor on the same pool.
+  /// fn must not call ParallelFor on the same pool. Concurrent calls from
+  /// different threads are safe and run one batch at a time.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
@@ -53,6 +58,7 @@ class ThreadPool {
   /// Claims and runs tasks of the current batch until none are left.
   void RunTasks();
 
+  std::mutex batch_mu_;  ///< held for the whole of one ParallelFor batch
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers wait here for a new batch
   std::condition_variable done_cv_;  ///< ParallelFor waits here for drain

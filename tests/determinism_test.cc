@@ -12,6 +12,7 @@
 
 #include "api/session.h"
 #include "data/catalog.h"
+#include "diffusion/monte_carlo.h"
 #include "util/thread_pool.h"
 
 namespace imdpp::api {
@@ -47,6 +48,11 @@ void ExpectSamePlan(const PlanResult& a, const PlanResult& b,
   EXPECT_EQ(a.sigma, b.sigma);
   EXPECT_EQ(a.total_cost, b.total_cost);
   EXPECT_EQ(a.simulations, b.simulations);
+  // The fast-path accounting is a function of the schedule search alone,
+  // never of the thread count.
+  EXPECT_EQ(a.rounds_simulated, b.rounds_simulated);
+  EXPECT_EQ(a.rounds_skipped, b.rounds_skipped);
+  EXPECT_EQ(a.memo_hits, b.memo_hits);
   ASSERT_EQ(a.seeds.size(), b.seeds.size());
   for (size_t i = 0; i < a.seeds.size(); ++i) {
     EXPECT_EQ(a.seeds[i].user, b.seeds[i].user) << "seed " << i;
@@ -89,6 +95,36 @@ TEST(DeterminismGate, SerialFallbackMatchesParallel) {
   PlanResult serial = RunWith("dysim", 0);
   PlanResult parallel = RunWith("dysim", 4);
   ExpectSamePlan(serial, parallel, "serial fallback vs 4 threads");
+}
+
+// Checkpoint-resume and memoized σ̂ must be bit-identical to a plain
+// from-scratch estimate on the very schedules the planners emit — for
+// EVERY registered planner, at serial and parallel thread counts.
+TEST(DeterminismGate, CheckpointedSigmaMatchesPlainForEveryPlanner) {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem problem = ds.MakeProblem(/*budget=*/100.0,
+                                              /*num_promotions=*/2);
+  diffusion::CampaignConfig campaign;
+  campaign.base_seed = 20260731;
+  for (const std::string& name : PlannerRegistry::Names()) {
+    SCOPED_TRACE(name);
+    const PlanResult plan = RunWith(name, 2);
+    if (plan.seeds.empty()) continue;
+    for (int threads : {0, 2}) {
+      diffusion::MonteCarloEngine plain(problem, campaign, 8, threads);
+      diffusion::MonteCarloEngine engine(problem, campaign, 8, threads);
+      const double expected = plain.Sigma(plan.seeds);
+      // Resume from a base missing the last seed (greedy-append shape).
+      diffusion::SeedGroup base = plan.seeds;
+      base.pop_back();
+      diffusion::CheckpointedEval ce(engine, base);
+      EXPECT_EQ(ce.Sigma(plan.seeds), expected) << "threads=" << threads;
+      // And a memo hit on top of the checkpointed value.
+      engine.EnableSigmaMemo();
+      EXPECT_EQ(ce.Sigma(plan.seeds), expected) << "threads=" << threads;
+      EXPECT_EQ(ce.Sigma(plan.seeds), expected) << "threads=" << threads;
+    }
+  }
 }
 
 TEST(DeterminismGate, SessionSigmaThreadCountInvariant) {
