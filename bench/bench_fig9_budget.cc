@@ -2,68 +2,107 @@
 // plus execution time vs budget on Amazon.
 //   (a) Yelp, (b) Amazon, (c) Douban (HAG omitted there, as in the paper
 //   where it exceeded 12 hours), (d) runtime on Amazon.
+//
+// The whole figure is data: this harness loads configs/fig9_budget.json
+// (or a config given as argv[1]) and runs it through cli::RunSweep — the
+// same loader and runner behind `imdpp sweep --config ...` — then renders
+// the records as the paper-style tables. A CLI sweep of the same file
+// therefore reproduces these numbers estimate for estimate.
 #include <cstdio>
+#include <map>
 
 #include "bench/bench_common.h"
+#include "cli/sweep_runner.h"
 
 namespace imdpp::bench {
 namespace {
 
-const std::vector<double> kBudgets{100, 200, 300, 400, 500};
-
-void RunDataset(data::Dataset ds, bool include_hag, TextTable* time_table) {
-  Effort effort;
-  api::CampaignSession session(std::move(ds), MakeConfig(effort));
-  std::printf("--- %s: sigma vs b (T = 10) ---\n",
-              session.dataset().name.c_str());
-  TextTable t;
+/// σ (or seconds) per (dataset, planner) row across the budget columns,
+/// in first-seen record order — which is the sweep's expansion order:
+/// datasets outermost, planners innermost.
+void RenderTables(const config::SweepSpec& spec,
+                  const std::vector<report::SweepRecord>& records) {
   std::vector<std::string> header{"algorithm"};
-  for (double b : kBudgets) header.push_back("b=" + TextTable::Int(b));
-  t.SetHeader(header);
+  for (double b : spec.budgets) header.push_back("b=" + TextTable::Int(b));
 
-  std::vector<std::string> algos{"dysim", "bgrd"};
-  if (include_hag) algos.push_back("hag");
-  algos.push_back("ps");
-  algos.push_back("drhga");
-
-  std::vector<std::vector<std::string>> rows(algos.size());
-  std::vector<std::vector<std::string>> time_rows(algos.size());
-  for (size_t a = 0; a < algos.size(); ++a) {
-    rows[a].push_back(Label(algos[a]));
-    time_rows[a].push_back(Label(algos[a]));
+  std::vector<std::string> dataset_order;
+  std::map<std::string, std::vector<std::string>> planner_order;
+  // (dataset, planner) -> budget -> cell
+  std::map<std::string, std::map<std::string, std::map<double, double>>> sigma;
+  std::map<std::string, std::map<std::string, std::map<double, double>>> secs;
+  for (const report::SweepRecord& rec : records) {
+    const std::string& ds = rec.point.dataset.name;
+    const std::string& pl = rec.point.planner;
+    if (sigma.find(ds) == sigma.end()) dataset_order.push_back(ds);
+    auto& rows = sigma[ds];
+    if (rows.find(pl) == rows.end()) planner_order[ds].push_back(pl);
+    rows[pl][rec.point.budget] = rec.result.sigma;
+    secs[ds][pl][rec.point.budget] = rec.result.wall_seconds;
   }
-  for (double b : kBudgets) {
-    session.SetProblem(b, 10);
-    for (size_t a = 0; a < algos.size(); ++a) {
-      api::PlanResult r = session.Run(algos[a]);
-      rows[a].push_back(TextTable::Num(r.sigma, 1));
-      time_rows[a].push_back(TextTable::Num(r.wall_seconds, 2));
+
+  TextTable amazon_times;
+  for (const std::string& ds : dataset_order) {
+    std::printf("--- %s: sigma vs b (T = %d) ---\n", ds.c_str(),
+                spec.promotions.front());
+    TextTable t;
+    t.SetHeader(header);
+    TextTable times;
+    times.SetHeader(header);
+    for (const std::string& pl : planner_order[ds]) {
+      std::vector<std::string> row{Label(pl)};
+      std::vector<std::string> time_row{Label(pl)};
+      for (double b : spec.budgets) {
+        row.push_back(TextTable::Num(sigma[ds][pl][b], 1));
+        time_row.push_back(TextTable::Num(secs[ds][pl][b], 2));
+      }
+      t.AddRow(row);
+      times.AddRow(time_row);
     }
+    std::printf("%s\n", t.Render().c_str());
+    if (ds == "amazon-like") amazon_times = times;
   }
-  for (auto& r : rows) t.AddRow(r);
-  std::printf("%s\n", t.Render().c_str());
 
-  if (time_table != nullptr) {
-    time_table->SetHeader(header);
-    for (auto& r : time_rows) time_table->AddRow(r);
+  if (amazon_times.NumRows() > 0) {
+    std::printf("=== Fig. 9(d): execution time (seconds) vs b, Amazon ===\n");
+    std::printf("%s", amazon_times.Render().c_str());
   }
 }
 
 }  // namespace
 }  // namespace imdpp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imdpp;
   using namespace imdpp::bench;
 
-  std::printf("=== Fig. 9(a)-(c): influence vs budget ===\n");
-  RunDataset(data::MakeYelpLike(0.5), /*include_hag=*/true, nullptr);
-  TextTable amazon_times;
-  RunDataset(data::MakeAmazonLike(0.5), /*include_hag=*/true, &amazon_times);
-  RunDataset(data::MakeDoubanLike(0.35), /*include_hag=*/false, nullptr);
+  const std::string path =
+      argc > 1 ? argv[1] : FindConfigFile("configs/fig9_budget.json");
+  util::Json parsed;
+  config::SweepSpec spec;
+  std::vector<report::SweepRecord> records;
+  std::string error;
+  if (!config::LoadJsonFile(path, &parsed, &error) ||
+      !config::LoadSweepSpec(parsed, &spec, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (spec.promotions.size() != 1) {
+    // The tables key cells by budget alone; several T values would
+    // silently overwrite each other under one mislabeled header.
+    std::fprintf(stderr,
+                 "%s: this harness renders a single-T figure; got %zu "
+                 "promotions values\n",
+                 path.c_str(), spec.promotions.size());
+    return 1;
+  }
+  if (!cli::RunSweep(spec, &records, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
 
-  std::printf("=== Fig. 9(d): execution time (seconds) vs b, Amazon ===\n");
-  std::printf("%s", amazon_times.Render().c_str());
+  std::printf("=== Fig. 9(a)-(c): influence vs budget (%s) ===\n",
+              path.c_str());
+  RenderTables(spec, records);
   PrintShapeNote("Fig.9(a-d)",
                  "Dysim largest sigma on every dataset, followed by DRHGA "
                  "and BGRD; PS lowest; Dysim's runtime grows only mildly "

@@ -54,9 +54,9 @@ int main() {
   using namespace imdpp::bench;
 
   std::printf("=== Fig. 9(e)-(f): influence vs number of promotions ===\n");
-  RunDataset(data::MakeYelpLike(0.5), nullptr);
+  RunDataset(MakeDataset("yelp-like@0.5"), nullptr);
   TextTable amazon_times;
-  RunDataset(data::MakeAmazonLike(0.5), &amazon_times);
+  RunDataset(MakeDataset("amazon-like@0.5"), &amazon_times);
 
   std::printf("=== Fig. 9(g): execution time (seconds) vs T, Amazon ===\n");
   std::printf("%s", amazon_times.Render().c_str());

@@ -21,10 +21,10 @@ int main() {
 
   // Ordered by user count, mirroring the paper's x-axis.
   std::vector<data::Dataset> datasets;
-  datasets.push_back(data::MakeYelpLike(0.5));
-  datasets.push_back(data::MakeAmazonLike(0.5));
-  datasets.push_back(data::MakeGowallaLike(0.5));
-  datasets.push_back(data::MakeDoubanLike(0.5));
+  datasets.push_back(MakeDataset("yelp-like@0.5"));
+  datasets.push_back(MakeDataset("amazon-like@0.5"));
+  datasets.push_back(MakeDataset("gowalla-like@0.5"));
+  datasets.push_back(MakeDataset("douban-like@0.5"));
 
   for (data::Dataset& ds : datasets) {
     api::CampaignSession session(std::move(ds), MakeConfig(effort));

@@ -24,7 +24,7 @@ int main() {
     diffusion::Problem& p = session.mutable_problem();
     std::fill(p.importance.begin(), p.importance.end(), 1.0);
 
-    std::vector<api::PlanResult> results = session.Compare({"dysim", "ps"});
+    api::CompareResult results = session.Compare({"dysim", "ps"});
     const api::PlanResult& plan = results[0];
     const api::PlanResult& ps = results[1];
 

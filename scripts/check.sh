@@ -43,4 +43,22 @@ strip_timing() { sed -E 's/ in [0-9.]+s$//'; }
 diff "$BUILD_DIR/quickstart.run1.txt" "$BUILD_DIR/quickstart.run2.txt"
 cat "$BUILD_DIR/quickstart.run1.txt"
 
+echo "== smoke: imdpp CLI quickstart (run twice, diff = determinism gate) =="
+# The CLI emits no wall-clock fields by default, so identical invocations
+# must produce byte-identical JSON.
+"$BUILD_DIR/imdpp" plan --dataset yelp-like --planner dysim --budget 300 \
+  --out "$BUILD_DIR/cli_plan.run1.json"
+"$BUILD_DIR/imdpp" plan --dataset yelp-like --planner dysim --budget 300 \
+  --out "$BUILD_DIR/cli_plan.run2.json"
+diff "$BUILD_DIR/cli_plan.run1.json" "$BUILD_DIR/cli_plan.run2.json"
+echo "imdpp plan output is byte-identical across runs"
+
+echo "== smoke: imdpp sweep on configs/sweep_ci.json (twice + diff) =="
+"$BUILD_DIR/imdpp" sweep --config configs/sweep_ci.json --quiet \
+  --out "$BUILD_DIR/cli_sweep.run1.json" --csv "$BUILD_DIR/cli_sweep.csv"
+"$BUILD_DIR/imdpp" sweep --config configs/sweep_ci.json --quiet \
+  --out "$BUILD_DIR/cli_sweep.run2.json"
+diff "$BUILD_DIR/cli_sweep.run1.json" "$BUILD_DIR/cli_sweep.run2.json"
+echo "imdpp sweep output is byte-identical across runs"
+
 echo "== OK =="

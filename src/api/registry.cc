@@ -41,15 +41,21 @@ std::unique_ptr<Planner> PlannerRegistry::CreateOrDie(
     std::string_view name, const PlannerConfig& config) {
   std::unique_ptr<Planner> planner = Create(name, config);
   if (planner == nullptr) {
-    std::fprintf(stderr, "unknown planner \"%.*s\"; registered:",
-                 static_cast<int>(name.size()), name.data());
-    for (const std::string& known : Names()) {
-      std::fprintf(stderr, " %s", known.c_str());
-    }
-    std::fprintf(stderr, "\n");
+    std::fprintf(stderr, "%s\n", UnknownMessage(name).c_str());
     std::abort();
   }
   return planner;
+}
+
+std::string PlannerRegistry::UnknownMessage(std::string_view name) {
+  std::string msg = "unknown planner \"";
+  msg += name;
+  msg += "\"; registered:";
+  for (const std::string& known : Names()) {
+    msg += ' ';
+    msg += known;
+  }
+  return msg;
 }
 
 bool PlannerRegistry::Has(std::string_view name) {

@@ -41,6 +41,11 @@ class PlannerRegistry {
 
   /// All registered names, sorted.
   static std::vector<std::string> Names();
+
+  /// The failure message every lookup path reports: the unknown name plus
+  /// the sorted list of registered names (CreateOrDie aborts with it; the
+  /// CLI prints it and exits non-zero).
+  static std::string UnknownMessage(std::string_view name);
 };
 
 namespace internal {

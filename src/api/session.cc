@@ -50,12 +50,14 @@ PlanResult CampaignSession::Run(const std::string& planner_name,
   return result;
 }
 
-std::vector<PlanResult> CampaignSession::Compare(
-    const std::vector<std::string>& names) {
-  std::vector<PlanResult> results;
-  results.reserve(names.size());
-  for (const std::string& name : names) results.push_back(Run(name));
-  return results;
+CompareResult CampaignSession::Compare(const std::vector<std::string>& names) {
+  CompareResult out;
+  out.dataset = dataset_.name;
+  out.budget = problem_.budget;
+  out.num_promotions = problem_.num_promotions;
+  out.results.reserve(names.size());
+  for (const std::string& name : names) out.results.push_back(Run(name));
+  return out;
 }
 
 double CampaignSession::Sigma(const diffusion::SeedGroup& seeds) {

@@ -22,6 +22,26 @@
 
 namespace imdpp::api {
 
+/// A paired comparison: every planner's PlanResult on one problem, scored
+/// on one shared engine (same samples, same coin flips), plus the problem
+/// coordinates the comparison ran at — the unit src/report serializes.
+/// Container sugar forwards to `results` so range-for/indexing read like
+/// the plain vector Compare() used to return.
+struct CompareResult {
+  std::string dataset;
+  double budget = 0.0;
+  int num_promotions = 0;
+  std::vector<PlanResult> results;
+
+  size_t size() const { return results.size(); }
+  PlanResult& operator[](size_t i) { return results[i]; }
+  const PlanResult& operator[](size_t i) const { return results[i]; }
+  auto begin() { return results.begin(); }
+  auto end() { return results.end(); }
+  auto begin() const { return results.begin(); }
+  auto end() const { return results.end(); }
+};
+
 class CampaignSession {
  public:
   /// Takes ownership of the dataset. No problem is configured yet —
@@ -54,7 +74,7 @@ class CampaignSession {
                  const PlannerConfig& config);
 
   /// Runs every named planner on the current problem.
-  std::vector<PlanResult> Compare(const std::vector<std::string>& names);
+  CompareResult Compare(const std::vector<std::string>& names);
 
   /// σ̂ of an arbitrary schedule on the shared engine (eval_samples).
   double Sigma(const diffusion::SeedGroup& seeds);

@@ -1,0 +1,379 @@
+#include "cli/cli.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "api/session.h"
+#include "cli/sweep_runner.h"
+#include "config/config_loader.h"
+#include "data/dataset_registry.h"
+#include "report/report.h"
+
+namespace imdpp::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(imdpp — influence maximization with dynamic personal perception (ICDE'21)
+
+usage: imdpp <command> [flags]
+
+commands:
+  plan      run one planner on one dataset, print the PlanResult as JSON
+  compare   run several planners on one problem (paired σ̂), print JSON
+  sweep     run a JSON sweep config (datasets x planners x budgets x ...)
+  datasets  list the registered dataset names
+  help      show this message
+
+shared flags (plan, compare):
+  --dataset NAME[@SCALE]   dataset registry key, scale-<N>, or spec .json
+  --scale S                dataset size multiplier (default 1, or @SCALE)
+  --dataset-seed N         dataset RNG seed (0 = the flavor's default)
+  --budget B               campaign budget        (default 300)
+  --promotions T           promotion rounds       (default 10)
+  --config FILE            planner-config JSON overrides
+  --seed N                 master RNG seed
+  --threads N              Monte-Carlo executors (-1 = hardware, 0 = serial)
+  --theta N                market-overlap theta (market.overlap_theta)
+  --selection-samples N    search-time Monte-Carlo samples
+  --eval-samples N         final-evaluation Monte-Carlo samples
+  --timings                include wall-clock fields (breaks byte-stability)
+  --out FILE               write JSON here instead of stdout
+
+plan:     --planner NAME   (default dysim)
+compare:  --planners A,B,C (comma-separated registry names)
+sweep:    --config FILE (required), --out FILE, --csv FILE, --timings,
+          --quiet (no per-point progress on stderr)
+
+flag files: --flagfile FILE splices whitespace-separated tokens from FILE
+(# comments); flags given after it override the file's.
+
+Identical invocations print identical bytes (unless --timings), so
+`imdpp plan ... | diff - <(imdpp plan ...)` is a determinism check.
+)";
+
+/// CLI default effort = the bench harnesses' Effort defaults: moderate
+/// samples and candidate pruning, so `imdpp plan --dataset yelp-like
+/// --planner dysim --budget 300` answers in seconds, not hours. Override
+/// any of it with --config / the sample flags.
+api::PlannerConfig DefaultCliConfig() {
+  api::PlannerConfig cfg;
+  cfg.selection_samples = 10;
+  cfg.eval_samples = 24;
+  cfg.candidates.max_users = 24;
+  cfg.candidates.max_items = 8;
+  return cfg;
+}
+
+int UsageError(std::ostream& err, const std::string& message) {
+  err << "imdpp: " << message << "\n";
+  err << "run `imdpp help` for usage\n";
+  return 2;
+}
+
+int RuntimeError(std::ostream& err, const std::string& message) {
+  err << "imdpp: " << message << "\n";
+  return 1;
+}
+
+bool ParseNumberFlag(const config::ParsedArgs& args, const char* key,
+                     double* out, std::string* error) {
+  const std::string* v = args.Find(key);
+  if (v == nullptr) return true;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (v->empty() || end == nullptr || *end != '\0') {
+    *error = std::string("--") + key + " expects a number, got \"" + *v +
+             "\"";
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseIntFlag(const config::ParsedArgs& args, const char* key, int* out,
+                  std::string* error) {
+  double v = *out;
+  if (!ParseNumberFlag(args, key, &v, error)) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+/// Seeds parse through strtoull (base 0: decimal or 0x...), not strtod —
+/// a 64-bit seed above 2^53 must reach the engine bit-exact, and a
+/// negative or overflowing value must fail instead of casting to UB.
+bool ParseSeedFlag(const config::ParsedArgs& args, const char* key,
+                   uint64_t* out, std::string* error) {
+  const std::string* v = args.Find(key);
+  if (v == nullptr) return true;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v->c_str(), &end, 0);
+  if (v->empty() || end == nullptr || *end != '\0' ||
+      v->front() == '-' || errno == ERANGE) {
+    *error = std::string("--") + key +
+             " expects an unsigned 64-bit seed, got \"" + *v + "\"";
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+/// Shared plan/compare setup: dataset spec + resolved PlannerConfig +
+/// problem coordinates from flags (and an optional --config JSON file).
+struct ProblemSetup {
+  data::DatasetSpec dataset;
+  api::PlannerConfig config = DefaultCliConfig();
+  double budget = 300.0;
+  int promotions = 10;
+  bool timings = false;
+};
+
+bool LoadProblemSetup(const config::ParsedArgs& args, ProblemSetup* setup,
+                      std::string* error) {
+  const std::string* dataset = args.Find("dataset");
+  if (dataset == nullptr) {
+    *error = "--dataset is required";
+    return false;
+  }
+  setup->dataset = data::ParseDatasetSpec(*dataset);
+  if (!ParseNumberFlag(args, "scale", &setup->dataset.scale, error)) {
+    return false;
+  }
+  if (!ParseSeedFlag(args, "dataset-seed", &setup->dataset.seed, error)) {
+    return false;
+  }
+
+  if (const std::string* config_path = args.Find("config")) {
+    util::Json overrides;
+    if (!config::LoadJsonFile(*config_path, &overrides, error)) return false;
+    if (!config::ApplyPlannerConfigJson(overrides, &setup->config, error)) {
+      *error = *config_path + ": " + *error;
+      return false;
+    }
+  }
+  if (!ParseNumberFlag(args, "budget", &setup->budget, error)) return false;
+  if (!ParseIntFlag(args, "promotions", &setup->promotions, error)) {
+    return false;
+  }
+  if (!ParseSeedFlag(args, "seed", &setup->config.seed, error)) return false;
+  if (!ParseIntFlag(args, "threads", &setup->config.num_threads, error)) {
+    return false;
+  }
+  if (!ParseIntFlag(args, "theta", &setup->config.market.overlap_theta,
+                    error)) {
+    return false;
+  }
+  if (!ParseIntFlag(args, "selection-samples",
+                    &setup->config.selection_samples, error)) {
+    return false;
+  }
+  if (!ParseIntFlag(args, "eval-samples", &setup->config.eval_samples,
+                    error)) {
+    return false;
+  }
+  setup->timings = args.Has("timings");
+  return true;
+}
+
+/// Writes `text` to --out (if given) or to `out`.
+bool EmitText(const config::ParsedArgs& args, const char* flag,
+              const std::string& text, std::ostream& out,
+              std::string* error) {
+  const std::string* path = args.Find(flag);
+  if (path == nullptr) {
+    out << text;
+    return true;
+  }
+  std::ofstream file(*path);
+  file << text;
+  file.flush();
+  if (!file.good()) {  // a truncated artifact must not exit 0
+    *error = "cannot write \"" + *path + "\"";
+    return false;
+  }
+  return true;
+}
+
+/// Seeds echo losslessly: above 2^53 a JSON number would round, so big
+/// seeds print as digit strings — which ReadSeed accepts right back.
+util::Json SeedJsonValue(uint64_t seed) {
+  if (seed < (1ULL << 53)) return util::Json(seed);
+  return util::Json(std::to_string(seed));
+}
+
+util::Json DatasetJson(const data::DatasetSpec& spec) {
+  util::Json out = util::Json::Object();
+  out.Set("name", spec.name);
+  out.Set("scale", spec.scale);
+  if (spec.seed != 0) out.Set("seed", SeedJsonValue(spec.seed));
+  return out;
+}
+
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(text);
+  while (std::getline(in, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+// ------------------------------------------------------------ subcommands
+
+int RunPlan(const config::ParsedArgs& args, std::ostream& out,
+            std::ostream& err) {
+  ProblemSetup setup;
+  std::string error;
+  if (!LoadProblemSetup(args, &setup, &error)) return UsageError(err, error);
+  const std::string planner = args.GetOr("planner", "dysim");
+  if (!api::PlannerRegistry::Has(planner)) {
+    return RuntimeError(err, api::PlannerRegistry::UnknownMessage(planner));
+  }
+  data::Dataset dataset;
+  if (!data::DatasetRegistry::Make(setup.dataset, &dataset, &error)) {
+    return RuntimeError(err, error);
+  }
+  api::CampaignSession session(std::move(dataset), setup.config);
+  session.SetProblem(setup.budget, setup.promotions);
+  api::PlanResult result = session.Run(planner);
+
+  util::Json output = util::Json::Object();
+  output.Set("command", "plan");
+  output.Set("dataset", DatasetJson(setup.dataset));
+  output.Set("budget", setup.budget);
+  output.Set("promotions", setup.promotions);
+  output.Set("seed", SeedJsonValue(setup.config.seed));
+  output.Set("result", report::PlanResultJson(result, setup.timings));
+  if (!EmitText(args, "out", output.Dump(2) + "\n", out, &error)) {
+    return RuntimeError(err, error);
+  }
+  return 0;
+}
+
+int RunCompare(const config::ParsedArgs& args, std::ostream& out,
+               std::ostream& err) {
+  ProblemSetup setup;
+  std::string error;
+  if (!LoadProblemSetup(args, &setup, &error)) return UsageError(err, error);
+  const std::string* planners_flag = args.Find("planners");
+  if (planners_flag == nullptr) {
+    return UsageError(err, "--planners A,B,C is required");
+  }
+  const std::vector<std::string> planners = SplitCommaList(*planners_flag);
+  if (planners.empty()) {
+    return UsageError(err, "--planners needs at least one name");
+  }
+  for (const std::string& name : planners) {
+    if (!api::PlannerRegistry::Has(name)) {
+      return RuntimeError(err, api::PlannerRegistry::UnknownMessage(name));
+    }
+  }
+  data::Dataset dataset;
+  if (!data::DatasetRegistry::Make(setup.dataset, &dataset, &error)) {
+    return RuntimeError(err, error);
+  }
+  api::CampaignSession session(std::move(dataset), setup.config);
+  session.SetProblem(setup.budget, setup.promotions);
+  api::CompareResult compare = session.Compare(planners);
+
+  util::Json output = util::Json::Object();
+  output.Set("command", "compare");
+  output.Set("dataset", DatasetJson(setup.dataset));
+  output.Set("seed", SeedJsonValue(setup.config.seed));
+  // CompareResultJson carries budget/promotions alongside the results.
+  util::Json body = report::CompareResultJson(compare, setup.timings);
+  for (auto& [key, value] : body.members()) {
+    if (key != "dataset") output.Set(key, value);
+  }
+  if (!EmitText(args, "out", output.Dump(2) + "\n", out, &error)) {
+    return RuntimeError(err, error);
+  }
+  return 0;
+}
+
+int RunSweepCommand(const config::ParsedArgs& args, std::ostream& out,
+                    std::ostream& err) {
+  const std::string* config_path = args.Find("config");
+  if (config_path == nullptr) {
+    return UsageError(err, "sweep needs --config FILE (a JSON sweep spec)");
+  }
+  std::string error;
+  util::Json parsed;
+  if (!config::LoadJsonFile(*config_path, &parsed, &error)) {
+    return RuntimeError(err, error);
+  }
+  config::SweepSpec spec;
+  if (!config::LoadSweepSpec(parsed, &spec, &error)) {
+    return RuntimeError(err, *config_path + ": " + error);
+  }
+  const bool timings = args.Has("timings");
+  const bool quiet = args.Has("quiet");
+  std::vector<report::SweepRecord> records;
+  SweepProgressFn progress;
+  if (!quiet) {
+    progress = [&err](const config::SweepPoint& p, size_t i, size_t n) {
+      err << "[" << (i + 1) << "/" << n << "] " << p.dataset.name << " "
+          << p.planner << " b=" << p.budget << " T=" << p.num_promotions
+          << "\n";
+    };
+  }
+  if (!RunSweep(spec, &records, &error, progress)) {
+    return RuntimeError(err, error);
+  }
+  const util::Json output = report::SweepJson(spec.name, records, timings);
+  if (!EmitText(args, "out", output.Dump(2) + "\n", out, &error)) {
+    return RuntimeError(err, error);
+  }
+  if (const std::string* csv_path = args.Find("csv")) {
+    std::ofstream csv(*csv_path);
+    csv << report::SweepCsv(records, timings);
+    csv.flush();
+    if (!csv.good()) {
+      return RuntimeError(err, "cannot write \"" + *csv_path + "\"");
+    }
+  }
+  return 0;
+}
+
+int RunDatasets(std::ostream& out) {
+  for (const std::string& name : data::DatasetRegistry::Names()) {
+    out << name << "\n";
+  }
+  out << "scale-<N>\n";
+  out << "<path/to/spec.json>\n";
+  return 0;
+}
+
+}  // namespace
+
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  config::ParsedArgs parsed;
+  std::string error;
+  if (!config::ParseArgs(args, &parsed, &error)) return UsageError(err, error);
+  if (parsed.command.empty() || parsed.command == "help" ||
+      parsed.Has("help")) {
+    (parsed.command.empty() && !parsed.Has("help") ? err : out) << kUsage;
+    return parsed.command.empty() && !parsed.Has("help") ? 2 : 0;
+  }
+  if (parsed.command == "plan") return RunPlan(parsed, out, err);
+  if (parsed.command == "compare") return RunCompare(parsed, out, err);
+  if (parsed.command == "sweep") return RunSweepCommand(parsed, out, err);
+  if (parsed.command == "datasets") return RunDatasets(out);
+  return UsageError(err, "unknown command \"" + parsed.command +
+                             "\" (expected plan, compare, sweep, datasets)");
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Run(args, std::cout, std::cerr);
+}
+
+}  // namespace imdpp::cli

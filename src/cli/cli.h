@@ -1,0 +1,37 @@
+// The imdpp command-line driver: every registered planner × every
+// registered dataset, no recompile.
+//
+//   imdpp plan     --dataset yelp-like --planner dysim --budget 300
+//   imdpp compare  --dataset yelp-like --planners dysim,bgrd,ps --budget 300
+//   imdpp sweep    --config configs/fig9_budget.json --out results.json
+//   imdpp datasets
+//
+// Run() is the whole CLI behind injectable streams, so tests drive
+// subcommands in-process and assert on exit codes and output without
+// spawning the binary; Main() wraps it for src/cli/imdpp_main.cc.
+//
+// Output is JSON (deterministic: identical invocations produce identical
+// bytes — wall-clock fields only appear under --timings), CSV for sweeps
+// via --csv. Unknown planner or dataset names exit non-zero after
+// printing the sorted list of registered keys.
+#ifndef IMDPP_CLI_CLI_H_
+#define IMDPP_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace imdpp::cli {
+
+/// Runs `args` (without argv[0]); writes results to `out`, diagnostics
+/// and progress to `err`; returns the process exit code (0 success,
+/// 1 runtime failure, 2 usage error).
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+/// main() adapter.
+int Main(int argc, char** argv);
+
+}  // namespace imdpp::cli
+
+#endif  // IMDPP_CLI_CLI_H_

@@ -1,0 +1,6 @@
+// Entry point of the `imdpp` binary. Excluded from the imdpp library
+// sources (CMakeLists.txt) so the CLI logic in cli.cc stays linkable —
+// and testable in-process — from everything else.
+#include "cli/cli.h"
+
+int main(int argc, char** argv) { return imdpp::cli::Main(argc, argv); }

@@ -1,0 +1,79 @@
+#include "cli/sweep_runner.h"
+
+#include <utility>
+
+#include "api/session.h"
+#include "util/check.h"
+
+namespace imdpp::cli {
+
+bool RunSweep(const config::SweepSpec& spec,
+              std::vector<report::SweepRecord>* records, std::string* error,
+              const SweepProgressFn& progress) {
+  records->clear();
+
+  // Validate every axis name up front: a typo must fail before hours of
+  // simulation, and with the full key listing.
+  auto validate = [&](const std::vector<config::SweepSpec::PlannerAxis>& axes) {
+    for (const config::SweepSpec::PlannerAxis& pl : axes) {
+      if (!api::PlannerRegistry::Has(pl.name)) {
+        *error = api::PlannerRegistry::UnknownMessage(pl.name);
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!validate(spec.planners)) return false;
+  for (const config::SweepSpec::DatasetAxis& ds : spec.datasets) {
+    if (!validate(ds.planners)) return false;
+  }
+
+  std::vector<config::SweepPoint> points;
+  if (!config::ExpandSweep(spec, &points, error)) return false;
+  // Points per dataset under the expansion order (promotions, budgets,
+  // thetas, threads, planners innermost; sentinel axes collapse to 1).
+  const size_t axis_base =
+      spec.promotions.size() * spec.budgets.size() *
+      std::max<size_t>(1, spec.thetas.size()) *
+      std::max<size_t>(1, spec.num_threads.size());
+  records->reserve(points.size());
+
+  size_t idx = 0;
+  for (const config::SweepSpec::DatasetAxis& ds : spec.datasets) {
+    const size_t per_dataset =
+        axis_base *
+        (ds.planners.empty() ? spec.planners.size() : ds.planners.size());
+    // The session runs under the dataset-level config (base + dataset
+    // overrides): every point of this dataset scores on one shared
+    // engine, so planner comparisons stay paired.
+    api::PlannerConfig session_config = spec.base;
+    if (!config::ApplyPlannerConfigJson(ds.overrides, &session_config,
+                                        error)) {
+      return false;
+    }
+    data::Dataset dataset;
+    if (!data::DatasetRegistry::Make(ds.spec, &dataset, error)) return false;
+    api::CampaignSession session(std::move(dataset), session_config);
+
+    double current_budget = -1.0;
+    int current_promotions = -1;
+    for (size_t k = 0; k < per_dataset; ++k, ++idx) {
+      const config::SweepPoint& point = points[idx];
+      if (point.budget != current_budget ||
+          point.num_promotions != current_promotions) {
+        session.SetProblem(point.budget, point.num_promotions);
+        current_budget = point.budget;
+        current_promotions = point.num_promotions;
+      }
+      if (progress) progress(point, idx, points.size());
+      report::SweepRecord record;
+      record.point = point;
+      record.result = session.Run(point.planner, point.config);
+      records->push_back(std::move(record));
+    }
+  }
+  IMDPP_CHECK_EQ(idx, points.size());  // the slice arithmetic covered all
+  return true;
+}
+
+}  // namespace imdpp::cli

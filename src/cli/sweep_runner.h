@@ -1,0 +1,38 @@
+// Executes an expanded sweep grid on CampaignSessions — the shared engine
+// behind both `imdpp sweep` and the config-driven figure harnesses
+// (bench_fig9_budget runs the checked-in configs/fig9_budget.json through
+// this exact code path, so CLI sweeps reproduce the figure numbers by
+// construction).
+//
+// Session discipline mirrors the hand-rolled harness loops it replaced:
+// one CampaignSession per dataset axis entry (configured with the
+// dataset-level config, so every point of that dataset scores on the same
+// shared evaluation engine), one SetProblem per (promotions, budget)
+// pair, and per-point planner/theta/thread overrides passed to
+// CampaignSession::Run(name, config) — which plans under the point config
+// but keeps σ̂ scoring paired on the session engine.
+#ifndef IMDPP_CLI_SWEEP_RUNNER_H_
+#define IMDPP_CLI_SWEEP_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "report/report.h"
+
+namespace imdpp::cli {
+
+/// Called before each point runs: (point, index, total).
+using SweepProgressFn =
+    std::function<void(const config::SweepPoint&, size_t, size_t)>;
+
+/// Runs every point of the expanded grid. Fails fast (false + *error) on
+/// unknown planner or dataset names — with the registries' sorted key
+/// listings — before any simulation starts.
+bool RunSweep(const config::SweepSpec& spec,
+              std::vector<report::SweepRecord>* records, std::string* error,
+              const SweepProgressFn& progress = nullptr);
+
+}  // namespace imdpp::cli
+
+#endif  // IMDPP_CLI_SWEEP_RUNNER_H_

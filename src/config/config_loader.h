@@ -1,0 +1,123 @@
+// ConfigLoader: the bridge from JSON/flag-files to the api:: layer — so
+// planner settings, dataset choices and whole sweep grids are data, not
+// recompiled C++.
+//
+// Three layers:
+//   * ApplyPlannerConfigJson — a JSON object of partial overrides applied
+//     onto an api::PlannerConfig (absent keys keep their values), covering
+//     the shared knobs and every per-algorithm sub-struct;
+//   * DatasetSpecFromJson / ParseDatasetSpec — "yelp-like@0.5"-style
+//     strings or {name, scale, seed} objects onto data::DatasetSpec;
+//   * SweepSpec / ExpandSweep — a sweep config (datasets × planners ×
+//     budgets × promotions × thetas × threads, with per-axis config
+//     overrides on dataset and planner entries) expanded into the full
+//     cross-product of resolved SweepPoints.
+// Plus flag-file support: ParseArgs splices "--flagfile FILE" tokens
+// inline, and later flags override earlier ones — so command-line flags
+// after a flag-file take precedence over the file's contents.
+#ifndef IMDPP_CONFIG_CONFIG_LOADER_H_
+#define IMDPP_CONFIG_CONFIG_LOADER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/planner.h"
+#include "data/dataset_registry.h"
+#include "util/json.h"
+
+namespace imdpp::config {
+
+/// Reads and parses a JSON file; errors carry the file name and position.
+bool LoadJsonFile(const std::string& path, util::Json* out,
+                  std::string* error);
+
+/// Applies a JSON object of overrides onto *cfg. Unknown keys and
+/// mistyped values fail with a message naming the key (a typo'd knob must
+/// not silently run the default).
+bool ApplyPlannerConfigJson(const util::Json& obj, api::PlannerConfig* cfg,
+                            std::string* error);
+
+/// Dataset reference: "yelp-like@0.5" string or {name, scale, seed}
+/// object, with an optional per-dataset "config" override object.
+bool DatasetSpecFromJson(const util::Json& value, data::DatasetSpec* spec,
+                         util::Json* config_overrides, std::string* error);
+
+/// One expanded grid point with its fully resolved configuration
+/// (base config + dataset overrides + planner overrides + axis values).
+struct SweepPoint {
+  data::DatasetSpec dataset;
+  std::string planner;
+  double budget = 0.0;
+  int num_promotions = 0;
+  int theta = -1;        ///< applied to market.overlap_theta; -1 = config's
+  int num_threads = util::kAutoThreads;
+  api::PlannerConfig config;
+};
+
+/// A sweep config file. Axes with no entries collapse to one point at the
+/// base config's value, so a "sweep" degenerates cleanly into one run.
+struct SweepSpec {
+  std::string name = "sweep";
+  struct PlannerAxis {
+    std::string name;
+    util::Json overrides;  ///< per-planner PlannerConfig overrides (or null)
+  };
+  struct DatasetAxis {
+    data::DatasetSpec spec;
+    util::Json overrides;  ///< per-dataset PlannerConfig overrides (or null)
+    /// Per-dataset planner list (empty = the sweep-wide `planners`); how
+    /// e.g. Fig. 9 omits HAG on Douban without a second config file.
+    std::vector<PlannerAxis> planners;
+  };
+  std::vector<DatasetAxis> datasets;
+  std::vector<PlannerAxis> planners;
+  std::vector<double> budgets;
+  std::vector<int> promotions;
+  std::vector<int> thetas;       ///< empty = keep config's overlap_theta
+  std::vector<int> num_threads;  ///< empty = keep config's num_threads
+  api::PlannerConfig base;
+};
+
+/// Parses a sweep config object:
+///   {"name": ..., "datasets": [...], "planners": [...],
+///    "budgets": [...], "promotions": [...], "thetas": [...],
+///    "threads": [...], "config": {...}}
+/// datasets/planners/budgets/promotions are required and non-empty.
+/// A dataset entry may carry its own "planners" array (subset sweeps).
+bool LoadSweepSpec(const util::Json& obj, SweepSpec* spec,
+                   std::string* error);
+
+/// The full cross-product, datasets outermost then promotions, budgets,
+/// thetas, threads, planners innermost — the order a session-reusing
+/// runner wants (one dataset build, one problem per (T, b)). Per-axis
+/// config overrides are resolved here; returns false (with *error) if an
+/// override object is malformed.
+bool ExpandSweep(const SweepSpec& spec, std::vector<SweepPoint>* points,
+                 std::string* error);
+
+/// Flag-style command line: subcommand + positionals + "--key value" /
+/// "--key=value" flags ("--key" followed by another flag or end of args
+/// reads as "true"). "--flagfile FILE" splices the whitespace-separated
+/// tokens of FILE ('#' starts a comment) in place, recursively (depth
+/// capped). Flags keep their order; lookups take the LAST occurrence, so
+/// command-line flags given after a flag-file override it.
+struct ParsedArgs {
+  std::string command;
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  /// Last value of --key, or nullptr.
+  const std::string* Find(std::string_view key) const;
+  /// Find with a default.
+  std::string GetOr(std::string_view key, std::string_view fallback) const;
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+};
+
+bool ParseArgs(const std::vector<std::string>& args, ParsedArgs* out,
+               std::string* error);
+
+}  // namespace imdpp::config
+
+#endif  // IMDPP_CONFIG_CONFIG_LOADER_H_

@@ -95,6 +95,11 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   SeedGroup all_seeds;
   for (const cluster::MarketGroup& group : plan.groups) {
     SeedGroup sg;
+    // DRE re-evaluates the expected state per item under the growing sg —
+    // the same prefix-reuse shape as the σ sweeps, so each re-evaluation
+    // resumes from the checkpoints of sg's shared earlier rounds instead
+    // of re-simulating them (bit-identical to engine.Expected(sg)).
+    diffusion::CheckpointedEval dre_eval(engine, /*base=*/{});
     // Promotional durations T_{τ_k} proportional to nominee counts
     // (at least 1), with prefix sums bounding the TDSI timing search.
     int total_nominees = 0;
@@ -131,8 +136,9 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
       TimingSelector tdsi(engine, market.users, T);
       while (!remaining_items.empty()) {
         // DRE: re-evaluate reachability under the current seed group.
+        if (!sg.empty()) dre_eval.Rebase(sg);
         diffusion::ExpectedState es =
-            sg.empty() ? es0 : engine.Expected(sg);
+            sg.empty() ? es0 : dre_eval.Expected(sg);
         DreEvaluator dre(pin, es, market.users, problem.importance,
                          config.dr_max_depth);
         int depth = std::min(market.diameter, config.dr_max_depth);

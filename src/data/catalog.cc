@@ -120,6 +120,38 @@ Dataset MakeGowallaLike(double scale, uint64_t seed) {
   return GenerateSynthetic(spec);
 }
 
+Dataset MakeFlixsterLike(double scale, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "flixster";
+  spec.seed = seed;
+  spec.num_users = Scaled(600, scale);
+  spec.num_items = Scaled(56, scale);
+  spec.num_features = Scaled(40, scale);  // keywords
+  spec.num_brands = Scaled(10, scale);    // studios
+  spec.num_categories = Scaled(8, scale); // genres
+  KgTypeNames t;
+  t.item = "MOVIE";
+  t.feature = "KEYWORD";
+  t.brand = "STUDIO";
+  t.category = "GENRE";
+  t.supports = "ABOUT";
+  t.has_brand = "PRODUCED_BY";
+  t.in_category = "IN_GENRE";
+  t.also_bought = "WATCHED_TOGETHER";
+  t.also_viewed = "SIMILAR_TO";
+  spec.types = t;
+  // Movies compete for the same watch slot: substitutable-heavy direct
+  // edges, few complementary ones.
+  spec.also_bought_per_item = 1;
+  spec.also_viewed_per_item = 4;
+  spec.topology = SocialTopology::kSmallWorld;
+  spec.sw_neighbors = 6;
+  spec.sw_rewire = 0.2;
+  spec.mean_influence = 0.1;
+  spec.importance = ImportanceKind::kUniformRandom;  // tickets cost alike
+  return GenerateSynthetic(spec);
+}
+
 Dataset MakeSmallAmazonSample(uint64_t seed) {
   SyntheticSpec spec;
   spec.name = "amazon-100";

@@ -28,6 +28,11 @@ Dataset MakeDoubanLike(double scale = 1.0, uint64_t seed = 33);
 /// random importances (the site is offline; Sec. VI-A does the same).
 Dataset MakeGowallaLike(double scale = 1.0, uint64_t seed = 44);
 
+/// Flixster-flavor: undirected movie-rating friendships (small-world),
+/// film KG (studio/genre/keyword), substitutable-heavy item relations
+/// (competing releases), uniform importances.
+Dataset MakeFlixsterLike(double scale = 1.0, uint64_t seed = 88);
+
 /// The 100-user Amazon sample compared against OPT (Fig. 8).
 Dataset MakeSmallAmazonSample(uint64_t seed = 55);
 

@@ -1,0 +1,379 @@
+#include "data/dataset_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "data/catalog.h"
+#include "util/check.h"
+
+namespace imdpp::data {
+
+namespace {
+
+std::map<std::string, DatasetRegistry::Factory, std::less<>>& Factories() {
+  static auto* factories =
+      new std::map<std::string, DatasetRegistry::Factory, std::less<>>();
+  return *factories;
+}
+
+int Scaled(int base, double scale) {
+  return std::max(4, static_cast<int>(std::lround(base * scale)));
+}
+
+/// The "scale-<N>" family: a generic preferential-attachment synthetic
+/// sized for scalability sweeps — N users, item/feature counts that grow
+/// sublinearly the way the catalog flavors do.
+Dataset MakeScaleN(int num_users, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "scale-" + std::to_string(num_users);
+  spec.seed = seed == 0 ? 77 : seed;
+  spec.num_users = std::max(4, num_users);
+  spec.num_items = std::max(8, num_users / 8);
+  spec.num_features = std::max(6, (3 * spec.num_items) / 4);
+  spec.num_brands = std::max(4, spec.num_items / 6);
+  spec.num_categories = std::max(3, spec.num_items / 8);
+  spec.topology = SocialTopology::kPreferentialAttachment;
+  spec.pa_edges_per_node = 4;
+  spec.mean_influence = 0.12;
+  return GenerateSynthetic(spec);
+}
+
+/// scale-<N> → N; -1 when the name is not of that family.
+int ParseScaleN(std::string_view name) {
+  constexpr std::string_view kPrefix = "scale-";
+  if (name.substr(0, kPrefix.size()) != kPrefix) return -1;
+  std::string_view digits = name.substr(kPrefix.size());
+  if (digits.empty()) return -1;
+  int n = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    n = n * 10 + (c - '0');
+    if (n > 10'000'000) return -1;  // sanity cap
+  }
+  return n;
+}
+
+bool LooksLikeSpecFile(std::string_view name) {
+  return name.find('/') != std::string_view::npos ||
+         (name.size() > 5 && name.substr(name.size() - 5) == ".json");
+}
+
+bool MakeFromSpecFile(const DatasetSpec& spec, Dataset* out,
+                      std::string* error) {
+  std::ifstream in{std::string(spec.name)};
+  if (!in) {
+    *error = "cannot open dataset spec file \"" + spec.name + "\"";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  util::Json parsed;
+  std::string parse_error;
+  if (!util::Json::Parse(text.str(), &parsed, &parse_error)) {
+    *error = spec.name + ":" + parse_error;
+    return false;
+  }
+  SyntheticSpec synth;
+  if (!ApplySyntheticSpecJson(parsed, &synth, error)) {
+    *error = spec.name + ": " + *error;
+    return false;
+  }
+  if (spec.scale != 1.0) {
+    synth.num_users = Scaled(synth.num_users, spec.scale);
+    synth.num_items = Scaled(synth.num_items, spec.scale);
+    synth.num_features = Scaled(synth.num_features, spec.scale);
+    synth.num_brands = Scaled(synth.num_brands, spec.scale);
+    synth.num_categories = Scaled(synth.num_categories, spec.scale);
+  }
+  if (spec.seed != 0) synth.seed = spec.seed;
+  *out = GenerateSynthetic(synth);
+  return true;
+}
+
+// ------------------------------------------------- built-in registrations
+// Same-TU statics as the registry itself, so a static-archive link that
+// pulls in any registry entry point keeps them alive.
+
+Dataset Classroom(int index, uint64_t seed) {
+  return MakeClassroom(index, seed == 0 ? 66 : seed);
+}
+
+const bool kBuiltinsRegistered = [] {
+  auto reg = [](const char* name, DatasetRegistry::Factory f) {
+    DatasetRegistry::Register(name, f);
+  };
+  reg("fig1-toy", +[](double, uint64_t) { return MakeFig1Toy(); });
+  reg("amazon-like", +[](double s, uint64_t seed) {
+    return MakeAmazonLike(s, seed == 0 ? 11 : seed);
+  });
+  reg("yelp-like", +[](double s, uint64_t seed) {
+    return MakeYelpLike(s, seed == 0 ? 22 : seed);
+  });
+  reg("douban-like", +[](double s, uint64_t seed) {
+    return MakeDoubanLike(s, seed == 0 ? 33 : seed);
+  });
+  reg("gowalla-like", +[](double s, uint64_t seed) {
+    return MakeGowallaLike(s, seed == 0 ? 44 : seed);
+  });
+  reg("flixster-like", +[](double s, uint64_t seed) {
+    return MakeFlixsterLike(s, seed == 0 ? 88 : seed);
+  });
+  reg("amazon-100", +[](double, uint64_t seed) {
+    return MakeSmallAmazonSample(seed == 0 ? 55 : seed);
+  });
+  reg("classroom-a", +[](double, uint64_t seed) { return Classroom(0, seed); });
+  reg("classroom-b", +[](double, uint64_t seed) { return Classroom(1, seed); });
+  reg("classroom-c", +[](double, uint64_t seed) { return Classroom(2, seed); });
+  reg("classroom-d", +[](double, uint64_t seed) { return Classroom(3, seed); });
+  reg("classroom-e", +[](double, uint64_t seed) { return Classroom(4, seed); });
+  return true;
+}();
+
+}  // namespace
+
+DatasetSpec ParseDatasetSpec(std::string_view text) {
+  DatasetSpec spec;
+  const size_t at = text.rfind('@');
+  if (at == std::string_view::npos) {
+    spec.name = std::string(text);
+    return spec;
+  }
+  spec.name = std::string(text.substr(0, at));
+  const std::string scale_text(text.substr(at + 1));
+  char* end = nullptr;
+  const double scale = std::strtod(scale_text.c_str(), &end);
+  if (end != nullptr && *end == '\0' && scale > 0.0) {
+    spec.scale = scale;
+  } else {
+    spec.name = std::string(text);  // '@' was part of the name after all
+  }
+  return spec;
+}
+
+bool DatasetRegistry::Register(std::string name, Factory factory) {
+  IMDPP_CHECK(factory != nullptr);
+  auto [it, inserted] = Factories().emplace(std::move(name), factory);
+  if (!inserted) {
+    std::fprintf(stderr, "duplicate dataset registration: %s\n",
+                 it->first.c_str());
+    std::abort();
+  }
+  return true;
+}
+
+bool DatasetRegistry::Make(const DatasetSpec& spec, Dataset* out,
+                           std::string* error) {
+  auto it = Factories().find(spec.name);
+  if (it != Factories().end()) {
+    *out = it->second(spec.scale, spec.seed);
+    return true;
+  }
+  const int scale_n = ParseScaleN(spec.name);
+  if (scale_n >= 0) {
+    *out = MakeScaleN(static_cast<int>(std::lround(scale_n * spec.scale)),
+                      spec.seed);
+    return true;
+  }
+  if (LooksLikeSpecFile(spec.name)) {
+    return MakeFromSpecFile(spec, out, error);
+  }
+  if (error != nullptr) *error = UnknownMessage(spec.name);
+  return false;
+}
+
+Dataset DatasetRegistry::MakeOrDie(const DatasetSpec& spec) {
+  Dataset out;
+  std::string error;
+  if (!Make(spec, &out, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::abort();
+  }
+  return out;
+}
+
+bool DatasetRegistry::Has(std::string_view name) {
+  return Factories().find(name) != Factories().end();
+}
+
+std::vector<std::string> DatasetRegistry::Names() {
+  std::vector<std::string> names;
+  names.reserve(Factories().size());
+  for (const auto& [name, factory] : Factories()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+std::string DatasetRegistry::UnknownMessage(std::string_view name) {
+  std::string msg = "unknown dataset \"";
+  msg += name;
+  msg += "\"; registered:";
+  for (const std::string& known : Names()) {
+    msg += ' ';
+    msg += known;
+  }
+  msg += " (also recognized: scale-<N>, a path to a SyntheticSpec .json)";
+  return msg;
+}
+
+// --------------------------------------------------- SyntheticSpec ← JSON
+
+namespace {
+
+bool TypeNamesFromJson(const util::Json& obj, KgTypeNames* types,
+                       std::string* error) {
+  for (const auto& [key, value] : obj.members()) {
+    std::string* slot = nullptr;
+    if (key == "item") slot = &types->item;
+    else if (key == "feature") slot = &types->feature;
+    else if (key == "brand") slot = &types->brand;
+    else if (key == "category") slot = &types->category;
+    else if (key == "supports") slot = &types->supports;
+    else if (key == "has_brand") slot = &types->has_brand;
+    else if (key == "in_category") slot = &types->in_category;
+    else if (key == "also_bought") slot = &types->also_bought;
+    else if (key == "also_viewed") slot = &types->also_viewed;
+    if (slot == nullptr) {
+      *error = "unknown types key \"" + key + "\"";
+      return false;
+    }
+    if (!value.is_string()) {
+      *error = "types." + key + " must be a string";
+      return false;
+    }
+    *slot = value.AsString();
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ApplySyntheticSpecJson(const util::Json& obj, SyntheticSpec* spec,
+                            std::string* error) {
+  if (!obj.is_object()) {
+    *error = "dataset spec must be a JSON object";
+    return false;
+  }
+  for (const auto& [key, value] : obj.members()) {
+    auto number = [&](auto* slot) {
+      if (!value.is_number()) {
+        *error = "\"" + key + "\" must be a number";
+        return false;
+      }
+      *slot = static_cast<std::remove_pointer_t<decltype(slot)>>(
+          value.AsDouble());
+      return true;
+    };
+    if (key == "name") {
+      if (!value.is_string()) {
+        *error = "\"name\" must be a string";
+        return false;
+      }
+      spec->name = value.AsString();
+    } else if (key == "seed") {
+      if (!number(&spec->seed)) return false;
+    } else if (key == "num_items") {
+      if (!number(&spec->num_items)) return false;
+    } else if (key == "num_features") {
+      if (!number(&spec->num_features)) return false;
+    } else if (key == "num_brands") {
+      if (!number(&spec->num_brands)) return false;
+    } else if (key == "num_categories") {
+      if (!number(&spec->num_categories)) return false;
+    } else if (key == "features_per_item") {
+      if (!number(&spec->features_per_item)) return false;
+    } else if (key == "also_bought_per_item") {
+      if (!number(&spec->also_bought_per_item)) return false;
+    } else if (key == "also_viewed_per_item") {
+      if (!number(&spec->also_viewed_per_item)) return false;
+    } else if (key == "relevance_kappa") {
+      if (!number(&spec->relevance_kappa)) return false;
+    } else if (key == "num_users") {
+      if (!number(&spec->num_users)) return false;
+    } else if (key == "directed") {
+      if (!value.is_bool()) {
+        *error = "\"directed\" must be a bool";
+        return false;
+      }
+      spec->directed = value.AsBool();
+    } else if (key == "mean_influence") {
+      if (!number(&spec->mean_influence)) return false;
+    } else if (key == "pa_edges_per_node") {
+      if (!number(&spec->pa_edges_per_node)) return false;
+    } else if (key == "sw_neighbors") {
+      if (!number(&spec->sw_neighbors)) return false;
+    } else if (key == "sw_rewire") {
+      if (!number(&spec->sw_rewire)) return false;
+    } else if (key == "community_blocks") {
+      if (!number(&spec->community_blocks)) return false;
+    } else if (key == "community_p_in") {
+      if (!number(&spec->community_p_in)) return false;
+    } else if (key == "community_p_out") {
+      if (!number(&spec->community_p_out)) return false;
+    } else if (key == "base_pref_lo") {
+      if (!number(&spec->base_pref_lo)) return false;
+    } else if (key == "base_pref_hi") {
+      if (!number(&spec->base_pref_hi)) return false;
+    } else if (key == "interest_boost") {
+      if (!number(&spec->interest_boost)) return false;
+    } else if (key == "wmeta_lo") {
+      if (!number(&spec->wmeta_lo)) return false;
+    } else if (key == "wmeta_hi") {
+      if (!number(&spec->wmeta_hi)) return false;
+    } else if (key == "importance_mu") {
+      if (!number(&spec->importance_mu)) return false;
+    } else if (key == "importance_sigma") {
+      if (!number(&spec->importance_sigma)) return false;
+    } else if (key == "target_median_cost") {
+      if (!number(&spec->target_median_cost)) return false;
+    } else if (key == "topology") {
+      if (!value.is_string()) {
+        *error = "\"topology\" must be a string";
+        return false;
+      }
+      const std::string& t = value.AsString();
+      if (t == "preferential-attachment") {
+        spec->topology = SocialTopology::kPreferentialAttachment;
+      } else if (t == "small-world") {
+        spec->topology = SocialTopology::kSmallWorld;
+      } else if (t == "community") {
+        spec->topology = SocialTopology::kCommunity;
+      } else {
+        *error = "unknown topology \"" + t +
+                 "\" (expected preferential-attachment, small-world, "
+                 "community)";
+        return false;
+      }
+    } else if (key == "importance") {
+      if (!value.is_string()) {
+        *error = "\"importance\" must be a string";
+        return false;
+      }
+      const std::string& k = value.AsString();
+      if (k == "lognormal-price") {
+        spec->importance = ImportanceKind::kLogNormalPrice;
+      } else if (k == "uniform") {
+        spec->importance = ImportanceKind::kUniformRandom;
+      } else {
+        *error = "unknown importance \"" + k +
+                 "\" (expected lognormal-price, uniform)";
+        return false;
+      }
+    } else if (key == "types") {
+      if (!value.is_object()) {
+        *error = "\"types\" must be an object";
+        return false;
+      }
+      if (!TypeNamesFromJson(value, &spec->types, error)) return false;
+    } else {
+      *error = "unknown dataset spec key \"" + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace imdpp::data

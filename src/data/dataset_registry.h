@@ -1,0 +1,84 @@
+// String-keyed dataset registry, mirroring api::PlannerRegistry: every
+// catalog flavor registers a factory under a stable name, so harnesses,
+// sweep configs and the imdpp CLI name datasets as data, not code:
+//
+//   data::Dataset ds = data::DatasetRegistry::MakeOrDie({"yelp-like", 0.5});
+//
+// Three name families resolve:
+//   * registered keys  — "fig1-toy", "yelp-like", "amazon-like",
+//     "douban-like", "gowalla-like", "flixster-like", "amazon-100",
+//     "classroom-a".."classroom-e";
+//   * "scale-<N>"      — a generic preferential-attachment synthetic with
+//     N users (scalability sweeps without a bespoke flavor);
+//   * file paths       — "path/to/spec.json" (or any name containing '/')
+//     loads a data::SyntheticSpec from a JSON file, so a brand-new
+//     workload is a config file away.
+// Every lookup failure reports the sorted list of registered keys.
+#ifndef IMDPP_DATA_DATASET_REGISTRY_H_
+#define IMDPP_DATA_DATASET_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "util/json.h"
+
+namespace imdpp::data {
+
+/// How to materialize a named dataset: a size multiplier applied to the
+/// flavor's default user/item counts, and an RNG seed (0 = the flavor's
+/// default, so identical specs are bit-reproducible).
+struct DatasetSpec {
+  std::string name = "yelp-like";
+  double scale = 1.0;
+  uint64_t seed = 0;
+};
+
+/// Parses "name" or "name@scale" (e.g. "yelp-like@0.5").
+DatasetSpec ParseDatasetSpec(std::string_view text);
+
+class DatasetRegistry {
+ public:
+  using Factory = Dataset (*)(double scale, uint64_t seed);
+
+  /// Registers `factory` under `name`; duplicate names abort.
+  static bool Register(std::string name, Factory factory);
+
+  /// Materializes `spec` (registered key, scale-<N>, or JSON file path).
+  /// On failure returns false and fills *error with a message listing the
+  /// registered keys; *out is untouched.
+  static bool Make(const DatasetSpec& spec, Dataset* out, std::string* error);
+
+  /// Like Make but aborts with the key listing on a miss.
+  static Dataset MakeOrDie(const DatasetSpec& spec);
+
+  static bool Has(std::string_view name);
+
+  /// All registered keys, sorted (the name families "scale-<N>" and file
+  /// paths resolve in Make but are not listed).
+  static std::vector<std::string> Names();
+
+  /// The failure message every lookup path prints: the unknown name plus
+  /// the sorted registered keys and the recognized name families.
+  static std::string UnknownMessage(std::string_view name);
+};
+
+/// Applies the members of a JSON object onto *spec (partial override:
+/// absent keys keep their current values). Unknown keys or mistyped
+/// values fail with a message naming the key.
+bool ApplySyntheticSpecJson(const util::Json& obj, SyntheticSpec* spec,
+                            std::string* error);
+
+/// Registers `fn` (callable as Dataset(double scale, uint64_t seed)) as a
+/// dataset factory under `key`.
+#define IMDPP_REGISTER_DATASET(key, fn)                                     \
+  [[maybe_unused]] static const bool imdpp_dataset_registered_##fn =        \
+      ::imdpp::data::DatasetRegistry::Register(                             \
+          key, +[](double scale, uint64_t seed) -> ::imdpp::data::Dataset { \
+            return fn(scale, seed);                                         \
+          })
+
+}  // namespace imdpp::data
+
+#endif  // IMDPP_DATA_DATASET_REGISTRY_H_

@@ -131,6 +131,30 @@ void MonteCarloEngine::MemoStore(const SeedGroup& seeds, double sigma) const {
   sigma_memo_.emplace(seeds, sigma);
 }
 
+bool MonteCarloEngine::MarketMemoLookup(const SeedGroup& seeds,
+                                        const std::vector<UserId>& users,
+                                        MarketEval* eval) const {
+  if (!MemoEnabled()) return false;
+  auto market_it = market_memo_.find(users);
+  if (market_it == market_memo_.end()) return false;
+  auto it = market_it->second.find(seeds);
+  if (it == market_it->second.end()) return false;
+  ++num_memo_hits_;
+  num_rounds_skipped_ += static_cast<int64_t>(num_samples_) *
+                         sim_.problem().num_promotions;
+  *eval = it->second;
+  return true;
+}
+
+void MonteCarloEngine::MarketMemoStore(const SeedGroup& seeds,
+                                       const std::vector<UserId>& users,
+                                       const MarketEval& eval) const {
+  if (!MemoEnabled() || market_memo_entries_ >= sigma_memo_capacity_) return;
+  if (market_memo_[users].emplace(seeds, eval).second) {
+    ++market_memo_entries_;
+  }
+}
+
 const std::vector<uint8_t>* MonteCarloEngine::CachedMask(
     const std::vector<UserId>& users) const {
   if (!mask_valid_ || users != mask_users_) {
@@ -181,6 +205,8 @@ double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
 
 MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
     const SeedGroup& seeds, const std::vector<UserId>& users) const {
+  MarketEval memoized;
+  if (MarketMemoLookup(seeds, users, &memoized)) return memoized;
   const std::vector<uint8_t>* mask = CachedMask(users);
   const SeedSchedule sched(seeds, sim_.problem());
   const int t_end = sched.last_active_round();
@@ -212,13 +238,19 @@ MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
   out.sigma /= num_samples_;
   out.sigma_market /= num_samples_;
   out.pi /= num_samples_;
+  MarketMemoStore(seeds, users, out);
   return out;
 }
 
 ExpectedState MonteCarloEngine::Expected(const SeedGroup& seeds) const {
+  return ExpectedFrom(SeedSchedule(seeds, sim_.problem()), 1, nullptr);
+}
+
+ExpectedState MonteCarloEngine::ExpectedFrom(
+    const SeedSchedule& sched, int t_begin,
+    const std::vector<SampleCheckpoint>* start) const {
   const Problem& p = sim_.problem();
   const int num_shards = NumShards();
-  const SeedSchedule sched(seeds, p);
   const int t_end = sched.last_active_round();
   ExpectedState es(p.NumUsers(), p.NumItems(), p.NumMetas());
   int rounds_run = 0;
@@ -230,9 +262,11 @@ ExpectedState MonteCarloEngine::Expected(const SeedGroup& seeds) const {
     int rounds = 0;
     const int end = ShardBegin(shard + 1);
     for (int s = ShardBegin(shard); s < end; ++s) {
-      sim_.Restore(nullptr, initial_states_, scratch);
-      rounds = sim_.SimulateRounds(sched, static_cast<uint64_t>(s), 1, t_end,
-                                   nullptr, scratch);
+      sim_.Restore(start == nullptr ? nullptr
+                                    : &(*start)[static_cast<size_t>(s)],
+                   initial_states_, scratch);
+      rounds = sim_.SimulateRounds(sched, static_cast<uint64_t>(s), t_begin,
+                                   t_end, nullptr, scratch);
       for (UserId u = 0; u < p.NumUsers(); ++u) {
         const pin::UserState& st = scratch.states()[u];
         for (ItemId x : st.Adopted()) {
@@ -431,8 +465,25 @@ double CheckpointedEval::Sigma(const SeedGroup& group) {
 MonteCarloEngine::MarketEval CheckpointedEval::EvalMarket(
     const SeedGroup& group) {
   IMDPP_CHECK(!market_.empty());
+  MonteCarloEngine::MarketEval memoized;
+  if (engine_.MarketMemoLookup(group, market_, &memoized)) return memoized;
   const Outcome o = Eval(group, /*want_pi=*/true);
-  return MonteCarloEngine::MarketEval{o.sigma, o.sigma_market, o.pi};
+  const MonteCarloEngine::MarketEval out{o.sigma, o.sigma_market, o.pi};
+  engine_.MarketMemoStore(group, market_, out);
+  return out;
+}
+
+ExpectedState CheckpointedEval::Expected(const SeedGroup& group) {
+  IMDPP_CHECK(engine_.initial_states_ == nullptr);
+  const Problem& p = engine_.sim_.problem();
+  const SeedSchedule sched(group, p);
+  const int diverge = FirstDivergence(base_sched_, sched, p.num_promotions);
+  int resume = std::min(diverge - 1, base_sched_.last_active_round());
+  EnsureCheckpoints(resume);
+  resume = std::min(resume, rounds_ready_);
+  return engine_.ExpectedFrom(
+      sched, resume + 1,
+      resume == 0 ? nullptr : &cp_[static_cast<size_t>(resume - 1)]);
 }
 
 }  // namespace imdpp::diffusion

@@ -72,6 +72,7 @@ class ExpectedState {
 
  private:
   friend class MonteCarloEngine;
+  friend class CheckpointedEval;
   double AvgRel(const pin::PersonalItemNetwork& pin,
                 const std::vector<UserId>& users, ItemId x, ItemId y,
                 bool complementary) const;
@@ -120,12 +121,15 @@ class MonteCarloEngine {
   void SetInitialStates(const std::vector<pin::UserState>* states) {
     initial_states_ = states;
     sigma_memo_.clear();
+    market_memo_.clear();
+    market_memo_entries_ = 0;
   }
 
-  /// Opts in to memoizing Sigma() by exact seed vector (identical vector
-  /// => identical estimate, so a hit returns the previously computed bits
-  /// without simulating). Off by default to keep the simulation-counter
-  /// semantics of plain engines.
+  /// Opts in to memoizing estimates by exact input (identical input =>
+  /// identical estimate, so a hit returns the previously computed bits
+  /// without simulating): Sigma() by seed vector, EvalMarket() by
+  /// (seed vector, market user list). Off by default to keep the
+  /// simulation-counter semantics of plain engines.
   void EnableSigmaMemo(size_t max_entries = 1 << 14) {
     sigma_memo_capacity_ = max_entries;
   }
@@ -172,6 +176,21 @@ class MonteCarloEngine {
   /// Memo lookup; on hit books the skipped work and returns true.
   bool MemoLookup(const SeedGroup& seeds, double* sigma) const;
   void MemoStore(const SeedGroup& seeds, double sigma) const;
+  /// Same, for EvalMarket keyed on (seed vector, market user list).
+  bool MarketMemoLookup(const SeedGroup& seeds,
+                        const std::vector<UserId>& users,
+                        MarketEval* eval) const;
+  void MarketMemoStore(const SeedGroup& seeds,
+                       const std::vector<UserId>& users,
+                       const MarketEval& eval) const;
+  /// Shared core of Expected() and CheckpointedEval::Expected(): runs
+  /// promotions [t_begin, t_end(sched)] per sample on top of `start`
+  /// (per-sample checkpoints; nullptr = the initial state) and averages
+  /// the final states. The accumulation shape (per-shard raw float sums
+  /// folded in shard order, scaled once) is identical on both paths, so
+  /// resuming from checkpoints is bit-identical to a from-scratch run.
+  ExpectedState ExpectedFrom(const SeedSchedule& sched, int t_begin,
+                             const std::vector<SampleCheckpoint>* start) const;
   /// |V| market mask for `users`, cached per user list.
   const std::vector<uint8_t>* CachedMask(
       const std::vector<UserId>& users) const;
@@ -192,8 +211,15 @@ class MonteCarloEngine {
   mutable int64_t num_rounds_simulated_ = 0;
   mutable int64_t num_rounds_skipped_ = 0;
   mutable int64_t num_memo_hits_ = 0;
-  /// σ memo keyed on the exact seed vector (0 capacity = disabled).
+  /// σ memo keyed on the exact seed vector (0 capacity = disabled), and
+  /// the EvalMarket memo keyed on (market users, seed vector) behind the
+  /// same opt-in flag. Nested maps so each market's user list is stored
+  /// once and lookups compare in place — no per-call key construction on
+  /// the TDSI hot path.
   mutable std::map<SeedGroup, double> sigma_memo_;
+  mutable std::map<std::vector<UserId>, std::map<SeedGroup, MarketEval>>
+      market_memo_;
+  mutable size_t market_memo_entries_ = 0;
   size_t sigma_memo_capacity_ = 0;
   /// EvalMarket mask cache.
   mutable std::vector<UserId> mask_users_;
@@ -236,8 +262,16 @@ class CheckpointedEval {
   /// memo when enabled.
   double Sigma(const SeedGroup& group);
 
-  /// Joint σ/σ_τ/π estimate of `group` for the fixed market.
+  /// Joint σ/σ_τ/π estimate of `group` for the fixed market. Consults the
+  /// engine's (group, market) memo when enabled.
   MonteCarloEngine::MarketEval EvalMarket(const SeedGroup& group);
+
+  /// Expected end-of-campaign state under `group`, resuming shared prefix
+  /// rounds from checkpoints — bit-identical to engine.Expected(group).
+  /// The shape DRE wants: it re-evaluates the expected state per item
+  /// under a growing seed group, so each call extends the base's
+  /// checkpoints once instead of re-simulating every earlier round.
+  ExpectedState Expected(const SeedGroup& group);
 
   /// Adopts `base` as the new base group, keeping the checkpoints of every
   /// round before the first divergence from the previous base.

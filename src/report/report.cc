@@ -1,0 +1,154 @@
+#include "report/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace imdpp::report {
+
+namespace {
+
+util::Json SeedJson(const diffusion::Seed& s) {
+  util::Json seed = util::Json::Object();
+  seed.Set("user", s.user);
+  seed.Set("item", s.item);
+  seed.Set("t", s.promotion);
+  return seed;
+}
+
+std::string Fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+util::Json PlanResultJson(const api::PlanResult& result,
+                          bool include_timings) {
+  util::Json out = util::Json::Object();
+  out.Set("planner", result.planner);
+  out.Set("sigma", result.sigma);
+  out.Set("total_cost", result.total_cost);
+  out.Set("num_seeds", result.seeds.size());
+  util::Json seeds = util::Json::Array();
+  for (const diffusion::Seed& s : result.seeds) seeds.Append(SeedJson(s));
+  out.Set("seeds", std::move(seeds));
+  out.Set("simulations", static_cast<double>(result.simulations));
+  out.Set("rounds_simulated", static_cast<double>(result.rounds_simulated));
+  out.Set("rounds_skipped", static_cast<double>(result.rounds_skipped));
+  out.Set("memo_hits", static_cast<double>(result.memo_hits));
+  if (result.num_markets > 0 || result.num_groups > 0) {
+    out.Set("num_markets", result.num_markets);
+    out.Set("num_groups", result.num_groups);
+  }
+  if (!result.rounds.empty()) {
+    util::Json rounds = util::Json::Array();
+    for (const api::PlanRound& r : result.rounds) {
+      util::Json round = util::Json::Object();
+      round.Set("promotion", r.promotion);
+      round.Set("spent", r.spent);
+      round.Set("realized_sigma", r.realized_sigma);
+      util::Json rs = util::Json::Array();
+      for (const diffusion::Seed& s : r.seeds) rs.Append(SeedJson(s));
+      round.Set("seeds", std::move(rs));
+      rounds.Append(std::move(round));
+    }
+    out.Set("rounds", std::move(rounds));
+  }
+  if (include_timings) out.Set("wall_seconds", result.wall_seconds);
+  return out;
+}
+
+util::Json CompareResultJson(const api::CompareResult& compare,
+                             bool include_timings) {
+  util::Json out = util::Json::Object();
+  out.Set("dataset", compare.dataset);
+  out.Set("budget", compare.budget);
+  out.Set("promotions", compare.num_promotions);
+  util::Json results = util::Json::Array();
+  for (const api::PlanResult& r : compare.results) {
+    results.Append(PlanResultJson(r, include_timings));
+  }
+  out.Set("results", std::move(results));
+  return out;
+}
+
+util::Json SweepJson(const std::string& name,
+                     const std::vector<SweepRecord>& records,
+                     bool include_timings) {
+  util::Json out = util::Json::Object();
+  out.Set("name", name);
+  out.Set("num_points", records.size());
+  util::Json points = util::Json::Array();
+  for (const SweepRecord& rec : records) {
+    util::Json p = util::Json::Object();
+    p.Set("dataset", rec.point.dataset.name);
+    p.Set("scale", rec.point.dataset.scale);
+    p.Set("planner", rec.point.planner);
+    p.Set("budget", rec.point.budget);
+    p.Set("promotions", rec.point.num_promotions);
+    if (rec.point.theta >= 0) p.Set("theta", rec.point.theta);
+    p.Set("threads", rec.point.num_threads);
+    p.Set("result", PlanResultJson(rec.result, include_timings));
+    points.Append(std::move(p));
+  }
+  out.Set("points", std::move(points));
+  return out;
+}
+
+std::string SweepCsv(const std::vector<SweepRecord>& records,
+                     bool include_timings) {
+  std::vector<std::string> header{
+      "dataset",     "scale",        "planner",
+      "budget",      "promotions",   "theta",
+      "threads",     "sigma",        "total_cost",
+      "num_seeds",   "simulations",  "rounds_simulated",
+      "rounds_skipped", "memo_hits"};
+  if (include_timings) header.push_back("wall_seconds");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(header);
+  for (const SweepRecord& rec : records) {
+    const api::PlanResult& r = rec.result;
+    std::vector<std::string> row{
+        rec.point.dataset.name,
+        Fixed(rec.point.dataset.scale, 2),
+        rec.point.planner,
+        Fixed(rec.point.budget, 1),
+        std::to_string(rec.point.num_promotions),
+        rec.point.theta >= 0 ? std::to_string(rec.point.theta) : "-",
+        std::to_string(rec.point.num_threads),
+        Fixed(r.sigma, 4),
+        Fixed(r.total_cost, 2),
+        std::to_string(r.seeds.size()),
+        std::to_string(r.simulations),
+        std::to_string(r.rounds_simulated),
+        std::to_string(r.rounds_skipped),
+        std::to_string(r.memo_hits)};
+    if (include_timings) row.push_back(Fixed(r.wall_seconds, 3));
+    rows.push_back(std::move(row));
+  }
+
+  // Pad every cell to its column width: still plain CSV to a parser that
+  // trims whitespace, an aligned table to a human or a diff.
+  std::vector<size_t> widths(header.size(), 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size(), ' ');
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace imdpp::report

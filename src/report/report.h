@@ -1,0 +1,51 @@
+// Result serialization: api::PlanResult / api::CompareResult / sweep
+// records → JSON (machine-readable, byte-stable across identical runs)
+// and aligned-table CSV (directly plottable, diffable in CI).
+//
+// Wall-clock fields are opt-in (`include_timings`): the default output of
+// a deterministic run is byte-identical across invocations, which is what
+// the CLI determinism gate diffs.
+#ifndef IMDPP_REPORT_REPORT_H_
+#define IMDPP_REPORT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "config/config_loader.h"
+#include "util/json.h"
+
+namespace imdpp::report {
+
+/// One PlanResult as a JSON object: planner, sigma, cost, schedule,
+/// the PR 3 work counters (simulations, rounds_simulated, rounds_skipped,
+/// memo_hits), Dysim diagnostics when present, per-round diagnostics when
+/// present, and wall_seconds only when `include_timings`.
+util::Json PlanResultJson(const api::PlanResult& result,
+                          bool include_timings = false);
+
+/// A paired comparison: problem coordinates + every planner's result.
+util::Json CompareResultJson(const api::CompareResult& compare,
+                             bool include_timings = false);
+
+/// One executed sweep point.
+struct SweepRecord {
+  config::SweepPoint point;
+  api::PlanResult result;
+};
+
+/// {"name": ..., "points": [{dataset, scale, planner, budget, promotions,
+///  theta, threads, result: {...}}, ...]}
+util::Json SweepJson(const std::string& name,
+                     const std::vector<SweepRecord>& records,
+                     bool include_timings = false);
+
+/// Aligned-table CSV of the sweep: one row per point, columns padded to a
+/// common width (parsers that trim whitespace — pandas, gnuplot, R — read
+/// it as plain CSV; humans and diffs read it as a table).
+std::string SweepCsv(const std::vector<SweepRecord>& records,
+                     bool include_timings = false);
+
+}  // namespace imdpp::report
+
+#endif  // IMDPP_REPORT_REPORT_H_

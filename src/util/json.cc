@@ -1,0 +1,491 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace imdpp::util {
+
+namespace {
+
+const std::vector<Json> kEmptyArray;
+const std::vector<Json::Member> kEmptyObject;
+
+}  // namespace
+
+bool Json::AsBool() const {
+  IMDPP_CHECK(is_bool());
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  IMDPP_CHECK(is_number());
+  return num_;
+}
+
+int64_t Json::AsInt() const {
+  IMDPP_CHECK(is_number());
+  return static_cast<int64_t>(num_);
+}
+
+const std::string& Json::AsString() const {
+  IMDPP_CHECK(is_string());
+  return str_;
+}
+
+size_t Json::size() const {
+  if (is_array()) return arr_.size();
+  if (is_object()) return obj_.size();
+  return 0;
+}
+
+const Json& Json::operator[](size_t i) const {
+  IMDPP_CHECK(is_array());
+  IMDPP_CHECK_LT(i, arr_.size());
+  return arr_[i];
+}
+
+const std::vector<Json>& Json::elements() const {
+  return is_array() ? arr_ : kEmptyArray;
+}
+
+Json& Json::Append(Json v) {
+  IMDPP_CHECK(is_array() || is_null());
+  type_ = Type::kArray;
+  arr_.push_back(std::move(v));
+  return arr_.back();
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& m : obj_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  IMDPP_CHECK(is_object() || is_null());
+  type_ = Type::kObject;
+  for (Member& m : obj_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return m.second;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return obj_.back().second;
+}
+
+const std::vector<Json::Member>& Json::members() const {
+  return is_object() ? obj_ : kEmptyObject;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull:
+      return true;
+    case Json::Type::kBool:
+      return a.bool_ == b.bool_;
+    case Json::Type::kNumber:
+      return a.num_ == b.num_;
+    case Json::Type::kString:
+      return a.str_ == b.str_;
+    case Json::Type::kArray:
+      return a.arr_ == b.arr_;
+    case Json::Type::kObject:
+      return a.obj_ == b.obj_;
+  }
+  return false;
+}
+
+// ----------------------------------------------------------------- writing
+
+std::string JsonNumberToString(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";  // JSON has no inf/nan
+  // Integral values in the exactly-representable range print as integers.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest of %.15g/%.16g/%.17g that round-trips to the same bits.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      *out += JsonNumberToString(num_);
+      return;
+    case Type::kString:
+      EscapeString(str_, out);
+      return;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        arr_[i].DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        EscapeString(obj_[i].first, out);
+        *out += indent < 0 ? ":" : ": ";
+        obj_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ----------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Run(Json* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    // Position → 1-based line:col for a readable config-file diagnostic.
+    int line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    if (error_ != nullptr) {
+      *error_ = std::to_string(line) + ":" + std::to_string(col) + ": " +
+                message;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        // // line comments, so sweep configs can be annotated.
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Peek(char* c) {
+    if (pos_ >= text_.size()) return false;
+    *c = text_[pos_];
+    return true;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(Json* out) {
+    char c;
+    if (!Peek(&c)) return Fail("unexpected end of input");
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Json(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!Literal("true")) return Fail("invalid literal");
+        *out = Json(true);
+        return true;
+      case 'f':
+        if (!Literal("false")) return Fail("invalid literal");
+        *out = Json(false);
+        return true;
+      case 'n':
+        if (!Literal("null")) return Fail("invalid literal");
+        *out = Json();
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Json* out) {
+    ++pos_;  // '{'
+    *out = Json::Object();
+    SkipWs();
+    char c;
+    if (Peek(&c) && c == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Peek(&c)) return Fail("unterminated object");
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Peek(&c) || c != ':') return Fail("expected ':' after object key");
+      ++pos_;
+      SkipWs();
+      Json value;
+      if (!ParseValue(&value)) return false;
+      if (out->Find(key) != nullptr) {
+        return Fail("duplicate object key \"" + key + "\"");
+      }
+      out->Set(std::move(key), std::move(value));
+      SkipWs();
+      if (!Peek(&c)) return Fail("unterminated object");
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(Json* out) {
+    ++pos_;  // '['
+    *out = Json::Array();
+    SkipWs();
+    char c;
+    if (Peek(&c) && c == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      Json value;
+      if (!ParseValue(&value)) return false;
+      out->Append(std::move(value));
+      SkipWs();
+      if (!Peek(&c)) return Fail("unterminated array");
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    char c;
+    if (!Peek(&c) || c != '"') return Fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only — enough for config files).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (digits && pos_ < text_.size() &&
+        (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+        ++pos_;
+      }
+      bool exp_digits = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) {
+        pos_ = start;
+        return Fail("invalid number");
+      }
+    }
+    if (!digits) {
+      pos_ = start;
+      return Fail("invalid value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    *out = Json(std::strtod(token.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::Parse(std::string_view text, Json* out, std::string* error) {
+  Json value;
+  Parser parser(text, error);
+  if (!parser.Run(&value)) return false;
+  *out = std::move(value);
+  return true;
+}
+
+}  // namespace imdpp::util

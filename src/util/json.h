@@ -1,0 +1,97 @@
+// Dependency-free JSON value, parser and writer — the substrate of the
+// config/report subsystem (sweep configs in, plottable results out).
+//
+// Design points that matter to the rest of the codebase:
+//   * Objects preserve insertion order (stored as a key/value vector, not
+//     a map), so serialized reports are byte-stable: the same run always
+//     produces the same bytes — which is what lets CI diff two CLI runs
+//     as a determinism gate.
+//   * Numbers round-trip: integers print without an exponent or fraction,
+//     doubles print with the shortest decimal form that parses back to
+//     the identical bits.
+//   * Parsing never aborts: errors come back as a "line:col: message"
+//     string so the CLI can print them and exit non-zero.
+#ifndef IMDPP_UTIL_JSON_H_
+#define IMDPP_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace imdpp::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                   // NOLINT
+  Json(double v) : type_(Type::kNumber), num_(v) {}                // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}                    // NOLINT
+  Json(int64_t v) : Json(static_cast<double>(v)) {}                // NOLINT
+  Json(uint64_t v) : Json(static_cast<double>(v)) {}               // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}           // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}// NOLINT
+
+  static Json Array() { return Json(Type::kArray); }
+  static Json Object() { return Json(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed reads; the value must hold the asked-for type (IMDPP_CHECK).
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt() const;  ///< truncating read of a number
+  const std::string& AsString() const;
+
+  // --- arrays ---
+  size_t size() const;  ///< element count (arrays) or member count (objects)
+  const Json& operator[](size_t i) const;
+  const std::vector<Json>& elements() const;
+  Json& Append(Json v);
+
+  // --- objects (insertion-ordered) ---
+  /// Member lookup; nullptr when absent (or not an object).
+  const Json* Find(std::string_view key) const;
+  /// Inserts or overwrites `key`; returns the stored value.
+  Json& Set(std::string key, Json value);
+  const std::vector<Member>& members() const;
+
+  /// Serializes. indent < 0 → compact one-liner; indent >= 0 → pretty,
+  /// `indent` spaces per level. Object members keep insertion order.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses `text`; on failure returns false and fills *error with a
+  /// "line:col: message" description (out is left null).
+  static bool Parse(std::string_view text, Json* out, std::string* error);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  explicit Json(Type t) : type_(t) {}
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<Member> obj_;
+};
+
+/// Shortest decimal form of `v` that parses back bit-identically;
+/// integral values in the int64 range print as plain integers.
+std::string JsonNumberToString(double v);
+
+}  // namespace imdpp::util
+
+#endif  // IMDPP_UTIL_JSON_H_

@@ -11,6 +11,7 @@
 #include "api/registry.h"
 #include "api/session.h"
 #include "data/catalog.h"
+#include "data/dataset_registry.h"
 #include "tests/test_util.h"
 
 namespace imdpp::api {
@@ -74,6 +75,57 @@ TEST(PlannerRegistry, UnknownNameFailsCleanly) {
   EXPECT_FALSE(PlannerRegistry::Has("no_such_planner"));
   EXPECT_EQ(PlannerRegistry::Create("no_such_planner"), nullptr);
   EXPECT_EQ(PlannerRegistry::Create(""), nullptr);
+}
+
+TEST(PlannerRegistry, UnknownMessageListsEveryRegisteredNameSorted) {
+  const std::string msg = PlannerRegistry::UnknownMessage("no_such_planner");
+  EXPECT_NE(msg.find("no_such_planner"), std::string::npos) << msg;
+  size_t last_pos = 0;
+  for (const std::string& name : PlannerRegistry::Names()) {
+    const size_t pos = msg.find(" " + name);
+    ASSERT_NE(pos, std::string::npos) << name << " missing from: " << msg;
+    EXPECT_GT(pos, last_pos) << "names not in sorted order: " << msg;
+    last_pos = pos;
+  }
+}
+
+TEST(DatasetRegistry, UnknownMessageListsEveryRegisteredNameSorted) {
+  // The dataset registry mirrors the planner registry's failure contract:
+  // a miss names the unknown key and every registered key, sorted.
+  const std::string msg =
+      data::DatasetRegistry::UnknownMessage("no_such_dataset");
+  EXPECT_NE(msg.find("no_such_dataset"), std::string::npos) << msg;
+  size_t last_pos = 0;
+  for (const std::string& name : data::DatasetRegistry::Names()) {
+    const size_t pos = msg.find(" " + name);
+    ASSERT_NE(pos, std::string::npos) << name << " missing from: " << msg;
+    EXPECT_GT(pos, last_pos) << "names not in sorted order: " << msg;
+    last_pos = pos;
+  }
+  data::Dataset unused;
+  std::string error;
+  EXPECT_FALSE(data::DatasetRegistry::Make({"no_such_dataset", 1.0, 0},
+                                           &unused, &error));
+  EXPECT_EQ(error, msg);
+}
+
+TEST(DatasetRegistry, ResolvesCatalogKeysScaleFamilyAndSpecs) {
+  data::Dataset toy = data::DatasetRegistry::MakeOrDie({"fig1-toy", 1.0, 0});
+  EXPECT_EQ(toy.name, "fig1-toy");
+  EXPECT_EQ(toy.NumUsers(), 3);
+
+  data::Dataset scaled = data::DatasetRegistry::MakeOrDie({"scale-48", 1.0, 0});
+  EXPECT_EQ(scaled.NumUsers(), 48);
+  // The scale multiplier composes with the family's N.
+  data::Dataset half = data::DatasetRegistry::MakeOrDie({"scale-48", 0.5, 0});
+  EXPECT_EQ(half.NumUsers(), 24);
+
+  // Identical specs are bit-reproducible datasets.
+  data::Dataset a = data::DatasetRegistry::MakeOrDie({"yelp-like", 0.1, 0});
+  data::Dataset b = data::DatasetRegistry::MakeOrDie({"yelp-like", 0.1, 0});
+  EXPECT_EQ(a.NumUsers(), b.NumUsers());
+  EXPECT_EQ(a.base_pref, b.base_pref);
+  EXPECT_EQ(a.cost, b.cost);
 }
 
 class PlannerConformanceTest : public ::testing::TestWithParam<const char*> {};
@@ -149,10 +201,14 @@ TEST(CampaignSession, RunsAndComparesPlannersOnAnOwnedDataset) {
   // schedule reproduces it exactly.
   EXPECT_DOUBLE_EQ(dysim.sigma, session.Sigma(dysim.seeds));
 
-  std::vector<PlanResult> results = session.Compare({"bgrd", "ps"});
+  CompareResult results = session.Compare({"bgrd", "ps"});
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].planner, "bgrd");
   EXPECT_EQ(results[1].planner, "ps");
+  // The comparison carries its problem coordinates for the report layer.
+  EXPECT_EQ(results.dataset, "fig1-toy");
+  EXPECT_DOUBLE_EQ(results.budget, session.problem().budget);
+  EXPECT_EQ(results.num_promotions, session.problem().num_promotions);
 }
 
 TEST(CampaignSession, SetProblemReconfiguresBudgetAndHorizon) {

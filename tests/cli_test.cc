@@ -1,0 +1,270 @@
+// In-process smoke tests of the imdpp CLI (cli::Run is the whole binary
+// behind injectable streams): exit codes and registered-name listings on
+// unknown planners/datasets, plan output that parses as JSON and matches
+// an in-process CampaignSession::Run bit for bit, and the acceptance
+// check of the sweep subsystem — a fig9-budget-shaped JSON sweep
+// reproduces the estimates of the hand-rolled session loop the figure
+// harnesses used to contain (same estimates from the same seeds).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "cli/cli.h"
+#include "config/config_loader.h"
+#include "data/dataset_registry.h"
+#include "util/json.h"
+
+namespace imdpp {
+namespace {
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunCli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  CliResult r;
+  r.code = cli::Run(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream file(path);
+  file << content;
+  return path;
+}
+
+util::Json ParseOrDie(const std::string& text) {
+  util::Json v;
+  std::string error;
+  EXPECT_TRUE(util::Json::Parse(text, &v, &error))
+      << error << "\ninput:\n" << text;
+  return v;
+}
+
+TEST(Cli, DatasetsSubcommandListsRegistry) {
+  CliResult r = RunCli({"datasets"});
+  EXPECT_EQ(r.code, 0);
+  for (const std::string& name : data::DatasetRegistry::Names()) {
+    EXPECT_NE(r.out.find(name + "\n"), std::string::npos) << name;
+  }
+  EXPECT_NE(r.out.find("scale-<N>"), std::string::npos);
+}
+
+TEST(Cli, UnknownPlannerExitsNonZeroListingRegisteredNames) {
+  CliResult r = RunCli(
+      {"plan", "--dataset", "fig1-toy", "--planner", "no_such_planner"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("no_such_planner"), std::string::npos) << r.err;
+  for (const std::string& name : api::PlannerRegistry::Names()) {
+    EXPECT_NE(r.err.find(name), std::string::npos) << name << "\n" << r.err;
+  }
+}
+
+TEST(Cli, UnknownDatasetExitsNonZeroListingRegisteredNames) {
+  CliResult r = RunCli({"plan", "--dataset", "no_such_dataset"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("no_such_dataset"), std::string::npos) << r.err;
+  for (const std::string& name : data::DatasetRegistry::Names()) {
+    EXPECT_NE(r.err.find(name), std::string::npos) << name << "\n" << r.err;
+  }
+}
+
+TEST(Cli, UnknownCommandAndMissingFlagsAreUsageErrors) {
+  EXPECT_EQ(RunCli({"frobnicate"}).code, 2);
+  EXPECT_EQ(RunCli({"plan"}).code, 2);               // no --dataset
+  EXPECT_EQ(RunCli({"sweep"}).code, 2);              // no --config
+  EXPECT_EQ(RunCli({"compare", "--dataset", "fig1-toy"}).code,
+            2);                                      // no --planners
+  EXPECT_EQ(RunCli({"help"}).code, 0);
+  EXPECT_NE(RunCli({"help"}).out.find("usage"), std::string::npos);
+}
+
+TEST(Cli, PlanJsonParsesAndMatchesInProcessSessionRun) {
+  // Overrides for every knob the CLI defaults differently from
+  // api::PlannerConfig{}, so the in-process mirror below is exact.
+  const std::string config_path = WriteTempFile("cli_plan_cfg.json", R"({
+    "selection_samples": 4, "eval_samples": 8, "seed": 42,
+    "candidates": {"max_users": 8, "max_items": 2}
+  })");
+  CliResult r = RunCli({"plan", "--dataset", "fig1-toy", "--planner",
+                        "dysim", "--budget", "20", "--promotions", "2",
+                        "--config", config_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  util::Json parsed = ParseOrDie(r.out);
+  EXPECT_EQ(parsed.Find("command")->AsString(), "plan");
+  EXPECT_DOUBLE_EQ(parsed.Find("budget")->AsDouble(), 20.0);
+  const util::Json* result = parsed.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->Find("planner")->AsString(), "dysim");
+
+  api::PlannerConfig cfg;
+  cfg.selection_samples = 4;
+  cfg.eval_samples = 8;
+  cfg.seed = 42;
+  cfg.candidates.max_users = 8;
+  cfg.candidates.max_items = 2;
+  api::CampaignSession session(
+      data::DatasetRegistry::MakeOrDie({"fig1-toy"}), cfg);
+  session.SetProblem(20.0, 2);
+  api::PlanResult expected = session.Run("dysim");
+
+  // JSON numbers round-trip bit-exactly, so equality is exact.
+  EXPECT_DOUBLE_EQ(result->Find("sigma")->AsDouble(), expected.sigma);
+  EXPECT_DOUBLE_EQ(result->Find("total_cost")->AsDouble(),
+                   expected.total_cost);
+  const util::Json* seeds = result->Find("seeds");
+  ASSERT_NE(seeds, nullptr);
+  ASSERT_EQ(seeds->size(), expected.seeds.size());
+  for (size_t i = 0; i < expected.seeds.size(); ++i) {
+    EXPECT_EQ((*seeds)[i].Find("user")->AsInt(), expected.seeds[i].user);
+    EXPECT_EQ((*seeds)[i].Find("item")->AsInt(), expected.seeds[i].item);
+    EXPECT_EQ((*seeds)[i].Find("t")->AsInt(), expected.seeds[i].promotion);
+  }
+  // The PR 3 work counters flow through the JSON output.
+  EXPECT_EQ(result->Find("rounds_simulated")->AsInt(),
+            expected.rounds_simulated);
+  EXPECT_EQ(result->Find("rounds_skipped")->AsInt(),
+            expected.rounds_skipped);
+  EXPECT_EQ(result->Find("memo_hits")->AsInt(), expected.memo_hits);
+  // No wall-clock fields without --timings: output is byte-stable.
+  EXPECT_EQ(result->Find("wall_seconds"), nullptr);
+}
+
+TEST(Cli, IdenticalInvocationsPrintIdenticalBytes) {
+  const std::vector<std::string> args{
+      "plan",        "--dataset", "fig1-toy", "--planner",
+      "bgrd",        "--budget",  "20",       "--promotions",
+      "2",           "--eval-samples", "8",   "--selection-samples", "4"};
+  CliResult a = RunCli(args);
+  CliResult b = RunCli(args);
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(a.out, b.out);
+}
+
+// The acceptance check: a fig9-budget-shaped sweep config (datasets x
+// planners x budgets at T promotions, per-dataset planner subset, shared
+// effort config) run through `imdpp sweep` yields exactly the estimates
+// of the hand-rolled per-figure harness loop it replaced — one
+// CampaignSession per dataset, SetProblem per budget, Run per algorithm.
+TEST(Cli, SweepReproducesTheHandRolledFig9HarnessNumbers) {
+  const char* kSweepConfig = R"({
+    "name": "fig9-budget-small",
+    "datasets": [
+      "fig1-toy",
+      {"name": "yelp-like", "scale": 0.15, "planners": ["dysim", "bgrd"]}
+    ],
+    "planners": ["dysim", "bgrd", "ps"],
+    "budgets": [60, 100],
+    "promotions": [3],
+    "config": {
+      "selection_samples": 4,
+      "eval_samples": 8,
+      "candidates": {"max_users": 10, "max_items": 4}
+    }
+  })";
+  const std::string path = WriteTempFile("fig9_small.json", kSweepConfig);
+  CliResult r = RunCli({"sweep", "--config", path, "--quiet"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  util::Json parsed = ParseOrDie(r.out);
+  const util::Json* points = parsed.Find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->size(), 2u * 3 + 2u * 2);  // toy x 3 planners, yelp x 2
+
+  api::PlannerConfig cfg;
+  cfg.selection_samples = 4;
+  cfg.eval_samples = 8;
+  cfg.candidates.max_users = 10;
+  cfg.candidates.max_items = 4;
+
+  size_t idx = 0;
+  struct DatasetCase {
+    data::DatasetSpec spec;
+    std::vector<std::string> planners;
+  };
+  const DatasetCase cases[] = {
+      {{"fig1-toy", 1.0, 0}, {"dysim", "bgrd", "ps"}},
+      {{"yelp-like", 0.15, 0}, {"dysim", "bgrd"}},
+  };
+  for (const DatasetCase& c : cases) {
+    // The exact loop shape bench_fig9_budget.cc used to hand-roll.
+    api::CampaignSession session(data::DatasetRegistry::MakeOrDie(c.spec),
+                                 cfg);
+    for (double budget : {60.0, 100.0}) {
+      session.SetProblem(budget, 3);
+      for (const std::string& planner : c.planners) {
+        api::PlanResult expected = session.Run(planner);
+        ASSERT_LT(idx, points->size());
+        const util::Json& point = (*points)[idx++];
+        EXPECT_EQ(point.Find("dataset")->AsString(), c.spec.name);
+        EXPECT_EQ(point.Find("planner")->AsString(), planner);
+        EXPECT_DOUBLE_EQ(point.Find("budget")->AsDouble(), budget);
+        const util::Json* result = point.Find("result");
+        ASSERT_NE(result, nullptr);
+        // Same estimates from the same seeds — exact, not approximate.
+        EXPECT_DOUBLE_EQ(result->Find("sigma")->AsDouble(), expected.sigma)
+            << c.spec.name << " " << planner << " b=" << budget;
+        EXPECT_DOUBLE_EQ(result->Find("total_cost")->AsDouble(),
+                         expected.total_cost);
+        EXPECT_EQ(result->Find("num_seeds")->AsInt(),
+                  static_cast<int64_t>(expected.seeds.size()));
+      }
+    }
+  }
+  EXPECT_EQ(idx, points->size());
+}
+
+TEST(Cli, SweepWritesAlignedCsvAndFailsOnUnknownNames) {
+  const std::string path = WriteTempFile("sweep_tiny.json", R"({
+    "datasets": ["fig1-toy"],
+    "planners": ["bgrd"],
+    "budgets": [20],
+    "promotions": [2],
+    "config": {"selection_samples": 2, "eval_samples": 4}
+  })");
+  const std::string csv_path = ::testing::TempDir() + "sweep_tiny.csv";
+  CliResult r =
+      RunCli({"sweep", "--config", path, "--quiet", "--csv", csv_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream csv(csv_path);
+  ASSERT_TRUE(csv.good());
+  std::string header, row, extra;
+  ASSERT_TRUE(std::getline(csv, header));
+  ASSERT_TRUE(std::getline(csv, row));
+  EXPECT_FALSE(std::getline(csv, extra));  // one point -> one data row
+  EXPECT_EQ(header.substr(0, 7), "dataset");
+  EXPECT_NE(header.find("rounds_simulated"), std::string::npos);
+  EXPECT_NE(row.find("bgrd"), std::string::npos);
+
+  // Unknown planner in a sweep fails fast, listing registered names.
+  const std::string bad = WriteTempFile("sweep_bad.json", R"({
+    "datasets": ["fig1-toy"], "planners": ["zzz"],
+    "budgets": [20], "promotions": [2]
+  })");
+  CliResult bad_run = RunCli({"sweep", "--config", bad, "--quiet"});
+  EXPECT_NE(bad_run.code, 0);
+  EXPECT_NE(bad_run.err.find("zzz"), std::string::npos) << bad_run.err;
+  EXPECT_NE(bad_run.err.find("dysim"), std::string::npos) << bad_run.err;
+}
+
+TEST(Cli, MalformedSweepConfigReportsPosition) {
+  const std::string path =
+      WriteTempFile("sweep_malformed.json", "{\"datasets\": [,]}");
+  CliResult r = RunCli({"sweep", "--config", path, "--quiet"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find(path), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("1:"), std::string::npos) << r.err;  // line:col
+}
+
+}  // namespace
+}  // namespace imdpp

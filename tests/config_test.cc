@@ -1,0 +1,403 @@
+// Tests for the config subsystem: JSON round-trip and malformed-input
+// errors (util/json), PlannerConfig/dataset-spec mapping, flag-file
+// precedence, and sweep-grid expansion counts (config/config_loader).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "config/config_loader.h"
+#include "data/dataset_registry.h"
+#include "util/json.h"
+
+namespace imdpp {
+namespace {
+
+// ------------------------------------------------------------- util/json
+
+TEST(Json, RoundTripsEveryValueKind) {
+  const char* text =
+      R"({"null": null, "flag": true, "off": false, "int": -42,)"
+      R"( "pi": 3.141592653589793, "tiny": 1e-9,)"
+      R"( "text": "a\"b\\c\nA", "arr": [1, 2, [3]],)"
+      R"( "obj": {"nested": {"deep": []}}})";
+  util::Json v;
+  std::string error;
+  ASSERT_TRUE(util::Json::Parse(text, &v, &error)) << error;
+
+  // Dump → reparse → identical value (numbers bit-exact).
+  util::Json again;
+  ASSERT_TRUE(util::Json::Parse(v.Dump(), &again, &error)) << error;
+  EXPECT_EQ(v, again);
+  ASSERT_TRUE(util::Json::Parse(v.Dump(2), &again, &error)) << error;
+  EXPECT_EQ(v, again);
+
+  EXPECT_TRUE(v.Find("null")->is_null());
+  EXPECT_TRUE(v.Find("flag")->AsBool());
+  EXPECT_FALSE(v.Find("off")->AsBool());
+  EXPECT_EQ(v.Find("int")->AsInt(), -42);
+  EXPECT_DOUBLE_EQ(v.Find("pi")->AsDouble(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(v.Find("tiny")->AsDouble(), 1e-9);
+  EXPECT_EQ(v.Find("text")->AsString(), "a\"b\\c\nA");
+  EXPECT_EQ(v.Find("arr")->size(), 3u);
+  EXPECT_EQ((*v.Find("arr"))[2][0].AsInt(), 3);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrderForByteStableOutput) {
+  util::Json obj = util::Json::Object();
+  obj.Set("zebra", 1);
+  obj.Set("alpha", 2);
+  obj.Set("mid", 3);
+  EXPECT_EQ(obj.Dump(), R"({"zebra":1,"alpha":2,"mid":3})");
+  // Overwriting keeps the original slot.
+  obj.Set("alpha", 9);
+  EXPECT_EQ(obj.Dump(), R"({"zebra":1,"alpha":9,"mid":3})");
+}
+
+TEST(Json, NumbersPrintShortestRoundTrippingForm) {
+  EXPECT_EQ(util::Json(42).Dump(), "42");
+  EXPECT_EQ(util::Json(-3.5).Dump(), "-3.5");
+  EXPECT_EQ(util::Json(0.1).Dump(), "0.1");
+  double v = 2.0 / 3.0;
+  util::Json parsed;
+  std::string error;
+  ASSERT_TRUE(util::Json::Parse(util::Json(v).Dump(), &parsed, &error));
+  EXPECT_EQ(parsed.AsDouble(), v);  // bit-exact
+}
+
+TEST(Json, MalformedInputsFailWithPosition) {
+  struct Case {
+    const char* text;
+    const char* fragment;  ///< expected substring of the error
+  };
+  const Case cases[] = {
+      {"{", "unterminated"},
+      {"[1, 2", "unterminated"},
+      {"{\"a\" 1}", "expected ':'"},
+      {"{\"a\": 1,, }", "expected string"},
+      {"tru", "invalid literal"},
+      {"\"abc", "unterminated string"},
+      {"1.2.3", "trailing characters"},
+      {"{\"a\": 1} x", "trailing characters"},
+      {"[1e]", "invalid number"},
+      {"{\"a\": 1, \"a\": 2}", "duplicate object key"},
+      {"", "unexpected end"},
+  };
+  for (const Case& c : cases) {
+    util::Json v;
+    std::string error;
+    EXPECT_FALSE(util::Json::Parse(c.text, &v, &error)) << c.text;
+    EXPECT_NE(error.find(c.fragment), std::string::npos)
+        << "input: " << c.text << " error: " << error;
+    // Errors carry a line:col prefix.
+    EXPECT_NE(error.find(':'), std::string::npos) << error;
+  }
+}
+
+TEST(Json, LineCommentsAreAllowedInConfigs) {
+  const char* text = "// header\n{\n  \"a\": 1 // trailing\n}\n";
+  util::Json v;
+  std::string error;
+  ASSERT_TRUE(util::Json::Parse(text, &v, &error)) << error;
+  EXPECT_EQ(v.Find("a")->AsInt(), 1);
+}
+
+// --------------------------------------------------------- planner config
+
+TEST(ConfigLoader, AppliesPartialPlannerConfigOverrides) {
+  const char* text = R"({
+    "selection_samples": 7,
+    "seed": "0xdeadbeef",
+    "candidates": {"max_users": 12},
+    "campaign": {"model": "lt", "max_steps": 9},
+    "market": {"overlap_theta": 4},
+    "dysim": {"order": "pf", "use_item_priority": false},
+    "ps": {"max_hops": 3}
+  })";
+  util::Json obj;
+  std::string error;
+  ASSERT_TRUE(util::Json::Parse(text, &obj, &error)) << error;
+  api::PlannerConfig cfg;
+  const int default_eval_samples = cfg.eval_samples;
+  ASSERT_TRUE(config::ApplyPlannerConfigJson(obj, &cfg, &error)) << error;
+
+  EXPECT_EQ(cfg.selection_samples, 7);
+  EXPECT_EQ(cfg.eval_samples, default_eval_samples);  // untouched
+  EXPECT_EQ(cfg.seed, 0xdeadbeefULL);
+  EXPECT_EQ(cfg.candidates.max_users, 12);
+  EXPECT_EQ(cfg.candidates.max_items, 0);  // untouched
+  EXPECT_EQ(cfg.campaign.model, diffusion::DiffusionModel::kLinearThreshold);
+  EXPECT_EQ(cfg.campaign.max_steps, 9);
+  EXPECT_EQ(cfg.market.overlap_theta, 4);
+  EXPECT_EQ(cfg.dysim.order, core::MarketOrderMetric::kProfitability);
+  EXPECT_FALSE(cfg.dysim.use_item_priority);
+  EXPECT_TRUE(cfg.dysim.use_target_markets);  // untouched
+  EXPECT_EQ(cfg.ps.max_hops, 3);
+}
+
+TEST(ConfigLoader, RejectsUnknownAndMistypedKnobs) {
+  api::PlannerConfig cfg;
+  util::Json obj;
+  std::string error;
+  ASSERT_TRUE(util::Json::Parse(R"({"selektion_samples": 7})", &obj, &error));
+  EXPECT_FALSE(config::ApplyPlannerConfigJson(obj, &cfg, &error));
+  EXPECT_NE(error.find("selektion_samples"), std::string::npos) << error;
+
+  ASSERT_TRUE(util::Json::Parse(R"({"eval_samples": "many"})", &obj, &error));
+  EXPECT_FALSE(config::ApplyPlannerConfigJson(obj, &cfg, &error));
+  EXPECT_NE(error.find("eval_samples"), std::string::npos) << error;
+
+  ASSERT_TRUE(
+      util::Json::Parse(R"({"dysim": {"order": "zzz"}})", &obj, &error));
+  EXPECT_FALSE(config::ApplyPlannerConfigJson(obj, &cfg, &error));
+  EXPECT_NE(error.find("dysim.order"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------- dataset specs
+
+TEST(ConfigLoader, ParsesDatasetSpecStrings) {
+  data::DatasetSpec spec = data::ParseDatasetSpec("yelp-like@0.5");
+  EXPECT_EQ(spec.name, "yelp-like");
+  EXPECT_DOUBLE_EQ(spec.scale, 0.5);
+
+  spec = data::ParseDatasetSpec("fig1-toy");
+  EXPECT_EQ(spec.name, "fig1-toy");
+  EXPECT_DOUBLE_EQ(spec.scale, 1.0);
+}
+
+TEST(ConfigLoader, DatasetSpecFromJsonObject) {
+  util::Json obj;
+  std::string error;
+  ASSERT_TRUE(util::Json::Parse(
+      R"({"name": "amazon-like", "scale": 0.25, "seed": 99,)"
+      R"( "config": {"eval_samples": 8}})",
+      &obj, &error));
+  data::DatasetSpec spec;
+  util::Json overrides;
+  ASSERT_TRUE(config::DatasetSpecFromJson(obj, &spec, &overrides, &error))
+      << error;
+  EXPECT_EQ(spec.name, "amazon-like");
+  EXPECT_DOUBLE_EQ(spec.scale, 0.25);
+  EXPECT_EQ(spec.seed, 99u);
+  api::PlannerConfig cfg;
+  ASSERT_TRUE(config::ApplyPlannerConfigJson(overrides, &cfg, &error));
+  EXPECT_EQ(cfg.eval_samples, 8);
+}
+
+TEST(DatasetRegistry, SyntheticSpecFileRoundTrip) {
+  util::Json obj;
+  std::string error;
+  ASSERT_TRUE(util::Json::Parse(
+      R"({"name": "my-world", "num_users": 17, "num_items": 9,)"
+      R"( "topology": "small-world", "importance": "uniform",)"
+      R"( "types": {"item": "GADGET"}})",
+      &obj, &error));
+  data::SyntheticSpec spec;
+  ASSERT_TRUE(data::ApplySyntheticSpecJson(obj, &spec, &error)) << error;
+  EXPECT_EQ(spec.name, "my-world");
+  EXPECT_EQ(spec.num_users, 17);
+  EXPECT_EQ(spec.num_items, 9);
+  EXPECT_EQ(spec.topology, data::SocialTopology::kSmallWorld);
+  EXPECT_EQ(spec.importance, data::ImportanceKind::kUniformRandom);
+  EXPECT_EQ(spec.types.item, "GADGET");
+
+  ASSERT_TRUE(util::Json::Parse(R"({"num_userz": 17})", &obj, &error));
+  EXPECT_FALSE(data::ApplySyntheticSpecJson(obj, &spec, &error));
+  EXPECT_NE(error.find("num_userz"), std::string::npos) << error;
+}
+
+// -------------------------------------------------------------- flag files
+
+class FlagFileTest : public ::testing::Test {
+ protected:
+  std::string WriteTempFile(const std::string& name,
+                            const std::string& content) {
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+};
+
+TEST_F(FlagFileTest, SplicesTokensAndLaterFlagsWin) {
+  const std::string path = WriteTempFile(
+      "imdpp_flags.txt",
+      "# effort preset\n--budget 250 --promotions 4\n--planner bgrd\n");
+  config::ParsedArgs args;
+  std::string error;
+  // Command-line --budget comes AFTER the flag file → overrides it;
+  // --promotions comes from the file alone.
+  ASSERT_TRUE(config::ParseArgs(
+      {"plan", "--flagfile", path, "--budget", "300"}, &args, &error))
+      << error;
+  EXPECT_EQ(args.command, "plan");
+  EXPECT_EQ(args.GetOr("budget", ""), "300");
+  EXPECT_EQ(args.GetOr("promotions", ""), "4");
+  EXPECT_EQ(args.GetOr("planner", ""), "bgrd");
+
+  // Flags BEFORE the flag file are overridden by it.
+  ASSERT_TRUE(config::ParseArgs(
+      {"plan", "--planner", "dysim", "--flagfile=" + path}, &args, &error));
+  EXPECT_EQ(args.GetOr("planner", ""), "bgrd");
+}
+
+TEST_F(FlagFileTest, MissingFlagFileFails) {
+  config::ParsedArgs args;
+  std::string error;
+  EXPECT_FALSE(config::ParseArgs({"plan", "--flagfile", "/no/such/file"},
+                                 &args, &error));
+  EXPECT_NE(error.find("/no/such/file"), std::string::npos) << error;
+}
+
+TEST(ParseArgs, SupportsEqualsFormAndBareSwitches) {
+  config::ParsedArgs args;
+  std::string error;
+  ASSERT_TRUE(config::ParseArgs(
+      {"sweep", "--config=x.json", "--timings", "--quiet"}, &args, &error));
+  EXPECT_EQ(args.command, "sweep");
+  EXPECT_EQ(args.GetOr("config", ""), "x.json");
+  EXPECT_TRUE(args.Has("timings"));
+  EXPECT_TRUE(args.Has("quiet"));
+  EXPECT_FALSE(args.Has("help"));
+}
+
+// ------------------------------------------------------------ sweep grids
+
+util::Json ParseOrDie(const std::string& text) {
+  util::Json v;
+  std::string error;
+  EXPECT_TRUE(util::Json::Parse(text, &v, &error)) << error;
+  return v;
+}
+
+TEST(SweepSpec, ExpandsTheFullCrossProduct) {
+  config::SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(config::LoadSweepSpec(ParseOrDie(R"({
+    "name": "grid",
+    "datasets": ["fig1-toy", "yelp-like@0.2"],
+    "planners": ["dysim", "bgrd", "ps"],
+    "budgets": [100, 200],
+    "promotions": [2, 5],
+    "thetas": [0, 2],
+    "threads": [0, 2],
+    "config": {"selection_samples": 4}
+  })"),
+                                    &spec, &error))
+      << error;
+  std::vector<config::SweepPoint> points;
+  ASSERT_TRUE(config::ExpandSweep(spec, &points, &error)) << error;
+  // 2 datasets x 2 promotions x 2 budgets x 2 thetas x 2 threads x 3
+  // planners.
+  EXPECT_EQ(points.size(), 2u * 2 * 2 * 2 * 2 * 3);
+  // Planners innermost, datasets outermost.
+  EXPECT_EQ(points[0].dataset.name, "fig1-toy");
+  EXPECT_EQ(points[0].planner, "dysim");
+  EXPECT_EQ(points[1].planner, "bgrd");
+  EXPECT_EQ(points[2].planner, "ps");
+  EXPECT_EQ(points.back().dataset.name, "yelp-like");
+  EXPECT_DOUBLE_EQ(points.back().dataset.scale, 0.2);
+  // Axis values land in the resolved configs.
+  EXPECT_EQ(points[0].config.selection_samples, 4);
+  EXPECT_EQ(points[0].config.market.overlap_theta, 0);
+  EXPECT_EQ(points[0].config.num_threads, 0);
+  EXPECT_EQ(points.back().config.market.overlap_theta, 2);
+  EXPECT_EQ(points.back().config.num_threads, 2);
+}
+
+TEST(SweepSpec, OmittedAxesCollapseToOnePoint) {
+  config::SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(config::LoadSweepSpec(ParseOrDie(R"({
+    "datasets": ["fig1-toy"],
+    "planners": ["dysim"],
+    "budgets": [50],
+    "promotions": [3]
+  })"),
+                                    &spec, &error))
+      << error;
+  std::vector<config::SweepPoint> points;
+  ASSERT_TRUE(config::ExpandSweep(spec, &points, &error)) << error;
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].theta, -1);  // sentinel: keep the config's theta
+  EXPECT_EQ(points[0].config.market.overlap_theta,
+            api::PlannerConfig{}.market.overlap_theta);
+}
+
+TEST(SweepSpec, PerAxisOverridesApplyInOrder) {
+  config::SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(config::LoadSweepSpec(ParseOrDie(R"({
+    "datasets": [
+      {"name": "fig1-toy", "config": {"eval_samples": 10}},
+      "yelp-like@0.2"
+    ],
+    "planners": [
+      "dysim",
+      {"planner": "bgrd", "config": {"eval_samples": 99, "seed": 7}}
+    ],
+    "budgets": [100],
+    "promotions": [2],
+    "config": {"eval_samples": 20, "seed": 1}
+  })"),
+                                    &spec, &error))
+      << error;
+  std::vector<config::SweepPoint> points;
+  ASSERT_TRUE(config::ExpandSweep(spec, &points, &error)) << error;
+  ASSERT_EQ(points.size(), 4u);
+  // fig1-toy/dysim: dataset override wins over base.
+  EXPECT_EQ(points[0].config.eval_samples, 10);
+  EXPECT_EQ(points[0].config.seed, 1u);
+  // fig1-toy/bgrd: planner override wins over dataset override.
+  EXPECT_EQ(points[1].config.eval_samples, 99);
+  EXPECT_EQ(points[1].config.seed, 7u);
+  // yelp/dysim: base alone.
+  EXPECT_EQ(points[2].config.eval_samples, 20);
+}
+
+TEST(SweepSpec, PerDatasetPlannerSubsets) {
+  config::SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(config::LoadSweepSpec(ParseOrDie(R"({
+    "datasets": [
+      "fig1-toy",
+      {"name": "yelp-like", "scale": 0.2, "planners": ["dysim", "ps"]}
+    ],
+    "planners": ["dysim", "bgrd", "hag", "ps"],
+    "budgets": [100, 200],
+    "promotions": [2]
+  })"),
+                                    &spec, &error))
+      << error;
+  std::vector<config::SweepPoint> points;
+  ASSERT_TRUE(config::ExpandSweep(spec, &points, &error)) << error;
+  // fig1-toy: 2 budgets x 4 planners; yelp: 2 budgets x 2 planners.
+  EXPECT_EQ(points.size(), 2u * 4 + 2u * 2);
+  size_t yelp_points = 0;
+  for (const config::SweepPoint& p : points) {
+    if (p.dataset.name == "yelp-like") {
+      ++yelp_points;
+      EXPECT_TRUE(p.planner == "dysim" || p.planner == "ps") << p.planner;
+    }
+  }
+  EXPECT_EQ(yelp_points, 4u);
+}
+
+TEST(SweepSpec, MissingRequiredAxesFail) {
+  config::SweepSpec spec;
+  std::string error;
+  EXPECT_FALSE(config::LoadSweepSpec(
+      ParseOrDie(R"({"datasets": ["fig1-toy"], "planners": ["dysim"],
+                     "budgets": [10]})"),
+      &spec, &error));
+  EXPECT_NE(error.find("promotions"), std::string::npos) << error;
+  EXPECT_FALSE(config::LoadSweepSpec(
+      ParseOrDie(R"({"planners": ["dysim"], "budgets": [10],
+                     "promotions": [1]})"),
+      &spec, &error));
+  EXPECT_NE(error.find("datasets"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace imdpp

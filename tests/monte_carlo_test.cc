@@ -382,6 +382,140 @@ TEST(MonteCarloEngine, RoundsAccountingSplitsNaiveWork) {
   EXPECT_EQ(engine.num_rounds_skipped(), 10 * 2 + 10 * 4);
 }
 
+// --------------------------------------------------- ISSUE 4 satellites:
+// Expected() through CheckpointedEval, and the (group, market) memo for
+// EvalMarket behind the same opt-in flag as the σ memo.
+
+/// Bit-exact comparison via the public accessors.
+void ExpectSameExpectedState(const ExpectedState& a, const ExpectedState& b,
+                             const Problem& p) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  for (UserId u = 0; u < p.NumUsers(); ++u) {
+    for (ItemId x = 0; x < p.NumItems(); ++x) {
+      EXPECT_EQ(a.AdoptionProb(u, x), b.AdoptionProb(u, x))
+          << "u=" << u << " x=" << x;
+    }
+    std::span<const float> wa = a.AvgWmeta(u);
+    std::span<const float> wb = b.AvgWmeta(u);
+    ASSERT_EQ(wa.size(), wb.size());
+    for (size_t m = 0; m < wa.size(); ++m) {
+      EXPECT_EQ(wa[m], wb[m]) << "u=" << u << " m=" << m;
+    }
+  }
+}
+
+TEST(CheckpointedEval, ExpectedBitIdenticalToEngineExpectedAsBaseGrows) {
+  // Live dynamics + real relevance so the expected weightings actually
+  // move; the DRE shape: re-evaluate Expected under a growing group.
+  TinyWorldSpec s;
+  s.num_items = 2;
+  s.num_promotions = 4;
+  s.params = pin::PerceptionParams{};
+  s.wmeta0 = 0.5;
+  TinyWorld w = MakeWorld(6,
+                          {{0, 1, 0.37}, {1, 2, 0.61}, {2, 3, 0.53},
+                           {3, 4, 0.29}, {0, 4, 0.47}, {4, 5, 0.71}},
+                          s,
+                          testutil::MakeRelevance(2, {0, 0.8f, 0.8f, 0},
+                                        {0, 0.3f, 0.3f, 0}));
+  MonteCarloEngine engine(w.problem, {}, 24);
+  CheckpointedEval eval(engine, /*base=*/{});
+  SeedGroup sg;
+  const Seed appended[] = {{0, 0, 1}, {2, 1, 1}, {1, 0, 2}, {4, 1, 3}};
+  for (const Seed& seed : appended) {
+    sg.push_back(seed);
+    eval.Rebase(sg);
+    ExpectedState fast = eval.Expected(sg);
+    ExpectedState plain = engine.Expected(sg);
+    ExpectSameExpectedState(fast, plain, w.problem);
+  }
+  // With the base's checkpoints built, re-evaluating the base itself is
+  // pure reuse: not a single extra promotion-round simulated.
+  const int64_t rounds_before = engine.num_rounds_simulated();
+  ExpectedState again = eval.Expected(sg);
+  EXPECT_EQ(engine.num_rounds_simulated(), rounds_before);
+  ExpectSameExpectedState(again, engine.Expected(sg), w.problem);
+}
+
+TEST(CheckpointedEval, ExpectedOfGroupDivergingFromBaseMatchesEngine) {
+  TinyWorld w = DeepNoisyWorld();
+  MonteCarloEngine engine(w.problem, {}, 16);
+  const SeedGroup base{{0, 0, 1}, {2, 1, 2}, {4, 0, 3}};
+  CheckpointedEval eval(engine, base);
+  // Same rounds 1-2, different round 3; and a shorter prefix group.
+  const SeedGroup variants[] = {
+      {{0, 0, 1}, {2, 1, 2}, {5, 0, 3}},
+      {{0, 0, 1}, {2, 1, 2}},
+      {{0, 0, 1}, {2, 1, 2}, {4, 0, 3}, {5, 1, 4}},
+  };
+  for (const SeedGroup& g : variants) {
+    ExpectSameExpectedState(eval.Expected(g), engine.Expected(g), w.problem);
+  }
+}
+
+TEST(MonteCarloEngine, EvalMarketMemoizedPerGroupAndMarket) {
+  TinyWorld w = DeepNoisyWorld();
+  MonteCarloEngine engine(w.problem, {}, 16, /*num_threads=*/0);
+  engine.EnableSigmaMemo();  // the same opt-in flag covers both memos
+  const SeedGroup g{{0, 0, 1}, {2, 1, 2}};
+  const std::vector<UserId> market_a{0, 1, 2};
+  const std::vector<UserId> market_b{3, 4, 5};
+
+  const MonteCarloEngine::MarketEval first = engine.EvalMarket(g, market_a);
+  const int64_t sims = engine.num_simulations();
+  const int64_t skipped = engine.num_rounds_skipped();
+
+  // Same (group, market): answered from the memo — identical bits, no
+  // simulation, one memo hit, skipped-work booked.
+  const MonteCarloEngine::MarketEval hit = engine.EvalMarket(g, market_a);
+  EXPECT_EQ(hit.sigma, first.sigma);
+  EXPECT_EQ(hit.sigma_market, first.sigma_market);
+  EXPECT_EQ(hit.pi, first.pi);
+  EXPECT_EQ(engine.num_simulations(), sims);
+  EXPECT_EQ(engine.num_memo_hits(), 1);
+  EXPECT_GT(engine.num_rounds_skipped(), skipped);
+
+  // Different market, same group: a genuine re-evaluation.
+  const MonteCarloEngine::MarketEval other = engine.EvalMarket(g, market_b);
+  EXPECT_GT(engine.num_simulations(), sims);
+  EXPECT_NE(other.sigma_market, first.sigma_market);
+
+  // Different group, same market: also a miss.
+  const int64_t sims2 = engine.num_simulations();
+  engine.EvalMarket({{0, 0, 1}}, market_a);
+  EXPECT_GT(engine.num_simulations(), sims2);
+
+  // The memoized bits equal a plain engine's recompute.
+  MonteCarloEngine plain(w.problem, {}, 16, /*num_threads=*/0);
+  const MonteCarloEngine::MarketEval recompute =
+      plain.EvalMarket(g, market_a);
+  EXPECT_EQ(recompute.sigma, first.sigma);
+  EXPECT_EQ(recompute.sigma_market, first.sigma_market);
+  EXPECT_EQ(recompute.pi, first.pi);
+  // And without the opt-in, nothing is memoized.
+  plain.EvalMarket(g, market_a);
+  EXPECT_EQ(plain.num_memo_hits(), 0);
+}
+
+TEST(CheckpointedEval, EvalMarketConsultsTheSharedMemo) {
+  TinyWorld w = DeepNoisyWorld();
+  MonteCarloEngine engine(w.problem, {}, 16, /*num_threads=*/0);
+  engine.EnableSigmaMemo();
+  const std::vector<UserId> market{0, 1, 2};
+  const SeedGroup base{{0, 0, 1}};
+  const SeedGroup g{{0, 0, 1}, {2, 1, 2}};
+
+  const MonteCarloEngine::MarketEval direct = engine.EvalMarket(g, market);
+  const int64_t sims = engine.num_simulations();
+  CheckpointedEval eval(engine, base, market);
+  const MonteCarloEngine::MarketEval via = eval.EvalMarket(g);
+  EXPECT_EQ(via.sigma, direct.sigma);
+  EXPECT_EQ(via.sigma_market, direct.sigma_market);
+  EXPECT_EQ(via.pi, direct.pi);
+  EXPECT_EQ(engine.num_simulations(), sims);  // answered from the memo
+  EXPECT_EQ(engine.num_memo_hits(), 1);
+}
+
 TEST(MonteCarloEngine, InitialStatesRespected) {
   TinyWorld w = MakeWorld(3, {{0, 1, 1.0}, {1, 2, 1.0}}, DetSpec());
   MonteCarloEngine engine(w.problem, {}, 4);
