@@ -61,4 +61,16 @@ echo "== smoke: imdpp sweep on configs/sweep_ci.json (twice + diff) =="
 diff "$BUILD_DIR/cli_sweep.run1.json" "$BUILD_DIR/cli_sweep.run2.json"
 echo "imdpp sweep output is byte-identical across runs"
 
+echo "== smoke: imdpp datasets --prep (twice + diff) =="
+# Prep-artifact stats carry no wall-clock fields by default, so the
+# per-dataset structure report must be byte-identical across runs.
+"$BUILD_DIR/imdpp" datasets --prep --dataset fig1-toy --budget 20 \
+  --promotions 2 --selection-samples 4 --eval-samples 8 \
+  --out "$BUILD_DIR/cli_prep.run1.json"
+"$BUILD_DIR/imdpp" datasets --prep --dataset fig1-toy --budget 20 \
+  --promotions 2 --selection-samples 4 --eval-samples 8 \
+  --out "$BUILD_DIR/cli_prep.run2.json"
+diff "$BUILD_DIR/cli_prep.run1.json" "$BUILD_DIR/cli_prep.run2.json"
+echo "imdpp datasets --prep output is byte-identical across runs"
+
 echo "== OK =="

@@ -21,11 +21,13 @@
 
 #include "cluster/nominee_clustering.h"
 #include "cluster/target_market.h"
+#include "core/dysim.h"
 #include "core/market_order.h"
 #include "core/nominee_selection.h"
 #include "diffusion/campaign_simulator.h"
 #include "diffusion/problem.h"
 #include "diffusion/seed.h"
+#include "prep/prep.h"
 #include "util/thread_pool.h"
 
 namespace imdpp::api {
@@ -64,6 +66,25 @@ struct PlannerConfig {
   /// threads serves planning and evaluation alike; null = planners create
   /// (and share internally) their own.
   std::shared_ptr<util::ThreadPool> shared_pool;
+
+  /// prep:: artifact-layer knobs (market structure built once per
+  /// dataset; see prep/prep.h).
+  struct PrepOptions {
+    /// false = bypass the session's artifact cache and rebuild per run
+    /// (the determinism tests pin cold == warm with this).
+    bool cache = true;
+    /// Gates the build's per-source Dijkstra/BFS sweeps: <= 1 runs them
+    /// inline, anything else on the shared worker pool (when one
+    /// exists). Artifacts are bit-identical for every value.
+    int build_threads = util::kAutoThreads;
+  };
+  PrepOptions prep;
+
+  /// Optional artifact cache shared across runs. CampaignSession::Run
+  /// injects the session's cache here, so Run/Compare/SetProblem and
+  /// cli::RunSweep reuse one build per dataset; null = planners build a
+  /// standalone artifact per run.
+  std::shared_ptr<prep::PrepCache> prep_cache;
 
   struct DysimOptions {
     core::MarketOrderMetric order =
@@ -123,6 +144,14 @@ struct PlanResult {
   int64_t rounds_simulated = 0;
   int64_t rounds_skipped = 0;
   int64_t memo_hits = 0;        ///< σ estimates answered from the memo
+  /// prep:: artifact accounting: whether this run built the market
+  /// structure (1/0) or reused a cached bundle (0/1), and the
+  /// milliseconds of artifact construction it paid. 0/0/0 for planners
+  /// that consume no prep structure (bgrd, hag, drhga, opt, smk,
+  /// cr_greedy).
+  int64_t prep_builds = 0;
+  int64_t prep_reuses = 0;
+  double prep_millis = 0.0;     ///< wall-clock, excluded from byte-stable output
   double wall_seconds = 0.0;    ///< wall-clock planning time
   std::vector<PlanRound> rounds;  ///< per-round diagnostics
 
@@ -131,6 +160,11 @@ struct PlanResult {
   size_t num_markets = 0;
   size_t num_groups = 0;
 };
+
+/// Maps the unified config onto Dysim's native struct (folding the master
+/// seed into the campaign settings). Exposed for tooling that drives
+/// core::RunTmi directly, e.g. `imdpp datasets --prep`.
+core::DysimConfig ToDysimConfig(const PlannerConfig& config);
 
 /// Abstract planner. Construction binds a PlannerConfig; Plan() may be
 /// called repeatedly on different problems. Plan() times the run and

@@ -31,24 +31,6 @@ diffusion::CampaignConfig MakeCampaign(const PlannerConfig& c) {
   return campaign;
 }
 
-core::DysimConfig ToDysimConfig(const PlannerConfig& c) {
-  core::DysimConfig cfg;
-  cfg.selection_samples = c.selection_samples;
-  cfg.eval_samples = c.eval_samples;
-  cfg.candidates = c.candidates;
-  cfg.clustering = c.clustering;
-  cfg.market = c.market;
-  cfg.order = c.dysim.order;
-  cfg.dr_max_depth = c.dysim.dr_max_depth;
-  cfg.use_target_markets = c.dysim.use_target_markets;
-  cfg.use_item_priority = c.dysim.use_item_priority;
-  cfg.use_theorem5_guard = c.dysim.use_theorem5_guard;
-  cfg.campaign = MakeCampaign(c);
-  cfg.num_threads = c.num_threads;
-  cfg.shared_pool = c.shared_pool;
-  return cfg;
-}
-
 baselines::BaselineConfig ToBaselineConfig(const PlannerConfig& c) {
   baselines::BaselineConfig cfg;
   cfg.selection_samples = c.selection_samples;
@@ -57,6 +39,9 @@ baselines::BaselineConfig ToBaselineConfig(const PlannerConfig& c) {
   cfg.campaign = MakeCampaign(c);
   cfg.num_threads = c.num_threads;
   cfg.shared_pool = c.shared_pool;
+  cfg.prep_cache = c.prep_cache;
+  cfg.prep_cache_enabled = c.prep.cache;
+  cfg.prep_build_threads = c.prep.build_threads;
   return cfg;
 }
 
@@ -66,6 +51,9 @@ PlanResult FromBaseline(baselines::BaselineResult r) {
   out.sigma = r.sigma;
   out.total_cost = r.total_cost;
   out.simulations = r.simulations;
+  out.prep_builds = r.prep_builds;
+  out.prep_reuses = r.prep_reuses;
+  out.prep_millis = r.prep_millis;
   return out;
 }
 
@@ -87,6 +75,9 @@ class DysimPlanner : public Planner {
     out.rounds_simulated = r.rounds_simulated;
     out.rounds_skipped = r.rounds_skipped;
     out.memo_hits = r.memo_hits;
+    out.prep_builds = r.prep_builds;
+    out.prep_reuses = r.prep_reuses;
+    out.prep_millis = r.prep_millis;
     out.nominees = std::move(r.nominees);
     out.num_markets = r.plan.markets.size();
     out.num_groups = r.plan.groups.size();
@@ -111,6 +102,9 @@ class AdaptivePlanner : public Planner {
     PlanResult out;
     out.seeds = std::move(r.seeds);
     out.total_cost = r.total_spent;
+    out.prep_builds = r.prep_builds;
+    out.prep_reuses = r.prep_reuses;
+    out.prep_millis = r.prep_millis;
     for (core::AdaptiveRound& round : r.rounds) {
       PlanRound pr;
       pr.promotion = round.promotion;
@@ -149,10 +143,7 @@ PlanResult SelectAndFinalize(const diffusion::Problem& problem,
   // when provided); the search engine memoizes σ so the selection loops'
   // re-checks of identical seed vectors cost nothing.
   std::shared_ptr<util::ThreadPool> pool = config.shared_pool;
-  const int resolved_threads = util::ResolveNumThreads(config.num_threads);
-  if (pool == nullptr && resolved_threads > 1) {
-    pool = std::make_shared<util::ThreadPool>(resolved_threads - 1);
-  }
+  if (pool == nullptr) pool = util::MakeWorkerPool(config.num_threads);
   diffusion::MonteCarloEngine search(problem, MakeCampaign(config),
                                      config.selection_samples,
                                      config.num_threads, pool);
@@ -308,6 +299,27 @@ class OptPlanner : public Planner {
 IMDPP_REGISTER_PLANNER("opt", OptPlanner);
 
 }  // namespace
+
+core::DysimConfig ToDysimConfig(const PlannerConfig& c) {
+  core::DysimConfig cfg;
+  cfg.selection_samples = c.selection_samples;
+  cfg.eval_samples = c.eval_samples;
+  cfg.candidates = c.candidates;
+  cfg.clustering = c.clustering;
+  cfg.market = c.market;
+  cfg.order = c.dysim.order;
+  cfg.dr_max_depth = c.dysim.dr_max_depth;
+  cfg.use_target_markets = c.dysim.use_target_markets;
+  cfg.use_item_priority = c.dysim.use_item_priority;
+  cfg.use_theorem5_guard = c.dysim.use_theorem5_guard;
+  cfg.campaign = MakeCampaign(c);
+  cfg.num_threads = c.num_threads;
+  cfg.shared_pool = c.shared_pool;
+  cfg.prep_cache = c.prep_cache;
+  cfg.prep_cache_enabled = c.prep.cache;
+  cfg.prep_build_threads = c.prep.build_threads;
+  return cfg;
+}
 
 namespace internal {
 // Anchors this translation unit: the registry calls it, the linker keeps

@@ -7,7 +7,9 @@
 namespace imdpp::api {
 
 CampaignSession::CampaignSession(data::Dataset dataset, PlannerConfig config)
-    : dataset_(std::move(dataset)), config_(std::move(config)) {}
+    : dataset_(std::move(dataset)),
+      config_(std::move(config)),
+      prep_cache_(std::make_shared<prep::PrepCache>()) {}
 
 CampaignSession::CampaignSession(data::Dataset dataset, double budget,
                                  int num_promotions, PlannerConfig config)
@@ -17,9 +19,17 @@ CampaignSession::CampaignSession(data::Dataset dataset, double budget,
 
 void CampaignSession::SetProblem(double budget, int num_promotions,
                                  pin::PerceptionParams params) {
+  // No-op on an unchanged problem: keep the shared engine and the warm
+  // prep artifacts (the dedupe sweep_runner used to do by hand).
+  if (problem_.graph != nullptr && relevance_override_ == nullptr &&
+      !problem_dirty_ && problem_.budget == budget &&
+      problem_.num_promotions == num_promotions && problem_.params == params) {
+    return;
+  }
   engine_.reset();
   relevance_override_.reset();
   problem_ = dataset_.MakeProblem(budget, num_promotions, params);
+  problem_dirty_ = false;
 }
 
 void CampaignSession::SetProblemWithMetaSubset(
@@ -30,6 +40,7 @@ void CampaignSession::SetProblemWithMetaSubset(
       dataset_.relevance->WithMetaSubset(meta_indices));
   problem_ = dataset_.MakeProblemWithRelevance(
       *relevance_override_, budget, num_promotions, params, &meta_indices);
+  problem_dirty_ = false;
 }
 
 PlanResult CampaignSession::Run(const std::string& planner_name) {
@@ -42,6 +53,12 @@ PlanResult CampaignSession::Run(const std::string& planner_name,
   PlannerConfig run_config = config;
   if (run_config.shared_pool == nullptr) {
     run_config.shared_pool = SharedPool(run_config.num_threads);
+  }
+  // One artifact cache serves every planner and every problem of this
+  // session: market structure is built on the first run that needs it
+  // and reused (content-keyed) from then on.
+  if (run_config.prep_cache == nullptr) {
+    run_config.prep_cache = prep_cache_;
   }
   std::unique_ptr<Planner> planner =
       PlannerRegistry::CreateOrDie(planner_name, run_config);
@@ -66,6 +83,7 @@ double CampaignSession::Sigma(const diffusion::SeedGroup& seeds) {
 
 diffusion::Problem& CampaignSession::mutable_problem() {
   engine_.reset();
+  problem_dirty_ = true;  // a later SetProblem must rebuild
   return problem_;
 }
 

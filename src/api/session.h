@@ -53,6 +53,10 @@ class CampaignSession {
                   PlannerConfig config = {});
 
   /// (Re)configures the problem view; invalidates the shared engine.
+  /// A call that changes nothing (same budget/promotions/params, no meta
+  /// subset active, problem not mutated since) is a no-op: the engine and
+  /// the prep-artifact cache stay warm, so sweep loops need no
+  /// caller-side dedupe.
   void SetProblem(double budget, int num_promotions,
                   pin::PerceptionParams params = {});
 
@@ -109,6 +113,16 @@ class CampaignSession {
   std::unique_ptr<diffusion::MonteCarloEngine> engine_;
   std::shared_ptr<util::ThreadPool> pool_;
   int pool_threads_ = 0;  ///< resolved thread count pool_ was built for
+  /// The session-wide prep-artifact cache, injected into every planner
+  /// Run/Compare executes: market structure is built once per dataset
+  /// (per structural config) and reused across budgets, planners and
+  /// SetProblem calls. Keyed by content, so problem mutations that change
+  /// the structure rebuild and ones that don't (budget, importance) hit.
+  std::shared_ptr<prep::PrepCache> prep_cache_;
+  /// Set by mutable_problem(): the problem may have diverged from the
+  /// (budget, promotions, params) it was built from, so the next
+  /// SetProblem must rebuild even if those coordinates match.
+  bool problem_dirty_ = false;
 };
 
 }  // namespace imdpp::api

@@ -11,6 +11,7 @@
 #include "core/nominee_selection.h"
 #include "diffusion/monte_carlo.h"
 #include "diffusion/problem.h"
+#include "prep/prep.h"
 
 namespace imdpp::baselines {
 
@@ -32,6 +33,11 @@ struct BaselineConfig {
   /// Optional pool shared by every engine the baseline builds (sessions
   /// pass theirs in); null = per-engine lazy pool.
   std::shared_ptr<util::ThreadPool> shared_pool;
+  /// Optional prep-artifact cache (see core::DysimConfig); consumed by
+  /// the baselines that build graph structure (PS's influence regions).
+  std::shared_ptr<prep::PrepCache> prep_cache;
+  bool prep_cache_enabled = true;
+  int prep_build_threads = util::kAutoThreads;
 };
 
 struct BaselineResult {
@@ -39,6 +45,10 @@ struct BaselineResult {
   double sigma = 0.0;
   double total_cost = 0.0;
   int64_t simulations = 0;
+  /// prep:: artifact accounting (0/0/0 for baselines without structure).
+  int64_t prep_builds = 0;
+  int64_t prep_reuses = 0;
+  double prep_millis = 0.0;
 };
 
 /// Final σ̂ at eval_samples plus bookkeeping, shared by every baseline.

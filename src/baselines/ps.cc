@@ -1,6 +1,6 @@
 #include "baselines/ps.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "baselines/cr_greedy.h"
 #include "graph/graph_algos.h"
@@ -13,18 +13,22 @@ BaselineResult RunPs(const Problem& problem, const PsConfig& config) {
   std::vector<Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
 
-  // Max-influence-path regions per distinct candidate user (memoized).
-  std::unordered_map<graph::UserId, graph::InfluencePaths> regions;
+  // Max-influence-path regions per distinct candidate user, from the prep
+  // artifacts: batch-computed in parallel on first use, then shared with
+  // Dysim's market build (same (threshold, max_hops) = same entries) and
+  // with later PS runs of the session.
+  prep::PrepLease lease =
+      prep::AcquirePrep(config.prep_cache, config.prep_cache_enabled, problem,
+                        config.shared_pool, config.prep_build_threads);
+  prep::PrepArtifacts& art = *lease.artifacts;
+  const double prep_millis_before = lease.built ? 0.0 : art.total_millis();
+  std::vector<graph::UserId> sources;
+  sources.reserve(candidates.size());
+  for (const Nominee& n : candidates) sources.push_back(n.user);
+  art.PrefetchRegions(std::move(sources), config.path_threshold,
+                      config.max_hops);
   auto region_of = [&](graph::UserId u) -> const graph::InfluencePaths& {
-    auto it = regions.find(u);
-    if (it == regions.end()) {
-      it = regions
-               .emplace(u, graph::MaxInfluencePaths(*problem.graph, u,
-                                                    config.path_threshold,
-                                                    config.max_hops))
-               .first;
-    }
-    return it->second;
+    return art.Region(u, config.path_threshold, config.max_hops);
   };
 
   std::vector<uint8_t> covered(problem.NumUsers(), 0);
@@ -62,8 +66,12 @@ BaselineResult RunPs(const Problem& problem, const PsConfig& config) {
   }
 
   SeedGroup seeds = CrGreedyTimings(engine, selected);
-  return FinalizeResult(problem, config, std::move(seeds),
-                        engine.num_simulations());
+  BaselineResult result = FinalizeResult(problem, config, std::move(seeds),
+                                         engine.num_simulations());
+  result.prep_builds = lease.built ? 1 : 0;
+  result.prep_reuses = lease.reused ? 1 : 0;
+  result.prep_millis = art.total_millis() - prep_millis_before;
+  return result;
 }
 
 }  // namespace imdpp::baselines

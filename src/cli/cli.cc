@@ -10,7 +10,9 @@
 #include "api/session.h"
 #include "cli/sweep_runner.h"
 #include "config/config_loader.h"
+#include "core/dysim.h"
 #include "data/dataset_registry.h"
+#include "prep/prep.h"
 #include "report/report.h"
 
 namespace imdpp::cli {
@@ -25,7 +27,10 @@ commands:
   plan      run one planner on one dataset, print the PlanResult as JSON
   compare   run several planners on one problem (paired σ̂), print JSON
   sweep     run a JSON sweep config (datasets x planners x budgets x ...)
-  datasets  list the registered dataset names
+  datasets  list the registered dataset names; --prep prints per-dataset
+            prep-artifact stats (nominees, clusters, markets, MIOA
+            regions; build millis with --timings) as JSON — for one
+            dataset with --dataset, else for every registered name
   help      show this message
 
 shared flags (plan, compare):
@@ -47,6 +52,8 @@ plan:     --planner NAME   (default dysim)
 compare:  --planners A,B,C (comma-separated registry names)
 sweep:    --config FILE (required), --out FILE, --csv FILE, --timings,
           --quiet (no per-point progress on stderr)
+datasets: --prep plus the shared flags above (problem coordinates default
+          to --budget 300 --promotions 10)
 
 flag files: --flagfile FILE splices whitespace-separated tokens from FILE
 (# comments); flags given after it override the file's.
@@ -133,13 +140,13 @@ struct ProblemSetup {
 };
 
 bool LoadProblemSetup(const config::ParsedArgs& args, ProblemSetup* setup,
-                      std::string* error) {
+                      std::string* error, bool dataset_required = true) {
   const std::string* dataset = args.Find("dataset");
-  if (dataset == nullptr) {
+  if (dataset == nullptr && dataset_required) {
     *error = "--dataset is required";
     return false;
   }
-  setup->dataset = data::ParseDatasetSpec(*dataset);
+  if (dataset != nullptr) setup->dataset = data::ParseDatasetSpec(*dataset);
   if (!ParseNumberFlag(args, "scale", &setup->dataset.scale, error)) {
     return false;
   }
@@ -340,12 +347,76 @@ int RunSweepCommand(const config::ParsedArgs& args, std::ostream& out,
   return 0;
 }
 
-int RunDatasets(std::ostream& out) {
-  for (const std::string& name : data::DatasetRegistry::Names()) {
-    out << name << "\n";
+int RunDatasets(const config::ParsedArgs& args, std::ostream& out,
+                std::ostream& err) {
+  if (!args.Has("prep")) {
+    for (const std::string& name : data::DatasetRegistry::Names()) {
+      out << name << "\n";
+    }
+    out << "scale-<N>\n";
+    out << "<path/to/spec.json>\n";
+    return 0;
   }
-  out << "scale-<N>\n";
-  out << "<path/to/spec.json>\n";
+
+  // --prep: build each dataset's prep artifacts, run the TMI phase at the
+  // flagged problem coordinates, and report the structure. Deterministic
+  // byte-stable JSON unless --timings (which adds the build millis).
+  ProblemSetup setup;
+  std::string error;
+  if (!LoadProblemSetup(args, &setup, &error, /*dataset_required=*/false)) {
+    return UsageError(err, error);
+  }
+  std::vector<data::DatasetSpec> specs;
+  if (args.Has("dataset")) {
+    specs.push_back(setup.dataset);
+  } else {
+    for (const std::string& name : data::DatasetRegistry::Names()) {
+      specs.push_back({name, setup.dataset.scale, setup.dataset.seed});
+    }
+  }
+
+  std::vector<report::PrepDatasetStats> stats;
+  for (const data::DatasetSpec& spec : specs) {
+    data::Dataset dataset;
+    if (!data::DatasetRegistry::Make(spec, &dataset, &error)) {
+      return RuntimeError(err, error);
+    }
+    diffusion::Problem problem =
+        dataset.MakeProblem(setup.budget, setup.promotions);
+    core::DysimConfig dcfg = api::ToDysimConfig(setup.config);
+    std::shared_ptr<util::ThreadPool> pool =
+        util::MakeWorkerPool(dcfg.num_threads);
+    dcfg.shared_pool = pool;
+    diffusion::MonteCarloEngine engine(problem, dcfg.campaign,
+                                       dcfg.selection_samples,
+                                       dcfg.num_threads, pool);
+    engine.EnableSigmaMemo();
+    prep::PrepLease lease = prep::AcquirePrep(
+        nullptr, /*use_cache=*/true, problem, pool, dcfg.prep_build_threads);
+    core::TmiResult tmi = core::RunTmi(problem, engine, dcfg,
+                                       *lease.artifacts);
+
+    report::PrepDatasetStats s;
+    s.dataset = spec;
+    s.budget = setup.budget;
+    s.promotions = setup.promotions;
+    s.users = problem.NumUsers();
+    s.items = problem.NumItems();
+    s.nominees = tmi.selection.nominees.size();
+    s.clusters = tmi.clusters.size();
+    s.markets = tmi.plan.markets.size();
+    s.groups = tmi.plan.groups.size();
+    s.mioa_regions = lease.artifacts->num_regions();
+    s.prep_millis = lease.artifacts->total_millis();
+    stats.push_back(std::move(s));
+  }
+
+  util::Json output = util::Json::Object();
+  output.Set("command", "datasets");
+  output.Set("prep", report::PrepStatsJson(stats, setup.timings));
+  if (!EmitText(args, "out", output.Dump(2) + "\n", out, &error)) {
+    return RuntimeError(err, error);
+  }
   return 0;
 }
 
@@ -364,7 +435,7 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   if (parsed.command == "plan") return RunPlan(parsed, out, err);
   if (parsed.command == "compare") return RunCompare(parsed, out, err);
   if (parsed.command == "sweep") return RunSweepCommand(parsed, out, err);
-  if (parsed.command == "datasets") return RunDatasets(out);
+  if (parsed.command == "datasets") return RunDatasets(parsed, out, err);
   return UsageError(err, "unknown command \"" + parsed.command +
                              "\" (expected plan, compare, sweep, datasets)");
 }

@@ -55,16 +55,11 @@ bool RunSweep(const config::SweepSpec& spec,
     if (!data::DatasetRegistry::Make(ds.spec, &dataset, error)) return false;
     api::CampaignSession session(std::move(dataset), session_config);
 
-    double current_budget = -1.0;
-    int current_promotions = -1;
     for (size_t k = 0; k < per_dataset; ++k, ++idx) {
       const config::SweepPoint& point = points[idx];
-      if (point.budget != current_budget ||
-          point.num_promotions != current_promotions) {
-        session.SetProblem(point.budget, point.num_promotions);
-        current_budget = point.budget;
-        current_promotions = point.num_promotions;
-      }
+      // SetProblem dedupes unchanged (budget, promotions) itself, keeping
+      // the shared engine and the warm prep artifacts across points.
+      session.SetProblem(point.budget, point.num_promotions);
       if (progress) progress(point, idx, points.size());
       report::SweepRecord record;
       record.point = point;

@@ -4,22 +4,42 @@
 
 namespace imdpp::cluster {
 
-InfluenceRegion UnionInfluenceRegion(const graph::SocialGraph& g,
-                                     const std::vector<UserId>& sources,
-                                     double threshold, int max_hops) {
+InfluenceRegion RegionFromPaths(const graph::InfluencePaths& paths) {
   InfluenceRegion out;
-  for (UserId s : sources) {
-    graph::InfluencePaths paths =
-        graph::MaxInfluencePaths(g, s, threshold, max_hops);
-    for (size_t i = 0; i < paths.users.size(); ++i) {
-      out.users.push_back(paths.users[i]);
-      out.radius_hops = std::max(out.radius_hops, paths.hops[i]);
-    }
+  out.users = paths.users;
+  for (int h : paths.hops) out.radius_hops = std::max(out.radius_hops, h);
+  std::sort(out.users.begin(), out.users.end());
+  out.users.erase(std::unique(out.users.begin(), out.users.end()),
+                  out.users.end());
+  return out;
+}
+
+InfluenceRegion UnionRegions(
+    const std::vector<const InfluenceRegion*>& regions) {
+  InfluenceRegion out;
+  for (const InfluenceRegion* r : regions) {
+    out.users.insert(out.users.end(), r->users.begin(), r->users.end());
+    out.radius_hops = std::max(out.radius_hops, r->radius_hops);
   }
   std::sort(out.users.begin(), out.users.end());
   out.users.erase(std::unique(out.users.begin(), out.users.end()),
                   out.users.end());
   return out;
+}
+
+InfluenceRegion UnionInfluenceRegion(const graph::SocialGraph& g,
+                                     const std::vector<UserId>& sources,
+                                     double threshold, int max_hops) {
+  std::vector<InfluenceRegion> per_source;
+  per_source.reserve(sources.size());
+  for (UserId s : sources) {
+    per_source.push_back(
+        RegionFromPaths(graph::MaxInfluencePaths(g, s, threshold, max_hops)));
+  }
+  std::vector<const InfluenceRegion*> ptrs;
+  ptrs.reserve(per_source.size());
+  for (const InfluenceRegion& r : per_source) ptrs.push_back(&r);
+  return UnionRegions(ptrs);
 }
 
 }  // namespace imdpp::cluster

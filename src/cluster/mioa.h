@@ -24,6 +24,15 @@ InfluenceRegion UnionInfluenceRegion(const graph::SocialGraph& g,
                                      const std::vector<UserId>& sources,
                                      double threshold, int max_hops = 16);
 
+/// The region of one source: its reached users sorted and deduplicated,
+/// its radius the max hop distance. Building blocks of the prep:: layer's
+/// per-source region cache.
+InfluenceRegion RegionFromPaths(const graph::InfluencePaths& paths);
+
+/// Union of per-source regions — identical to UnionInfluenceRegion over
+/// the same sources (set union of users, max of radii).
+InfluenceRegion UnionRegions(const std::vector<const InfluenceRegion*>& regions);
+
 }  // namespace imdpp::cluster
 
 #endif  // IMDPP_CLUSTER_MIOA_H_

@@ -9,10 +9,11 @@ namespace imdpp::cluster {
 namespace {
 
 /// Pairwise nominee distance: normalized social hops minus net relevance.
-double PairDistance(const graph::SocialGraph& g, const Nominee& a,
-                    const Nominee& b, const NetRelevanceFn& net_relevance,
-                    const ClusteringConfig& cfg) {
-  int hops = graph::UndirectedHopDistance(g, a.user, b.user, cfg.max_hops);
+double PairDistance(const Nominee& a, const Nominee& b,
+                    const NetRelevanceFn& net_relevance,
+                    const ClusteringConfig& cfg,
+                    const HopDistanceFn& hop_distance) {
+  int hops = hop_distance(a.user, b.user, cfg.max_hops);
   double social =
       hops == graph::kUnreachable
           ? 1.0 + 1.0 / cfg.max_hops
@@ -26,6 +27,16 @@ double PairDistance(const graph::SocialGraph& g, const Nominee& a,
 std::vector<std::vector<Nominee>> ClusterNominees(
     const graph::SocialGraph& g, const std::vector<Nominee>& nominees,
     const NetRelevanceFn& net_relevance, const ClusteringConfig& config) {
+  return ClusterNominees(
+      nominees, net_relevance, config,
+      [&g](graph::UserId a, graph::UserId b, int max_hops) {
+        return graph::UndirectedHopDistance(g, a, b, max_hops);
+      });
+}
+
+std::vector<std::vector<Nominee>> ClusterNominees(
+    const std::vector<Nominee>& nominees, const NetRelevanceFn& net_relevance,
+    const ClusteringConfig& config, const HopDistanceFn& hop_distance) {
   const int n = static_cast<int>(nominees.size());
   std::vector<std::vector<Nominee>> clusters;
   if (n == 0) return clusters;
@@ -34,8 +45,8 @@ std::vector<std::vector<Nominee>> ClusterNominees(
   std::vector<double> dist(static_cast<size_t>(n) * n, 0.0);
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      double d =
-          PairDistance(g, nominees[i], nominees[j], net_relevance, config);
+      double d = PairDistance(nominees[i], nominees[j], net_relevance, config,
+                              hop_distance);
       dist[static_cast<size_t>(i) * n + j] = d;
       dist[static_cast<size_t>(j) * n + i] = d;
     }

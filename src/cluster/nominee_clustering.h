@@ -37,6 +37,19 @@ std::vector<std::vector<Nominee>> ClusterNominees(
     const graph::SocialGraph& g, const std::vector<Nominee>& nominees,
     const NetRelevanceFn& net_relevance, const ClusteringConfig& config);
 
+/// Social-distance oracle: truncated undirected hop distance between two
+/// users (graph::kUnreachable beyond max_hops). The prep:: layer serves
+/// this from cached BFS rows; results must match
+/// graph::UndirectedHopDistance bit for bit.
+using HopDistanceFn =
+    std::function<int(graph::UserId, graph::UserId, int max_hops)>;
+
+/// Same clustering, with the hop sweeps delegated to `hop_distance`
+/// instead of per-pair BFS on the graph.
+std::vector<std::vector<Nominee>> ClusterNominees(
+    const std::vector<Nominee>& nominees, const NetRelevanceFn& net_relevance,
+    const ClusteringConfig& config, const HopDistanceFn& hop_distance);
+
 }  // namespace imdpp::cluster
 
 #endif  // IMDPP_CLUSTER_NOMINEE_CLUSTERING_H_

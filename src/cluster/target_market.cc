@@ -1,6 +1,7 @@
 #include "cluster/target_market.h"
 
 #include <algorithm>
+#include <map>
 
 #include "cluster/union_find.h"
 
@@ -23,30 +24,10 @@ int CommonUsers(const TargetMarket& a, const TargetMarket& b) {
   return common;
 }
 
-MarketPlan BuildMarketPlan(const graph::SocialGraph& g,
-                           const std::vector<std::vector<Nominee>>& clusters,
-                           const MarketPlanConfig& config) {
-  MarketPlan plan;
-  for (const auto& cluster : clusters) {
-    if (cluster.empty()) continue;
-    TargetMarket market;
-    market.nominees = cluster;
-    std::vector<UserId> sources;
-    for (const Nominee& n : cluster) {
-      sources.push_back(n.user);
-      market.items.push_back(n.item);
-    }
-    std::sort(market.items.begin(), market.items.end());
-    market.items.erase(std::unique(market.items.begin(), market.items.end()),
-                       market.items.end());
-    InfluenceRegion region = UnionInfluenceRegion(
-        g, sources, config.mioa_threshold, config.mioa_max_hops);
-    market.users = std::move(region.users);
-    market.diameter = std::max(1, region.radius_hops);
-    plan.markets.push_back(std::move(market));
-  }
+namespace {
 
-  // Group markets whose common-user count exceeds θ.
+/// Groups markets whose common-user count exceeds θ.
+void GroupMarketsByOverlap(MarketPlan& plan, const MarketPlanConfig& config) {
   const int m = static_cast<int>(plan.markets.size());
   UnionFind uf(m);
   for (int i = 0; i < m; ++i) {
@@ -66,7 +47,53 @@ MarketPlan BuildMarketPlan(const graph::SocialGraph& g,
     }
     plan.groups[root_to_group[r]].order.push_back(i);
   }
+}
+
+}  // namespace
+
+MarketPlan BuildMarketPlan(const std::vector<std::vector<Nominee>>& clusters,
+                           const MarketPlanConfig& config,
+                           const SourceRegionFn& region_of) {
+  MarketPlan plan;
+  for (const auto& cluster : clusters) {
+    if (cluster.empty()) continue;
+    TargetMarket market;
+    market.nominees = cluster;
+    std::vector<const InfluenceRegion*> regions;
+    for (const Nominee& n : cluster) {
+      regions.push_back(&region_of(n.user));
+      market.items.push_back(n.item);
+    }
+    std::sort(market.items.begin(), market.items.end());
+    market.items.erase(std::unique(market.items.begin(), market.items.end()),
+                       market.items.end());
+    InfluenceRegion region = UnionRegions(regions);
+    market.users = std::move(region.users);
+    market.diameter = std::max(1, region.radius_hops);
+    plan.markets.push_back(std::move(market));
+  }
+  GroupMarketsByOverlap(plan, config);
   return plan;
+}
+
+MarketPlan BuildMarketPlan(const graph::SocialGraph& g,
+                           const std::vector<std::vector<Nominee>>& clusters,
+                           const MarketPlanConfig& config) {
+  // Per-source regions computed on the fly (one Dijkstra per distinct
+  // nominee user, as before); the prep:: layer swaps in its cache here.
+  std::map<UserId, InfluenceRegion> cache;
+  return BuildMarketPlan(
+      clusters, config, [&](UserId u) -> const InfluenceRegion& {
+        auto it = cache.find(u);
+        if (it == cache.end()) {
+          it = cache
+                   .emplace(u, RegionFromPaths(graph::MaxInfluencePaths(
+                                   g, u, config.mioa_threshold,
+                                   config.mioa_max_hops)))
+                   .first;
+        }
+        return it->second;
+      });
 }
 
 double AntagonisticExtent(const MarketPlan& plan, const MarketGroup& group,

@@ -55,6 +55,18 @@ MarketPlan BuildMarketPlan(const graph::SocialGraph& g,
                            const std::vector<std::vector<Nominee>>& clusters,
                            const MarketPlanConfig& config);
 
+/// Per-source region oracle: the MIOA region of one nominee user. The
+/// prep:: layer serves these from its cache; the returned reference must
+/// stay valid for the duration of the BuildMarketPlan call.
+using SourceRegionFn =
+    std::function<const InfluenceRegion&(graph::UserId source)>;
+
+/// Same plan construction, with the per-source Dijkstra sweeps delegated
+/// to `region_of` (market users = union of the cluster's source regions).
+MarketPlan BuildMarketPlan(const std::vector<std::vector<Nominee>>& clusters,
+                           const MarketPlanConfig& config,
+                           const SourceRegionFn& region_of);
+
 /// Antagonistic Extent of market `i` within its group:
 /// AE(τ_i) = Σ_{x ∈ τ_i, y ∈ τ_j, j ≠ i} r̄^S_{x,y}.
 double AntagonisticExtent(const MarketPlan& plan, const MarketGroup& group,

@@ -241,6 +241,24 @@ bool ApplyPlannerConfigJson(const util::Json& obj, api::PlannerConfig* cfg,
       if (!ReadSeed(v, "seed", &cfg->seed, error)) return false;
     } else if (key == "num_threads") {
       if (!ReadInt(v, "num_threads", &cfg->num_threads, error)) return false;
+    } else if (key == "prep") {
+      if (!v.is_object()) {
+        *error = "prep must be an object";
+        return false;
+      }
+      for (const auto& [pkey, pv] : v.members()) {
+        if (pkey == "cache") {
+          if (!ReadBool(pv, "prep.cache", &cfg->prep.cache, error))
+            return false;
+        } else if (pkey == "build_threads") {
+          if (!ReadInt(pv, "prep.build_threads", &cfg->prep.build_threads,
+                       error))
+            return false;
+        } else {
+          *error = "unknown prep key \"" + pkey + "\"";
+          return false;
+        }
+      }
     } else if (key == "candidates") {
       if (!v.is_object()) {
         *error = "candidates must be an object";

@@ -30,28 +30,24 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
   // One pool serves every per-round engine (ROADMAP: no thread respawn
   // per adaptive round).
   std::shared_ptr<util::ThreadPool> pool = config.base.shared_pool;
-  const int resolved_threads =
-      util::ResolveNumThreads(config.base.num_threads);
-  if (pool == nullptr && resolved_threads > 1) {
-    pool = std::make_shared<util::ThreadPool>(resolved_threads - 1);
-  }
+  if (pool == nullptr) pool = util::MakeWorkerPool(config.base.num_threads);
 
-  // Initial-perception substitutability oracle for the antagonism check.
+  // Initial-perception substitutability oracle for the antagonism check —
+  // a table lookup in the prep artifacts (the RelC/RelS tables at the
+  // average initial weighting), shared with every other planner of the
+  // session instead of rebuilt per adaptive run.
   diffusion::CampaignConfig camp = config.base.campaign;
-  diffusion::MonteCarloEngine oracle_engine(problem, camp, 1,
-                                            config.base.num_threads, pool);
-  const pin::PersonalItemNetwork& pin =
-      oracle_engine.simulator().dynamics().pin();
-  std::vector<float> avg_w0(problem.NumMetas(), 0.0f);
-  for (graph::UserId u = 0; u < problem.NumUsers(); ++u) {
-    std::span<const float> w = problem.Wmeta0(u);
-    for (int m = 0; m < problem.NumMetas(); ++m) avg_w0[m] += w[m];
-  }
-  for (float& w : avg_w0) w /= static_cast<float>(problem.NumUsers());
+  prep::PrepLease lease = prep::AcquirePrep(
+      config.base.prep_cache, config.base.prep_cache_enabled, problem, pool,
+      config.base.prep_build_threads);
+  const prep::PrepArtifacts& art = *lease.artifacts;
+  result.prep_builds = lease.built ? 1 : 0;
+  result.prep_reuses = lease.reused ? 1 : 0;
+  result.prep_millis = lease.built ? art.build_millis() : 0.0;
   auto antagonistic = [&](kg::ItemId a, kg::ItemId b) {
     if (a == b) return false;
-    double rs = pin.RelS(avg_w0, a, b);
-    return rs > config.antagonism_threshold && rs > pin.RelC(avg_w0, a, b);
+    double rs = art.RelS(a, b);
+    return rs > config.antagonism_threshold && rs > art.RelC(a, b);
   };
 
   for (int t = 1; t <= T; ++t) {

@@ -44,6 +44,10 @@ struct AdaptiveResult {
   double realized_sigma = 0.0;
   double total_spent = 0.0;
   std::vector<AdaptiveRound> rounds;
+  /// prep:: artifact accounting (see DysimResult).
+  int64_t prep_builds = 0;
+  int64_t prep_reuses = 0;
+  double prep_millis = 0.0;
 };
 
 AdaptiveResult RunAdaptiveDysim(const Problem& problem,

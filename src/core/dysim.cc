@@ -10,23 +10,34 @@
 
 namespace imdpp::core {
 
-namespace {
+TmiResult RunTmi(const Problem& problem,
+                 const diffusion::MonteCarloEngine& engine,
+                 const DysimConfig& config, prep::PrepArtifacts& artifacts) {
+  TmiResult tmi;
 
-/// Global average of the initial per-user meta-graph weightings; the
-/// initial-state relevance oracles for clustering / AE evaluate at this
-/// average perception.
-std::vector<float> AverageInitialWmeta(const Problem& problem) {
-  const int metas = problem.NumMetas();
-  std::vector<float> avg(metas, 0.0f);
-  for (graph::UserId u = 0; u < problem.NumUsers(); ++u) {
-    std::span<const float> w = problem.Wmeta0(u);
-    for (int m = 0; m < metas; ++m) avg[m] += w[m];
+  // ---- Nominee selection (Procedure 2) — budget-dependent, never
+  // cached; the structure below it comes from the prep artifacts. ----
+  std::vector<Nominee> candidates =
+      BuildCandidateUniverse(problem, config.candidates);
+  tmi.selection = SelectNominees(engine, problem, candidates, problem.budget);
+
+  // ---- Clustering and market identification, from cached artifacts. ----
+  if (config.use_target_markets) {
+    tmi.clusters = artifacts.Clusters(tmi.selection.nominees,
+                                      config.clustering);
+  } else if (!tmi.selection.nominees.empty()) {
+    tmi.clusters.push_back(tmi.selection.nominees);  // ablation: one market
   }
-  for (float& w : avg) w /= static_cast<float>(std::max(1, problem.NumUsers()));
-  return avg;
+  tmi.plan = artifacts.Plan(tmi.clusters, config.market);
+  if (!config.use_target_markets) {
+    for (cluster::TargetMarket& m : tmi.plan.markets) {
+      m.users.resize(problem.NumUsers());
+      for (graph::UserId u = 0; u < problem.NumUsers(); ++u) m.users[u] = u;
+      m.diameter = config.dr_max_depth;
+    }
+  }
+  return tmi;
 }
-
-}  // namespace
 
 DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   problem.Validate();
@@ -36,10 +47,7 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   // One worker pool serves both the search and the final-eval engine
   // (ROADMAP: no per-engine thread respawn); sessions can pass theirs in.
   std::shared_ptr<util::ThreadPool> pool = config.shared_pool;
-  const int resolved_threads = util::ResolveNumThreads(config.num_threads);
-  if (pool == nullptr && resolved_threads > 1) {
-    pool = std::make_shared<util::ThreadPool>(resolved_threads - 1);
-  }
+  if (pool == nullptr) pool = util::MakeWorkerPool(config.num_threads);
   diffusion::MonteCarloEngine engine(problem, config.campaign,
                                      config.selection_samples,
                                      config.num_threads, pool);
@@ -49,44 +57,26 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   engine.EnableSigmaMemo();
   const pin::PersonalItemNetwork& pin = engine.simulator().dynamics().pin();
 
-  // ---- TMI phase: nominee selection (Procedure 2). ----
-  std::vector<Nominee> candidates =
-      BuildCandidateUniverse(problem, config.candidates);
-  SelectionResult sel =
-      SelectNominees(engine, problem, candidates, problem.budget);
+  // ---- Prep artifacts: built once here, or served from the session's
+  // cache (one build per dataset across Run/Compare/sweep cells). ----
+  prep::PrepLease lease =
+      prep::AcquirePrep(config.prep_cache, config.prep_cache_enabled, problem,
+                        pool, config.prep_build_threads);
+  prep::PrepArtifacts& art = *lease.artifacts;
+  const double prep_millis_before = lease.built ? 0.0 : art.total_millis();
+
+  // ---- TMI phase. ----
+  TmiResult tmi = RunTmi(problem, engine, config, art);
+  SelectionResult& sel = tmi.selection;
   result.nominees = sel.nominees;
   result.total_cost = sel.total_cost;
-
-  // ---- TMI phase: clustering and market identification. ----
-  const std::vector<float> avg_w0 = AverageInitialWmeta(problem);
-  cluster::NetRelevanceFn net_rel = [&](kg::ItemId x, kg::ItemId y) {
-    return pin.RelC(avg_w0, x, y) - pin.RelS(avg_w0, x, y);
-  };
-  cluster::SubRelevanceFn rel_s = [&](kg::ItemId x, kg::ItemId y) {
-    return pin.RelS(avg_w0, x, y);
-  };
-
-  std::vector<std::vector<Nominee>> clusters;
-  if (config.use_target_markets) {
-    clusters = cluster::ClusterNominees(*problem.graph, sel.nominees, net_rel,
-                                        config.clustering);
-  } else if (!sel.nominees.empty()) {
-    clusters.push_back(sel.nominees);  // ablation: one market for everyone
-  }
-  cluster::MarketPlan plan =
-      cluster::BuildMarketPlan(*problem.graph, clusters, config.market);
-  if (!config.use_target_markets) {
-    for (cluster::TargetMarket& m : plan.markets) {
-      m.users.resize(problem.NumUsers());
-      for (graph::UserId u = 0; u < problem.NumUsers(); ++u) m.users[u] = u;
-      m.diameter = config.dr_max_depth;
-    }
-  }
+  cluster::MarketPlan plan = std::move(tmi.plan);
 
   MarketOrderContext octx;
   octx.problem = &problem;
   octx.engine = &engine;
-  octx.rel_s = rel_s;
+  octx.rel_s = [&art](kg::ItemId x, kg::ItemId y) { return art.RelS(x, y); };
+  octx.top_pref_share = &art.top_pref_share();
   OrderGroups(plan, config.order, octx);
 
   // ---- DRE + TDSI phases, per group G (groups are independent). ----
@@ -181,13 +171,25 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
       best_seeds = n_first;
     }
   }
+  // One CheckpointedEval serves BOTH Theorem-5 guard branches below
+  // (ROADMAP item): the round-greedy placement and the coordinate-ascent
+  // refinement search overlapping schedules, so the refinement resumes
+  // from the placement loop's surviving checkpoints (Rebase keeps every
+  // shared-prefix round) instead of rebuilding its own from scratch. The
+  // extra resumes land in rounds_skipped; estimates stay bit-identical.
+  std::unique_ptr<diffusion::CheckpointedEval> guard_eval;
+  if (config.use_theorem5_guard && T > 1) {
+    guard_eval =
+        std::make_unique<diffusion::CheckpointedEval>(engine, SeedGroup{});
+  }
+
   // Round-greedy placement of the same nominees (CR-Greedy style): for each
   // nominee in selection order, the promotion with the highest paired σ̂.
   // Candidate (n, t) shares `placed`'s rounds < t, so each σ̂ resumes from
   // the round-(t-1) checkpoint; accepting a seed at best_t keeps every
   // checkpoint below best_t alive.
   if (config.use_theorem5_guard && T > 1 && !sel.nominees.empty()) {
-    diffusion::CheckpointedEval placer(engine, /*base=*/{});
+    diffusion::CheckpointedEval& placer = *guard_eval;
     SeedGroup placed;
     for (const Nominee& n : sel.nominees) {
       int best_t = 1;
@@ -229,8 +231,11 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
     // Moving seed i to round t only perturbs rounds >= min(t, original),
     // so each trial σ̂ resumes from the checkpoints of `refined` without
     // seed i; identical configurations revisited across sweeps hit the σ
-    // memo outright.
-    diffusion::CheckpointedEval refiner(engine, refined);
+    // memo outright. Rebasing the shared guard evaluator (instead of a
+    // fresh one) carries the placement loop's checkpoints over for every
+    // round the two schedules share.
+    diffusion::CheckpointedEval& refiner = *guard_eval;
+    refiner.Rebase(refined);
     for (int sweep = 0; sweep < 2; ++sweep) {
       bool moved = false;
       for (size_t i = 0; i < refined.size(); ++i) {
@@ -270,6 +275,9 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   result.rounds_skipped =
       engine.num_rounds_skipped() + eval.num_rounds_skipped();
   result.memo_hits = engine.num_memo_hits() + eval.num_memo_hits();
+  result.prep_builds = lease.built ? 1 : 0;
+  result.prep_reuses = lease.reused ? 1 : 0;
+  result.prep_millis = art.total_millis() - prep_millis_before;
   return result;
 }
 

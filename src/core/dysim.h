@@ -29,6 +29,7 @@
 #include "core/market_order.h"
 #include "core/nominee_selection.h"
 #include "diffusion/monte_carlo.h"
+#include "prep/prep.h"
 
 namespace imdpp::core {
 
@@ -67,6 +68,17 @@ struct DysimConfig {
   /// (sessions pass theirs in); null = one pool shared between the
   /// search and eval engines, created on demand.
   std::shared_ptr<util::ThreadPool> shared_pool;
+
+  /// Optional prep-artifact cache (sessions pass theirs in, so market
+  /// structure is built once per dataset and reused across Run/Compare/
+  /// sweep cells); null = a standalone artifact is built for this run.
+  std::shared_ptr<prep::PrepCache> prep_cache;
+  /// false = bypass the cache and always rebuild (determinism tests).
+  bool prep_cache_enabled = true;
+  /// Gates the prep build's per-source Dijkstra/BFS sweeps: <= 1 runs
+  /// them inline, anything else on `shared_pool` when one exists. Purely
+  /// a scheduling knob — artifacts are bit-identical for every value.
+  int prep_build_threads = util::kAutoThreads;
 };
 
 struct DysimResult {
@@ -82,7 +94,29 @@ struct DysimResult {
   int64_t rounds_simulated = 0;
   int64_t rounds_skipped = 0;
   int64_t memo_hits = 0;            ///< σ estimates answered from the memo
+  /// prep:: artifact accounting for this run: 1/0 builds vs cache
+  /// reuses, and the milliseconds of artifact construction this run paid
+  /// (0 when everything was served from the cache).
+  int64_t prep_builds = 0;
+  int64_t prep_reuses = 0;
+  double prep_millis = 0.0;
 };
+
+/// TMI phase output (Procedure 2 + 3 + market identification), shared by
+/// RunDysim and diagnostic tooling (`imdpp datasets --prep`). The plan is
+/// *unordered* — OrderGroups is the caller's, because the PF metric needs
+/// the run's engine.
+struct TmiResult {
+  SelectionResult selection;
+  std::vector<std::vector<Nominee>> clusters;
+  cluster::MarketPlan plan;
+};
+
+/// Runs the TMI phase on `problem`, sourcing clustering distances, MIOA
+/// regions and relevance oracles from `artifacts`.
+TmiResult RunTmi(const Problem& problem,
+                 const diffusion::MonteCarloEngine& engine,
+                 const DysimConfig& config, prep::PrepArtifacts& artifacts);
 
 /// Runs Dysim on `problem` (budget and T come from the problem).
 DysimResult RunDysim(const Problem& problem, const DysimConfig& config);

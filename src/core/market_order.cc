@@ -36,11 +36,8 @@ double Profitability(const cluster::TargetMarket& market,
   return ev.sigma_market - cost;
 }
 
-double RelativeMarketShare(const cluster::TargetMarket& market,
-                           const diffusion::Problem& problem,
-                           const cluster::SubRelevanceFn& rel_s) {
+std::vector<int> TopPreferenceShare(const diffusion::Problem& problem) {
   const int num_items = problem.NumItems();
-  // share(x): number of users whose top base preference is x.
   std::vector<int> share(num_items, 0);
   for (graph::UserId u = 0; u < problem.NumUsers(); ++u) {
     kg::ItemId best = 0;
@@ -54,6 +51,22 @@ double RelativeMarketShare(const cluster::TargetMarket& market,
     }
     ++share[best];
   }
+  return share;
+}
+
+double RelativeMarketShare(const cluster::TargetMarket& market,
+                           const diffusion::Problem& problem,
+                           const cluster::SubRelevanceFn& rel_s,
+                           const std::vector<int>* top_pref_share) {
+  const int num_items = problem.NumItems();
+  // share(x): number of users whose top base preference is x — taken
+  // from the caller's precomputed vector (prep:: artifacts) when given.
+  std::vector<int> computed;
+  if (top_pref_share == nullptr) {
+    computed = TopPreferenceShare(problem);
+    top_pref_share = &computed;
+  }
+  const std::vector<int>& share = *top_pref_share;
   double total = 0.0;
   int n = 0;
   for (kg::ItemId x : market.items) {
@@ -93,7 +106,8 @@ void OrderGroups(cluster::MarketPlan& plan, MarketOrderMetric metric,
           break;
         case MarketOrderMetric::kRelativeMarketShare:
           IMDPP_CHECK(ctx.problem != nullptr && ctx.rel_s != nullptr);
-          key = -RelativeMarketShare(m, *ctx.problem, ctx.rel_s);
+          key = -RelativeMarketShare(m, *ctx.problem, ctx.rel_s,
+                                     ctx.top_pref_share);
           break;
         case MarketOrderMetric::kRandom:
           key = UnitHash(ctx.seed, static_cast<uint64_t>(idx));

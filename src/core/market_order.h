@@ -27,6 +27,9 @@ struct MarketOrderContext {
   const diffusion::MonteCarloEngine* engine = nullptr;
   /// r̄^S oracle over all users, required for AE and RMS.
   cluster::SubRelevanceFn rel_s;
+  /// Optional precomputed top-preference share vector for RMS (the prep::
+  /// artifact layer passes its cached copy); null = computed on the fly.
+  const std::vector<int>* top_pref_share = nullptr;
   /// Shuffle seed for RD.
   uint64_t seed = 7;
 };
@@ -41,11 +44,17 @@ double Profitability(const cluster::TargetMarket& market,
                      const diffusion::Problem& problem,
                      const diffusion::MonteCarloEngine& engine);
 
+/// share(x) = #users whose highest base preference is x — the |V| x |I|
+/// scan RMS repeats per market; the prep:: layer computes it once.
+std::vector<int> TopPreferenceShare(const diffusion::Problem& problem);
+
 /// RMS(τ): mean over τ's items x of share(x) / max substitutable share,
 /// where share(x) = #users whose highest base preference is x.
+/// `top_pref_share` (optional) supplies the precomputed share vector.
 double RelativeMarketShare(const cluster::TargetMarket& market,
                            const diffusion::Problem& problem,
-                           const cluster::SubRelevanceFn& rel_s);
+                           const cluster::SubRelevanceFn& rel_s,
+                           const std::vector<int>* top_pref_share = nullptr);
 
 }  // namespace imdpp::core
 

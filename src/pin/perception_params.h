@@ -32,6 +32,11 @@ struct PerceptionParams {
   /// Pext = clip01(assoc_scale * Pact * Ppref(x) * max(0, r^C - r^S)).
   double assoc_scale = 0.4;
 
+  /// Memberwise equality — lets CampaignSession::SetProblem detect a
+  /// no-op reconfiguration.
+  friend bool operator==(const PerceptionParams&,
+                         const PerceptionParams&) = default;
+
   /// Returns a copy with every dynamic coupling disabled; Ppref/Pact stay
   /// at their base values and no extra adoptions happen.
   static PerceptionParams FrozenDynamics() {

@@ -1,0 +1,297 @@
+#include "prep/prep.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/market_order.h"
+#include "pin/personal_item_network.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace imdpp::prep {
+
+namespace {
+
+uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }
+uint64_t Bits(float v) { return std::bit_cast<uint32_t>(v); }
+
+uint64_t ClusteringConfigKey(const cluster::ClusteringConfig& c) {
+  return HashTuple(Bits(c.social_weight), Bits(c.relevance_weight),
+                   Bits(c.merge_threshold),
+                   static_cast<uint64_t>(c.max_hops));
+}
+
+uint64_t MarketConfigKey(const cluster::MarketPlanConfig& c) {
+  return HashTuple(Bits(c.mioa_threshold),
+                   static_cast<uint64_t>(c.mioa_max_hops),
+                   static_cast<uint64_t>(c.overlap_theta));
+}
+
+/// Sorted distinct user list (canonical source set for the sweeps).
+std::vector<UserId> SortedUnique(std::vector<UserId> users) {
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  return users;
+}
+
+}  // namespace
+
+uint64_t StructuralKey(const diffusion::Problem& problem) {
+  const graph::SocialGraph& g = *problem.graph;
+  uint64_t h = HashTuple(0x70726570ULL /* "prep" */, g.NumUsers(),
+                         problem.NumItems(), problem.NumMetas());
+  for (UserId u = 0; u < g.NumUsers(); ++u) {
+    for (const graph::Edge& e : g.OutEdges(u)) {
+      h = HashCombine(HashCombine(h, static_cast<uint64_t>(e.to)),
+                      Bits(e.weight));
+    }
+    h = HashCombine(h, 0x2fULL);  // row separator: degrees matter
+  }
+  for (float w : problem.wmeta0) h = HashCombine(h, Bits(w));
+  for (float p : problem.base_pref) h = HashCombine(h, Bits(p));
+  const kg::RelevanceModel& rel = *problem.relevance;
+  for (int m = 0; m < rel.NumMetas(); ++m) {
+    h = HashCombine(h, static_cast<uint64_t>(rel.KindOf(m)));
+    for (ItemId x = 0; x < rel.NumItems(); ++x) {
+      for (ItemId y = 0; y < rel.NumItems(); ++y) {
+        h = HashCombine(h, Bits(rel.Score(m, x, y)));
+      }
+    }
+  }
+  return h;
+}
+
+PrepArtifacts::PrepArtifacts(const diffusion::Problem& problem,
+                             std::shared_ptr<util::ThreadPool> pool,
+                             int build_threads)
+    : graph_(problem.graph),
+      pool_(std::move(pool)),
+      build_threads_(build_threads),
+      num_items_(problem.NumItems()) {
+  Timer timer;
+
+  // Average initial weighting — the exact float accumulation the inline
+  // planner loops ran (order and types preserved for bit-identity).
+  const int metas = problem.NumMetas();
+  avg_wmeta0_.assign(static_cast<size_t>(metas), 0.0f);
+  for (UserId u = 0; u < problem.NumUsers(); ++u) {
+    std::span<const float> w = problem.Wmeta0(u);
+    for (int m = 0; m < metas; ++m) avg_wmeta0_[m] += w[m];
+  }
+  for (float& w : avg_wmeta0_) {
+    w /= static_cast<float>(std::max(1, problem.NumUsers()));
+  }
+
+  // RelC/RelS tables at w̄0 — one row per item, rows in parallel.
+  const pin::PersonalItemNetwork pin(*problem.relevance, problem.params);
+  rel_c_.assign(static_cast<size_t>(num_items_) * num_items_, 0.0);
+  rel_s_.assign(static_cast<size_t>(num_items_) * num_items_, 0.0);
+  RunBatch(num_items_, [&](int x) {
+    for (ItemId y = 0; y < num_items_; ++y) {
+      rel_c_[static_cast<size_t>(x) * num_items_ + y] =
+          pin.RelC(avg_wmeta0_, x, y);
+      rel_s_[static_cast<size_t>(x) * num_items_ + y] =
+          pin.RelS(avg_wmeta0_, x, y);
+    }
+  });
+
+  // Top-preference share — the scan RelativeMarketShare used to repeat.
+  share_ = core::TopPreferenceShare(problem);
+
+  build_millis_ = timer.Millis();
+  total_millis_ = build_millis_;
+}
+
+void PrepArtifacts::RunBatch(int n, const std::function<void(int)>& fn) {
+  const bool parallel = pool_ != nullptr && n >= 2 &&
+                        util::ResolveNumThreads(build_threads_) > 1;
+  if (parallel) {
+    pool_->ParallelFor(n, fn);
+  } else {
+    for (int i = 0; i < n; ++i) fn(i);
+  }
+}
+
+PrepArtifacts::SourceRegion& PrepArtifacts::RegionEntry(UserId src,
+                                                        double threshold,
+                                                        int max_hops) {
+  const RegionKey key{src, Bits(threshold), max_hops};
+  auto it = regions_.find(key);
+  if (it == regions_.end()) {
+    Timer timer;
+    SourceRegion entry;
+    entry.paths = graph::MaxInfluencePaths(*graph_, src, threshold, max_hops);
+    entry.region = cluster::RegionFromPaths(entry.paths);
+    it = regions_.emplace(key, std::move(entry)).first;
+    total_millis_ += timer.Millis();
+  }
+  return it->second;
+}
+
+const graph::InfluencePaths& PrepArtifacts::Region(UserId src,
+                                                   double threshold,
+                                                   int max_hops) {
+  return RegionEntry(src, threshold, max_hops).paths;
+}
+
+void PrepArtifacts::PrefetchRegions(std::vector<UserId> sources,
+                                    double threshold, int max_hops) {
+  std::vector<UserId> missing;
+  for (UserId u : SortedUnique(std::move(sources))) {
+    if (!regions_.count(RegionKey{u, Bits(threshold), max_hops})) {
+      missing.push_back(u);
+    }
+  }
+  if (missing.empty()) return;
+  Timer timer;
+  // Each task fills its own slot; the merge below runs in fixed source
+  // order, so the cache is bit-identical at any thread count.
+  std::vector<SourceRegion> computed(missing.size());
+  RunBatch(static_cast<int>(missing.size()), [&](int i) {
+    computed[i].paths =
+        graph::MaxInfluencePaths(*graph_, missing[i], threshold, max_hops);
+    computed[i].region = cluster::RegionFromPaths(computed[i].paths);
+  });
+  for (size_t i = 0; i < missing.size(); ++i) {
+    regions_.emplace(RegionKey{missing[i], Bits(threshold), max_hops},
+                     std::move(computed[i]));
+  }
+  total_millis_ += timer.Millis();
+}
+
+int PrepArtifacts::HopDistance(UserId a, UserId b, int max_hops) {
+  if (a == b) return 0;
+  auto it = hop_rows_.find(HopKey{a, max_hops});
+  if (it == hop_rows_.end()) {
+    PrefetchHopRows({a}, max_hops);
+    it = hop_rows_.find(HopKey{a, max_hops});
+  }
+  auto hit = it->second.find(b);
+  return hit == it->second.end() ? graph::kUnreachable : hit->second;
+}
+
+void PrepArtifacts::PrefetchHopRows(std::vector<UserId> sources,
+                                    int max_hops) {
+  std::vector<UserId> missing;
+  for (UserId u : SortedUnique(std::move(sources))) {
+    if (!hop_rows_.count(HopKey{u, max_hops})) missing.push_back(u);
+  }
+  if (missing.empty()) return;
+  Timer timer;
+  std::vector<std::unordered_map<UserId, int>> rows(missing.size());
+  RunBatch(static_cast<int>(missing.size()), [&](int i) {
+    // Truncated BFS over both edge directions: level of first encounter
+    // is exactly what graph::UndirectedHopDistance returns pairwise.
+    const UserId src = missing[i];
+    std::unordered_map<UserId, int>& row = rows[i];
+    row.emplace(src, 0);
+    std::vector<UserId> frontier{src};
+    for (int h = 0; h < max_hops && !frontier.empty(); ++h) {
+      std::vector<UserId> next;
+      for (UserId u : frontier) {
+        auto visit = [&](UserId v) {
+          if (row.emplace(v, h + 1).second) next.push_back(v);
+        };
+        for (const graph::Edge& e : graph_->OutEdges(u)) visit(e.to);
+        for (const graph::Edge& e : graph_->InEdges(u)) visit(e.to);
+      }
+      frontier.swap(next);
+    }
+  });
+  for (size_t i = 0; i < missing.size(); ++i) {
+    hop_rows_.emplace(HopKey{missing[i], max_hops}, std::move(rows[i]));
+  }
+  total_millis_ += timer.Millis();
+}
+
+std::vector<std::vector<Nominee>> PrepArtifacts::Clusters(
+    const std::vector<Nominee>& nominees,
+    const cluster::ClusteringConfig& config) {
+  auto key = std::make_pair(ClusteringConfigKey(config), nominees);
+  auto it = cluster_memo_.find(key);
+  if (it != cluster_memo_.end()) {
+    ++derivation_hits_;
+    return it->second;
+  }
+  std::vector<UserId> sources;
+  sources.reserve(nominees.size());
+  for (const Nominee& n : nominees) sources.push_back(n.user);
+  PrefetchHopRows(std::move(sources), config.max_hops);
+  std::vector<std::vector<Nominee>> clusters = cluster::ClusterNominees(
+      nominees, [this](ItemId x, ItemId y) { return NetRel(x, y); }, config,
+      [this](UserId a, UserId b, int max_hops) {
+        return HopDistance(a, b, max_hops);
+      });
+  if (cluster_memo_.size() >= kMaxMemoEntries) cluster_memo_.clear();
+  cluster_memo_.emplace(std::move(key), clusters);
+  return clusters;
+}
+
+cluster::MarketPlan PrepArtifacts::Plan(
+    const std::vector<std::vector<Nominee>>& clusters,
+    const cluster::MarketPlanConfig& config) {
+  auto key = std::make_pair(MarketConfigKey(config), clusters);
+  auto it = plan_memo_.find(key);
+  if (it != plan_memo_.end()) {
+    ++derivation_hits_;
+    return it->second;
+  }
+  std::vector<UserId> sources;
+  for (const std::vector<Nominee>& c : clusters) {
+    for (const Nominee& n : c) sources.push_back(n.user);
+  }
+  PrefetchRegions(std::move(sources), config.mioa_threshold,
+                  config.mioa_max_hops);
+  cluster::MarketPlan plan = cluster::BuildMarketPlan(
+      clusters, config, [&](UserId u) -> const cluster::InfluenceRegion& {
+        return RegionEntry(u, config.mioa_threshold, config.mioa_max_hops)
+            .region;
+      });
+  if (plan_memo_.size() >= kMaxMemoEntries) plan_memo_.clear();
+  plan_memo_.emplace(std::move(key), plan);
+  return plan;
+}
+
+PrepLease PrepCache::Acquire(const diffusion::Problem& problem,
+                             std::shared_ptr<util::ThreadPool> pool,
+                             int build_threads) {
+  PrepLease lease;
+  // The content hash per acquisition IS the cache's correctness story —
+  // it is what lets mutated problems re-key instead of serving stale
+  // structure. One linear scan per planner run is noise next to the
+  // Monte-Carlo planning it gates.
+  const uint64_t key = StructuralKey(problem);
+  auto it = artifacts_.find(key);
+  if (it != artifacts_.end()) {
+    lease.artifacts = it->second;
+    // Lazy sweeps on the reused artifact run on THIS run's graph pointer
+    // and executors (content-equal by key; see Rebind).
+    lease.artifacts->Rebind(problem, std::move(pool), build_threads);
+    lease.reused = true;
+    ++reuses_;
+    return lease;
+  }
+  lease.artifacts = std::make_shared<PrepArtifacts>(problem, std::move(pool),
+                                                    build_threads);
+  lease.built = true;
+  ++builds_;
+  if (artifacts_.size() >= kMaxArtifacts) artifacts_.clear();
+  artifacts_.emplace(key, lease.artifacts);
+  return lease;
+}
+
+PrepLease AcquirePrep(const std::shared_ptr<PrepCache>& cache, bool use_cache,
+                      const diffusion::Problem& problem,
+                      std::shared_ptr<util::ThreadPool> pool,
+                      int build_threads) {
+  if (cache != nullptr && use_cache) {
+    return cache->Acquire(problem, std::move(pool), build_threads);
+  }
+  PrepLease lease;
+  lease.artifacts = std::make_shared<PrepArtifacts>(problem, std::move(pool),
+                                                    build_threads);
+  lease.built = true;
+  return lease;
+}
+
+}  // namespace imdpp::prep

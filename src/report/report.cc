@@ -37,6 +37,9 @@ util::Json PlanResultJson(const api::PlanResult& result,
   out.Set("rounds_simulated", static_cast<double>(result.rounds_simulated));
   out.Set("rounds_skipped", static_cast<double>(result.rounds_skipped));
   out.Set("memo_hits", static_cast<double>(result.memo_hits));
+  out.Set("prep_builds", static_cast<double>(result.prep_builds));
+  out.Set("prep_reuses", static_cast<double>(result.prep_reuses));
+  if (include_timings) out.Set("prep_millis", result.prep_millis);
   if (result.num_markets > 0 || result.num_groups > 0) {
     out.Set("num_markets", result.num_markets);
     out.Set("num_groups", result.num_groups);
@@ -103,8 +106,12 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
       "budget",      "promotions",   "theta",
       "threads",     "sigma",        "total_cost",
       "num_seeds",   "simulations",  "rounds_simulated",
-      "rounds_skipped", "memo_hits"};
-  if (include_timings) header.push_back("wall_seconds");
+      "rounds_skipped", "memo_hits", "prep_builds",
+      "prep_reuses"};
+  if (include_timings) {
+    header.push_back("prep_millis");
+    header.push_back("wall_seconds");
+  }
 
   std::vector<std::vector<std::string>> rows;
   rows.push_back(header);
@@ -124,8 +131,13 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
         std::to_string(r.simulations),
         std::to_string(r.rounds_simulated),
         std::to_string(r.rounds_skipped),
-        std::to_string(r.memo_hits)};
-    if (include_timings) row.push_back(Fixed(r.wall_seconds, 3));
+        std::to_string(r.memo_hits),
+        std::to_string(r.prep_builds),
+        std::to_string(r.prep_reuses)};
+    if (include_timings) {
+      row.push_back(Fixed(r.prep_millis, 3));
+      row.push_back(Fixed(r.wall_seconds, 3));
+    }
     rows.push_back(std::move(row));
   }
 
@@ -147,6 +159,30 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
       }
     }
     out += '\n';
+  }
+  return out;
+}
+
+util::Json PrepStatsJson(const std::vector<PrepDatasetStats>& stats,
+                         bool include_timings) {
+  util::Json out = util::Json::Array();
+  for (const PrepDatasetStats& s : stats) {
+    util::Json entry = util::Json::Object();
+    util::Json ds = util::Json::Object();
+    ds.Set("name", s.dataset.name);
+    ds.Set("scale", s.dataset.scale);
+    entry.Set("dataset", std::move(ds));
+    entry.Set("budget", s.budget);
+    entry.Set("promotions", s.promotions);
+    entry.Set("users", s.users);
+    entry.Set("items", s.items);
+    entry.Set("nominees", s.nominees);
+    entry.Set("clusters", s.clusters);
+    entry.Set("markets", s.markets);
+    entry.Set("groups", s.groups);
+    entry.Set("mioa_regions", s.mioa_regions);
+    if (include_timings) entry.Set("prep_millis", s.prep_millis);
+    out.Append(std::move(entry));
   }
   return out;
 }

@@ -46,6 +46,26 @@ util::Json SweepJson(const std::string& name,
 std::string SweepCsv(const std::vector<SweepRecord>& records,
                      bool include_timings = false);
 
+/// Per-dataset prep-artifact stats (`imdpp datasets --prep`): the TMI
+/// structure a default problem yields plus the artifact build accounting.
+struct PrepDatasetStats {
+  data::DatasetSpec dataset;
+  double budget = 0.0;
+  int promotions = 0;
+  int users = 0;
+  int items = 0;
+  size_t nominees = 0;
+  size_t clusters = 0;
+  size_t markets = 0;
+  size_t groups = 0;
+  size_t mioa_regions = 0;       ///< cached per-source MIOA sweeps
+  double prep_millis = 0.0;      ///< only serialized with include_timings
+};
+
+/// JSON array of the stats; byte-stable unless `include_timings`.
+util::Json PrepStatsJson(const std::vector<PrepDatasetStats>& stats,
+                         bool include_timings = false);
+
 }  // namespace imdpp::report
 
 #endif  // IMDPP_REPORT_REPORT_H_

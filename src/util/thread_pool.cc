@@ -13,6 +13,12 @@ int ResolveNumThreads(int requested) {
   return requested < 0 ? HardwareConcurrency() : requested;
 }
 
+std::shared_ptr<ThreadPool> MakeWorkerPool(int num_threads) {
+  const int resolved = ResolveNumThreads(num_threads);
+  if (resolved <= 1) return nullptr;  // serial: no pool at all
+  return std::make_shared<ThreadPool>(resolved - 1);
+}
+
 ThreadPool::ThreadPool(int num_workers) {
   IMDPP_CHECK(num_workers >= 0);
   workers_.reserve(static_cast<size_t>(num_workers));

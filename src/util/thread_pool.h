@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -34,6 +35,14 @@ int HardwareConcurrency();
 /// Negative (kAutoThreads) -> HardwareConcurrency(); anything else is
 /// returned as requested (0 = serial fallback, no pool at all).
 int ResolveNumThreads(int requested);
+
+class ThreadPool;
+
+/// The standard worker pool for `num_threads` total executors: the
+/// calling thread is one of them, so the pool gets resolved - 1 workers;
+/// nullptr when the resolved count is serial (<= 1). One sizing rule for
+/// every owner (planners, sessions, CLI tooling).
+std::shared_ptr<ThreadPool> MakeWorkerPool(int num_threads);
 
 class ThreadPool {
  public:

@@ -211,6 +211,27 @@ TEST(CampaignSession, RunsAndComparesPlannersOnAnOwnedDataset) {
   EXPECT_EQ(results.num_promotions, session.problem().num_promotions);
 }
 
+TEST(CampaignSession, SetProblemWithUnchangedCoordinatesIsANoOp) {
+  CampaignSession session(data::MakeFig1Toy(), FastConfig());
+  session.SetProblem(20.0, 2);
+  diffusion::MonteCarloEngine* engine = &session.engine();
+  // Unchanged coordinates: the shared engine (and with it the warm prep
+  // artifacts) survives — no rebuild, no reset.
+  session.SetProblem(20.0, 2);
+  EXPECT_EQ(&session.engine(), engine);
+
+  // A real change rebuilds the problem.
+  session.SetProblem(30.0, 2);
+  EXPECT_DOUBLE_EQ(session.problem().budget, 30.0);
+
+  // A mutation through mutable_problem() marks the problem dirty, so a
+  // same-coordinate SetProblem must rebuild (restoring the dataset view).
+  const double original_importance = session.problem().importance[0];
+  session.mutable_problem().importance[0] = original_importance + 7.0;
+  session.SetProblem(30.0, 2);
+  EXPECT_DOUBLE_EQ(session.problem().importance[0], original_importance);
+}
+
 TEST(CampaignSession, SetProblemReconfiguresBudgetAndHorizon) {
   CampaignSession session(data::MakeFig1Toy(), FastConfig());
   session.SetProblem(10.0, 1);

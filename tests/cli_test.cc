@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -255,6 +256,79 @@ TEST(Cli, SweepWritesAlignedCsvAndFailsOnUnknownNames) {
   EXPECT_NE(bad_run.code, 0);
   EXPECT_NE(bad_run.err.find("zzz"), std::string::npos) << bad_run.err;
   EXPECT_NE(bad_run.err.find("dysim"), std::string::npos) << bad_run.err;
+}
+
+// Prep-artifact acceptance (ISSUE 5): across a fig9-shaped sweep the
+// market structure is built exactly once per dataset and every other
+// prep-consuming (budget, planner) cell reuses it; planners without
+// structure report 0/0.
+TEST(Cli, SweepBuildsPrepOncePerDatasetAndReusesItEverywhere) {
+  const char* kSweepConfig = R"({
+    "name": "prep-reuse",
+    "datasets": ["fig1-toy", {"name": "yelp-like", "scale": 0.15}],
+    "planners": ["dysim", "adaptive", "ps", "bgrd"],
+    "budgets": [60, 100],
+    "promotions": [3],
+    "config": {
+      "selection_samples": 4,
+      "eval_samples": 8,
+      "candidates": {"max_users": 10, "max_items": 4}
+    }
+  })";
+  const std::string path = WriteTempFile("prep_reuse.json", kSweepConfig);
+  CliResult r = RunCli({"sweep", "--config", path, "--quiet"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  util::Json parsed = ParseOrDie(r.out);
+  const util::Json* points = parsed.Find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->size(), 2u * 2 * 4);  // datasets x budgets x planners
+
+  std::map<std::string, int64_t> builds, reuses;
+  for (size_t i = 0; i < points->size(); ++i) {
+    const util::Json& point = (*points)[i];
+    const std::string dataset = point.Find("dataset")->AsString();
+    const std::string planner = point.Find("planner")->AsString();
+    const util::Json* result = point.Find("result");
+    ASSERT_NE(result, nullptr);
+    const int64_t b = result->Find("prep_builds")->AsInt();
+    const int64_t u = result->Find("prep_reuses")->AsInt();
+    if (planner == "bgrd") {  // consumes no prep structure
+      EXPECT_EQ(b, 0) << dataset;
+      EXPECT_EQ(u, 0) << dataset;
+    }
+    builds[dataset] += b;
+    reuses[dataset] += u;
+  }
+  for (const auto& [dataset, total] : builds) {
+    EXPECT_EQ(total, 1) << dataset << ": one build per dataset";
+    // 3 prep-consuming planners x 2 budgets, minus the one build.
+    EXPECT_EQ(reuses[dataset], 5) << dataset;
+  }
+}
+
+// `imdpp datasets --prep` prints per-dataset artifact stats, byte-stable
+// across runs (no wall-clock fields without --timings).
+TEST(Cli, DatasetsPrepPrintsByteStableArtifactStats) {
+  const std::vector<std::string> args{
+      "datasets", "--prep",       "--dataset",          "fig1-toy",
+      "--budget", "20",           "--promotions",       "2",
+      "--selection-samples", "4", "--eval-samples",     "8"};
+  CliResult a = RunCli(args);
+  CliResult b = RunCli(args);
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(a.out, b.out);
+
+  util::Json parsed = ParseOrDie(a.out);
+  EXPECT_EQ(parsed.Find("command")->AsString(), "datasets");
+  const util::Json* prep = parsed.Find("prep");
+  ASSERT_NE(prep, nullptr);
+  ASSERT_EQ(prep->size(), 1u);
+  const util::Json& entry = (*prep)[0];
+  EXPECT_EQ(entry.Find("dataset")->Find("name")->AsString(), "fig1-toy");
+  EXPECT_GT(entry.Find("nominees")->AsInt(), 0);
+  EXPECT_GT(entry.Find("markets")->AsInt(), 0);
+  EXPECT_GT(entry.Find("mioa_regions")->AsInt(), 0);
+  EXPECT_EQ(entry.Find("prep_millis"), nullptr);  // byte-stable by default
 }
 
 TEST(Cli, MalformedSweepConfigReportsPosition) {

@@ -136,6 +136,21 @@ TEST(ConfigLoader, AppliesPartialPlannerConfigOverrides) {
   EXPECT_EQ(cfg.ps.max_hops, 3);
 }
 
+TEST(ConfigLoader, ParsesPrepCacheKnobs) {
+  util::Json obj;
+  std::string error;
+  ASSERT_TRUE(util::Json::Parse(
+      R"({"prep": {"cache": false, "build_threads": 3}})", &obj, &error));
+  api::PlannerConfig cfg;
+  ASSERT_TRUE(config::ApplyPlannerConfigJson(obj, &cfg, &error)) << error;
+  EXPECT_FALSE(cfg.prep.cache);
+  EXPECT_EQ(cfg.prep.build_threads, 3);
+
+  ASSERT_TRUE(util::Json::Parse(R"({"prep": {"cash": true}})", &obj, &error));
+  EXPECT_FALSE(config::ApplyPlannerConfigJson(obj, &cfg, &error));
+  EXPECT_NE(error.find("prep"), std::string::npos) << error;
+}
+
 TEST(ConfigLoader, RejectsUnknownAndMistypedKnobs) {
   api::PlannerConfig cfg;
   util::Json obj;

@@ -127,6 +127,40 @@ TEST(DeterminismGate, CheckpointedSigmaMatchesPlainForEveryPlanner) {
   }
 }
 
+// The prep:: artifact layer (ISSUE 5) must be invisible in the results:
+// every registered planner produces a bit-identical plan with the
+// session's artifact cache cold vs warm, with the cache bypassed
+// entirely, and with the artifact built at 1/2/hardware build threads.
+TEST(DeterminismGate, PrepCacheColdVsWarmBitIdenticalForEveryPlanner) {
+  const int hardware = util::HardwareConcurrency();
+  for (const std::string& name : PlannerRegistry::Names()) {
+    SCOPED_TRACE(name);
+    CampaignSession session(data::MakeSmallAmazonSample(), GateConfig(2));
+    session.SetProblem(/*budget=*/100.0, /*num_promotions=*/2);
+    PlanResult cold = session.Run(name);
+    PlanResult warm = session.Run(name);
+    ExpectSamePlan(cold, warm, "cold vs warm prep cache");
+
+    // Bypassing the cache (prep.cache = false rebuilds per run) changes
+    // nothing either.
+    PlannerConfig no_cache = GateConfig(2);
+    no_cache.prep.cache = false;
+    PlanResult rebuilt = session.Run(name, no_cache);
+    ExpectSamePlan(cold, rebuilt, "cached vs cache-bypassed");
+
+    // The artifact build's parallel sweeps merge in fixed source order,
+    // so the build thread count never leaks into the schedule.
+    for (int threads : {1, 2, hardware}) {
+      PlannerConfig cfg = GateConfig(2);
+      cfg.prep.build_threads = threads;
+      CampaignSession fresh(data::MakeSmallAmazonSample(), cfg);
+      fresh.SetProblem(/*budget=*/100.0, /*num_promotions=*/2);
+      PlanResult r = fresh.Run(name);
+      ExpectSamePlan(cold, r, "prep build threads");
+    }
+  }
+}
+
 TEST(DeterminismGate, SessionSigmaThreadCountInvariant) {
   const diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 2}};
   std::vector<double> sigmas;

@@ -12,6 +12,7 @@
 // placements and estimates.
 #include <gtest/gtest.h>
 
+#include "api/session.h"
 #include "core/dysim.h"
 #include "data/catalog.h"
 #include "diffusion/monte_carlo.h"
@@ -102,6 +103,89 @@ TEST(PerfSmoke, DysimReportsAtLeastTwofoldRoundSavings) {
   EXPECT_LE(2 * r.rounds_simulated, naive_rounds)
       << "simulated=" << r.rounds_simulated << " naive=" << naive_rounds;
   EXPECT_GT(r.memo_hits, 0);
+}
+
+// Theorem-5 guard checkpoint sharing (ISSUE 5 satellite): seeding the
+// refinement from the placement loop's CheckpointedEval (Rebase keeps
+// every shared-prefix checkpoint) must simulate strictly fewer rounds
+// than giving the refinement a fresh evaluator — with bit-identical
+// estimates either way.
+TEST(PerfSmoke, SharedGuardEvaluatorSkipsRefinementRounds) {
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  Problem problem = ds.MakeProblem(/*budget=*/100.0, /*num_promotions=*/4);
+  const SeedGroup placed{{0, 0, 1}, {3, 1, 2}, {7, 2, 3}};
+  const SeedGroup refined = placed;  // refinement starting from `placed`
+
+  auto drive = [&](MonteCarloEngine& engine, bool shared) {
+    CheckpointedEval placer(engine, /*base=*/{});
+    SeedGroup grown;
+    for (const Seed& s : placed) {  // the round-greedy placement shape
+      for (int t = 1; t <= 4; ++t) {
+        SeedGroup with = grown;
+        with.push_back({s.user, s.item, t});
+        placer.Sigma(with);
+      }
+      grown.push_back(s);
+      placer.Rebase(grown);
+    }
+    SeedGroup moved = refined;
+    moved[2].promotion = 4;  // one coordinate-ascent trial
+    if (shared) {
+      placer.Rebase(refined);
+      return placer.Sigma(moved);
+    }
+    CheckpointedEval refiner(engine, refined);
+    return refiner.Sigma(moved);
+  };
+
+  MonteCarloEngine separate(problem, {}, kSamples, /*num_threads=*/0);
+  MonteCarloEngine sharing(problem, {}, kSamples, /*num_threads=*/0);
+  const double sigma_separate = drive(separate, /*shared=*/false);
+  const double sigma_shared = drive(sharing, /*shared=*/true);
+  EXPECT_EQ(sigma_shared, sigma_separate);  // bit-identical estimate
+  EXPECT_LT(sharing.num_rounds_simulated(), separate.num_rounds_simulated());
+  EXPECT_GT(sharing.num_rounds_skipped(), separate.num_rounds_skipped());
+}
+
+// The prep-reuse bar (ISSUE 5): once a session has built the market
+// structure, every later run that needs it — same planner, another
+// planner, another budget — does ZERO prep builds, and the schedules are
+// bit-identical to the cold run's. Deterministic counters, no wall clock.
+TEST(PerfSmoke, WarmSessionRunDoesZeroPrepBuilds) {
+  api::PlannerConfig cfg;
+  cfg.selection_samples = 4;
+  cfg.eval_samples = 8;
+  cfg.candidates.max_users = 12;
+  cfg.candidates.max_items = 4;
+  cfg.num_threads = 0;
+  api::CampaignSession session(data::MakeYelpLike(0.5), cfg);
+  session.SetProblem(/*budget=*/500.0, kPromotions);
+
+  api::PlanResult cold = session.Run("dysim");
+  EXPECT_EQ(cold.prep_builds, 1);
+  EXPECT_EQ(cold.prep_reuses, 0);
+
+  api::PlanResult warm = session.Run("dysim");
+  EXPECT_EQ(warm.prep_builds, 0);  // the bar: a warm Run builds nothing
+  EXPECT_EQ(warm.prep_reuses, 1);
+  EXPECT_EQ(warm.seeds, cold.seeds);
+  EXPECT_EQ(warm.sigma, cold.sigma);
+
+  // The artifact crosses planners: adaptive's antagonism oracle and PS's
+  // influence regions come from the same bundle.
+  api::PlanResult adaptive = session.Run("adaptive");
+  EXPECT_EQ(adaptive.prep_builds, 0);
+  EXPECT_EQ(adaptive.prep_reuses, 1);
+  api::PlanResult ps = session.Run("ps");
+  EXPECT_EQ(ps.prep_builds, 0);
+  EXPECT_EQ(ps.prep_reuses, 1);
+
+  // And budgets: the structure is budget-independent, so a SetProblem to
+  // a new budget keeps the artifacts warm.
+  session.SetProblem(/*budget=*/300.0, kPromotions);
+  api::PlanResult other_budget = session.Run("dysim");
+  EXPECT_EQ(other_budget.prep_builds, 0);
+  EXPECT_EQ(other_budget.prep_reuses, 1);
 }
 
 }  // namespace
