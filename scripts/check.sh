@@ -34,6 +34,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== imdpp-lint (determinism/locking invariants, tools/lint) =="
+"$BUILD_DIR/imdpp-lint" src/ tools/
+
 echo "== smoke: examples/quickstart (run twice, diff = determinism gate) =="
 # Wall-clock lines differ run to run by construction; everything else
 # (seeds, σ̂, schedules) must be byte-identical.

@@ -175,6 +175,7 @@ void MonteCarloEngine::ChargeEstimate(int rounds_run) const {
 }
 
 double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
+  util::MutexLock lock(mu_);
   double memoized = 0.0;
   if (MemoLookup(seeds, &memoized)) return memoized;
   const SeedSchedule sched(seeds, sim_.problem());
@@ -205,6 +206,7 @@ double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
 
 MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
     const SeedGroup& seeds, const std::vector<UserId>& users) const {
+  util::MutexLock lock(mu_);
   MarketEval memoized;
   if (MarketMemoLookup(seeds, users, &memoized)) return memoized;
   const std::vector<uint8_t>* mask = CachedMask(users);
@@ -243,6 +245,7 @@ MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
 }
 
 ExpectedState MonteCarloEngine::Expected(const SeedGroup& seeds) const {
+  util::MutexLock lock(mu_);
   return ExpectedFrom(SeedSchedule(seeds, sim_.problem()), 1, nullptr);
 }
 
@@ -323,6 +326,7 @@ CheckpointedEval::CheckpointedEval(const MonteCarloEngine& engine,
     : engine_(engine), market_(std::move(market)) {
   // Checkpoints freeze the diffusion from the problem's initial state;
   // adaptive-style initial-state overrides are not supported here.
+  util::MutexLock lock(engine_.mu_);
   IMDPP_CHECK(engine_.initial_states_ == nullptr);
   if (!market_.empty()) {
     mask_.assign(static_cast<size_t>(engine_.sim_.problem().NumUsers()), 0);
@@ -455,6 +459,7 @@ CheckpointedEval::Outcome CheckpointedEval::Eval(const SeedGroup& group,
 }
 
 double CheckpointedEval::Sigma(const SeedGroup& group) {
+  util::MutexLock lock(engine_.mu_);
   double memoized = 0.0;
   if (engine_.MemoLookup(group, &memoized)) return memoized;
   const double sigma = Eval(group, /*want_pi=*/false).sigma;
@@ -465,6 +470,7 @@ double CheckpointedEval::Sigma(const SeedGroup& group) {
 MonteCarloEngine::MarketEval CheckpointedEval::EvalMarket(
     const SeedGroup& group) {
   IMDPP_CHECK(!market_.empty());
+  util::MutexLock lock(engine_.mu_);
   MonteCarloEngine::MarketEval memoized;
   if (engine_.MarketMemoLookup(group, market_, &memoized)) return memoized;
   const Outcome o = Eval(group, /*want_pi=*/true);
@@ -474,6 +480,7 @@ MonteCarloEngine::MarketEval CheckpointedEval::EvalMarket(
 }
 
 ExpectedState CheckpointedEval::Expected(const SeedGroup& group) {
+  util::MutexLock lock(engine_.mu_);
   IMDPP_CHECK(engine_.initial_states_ == nullptr);
   const Problem& p = engine_.sim_.problem();
   const SeedSchedule sched(group, p);

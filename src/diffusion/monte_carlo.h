@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "diffusion/campaign_simulator.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace imdpp::diffusion {
@@ -97,7 +99,11 @@ class MonteCarloEngine {
                    std::shared_ptr<util::ThreadPool> shared_pool = nullptr);
 
   /// σ̂(S): mean importance-weighted adoptions.
-  double Sigma(const SeedGroup& seeds) const;
+  /// Like every estimate entry point, takes the engine mutex for the whole
+  /// call: concurrent estimates on one engine serialize (the memos, work
+  /// counters, mask cache and lazy pool are all IMDPP_GUARDED_BY(mu_)),
+  /// while the sample loop inside still fans out over the thread pool.
+  double Sigma(const SeedGroup& seeds) const IMDPP_EXCLUDES(mu_);
 
   struct MarketEval {
     double sigma = 0.0;         ///< campaign-wide σ̂
@@ -109,16 +115,19 @@ class MonteCarloEngine {
   /// The |V| market mask is cached per user list, so repeated evaluations
   /// of the same market (TDSI's inner loop) skip the rebuild.
   MarketEval EvalMarket(const SeedGroup& seeds,
-                        const std::vector<UserId>& users) const;
+                        const std::vector<UserId>& users) const
+      IMDPP_EXCLUDES(mu_);
 
   /// Expected end-of-campaign state under `seeds`.
-  ExpectedState Expected(const SeedGroup& seeds) const;
+  ExpectedState Expected(const SeedGroup& seeds) const IMDPP_EXCLUDES(mu_);
 
   /// Starts every realization from `states` instead of the problem's
   /// initial state (adaptive IM). Pass nullptr to reset. The pointee must
   /// outlive subsequent estimate calls. Clears (and, while set, disables)
   /// the σ memo: memoized values assume the problem's initial state.
-  void SetInitialStates(const std::vector<pin::UserState>* states) {
+  void SetInitialStates(const std::vector<pin::UserState>* states)
+      IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     initial_states_ = states;
     sigma_memo_.clear();
     market_memo_.clear();
@@ -130,7 +139,8 @@ class MonteCarloEngine {
   /// without simulating): Sigma() by seed vector, EvalMarket() by
   /// (seed vector, market user list). Off by default to keep the
   /// simulation-counter semantics of plain engines.
-  void EnableSigmaMemo(size_t max_entries = 1 << 14) {
+  void EnableSigmaMemo(size_t max_entries = 1 << 14) IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     sigma_memo_capacity_ = max_entries;
   }
 
@@ -139,20 +149,31 @@ class MonteCarloEngine {
   /// Resolved executor count (>= 0; 0 and 1 both mean serial).
   int num_threads() const { return num_threads_; }
 
-  /// Total simulator invocations since construction (mutable counter used
-  /// by the benchmarks to report work; bumped once per estimate on the
-  /// calling thread, so it stays race-free under the parallel loop).
+  /// Total simulator invocations since construction (bumped once per
+  /// estimate, under the engine mutex like every other work counter).
   /// Memoized estimates do not simulate and are not charged.
-  int64_t num_simulations() const { return num_simulations_; }
+  int64_t num_simulations() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return num_simulations_;
+  }
   /// Promotion-rounds actually executed (summed over samples), including
   /// checkpoint building.
-  int64_t num_rounds_simulated() const { return num_rounds_simulated_; }
+  int64_t num_rounds_simulated() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return num_rounds_simulated_;
+  }
   /// Promotion-rounds a naive evaluation (T rounds per sample, no reuse)
   /// would have executed on top: unseeded-round skips, checkpoint-prefix
   /// resumes, and memoized estimates.
-  int64_t num_rounds_skipped() const { return num_rounds_skipped_; }
+  int64_t num_rounds_skipped() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return num_rounds_skipped_;
+  }
   /// Sigma() calls answered from the memo.
-  int64_t num_memo_hits() const { return num_memo_hits_; }
+  int64_t num_memo_hits() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return num_memo_hits_;
+  }
 
  private:
   friend class CheckpointedEval;
@@ -168,21 +189,27 @@ class MonteCarloEngine {
   bool RunsParallel() const;
   /// Runs fn(shard) for every shard — on the pool when parallel, inline
   /// otherwise. Pure scheduling; callers do their own work accounting.
-  void RunShards(const std::function<void(int)>& fn) const;
+  /// Holds the engine mutex across the fan-out: tasks never touch guarded
+  /// engine state (they write per-shard slots), and no task path
+  /// re-enters the engine, so this cannot deadlock.
+  void RunShards(const std::function<void(int)>& fn) const
+      IMDPP_REQUIRES(mu_);
 
-  bool MemoEnabled() const {
+  bool MemoEnabled() const IMDPP_REQUIRES(mu_) {
     return sigma_memo_capacity_ > 0 && initial_states_ == nullptr;
   }
   /// Memo lookup; on hit books the skipped work and returns true.
-  bool MemoLookup(const SeedGroup& seeds, double* sigma) const;
-  void MemoStore(const SeedGroup& seeds, double sigma) const;
+  bool MemoLookup(const SeedGroup& seeds, double* sigma) const
+      IMDPP_REQUIRES(mu_);
+  void MemoStore(const SeedGroup& seeds, double sigma) const
+      IMDPP_REQUIRES(mu_);
   /// Same, for EvalMarket keyed on (seed vector, market user list).
   bool MarketMemoLookup(const SeedGroup& seeds,
                         const std::vector<UserId>& users,
-                        MarketEval* eval) const;
+                        MarketEval* eval) const IMDPP_REQUIRES(mu_);
   void MarketMemoStore(const SeedGroup& seeds,
                        const std::vector<UserId>& users,
-                       const MarketEval& eval) const;
+                       const MarketEval& eval) const IMDPP_REQUIRES(mu_);
   /// Shared core of Expected() and CheckpointedEval::Expected(): runs
   /// promotions [t_begin, t_end(sched)] per sample on top of `start`
   /// (per-sample checkpoints; nullptr = the initial state) and averages
@@ -190,41 +217,51 @@ class MonteCarloEngine {
   /// folded in shard order, scaled once) is identical on both paths, so
   /// resuming from checkpoints is bit-identical to a from-scratch run.
   ExpectedState ExpectedFrom(const SeedSchedule& sched, int t_begin,
-                             const std::vector<SampleCheckpoint>* start) const;
-  /// |V| market mask for `users`, cached per user list.
+                             const std::vector<SampleCheckpoint>* start) const
+      IMDPP_REQUIRES(mu_);
+  /// |V| market mask for `users`, cached per user list. The returned
+  /// pointer is read by the sample loop of the estimate that built it —
+  /// which still holds mu_, so no other estimate can rebuild it mid-use.
   const std::vector<uint8_t>* CachedMask(
-      const std::vector<UserId>& users) const;
+      const std::vector<UserId>& users) const IMDPP_REQUIRES(mu_);
   /// Books the per-estimate work split for one estimate that executed
   /// `rounds_run` rounds per sample.
-  void ChargeEstimate(int rounds_run) const;
+  void ChargeEstimate(int rounds_run) const IMDPP_REQUIRES(mu_);
 
   CampaignSimulator sim_;
   int num_samples_;
   int num_threads_;
-  const std::vector<pin::UserState>* initial_states_ = nullptr;
   /// Shared workers (optional); otherwise lazily created on the first
   /// parallel estimate (num_threads_ - 1 workers; the calling thread is
   /// the remaining executor).
   std::shared_ptr<util::ThreadPool> shared_pool_;
-  mutable std::unique_ptr<util::ThreadPool> pool_;
-  mutable int64_t num_simulations_ = 0;
-  mutable int64_t num_rounds_simulated_ = 0;
-  mutable int64_t num_rounds_skipped_ = 0;
-  mutable int64_t num_memo_hits_ = 0;
+
+  /// Guards every piece of state an estimate mutates: memos, work
+  /// counters, the mask cache, the lazily created pool and the
+  /// initial-state override. Held for whole estimates (see Sigma), so
+  /// the engine is safe to share across threads at estimate granularity.
+  mutable util::Mutex mu_;
+  const std::vector<pin::UserState>* initial_states_ IMDPP_GUARDED_BY(mu_) =
+      nullptr;
+  mutable std::unique_ptr<util::ThreadPool> pool_ IMDPP_GUARDED_BY(mu_);
+  mutable int64_t num_simulations_ IMDPP_GUARDED_BY(mu_) = 0;
+  mutable int64_t num_rounds_simulated_ IMDPP_GUARDED_BY(mu_) = 0;
+  mutable int64_t num_rounds_skipped_ IMDPP_GUARDED_BY(mu_) = 0;
+  mutable int64_t num_memo_hits_ IMDPP_GUARDED_BY(mu_) = 0;
   /// σ memo keyed on the exact seed vector (0 capacity = disabled), and
   /// the EvalMarket memo keyed on (market users, seed vector) behind the
   /// same opt-in flag. Nested maps so each market's user list is stored
   /// once and lookups compare in place — no per-call key construction on
   /// the TDSI hot path.
-  mutable std::map<SeedGroup, double> sigma_memo_;
+  mutable std::map<SeedGroup, double> sigma_memo_ IMDPP_GUARDED_BY(mu_);
   mutable std::map<std::vector<UserId>, std::map<SeedGroup, MarketEval>>
-      market_memo_;
-  mutable size_t market_memo_entries_ = 0;
-  size_t sigma_memo_capacity_ = 0;
+      market_memo_ IMDPP_GUARDED_BY(mu_);
+  mutable size_t market_memo_entries_ IMDPP_GUARDED_BY(mu_) = 0;
+  size_t sigma_memo_capacity_ IMDPP_GUARDED_BY(mu_) = 0;
   /// EvalMarket mask cache.
-  mutable std::vector<UserId> mask_users_;
-  mutable std::vector<uint8_t> mask_;
-  mutable bool mask_valid_ = false;
+  mutable std::vector<UserId> mask_users_ IMDPP_GUARDED_BY(mu_);
+  mutable std::vector<uint8_t> mask_ IMDPP_GUARDED_BY(mu_);
+  mutable bool mask_valid_ IMDPP_GUARDED_BY(mu_) = false;
 };
 
 /// Promotion-round checkpoint reuse over one engine (ISSUE 3 tentpole).
@@ -259,19 +296,21 @@ class CheckpointedEval {
 
   /// σ̂(group). `group` may differ from the base at any rounds; earlier
   /// shared rounds are resumed from checkpoints. Consults the engine's σ
-  /// memo when enabled.
-  double Sigma(const SeedGroup& group);
+  /// memo when enabled. Takes the engine mutex like a direct estimate;
+  /// the CheckpointedEval itself is single-owner (not thread-safe).
+  double Sigma(const SeedGroup& group) IMDPP_EXCLUDES(engine_.mu_);
 
   /// Joint σ/σ_τ/π estimate of `group` for the fixed market. Consults the
   /// engine's (group, market) memo when enabled.
-  MonteCarloEngine::MarketEval EvalMarket(const SeedGroup& group);
+  MonteCarloEngine::MarketEval EvalMarket(const SeedGroup& group)
+      IMDPP_EXCLUDES(engine_.mu_);
 
   /// Expected end-of-campaign state under `group`, resuming shared prefix
   /// rounds from checkpoints — bit-identical to engine.Expected(group).
   /// The shape DRE wants: it re-evaluates the expected state per item
   /// under a growing seed group, so each call extends the base's
   /// checkpoints once instead of re-simulating every earlier round.
-  ExpectedState Expected(const SeedGroup& group);
+  ExpectedState Expected(const SeedGroup& group) IMDPP_EXCLUDES(engine_.mu_);
 
   /// Adopts `base` as the new base group, keeping the checkpoints of every
   /// round before the first divergence from the previous base.
@@ -290,8 +329,9 @@ class CheckpointedEval {
                              int t_max);
   /// Simulates base rounds up to `upto` (capped at the base's last active
   /// round), freezing every boundary along the way.
-  void EnsureCheckpoints(int upto);
-  Outcome Eval(const SeedGroup& group, bool want_pi);
+  void EnsureCheckpoints(int upto) IMDPP_REQUIRES(engine_.mu_);
+  Outcome Eval(const SeedGroup& group, bool want_pi)
+      IMDPP_REQUIRES(engine_.mu_);
 
   const MonteCarloEngine& engine_;
   SeedGroup base_;

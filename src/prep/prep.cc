@@ -68,6 +68,9 @@ PrepArtifacts::PrepArtifacts(const diffusion::Problem& problem,
       pool_(std::move(pool)),
       build_threads_(build_threads),
       num_items_(problem.NumItems()) {
+  // No locking in here: the object is not shared until construction
+  // returns (and clang's analysis exempts constructors accordingly).
+  const Exec exec{graph_, pool_, build_threads_};
   Timer timer;
 
   // Average initial weighting — the exact float accumulation the inline
@@ -86,7 +89,7 @@ PrepArtifacts::PrepArtifacts(const diffusion::Problem& problem,
   const pin::PersonalItemNetwork pin(*problem.relevance, problem.params);
   rel_c_.assign(static_cast<size_t>(num_items_) * num_items_, 0.0);
   rel_s_.assign(static_cast<size_t>(num_items_) * num_items_, 0.0);
-  RunBatch(num_items_, [&](int x) {
+  RunBatch(exec, num_items_, [&](int x) {
     for (ItemId y = 0; y < num_items_; ++y) {
       rel_c_[static_cast<size_t>(x) * num_items_ + y] =
           pin.RelC(avg_wmeta0_, x, y);
@@ -102,11 +105,12 @@ PrepArtifacts::PrepArtifacts(const diffusion::Problem& problem,
   total_millis_ = build_millis_;
 }
 
-void PrepArtifacts::RunBatch(int n, const std::function<void(int)>& fn) {
-  const bool parallel = pool_ != nullptr && n >= 2 &&
-                        util::ResolveNumThreads(build_threads_) > 1;
+void PrepArtifacts::RunBatch(const Exec& exec, int n,
+                             const std::function<void(int)>& fn) {
+  const bool parallel = exec.pool != nullptr && n >= 2 &&
+                        util::ResolveNumThreads(exec.build_threads) > 1;
   if (parallel) {
-    pool_->ParallelFor(n, fn);
+    exec.pool->ParallelFor(n, fn);
   } else {
     for (int i = 0; i < n; ++i) fn(i);
   }
@@ -131,27 +135,38 @@ PrepArtifacts::SourceRegion& PrepArtifacts::RegionEntry(UserId src,
 const graph::InfluencePaths& PrepArtifacts::Region(UserId src,
                                                    double threshold,
                                                    int max_hops) {
+  util::MutexLock lock(mu_);
   return RegionEntry(src, threshold, max_hops).paths;
 }
 
 void PrepArtifacts::PrefetchRegions(std::vector<UserId> sources,
                                     double threshold, int max_hops) {
   std::vector<UserId> missing;
-  for (UserId u : SortedUnique(std::move(sources))) {
-    if (!regions_.count(RegionKey{u, Bits(threshold), max_hops})) {
-      missing.push_back(u);
+  Exec exec;
+  {
+    util::MutexLock lock(mu_);
+    for (UserId u : SortedUnique(std::move(sources))) {
+      if (!regions_.count(RegionKey{u, Bits(threshold), max_hops})) {
+        missing.push_back(u);
+      }
     }
+    if (missing.empty()) return;
+    exec = Executors();
   }
-  if (missing.empty()) return;
   Timer timer;
-  // Each task fills its own slot; the merge below runs in fixed source
-  // order, so the cache is bit-identical at any thread count.
+  // Computed with the lock released: each task fills its own slot off the
+  // executor snapshot. The merge below runs in fixed source order, so the
+  // cache is bit-identical at any thread count; emplace keeps the first
+  // entry if a concurrent prefetcher raced us to a source (both computed
+  // the identical region, so which copy wins is immaterial).
   std::vector<SourceRegion> computed(missing.size());
-  RunBatch(static_cast<int>(missing.size()), [&](int i) {
-    computed[i].paths =
-        graph::MaxInfluencePaths(*graph_, missing[i], threshold, max_hops);
-    computed[i].region = cluster::RegionFromPaths(computed[i].paths);
+  RunBatch(exec, static_cast<int>(missing.size()), [&](int i) {
+    computed[static_cast<size_t>(i)].paths = graph::MaxInfluencePaths(
+        *exec.graph, missing[static_cast<size_t>(i)], threshold, max_hops);
+    computed[static_cast<size_t>(i)].region =
+        cluster::RegionFromPaths(computed[static_cast<size_t>(i)].paths);
   });
+  util::MutexLock lock(mu_);
   for (size_t i = 0; i < missing.size(); ++i) {
     regions_.emplace(RegionKey{missing[i], Bits(threshold), max_hops},
                      std::move(computed[i]));
@@ -161,11 +176,17 @@ void PrepArtifacts::PrefetchRegions(std::vector<UserId> sources,
 
 int PrepArtifacts::HopDistance(UserId a, UserId b, int max_hops) {
   if (a == b) return 0;
-  auto it = hop_rows_.find(HopKey{a, max_hops});
-  if (it == hop_rows_.end()) {
-    PrefetchHopRows({a}, max_hops);
-    it = hop_rows_.find(HopKey{a, max_hops});
+  {
+    util::MutexLock lock(mu_);
+    auto it = hop_rows_.find(HopKey{a, max_hops});
+    if (it != hop_rows_.end()) {
+      auto hit = it->second.find(b);
+      return hit == it->second.end() ? graph::kUnreachable : hit->second;
+    }
   }
+  PrefetchHopRows({a}, max_hops);
+  util::MutexLock lock(mu_);
+  auto it = hop_rows_.find(HopKey{a, max_hops});
   auto hit = it->second.find(b);
   return hit == it->second.end() ? graph::kUnreachable : hit->second;
 }
@@ -173,17 +194,22 @@ int PrepArtifacts::HopDistance(UserId a, UserId b, int max_hops) {
 void PrepArtifacts::PrefetchHopRows(std::vector<UserId> sources,
                                     int max_hops) {
   std::vector<UserId> missing;
-  for (UserId u : SortedUnique(std::move(sources))) {
-    if (!hop_rows_.count(HopKey{u, max_hops})) missing.push_back(u);
+  Exec exec;
+  {
+    util::MutexLock lock(mu_);
+    for (UserId u : SortedUnique(std::move(sources))) {
+      if (!hop_rows_.count(HopKey{u, max_hops})) missing.push_back(u);
+    }
+    if (missing.empty()) return;
+    exec = Executors();
   }
-  if (missing.empty()) return;
   Timer timer;
   std::vector<std::unordered_map<UserId, int>> rows(missing.size());
-  RunBatch(static_cast<int>(missing.size()), [&](int i) {
+  RunBatch(exec, static_cast<int>(missing.size()), [&](int i) {
     // Truncated BFS over both edge directions: level of first encounter
     // is exactly what graph::UndirectedHopDistance returns pairwise.
-    const UserId src = missing[i];
-    std::unordered_map<UserId, int>& row = rows[i];
+    const UserId src = missing[static_cast<size_t>(i)];
+    std::unordered_map<UserId, int>& row = rows[static_cast<size_t>(i)];
     row.emplace(src, 0);
     std::vector<UserId> frontier{src};
     for (int h = 0; h < max_hops && !frontier.empty(); ++h) {
@@ -192,12 +218,13 @@ void PrepArtifacts::PrefetchHopRows(std::vector<UserId> sources,
         auto visit = [&](UserId v) {
           if (row.emplace(v, h + 1).second) next.push_back(v);
         };
-        for (const graph::Edge& e : graph_->OutEdges(u)) visit(e.to);
-        for (const graph::Edge& e : graph_->InEdges(u)) visit(e.to);
+        for (const graph::Edge& e : exec.graph->OutEdges(u)) visit(e.to);
+        for (const graph::Edge& e : exec.graph->InEdges(u)) visit(e.to);
       }
       frontier.swap(next);
     }
   });
+  util::MutexLock lock(mu_);
   for (size_t i = 0; i < missing.size(); ++i) {
     hop_rows_.emplace(HopKey{missing[i], max_hops}, std::move(rows[i]));
   }
@@ -208,11 +235,16 @@ std::vector<std::vector<Nominee>> PrepArtifacts::Clusters(
     const std::vector<Nominee>& nominees,
     const cluster::ClusteringConfig& config) {
   auto key = std::make_pair(ClusteringConfigKey(config), nominees);
-  auto it = cluster_memo_.find(key);
-  if (it != cluster_memo_.end()) {
-    ++derivation_hits_;
-    return it->second;
+  {
+    util::MutexLock lock(mu_);
+    auto it = cluster_memo_.find(key);
+    if (it != cluster_memo_.end()) {
+      ++derivation_hits_;
+      return it->second;
+    }
   }
+  // Derivation runs unlocked: the hop oracle below re-locks per lookup,
+  // and a concurrent identical derivation just computes the same clusters.
   std::vector<UserId> sources;
   sources.reserve(nominees.size());
   for (const Nominee& n : nominees) sources.push_back(n.user);
@@ -222,6 +254,7 @@ std::vector<std::vector<Nominee>> PrepArtifacts::Clusters(
       [this](UserId a, UserId b, int max_hops) {
         return HopDistance(a, b, max_hops);
       });
+  util::MutexLock lock(mu_);
   if (cluster_memo_.size() >= kMaxMemoEntries) cluster_memo_.clear();
   cluster_memo_.emplace(std::move(key), clusters);
   return clusters;
@@ -231,10 +264,13 @@ cluster::MarketPlan PrepArtifacts::Plan(
     const std::vector<std::vector<Nominee>>& clusters,
     const cluster::MarketPlanConfig& config) {
   auto key = std::make_pair(MarketConfigKey(config), clusters);
-  auto it = plan_memo_.find(key);
-  if (it != plan_memo_.end()) {
-    ++derivation_hits_;
-    return it->second;
+  {
+    util::MutexLock lock(mu_);
+    auto it = plan_memo_.find(key);
+    if (it != plan_memo_.end()) {
+      ++derivation_hits_;
+      return it->second;
+    }
   }
   std::vector<UserId> sources;
   for (const std::vector<Nominee>& c : clusters) {
@@ -242,11 +278,16 @@ cluster::MarketPlan PrepArtifacts::Plan(
   }
   PrefetchRegions(std::move(sources), config.mioa_threshold,
                   config.mioa_max_hops);
+  // The region oracle re-locks per lookup (all prefetched above, so each
+  // is a map hit); region references are node-stable for the artifact's
+  // lifetime, so handing them out past the lock is safe.
   cluster::MarketPlan plan = cluster::BuildMarketPlan(
       clusters, config, [&](UserId u) -> const cluster::InfluenceRegion& {
+        util::MutexLock lock(mu_);
         return RegionEntry(u, config.mioa_threshold, config.mioa_max_hops)
             .region;
       });
+  util::MutexLock lock(mu_);
   if (plan_memo_.size() >= kMaxMemoEntries) plan_memo_.clear();
   plan_memo_.emplace(std::move(key), plan);
   return plan;
@@ -259,8 +300,10 @@ PrepLease PrepCache::Acquire(const diffusion::Problem& problem,
   // The content hash per acquisition IS the cache's correctness story —
   // it is what lets mutated problems re-key instead of serving stale
   // structure. One linear scan per planner run is noise next to the
-  // Monte-Carlo planning it gates.
+  // Monte-Carlo planning it gates. Hashed before taking mu_ so concurrent
+  // acquirers only serialize on the map probe and (rarely) a build.
   const uint64_t key = StructuralKey(problem);
+  util::MutexLock lock(mu_);
   auto it = artifacts_.find(key);
   if (it != artifacts_.end()) {
     lease.artifacts = it->second;

@@ -38,6 +38,15 @@
 // Lifetime: an artifact keeps a pointer to the problem's SocialGraph (for
 // the lazy sweeps) but copies everything else out of the Problem; the
 // graph — in practice owned by the session's Dataset — must outlive it.
+//
+// Thread safety (ISSUE 6): PrepCache and PrepArtifacts are safe to share
+// across threads. One mutex per object guards the lazy caches, memos and
+// rebindable executors (annotated IMDPP_GUARDED_BY, enforced by clang
+// -Wthread-safety and imdpp-lint's lock-before-shared rule); the eager
+// tables are constructor-written and immutable after sharing. Sweep
+// compute runs with the lock released on an executor snapshot, and merges
+// re-lock in fixed source order — locking changed no arithmetic, so
+// results stay bit-identical.
 #ifndef IMDPP_PREP_PREP_H_
 #define IMDPP_PREP_PREP_H_
 
@@ -52,6 +61,8 @@
 #include "cluster/target_market.h"
 #include "diffusion/problem.h"
 #include "graph/graph_algos.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace imdpp::prep {
@@ -84,7 +95,9 @@ class PrepArtifacts {
   /// keeps a cached artifact from pinning the (possibly serial, possibly
   /// stale) executors of the run that happened to build it.
   void Rebind(const diffusion::Problem& problem,
-              std::shared_ptr<util::ThreadPool> pool, int build_threads) {
+              std::shared_ptr<util::ThreadPool> pool, int build_threads)
+      IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     graph_ = problem.graph;
     pool_ = std::move(pool);
     build_threads_ = build_threads;
@@ -113,39 +126,53 @@ class PrepArtifacts {
   /// first use and cached. Prefetch* batches the missing sources over the
   /// pool and merges in fixed source order (bit-identical at any count).
   const graph::InfluencePaths& Region(UserId src, double threshold,
-                                      int max_hops);
+                                      int max_hops) IMDPP_EXCLUDES(mu_);
   void PrefetchRegions(std::vector<UserId> sources, double threshold,
-                       int max_hops);
+                       int max_hops) IMDPP_EXCLUDES(mu_);
 
   /// Truncated undirected BFS hop distance — bit-identical to
   /// graph::UndirectedHopDistance, served from a cached per-source row.
-  int HopDistance(UserId a, UserId b, int max_hops);
-  void PrefetchHopRows(std::vector<UserId> sources, int max_hops);
+  int HopDistance(UserId a, UserId b, int max_hops) IMDPP_EXCLUDES(mu_);
+  void PrefetchHopRows(std::vector<UserId> sources, int max_hops)
+      IMDPP_EXCLUDES(mu_);
 
   // -------------------------------------------- memoized TMI structure
   /// Nominee clusters for `nominees` under `config` (Procedure 3),
   /// bit-identical to cluster::ClusterNominees on the raw graph.
   std::vector<std::vector<Nominee>> Clusters(
       const std::vector<Nominee>& nominees,
-      const cluster::ClusteringConfig& config);
+      const cluster::ClusteringConfig& config) IMDPP_EXCLUDES(mu_);
 
   /// Unordered market plan for `clusters` under `config` (MIOA regions +
   /// overlap grouping); ordering (OrderGroups) stays with the caller —
   /// the PF metric depends on the run's engine, which is not structure.
   cluster::MarketPlan Plan(const std::vector<std::vector<Nominee>>& clusters,
-                           const cluster::MarketPlanConfig& config);
+                           const cluster::MarketPlanConfig& config)
+      IMDPP_EXCLUDES(mu_);
 
   // ------------------------------------------------------- accounting
   /// Milliseconds spent building the eager artifacts (constructor).
   double build_millis() const { return build_millis_; }
   /// Cumulative milliseconds of artifact construction: the eager build
   /// plus every per-source sweep computed since.
-  double total_millis() const { return total_millis_; }
+  double total_millis() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return total_millis_;
+  }
   /// Cached MIOA sources / BFS rows materialized so far.
-  size_t num_regions() const { return regions_.size(); }
-  size_t num_hop_rows() const { return hop_rows_.size(); }
+  size_t num_regions() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return regions_.size();
+  }
+  size_t num_hop_rows() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return hop_rows_.size();
+  }
   /// Cluster/plan derivations answered from the memo.
-  int64_t derivation_hits() const { return derivation_hits_; }
+  int64_t derivation_hits() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return derivation_hits_;
+  }
 
  private:
   struct SourceRegion {
@@ -156,10 +183,24 @@ class PrepArtifacts {
   using RegionKey = std::tuple<UserId, uint64_t, int>;
   using HopKey = std::pair<UserId, int>;
 
+  /// Snapshot of the executors a sweep runs on, taken under mu_ so the
+  /// compute phase never reads rebindable members unlocked.
+  struct Exec {
+    const graph::SocialGraph* graph = nullptr;
+    std::shared_ptr<util::ThreadPool> pool;
+    int build_threads = 1;
+  };
+  Exec Executors() IMDPP_REQUIRES(mu_) {
+    return Exec{graph_, pool_, build_threads_};
+  }
+
   /// Runs fn(0..n-1) — on the pool when parallel prep is enabled, inline
-  /// otherwise. Pure scheduling: every task writes its own slot.
-  void RunBatch(int n, const std::function<void(int)>& fn);
-  SourceRegion& RegionEntry(UserId src, double threshold, int max_hops);
+  /// otherwise. Pure scheduling: every task writes its own slot. Static
+  /// on a snapshot: callers must NOT hold mu_ (tasks may re-lock it).
+  static void RunBatch(const Exec& exec, int n,
+                       const std::function<void(int)>& fn);
+  SourceRegion& RegionEntry(UserId src, double threshold, int max_hops)
+      IMDPP_REQUIRES(mu_);
 
   /// Derivation-memo size bound: on overflow the memo is cleared (the
   /// same pressure valve the engine's σ memo uses). Generous — a sweep
@@ -167,9 +208,16 @@ class PrepArtifacts {
   /// long-lived shared cache from growing without bound.
   static constexpr size_t kMaxMemoEntries = 64;
 
-  const graph::SocialGraph* graph_;
-  std::shared_ptr<util::ThreadPool> pool_;
-  int build_threads_;
+  /// One mutex guards the rebindable executors, the lazy sweep caches and
+  /// the memo/accounting state. The eager tables (avg_wmeta0_, rel_c_,
+  /// rel_s_, share_, build_millis_, num_items_) are written only by the
+  /// constructor — immutable once the object is shared, so reads need no
+  /// lock.
+  mutable util::Mutex mu_;
+
+  const graph::SocialGraph* graph_ IMDPP_GUARDED_BY(mu_);
+  std::shared_ptr<util::ThreadPool> pool_ IMDPP_GUARDED_BY(mu_);
+  int build_threads_ IMDPP_GUARDED_BY(mu_);
   int num_items_;
 
   std::vector<float> avg_wmeta0_;
@@ -177,19 +225,20 @@ class PrepArtifacts {
   std::vector<double> rel_s_;
   std::vector<int> share_;
 
-  std::map<RegionKey, SourceRegion> regions_;
-  std::map<HopKey, std::unordered_map<UserId, int>> hop_rows_;
+  std::map<RegionKey, SourceRegion> regions_ IMDPP_GUARDED_BY(mu_);
+  std::map<HopKey, std::unordered_map<UserId, int>> hop_rows_
+      IMDPP_GUARDED_BY(mu_);
 
   std::map<std::pair<uint64_t, std::vector<Nominee>>,
            std::vector<std::vector<Nominee>>>
-      cluster_memo_;
+      cluster_memo_ IMDPP_GUARDED_BY(mu_);
   std::map<std::pair<uint64_t, std::vector<std::vector<Nominee>>>,
            cluster::MarketPlan>
-      plan_memo_;
+      plan_memo_ IMDPP_GUARDED_BY(mu_);
 
-  int64_t derivation_hits_ = 0;
+  int64_t derivation_hits_ IMDPP_GUARDED_BY(mu_) = 0;
   double build_millis_ = 0.0;
-  double total_millis_ = 0.0;
+  double total_millis_ IMDPP_GUARDED_BY(mu_) = 0.0;
 };
 
 /// What a planner gets back from AcquirePrep: the artifacts plus whether
@@ -206,11 +255,20 @@ struct PrepLease {
 /// free through the session it already keeps per dataset.
 class PrepCache {
  public:
+  /// Thread-safe: concurrent acquirers serialize on the map probe only —
+  /// the content hash is computed before mu_ is taken.
   PrepLease Acquire(const diffusion::Problem& problem,
-                    std::shared_ptr<util::ThreadPool> pool, int build_threads);
+                    std::shared_ptr<util::ThreadPool> pool, int build_threads)
+      IMDPP_EXCLUDES(mu_);
 
-  int64_t builds() const { return builds_; }
-  int64_t reuses() const { return reuses_; }
+  int64_t builds() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return builds_;
+  }
+  int64_t reuses() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return reuses_;
+  }
 
  private:
   /// Bundle bound: a session normally holds one bundle per structural
@@ -220,9 +278,11 @@ class PrepCache {
   /// alive via shared_ptr).
   static constexpr size_t kMaxArtifacts = 8;
 
-  std::map<uint64_t, std::shared_ptr<PrepArtifacts>> artifacts_;
-  int64_t builds_ = 0;
-  int64_t reuses_ = 0;
+  mutable util::Mutex mu_;
+  std::map<uint64_t, std::shared_ptr<PrepArtifacts>> artifacts_
+      IMDPP_GUARDED_BY(mu_);
+  int64_t builds_ IMDPP_GUARDED_BY(mu_) = 0;
+  int64_t reuses_ IMDPP_GUARDED_BY(mu_) = 0;
 };
 
 /// The one entry point planners call: serves from `cache` when present

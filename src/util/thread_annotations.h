@@ -1,0 +1,69 @@
+// Clang thread-safety analysis macros (ISSUE 6 tentpole, prong a).
+//
+// Wrapping the attributes keeps the annotations a no-op on gcc/MSVC while
+// the clang CI job builds with -Wthread-safety -Werror, turning an
+// unguarded access to any IMDPP_GUARDED_BY field into a build break. The
+// complementary token-level `lock-before-shared` check in tools/lint
+// keeps a weaker form of the same hygiene on non-clang builds.
+//
+// Conventions in this repo:
+//   * Every field whose comment says "guarded by X" carries
+//     IMDPP_GUARDED_BY(X) so the comment is machine-checked.
+//   * Private helpers that expect a lock already held are annotated
+//     IMDPP_REQUIRES(X); public entry points that take the lock themselves
+//     are annotated IMDPP_EXCLUDES(X) so accidental re-entry is a build
+//     error instead of a deadlock.
+#ifndef IMDPP_UTIL_THREAD_ANNOTATIONS_H_
+#define IMDPP_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define IMDPP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IMDPP_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable mutex. libstdc++'s std::mutex carries no
+/// capability annotations, so the repo locks through util::Mutex (see
+/// util/mutex.h), which wears this.
+#define IMDPP_CAPABILITY(x) IMDPP_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (util::MutexLock).
+#define IMDPP_SCOPED_CAPABILITY IMDPP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field or variable may only be read/written with `x` held.
+#define IMDPP_GUARDED_BY(x) IMDPP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed with `x` held.
+#define IMDPP_PT_GUARDED_BY(x) IMDPP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires `x` to be held on entry (and does not release it).
+#define IMDPP_REQUIRES(...) \
+  IMDPP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with `x` held (it acquires it itself).
+#define IMDPP_EXCLUDES(...) \
+  IMDPP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires / releases `x` (scoped-lock helpers, RAII adapters).
+#define IMDPP_ACQUIRE(...) \
+  IMDPP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IMDPP_RELEASE(...) \
+  IMDPP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Declares lock acquisition order: `x` is always taken before the
+/// argument mutexes (deadlock-freedom documentation the analysis checks).
+#define IMDPP_ACQUIRED_BEFORE(...) \
+  IMDPP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define IMDPP_ACQUIRED_AFTER(...) \
+  IMDPP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Returns the mutex guarding the returned reference/object.
+#define IMDPP_RETURN_CAPABILITY(x) IMDPP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow (e.g. a lock handed
+/// across functions). Use sparingly and always with a comment.
+#define IMDPP_NO_THREAD_SAFETY_ANALYSIS \
+  IMDPP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // IMDPP_UTIL_THREAD_ANNOTATIONS_H_

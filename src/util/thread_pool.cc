@@ -29,10 +29,10 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -40,9 +40,9 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
   // Shared pools: a second owner submitting while a batch is in flight
   // waits its turn here instead of clobbering fn_/next_/total_.
-  std::lock_guard<std::mutex> batch(batch_mu_);
+  MutexLock batch(batch_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // A previous batch is fully drained before ParallelFor returns, so the
     // batch slot is free here.
     fn_ = &fn;
@@ -51,38 +51,41 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     unfinished_ = n;
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunTasks();  // the calling thread is one of the executors
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Wait for completion AND for every helper to leave RunTasks, so the
   // next batch cannot race a straggler that is between claim and finish.
-  done_cv_.wait(lock, [this] { return unfinished_ == 0 && active_ == 0; });
+  while (unfinished_ != 0 || active_ != 0) done_cv_.Wait(mu_);
   fn_ = nullptr;
   total_ = 0;
 }
 
 void ThreadPool::RunTasks() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   ++active_;
   while (next_ < total_) {
     const int i = next_++;
     const std::function<void(int)>& fn = *fn_;
-    lock.unlock();
+    mu_.Unlock();
     fn(i);
-    lock.lock();
+    mu_.Lock();
     --unfinished_;
   }
   --active_;
-  if (unfinished_ == 0 && active_ == 0) done_cv_.notify_all();
+  const bool drained = unfinished_ == 0 && active_ == 0;
+  mu_.Unlock();
+  // Notify outside the lock: the predicate changed under it, so the
+  // waiter in ParallelFor cannot miss the wakeup.
+  if (drained) done_cv_.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop() {
   uint64_t seen_epoch = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [this, seen_epoch] { return stop_ || epoch_ != seen_epoch; });
+      MutexLock lock(mu_);
+      while (!stop_ && epoch_ == seen_epoch) work_cv_.Wait(mu_);
       if (stop_) return;
       seen_epoch = epoch_;
     }

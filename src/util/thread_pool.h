@@ -7,8 +7,11 @@
 //     task and reduce them in task order, so results are bit-identical for
 //     any worker count (see diffusion::MonteCarloEngine).
 //   * TSan-clean by construction: every shared field is guarded by one
-//     mutex. Task claiming takes that mutex once per task, which is noise
-//     next to a task that simulates a whole shard of campaign realizations.
+//     mutex — and statically so (ISSUE 6): the fields carry
+//     IMDPP_GUARDED_BY(mu_), so the clang -Wthread-safety CI job turns an
+//     unguarded access into a build break. Task claiming takes that mutex
+//     once per task, which is noise next to a task that simulates a whole
+//     shard of campaign realizations.
 //   * Shareable (ISSUE 3): one pool can back several Monte-Carlo engines
 //     (session-wide or search+eval in RunDysim). Concurrent ParallelFor
 //     calls from different owners serialize on a batch mutex instead of
@@ -16,13 +19,14 @@
 #ifndef IMDPP_UTIL_THREAD_POOL_H_
 #define IMDPP_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace imdpp::util {
 
@@ -58,28 +62,28 @@ class ThreadPool {
   /// calling thread; returns once every call has completed. Not reentrant:
   /// fn must not call ParallelFor on the same pool. Concurrent calls from
   /// different threads are safe and run one batch at a time.
-  void ParallelFor(int n, const std::function<void(int)>& fn);
+  void ParallelFor(int n, const std::function<void(int)>& fn)
+      IMDPP_EXCLUDES(batch_mu_, mu_);
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() IMDPP_EXCLUDES(mu_);
   /// Claims and runs tasks of the current batch until none are left.
-  void RunTasks();
+  void RunTasks() IMDPP_EXCLUDES(mu_);
 
-  std::mutex batch_mu_;  ///< held for the whole of one ParallelFor batch
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< workers wait here for a new batch
-  std::condition_variable done_cv_;  ///< ParallelFor waits here for drain
+  Mutex batch_mu_ IMDPP_ACQUIRED_BEFORE(mu_);  ///< held for one whole batch
+  Mutex mu_;
+  CondVar work_cv_;  ///< workers wait here for a new batch
+  CondVar done_cv_;  ///< ParallelFor waits here for drain
 
-  // All guarded by mu_.
-  const std::function<void(int)>* fn_ = nullptr;
-  int next_ = 0;        ///< next unclaimed task index
-  int total_ = 0;       ///< size of the current batch
-  int unfinished_ = 0;  ///< tasks claimed-or-not that have not completed
-  int active_ = 0;      ///< threads currently inside RunTasks
-  uint64_t epoch_ = 0;  ///< bumped per batch so workers never re-run one
-  bool stop_ = false;
+  const std::function<void(int)>* fn_ IMDPP_GUARDED_BY(mu_) = nullptr;
+  int next_ IMDPP_GUARDED_BY(mu_) = 0;        ///< next unclaimed task index
+  int total_ IMDPP_GUARDED_BY(mu_) = 0;       ///< size of the current batch
+  int unfinished_ IMDPP_GUARDED_BY(mu_) = 0;  ///< tasks not yet completed
+  int active_ IMDPP_GUARDED_BY(mu_) = 0;      ///< threads inside RunTasks
+  uint64_t epoch_ IMDPP_GUARDED_BY(mu_) = 0;  ///< bumped per batch
+  bool stop_ IMDPP_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> workers_;
 };

@@ -185,7 +185,9 @@ TEST_P(PlannerConformanceTest, DeterministicForAFixedConfigSeed) {
 
 INSTANTIATE_TEST_SUITE_P(AllRegisteredPlanners, PlannerConformanceTest,
                          ::testing::ValuesIn(kExpectedPlanners),
-                         [](const auto& info) { return std::string(info.param); });
+                         [](const auto& param_info) {
+                           return std::string(param_info.param);
+                         });
 
 TEST(CampaignSession, RunsAndComparesPlannersOnAnOwnedDataset) {
   PlannerConfig cfg = FastConfig();

@@ -25,11 +25,6 @@ BaselineConfig FastConfig() {
   return cfg;
 }
 
-diffusion::Problem SampleProblem(const data::Dataset& ds, double budget,
-                                 int promotions) {
-  return ds.MakeProblem(budget, promotions);
-}
-
 TEST(CrGreedy, AssignsAllNomineesWithinHorizon) {
   TinyWorldSpec s;
   s.params = pin::PerceptionParams::FrozenDynamics();

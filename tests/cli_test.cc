@@ -193,7 +193,9 @@ TEST(Cli, SweepReproducesTheHandRolledFig9HarnessNumbers) {
     data::DatasetSpec spec;
     std::vector<std::string> planners;
   };
-  const DatasetCase cases[] = {
+  // std::vector (not a C array): gcc 12's inliner raises a spurious
+  // -Wmaybe-uninitialized on the aggregate-initialized strings otherwise.
+  const std::vector<DatasetCase> cases = {
       {{"fig1-toy", 1.0, 0}, {"dysim", "bgrd", "ps"}},
       {{"yelp-like", 0.15, 0}, {"dysim", "bgrd"}},
   };

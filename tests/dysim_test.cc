@@ -150,7 +150,9 @@ TEST(AdaptiveDysim, SpendsWithinBudgetAndObservesReality) {
     }
   }
   // Realized adoptions should be positive if any seed was placed.
-  if (!r.seeds.empty()) EXPECT_GT(r.realized_sigma, 0.0);
+  if (!r.seeds.empty()) {
+    EXPECT_GT(r.realized_sigma, 0.0);
+  }
 }
 
 TEST(AdaptiveDysim, DeterministicInRealitySeed) {

@@ -1,0 +1,19 @@
+// Fixture: lock-before-shared. Never compiled — only tokenized.
+#include "guarded.h"
+
+namespace fixture {
+
+int Counter::Get() const {
+  return count_;  // line 7: flagged — no mu_ in sight
+}
+
+void Counter::Bump() {
+  util::MutexLock lock(mu_);
+  ++count_;  // clean: mutex referenced in this body
+}
+
+int Counter::Locked() { return count_; }  // clean: IMDPP_REQUIRES in header
+
+Counter MakeCounter() { return Counter{}; }  // clean: no guarded fields
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: lock-before-shared declarations. The field registry built from
+// this header applies to same-stem sources (guarded.cc). Never compiled.
+namespace fixture {
+
+class Counter {
+ public:
+  int Get() const;
+  void Bump();
+  int Locked() IMDPP_REQUIRES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  int count_ IMDPP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

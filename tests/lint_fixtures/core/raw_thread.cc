@@ -1,0 +1,15 @@
+// Fixture: no-raw-thread. Not under util/thread_pool, so raw threading
+// primitives are violations. Never compiled — only tokenized.
+#include <future>
+#include <thread>
+
+namespace fixture {
+
+void RawThreading() {
+  std::thread t([] {});                    // line 9: flagged
+  auto f = std::async([] { return 1; });   // line 10: flagged
+  t.join();
+  f.get();
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: no-unordered-iteration. Lives under a `core/` path component so
+// the directory gate applies. Never compiled — only tokenized by lint_test.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int RangeForViolation(const std::unordered_map<int, int>& scores) {
+  int sum = 0;
+  for (const auto& [k, v] : scores) sum += v;  // line 10: flagged
+  return sum;
+}
+
+int IteratorLoopViolation(const std::unordered_set<int>& users) {
+  int sum = 0;
+  for (auto it = users.begin(); it != users.end(); ++it) sum += *it;  // 16
+  return sum;
+}
+
+int SuppressedIteration(const std::unordered_map<int, int>& scores) {
+  int sum = 0;
+  // imdpp-lint: allow(no-unordered-iteration) order-insensitive sum
+  for (const auto& [k, v] : scores) sum += v;  // suppressed by line above
+  return sum;
+}
+
+int OrderedIterationIsFine(const std::unordered_map<int, int>& scores,
+                           const int* keys, int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) {  // lookup, not iteration: clean
+    auto it = scores.find(keys[i]);
+    if (it != scores.end()) sum += it->second;
+  }
+  return sum;
+}
+
+}  // namespace fixture

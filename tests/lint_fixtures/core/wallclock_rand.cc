@@ -1,0 +1,27 @@
+// Fixture: no-wallclock-rand. Outside util/, so every ambient randomness
+// source below is a violation. Never compiled — only tokenized.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int AmbientRandomness() {
+  int a = std::rand();                   // line 10: flagged (rand()
+  std::srand(7);                         // line 11: flagged (srand()
+  long t = time(nullptr);                // line 12: flagged (time()
+  std::random_device rd;                 // line 13: flagged
+  std::mt19937 unseeded;                 // line 14: flagged (default seed)
+  return a + static_cast<int>(t) + static_cast<int>(rd()) +
+         static_cast<int>(unseeded());
+}
+
+unsigned SeededGeneratorIsFine(unsigned seed) {
+  std::mt19937 rng(seed);  // explicit seed: clean
+  return rng();
+}
+
+// imdpp-lint: allow(no-wallclock-rand) fixture demonstrates a reasoned pass
+int SuppressedRand() { return std::rand(); }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: suppression hygiene. Outside the result-affecting directory
+// gate, so only the suppression diagnostics themselves fire here.
+namespace fixture {
+
+// imdpp-lint: allow(no-wallclock-rand)
+int MissingReason() { return std::rand(); }  // suppressed, but reasonless
+
+// imdpp-lint: allow(definitely-not-a-rule) typo'd rule names must not pass
+int UnknownRule() { return 0; }
+
+}  // namespace fixture

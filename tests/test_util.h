@@ -23,11 +23,13 @@ struct TinyWorld {
 /// built from explicit row-major matrices (values in [0,1], zero diagonal).
 inline std::unique_ptr<kg::RelevanceModel> MakeRelevance(
     int num_items, std::vector<float> comp, std::vector<float> sub) {
-  std::vector<kg::MetaGraph> metas(2);
-  metas[0].name = "C";
-  metas[0].kind = kg::RelationKind::kComplementary;
-  metas[1].name = "S";
-  metas[1].kind = kg::RelationKind::kSubstitutable;
+  // Aggregate-initialized (not assigned element-wise): gcc 12's inliner
+  // raises a spurious -Wrestrict on literal-into-vector-element string
+  // assignment.
+  std::vector<kg::MetaGraph> metas = {
+      {"C", kg::RelationKind::kComplementary, {}},
+      {"S", kg::RelationKind::kSubstitutable, {}},
+  };
   return std::make_unique<kg::RelevanceModel>(kg::RelevanceModel::FromMatrices(
       num_items, std::move(metas), {std::move(comp), std::move(sub)}));
 }

@@ -1,0 +1,10 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return imdpp::lint::RunLint(args, std::cout, std::cerr);
+}
