@@ -4,10 +4,15 @@
 // end-to-end planning through the unified api:: registry.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
 #include "api/registry.h"
 #include "cluster/mioa.h"
 #include "data/catalog.h"
+#include "data/dataset_registry.h"
 #include "diffusion/monte_carlo.h"
+#include "diffusion/sigma_backend.h"
 #include "kg/meta_graph_matcher.h"
 
 namespace imdpp {
@@ -77,6 +82,33 @@ BENCHMARK(BM_SigmaEstimateThreads)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+/// σ̂ estimation per registered backend on the scale series (ISSUE 7):
+/// the CI bench job reads both real_times out of BENCH_micro.json and
+/// asserts the sketch backend beats forward re-simulation wall-clock.
+/// The "ris" sketch build is warmed up before the timing loop, so the row
+/// measures steady-state query cost — the cost the greedy selection loops
+/// actually pay per candidate.
+void BM_SigmaEstimateBackend(benchmark::State& state,
+                             const char* backend_name) {
+  static const data::Dataset* ds = new data::Dataset(
+      data::DatasetRegistry::MakeOrDie({"scale-1024", 1.0, 0}));
+  diffusion::Problem p = ds->MakeProblem(300.0, 5);
+  diffusion::SigmaBackendSpec spec;
+  spec.name = backend_name;
+  spec.ris_sketches = 4096;
+  std::unique_ptr<diffusion::SigmaBackend> backend =
+      diffusion::MakeSigmaBackend(spec, p, {}, /*num_samples=*/32,
+                                  /*num_threads=*/0, nullptr);
+  diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 2}};
+  benchmark::DoNotOptimize(backend->Sigma(seeds));  // warm sketch build
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->Sigma(seeds));
+  }
+  state.SetLabel(std::string(backend->name()));
+}
+BENCHMARK_CAPTURE(BM_SigmaEstimateBackend, mc, "mc");
+BENCHMARK_CAPTURE(BM_SigmaEstimateBackend, ris, "ris");
 
 /// Same sweep for the Expected() path (per-shard ExpectedState partials
 /// are the heaviest reduction).

@@ -76,4 +76,20 @@ echo "== smoke: imdpp datasets --prep (twice + diff) =="
 diff "$BUILD_DIR/cli_prep.run1.json" "$BUILD_DIR/cli_prep.run2.json"
 echo "imdpp datasets --prep output is byte-identical across runs"
 
+echo "== smoke: imdpp backends + a --backend ris plan (twice + diff) =="
+# The backend listing is a pure registry dump (byte-stable), and a plan
+# under the sketch backend must be as deterministic as one under mc.
+"$BUILD_DIR/imdpp" backends > "$BUILD_DIR/cli_backends.run1.txt"
+"$BUILD_DIR/imdpp" backends > "$BUILD_DIR/cli_backends.run2.txt"
+diff "$BUILD_DIR/cli_backends.run1.txt" "$BUILD_DIR/cli_backends.run2.txt"
+cat "$BUILD_DIR/cli_backends.run1.txt"
+"$BUILD_DIR/imdpp" plan --dataset fig1-toy --planner dysim --budget 20 \
+  --backend ris --selection-samples 4 --eval-samples 8 \
+  --out "$BUILD_DIR/cli_plan_ris.run1.json"
+"$BUILD_DIR/imdpp" plan --dataset fig1-toy --planner dysim --budget 20 \
+  --backend ris --selection-samples 4 --eval-samples 8 \
+  --out "$BUILD_DIR/cli_plan_ris.run2.json"
+diff "$BUILD_DIR/cli_plan_ris.run1.json" "$BUILD_DIR/cli_plan_ris.run2.json"
+echo "imdpp backends / --backend ris output is byte-identical across runs"
+
 echo "== OK =="

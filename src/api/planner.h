@@ -86,6 +86,23 @@ struct PlannerConfig {
   /// standalone artifact per run.
   std::shared_ptr<prep::PrepCache> prep_cache;
 
+  /// σ-evaluation backend selection (diffusion/sigma_backend.h): which
+  /// registered estimator answers every σ̂ / market query the planners
+  /// make. Purely an estimation knob — candidate logic is unchanged.
+  struct EvalOptions {
+    /// Registry key: "mc" (Monte-Carlo reference, the default) or "ris"
+    /// (reverse-reachable sketches; faster, statically approximate).
+    std::string backend = "mc";
+    /// Sketch count θ for the "ris" backend (ignored by "mc").
+    int ris_sketches = 4096;
+  };
+  EvalOptions eval;
+
+  /// Optional RIS-sketch artifact cache shared across runs (the "ris"
+  /// analogue of prep_cache). CampaignSession::Run injects the session's
+  /// cache here; null = each backend builds a standalone sketch set.
+  std::shared_ptr<prep::RisSketchCache> sketch_cache;
+
   struct DysimOptions {
     core::MarketOrderMetric order =
         core::MarketOrderMetric::kAntagonisticExtent;
@@ -165,6 +182,10 @@ struct PlanResult {
 /// seed into the campaign settings). Exposed for tooling that drives
 /// core::RunTmi directly, e.g. `imdpp datasets --prep`.
 core::DysimConfig ToDysimConfig(const PlannerConfig& config);
+
+/// Maps the unified config onto a σ-backend spec (registry key, backend
+/// knobs, shared sketch cache) for diffusion::MakeSigmaBackend.
+diffusion::SigmaBackendSpec ToBackendSpec(const PlannerConfig& config);
 
 /// Abstract planner. Construction binds a PlannerConfig; Plan() may be
 /// called repeatedly on different problems. Plan() times the run and

@@ -15,7 +15,7 @@
 #include "core/adaptive_dysim.h"
 #include "core/dysim.h"
 #include "core/smk.h"
-#include "diffusion/monte_carlo.h"
+#include "diffusion/sigma_backend.h"
 #include "util/hash.h"
 
 namespace imdpp::api {
@@ -37,6 +37,7 @@ baselines::BaselineConfig ToBaselineConfig(const PlannerConfig& c) {
   cfg.eval_samples = c.eval_samples;
   cfg.candidates = c.candidates;
   cfg.campaign = MakeCampaign(c);
+  cfg.backend = ToBackendSpec(c);
   cfg.num_threads = c.num_threads;
   cfg.shared_pool = c.shared_pool;
   cfg.prep_cache = c.prep_cache;
@@ -116,14 +117,16 @@ class AdaptivePlanner : public Planner {
     // The adaptive run reports one realized trajectory; re-estimate the
     // final schedule's σ̂ from the initial state so `sigma` means the same
     // thing for every planner.
-    diffusion::MonteCarloEngine eval(problem, MakeCampaign(config()),
-                                     config().eval_samples,
-                                     config().num_threads,
-                                     config().shared_pool);
-    out.sigma = eval.Sigma(out.seeds);
-    out.simulations = eval.num_simulations();
-    out.rounds_simulated = eval.num_rounds_simulated();
-    out.rounds_skipped = eval.num_rounds_skipped();
+    std::unique_ptr<diffusion::SigmaBackend> eval =
+        diffusion::MakeSigmaBackend(ToBackendSpec(config()), problem,
+                                    MakeCampaign(config()),
+                                    config().eval_samples,
+                                    config().num_threads,
+                                    config().shared_pool);
+    out.sigma = eval->Sigma(out.seeds);
+    out.simulations = eval->num_simulations();
+    out.rounds_simulated = eval->num_rounds_simulated();
+    out.rounds_skipped = eval->num_rounds_skipped();
     return out;
   }
 };
@@ -144,9 +147,12 @@ PlanResult SelectAndFinalize(const diffusion::Problem& problem,
   // re-checks of identical seed vectors cost nothing.
   std::shared_ptr<util::ThreadPool> pool = config.shared_pool;
   if (pool == nullptr) pool = util::MakeWorkerPool(config.num_threads);
-  diffusion::MonteCarloEngine search(problem, MakeCampaign(config),
-                                     config.selection_samples,
-                                     config.num_threads, pool);
+  std::unique_ptr<diffusion::SigmaBackend> search_owner =
+      diffusion::MakeSigmaBackend(ToBackendSpec(config), problem,
+                                  MakeCampaign(config),
+                                  config.selection_samples,
+                                  config.num_threads, pool);
+  diffusion::SigmaBackend& search = *search_owner;
   search.EnableSigmaMemo();
   std::vector<diffusion::Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
@@ -154,9 +160,11 @@ PlanResult SelectAndFinalize(const diffusion::Problem& problem,
   diffusion::SeedGroup seeds = schedule(search, sel.nominees);
 
   PlanResult out;
-  diffusion::MonteCarloEngine eval(problem, MakeCampaign(config),
-                                   config.eval_samples, config.num_threads,
-                                   pool);
+  std::unique_ptr<diffusion::SigmaBackend> eval_owner =
+      diffusion::MakeSigmaBackend(ToBackendSpec(config), problem,
+                                  MakeCampaign(config), config.eval_samples,
+                                  config.num_threads, pool);
+  diffusion::SigmaBackend& eval = *eval_owner;
   out.sigma = eval.Sigma(seeds);
   out.seeds = std::move(seeds);
   out.total_cost = problem.TotalCost(out.seeds);
@@ -188,12 +196,12 @@ class SmkPlanner : public Planner {
   PlanResult PlanImpl(const diffusion::Problem& problem) const override {
     return SelectAndFinalize(
         problem, config(),
-        [&](const diffusion::MonteCarloEngine& engine,
+        [&](const diffusion::SigmaBackend& engine,
             const std::vector<diffusion::Nominee>& candidates) {
           return core::SelectNomineesSmk(engine, problem, candidates,
                                          problem.budget);
         },
-        [](const diffusion::MonteCarloEngine&,
+        [](const diffusion::SigmaBackend&,
            const std::vector<diffusion::Nominee>& nominees) {
           return AllInFirstPromotion(nominees);
         });
@@ -210,12 +218,12 @@ class CrGreedyPlanner : public Planner {
   PlanResult PlanImpl(const diffusion::Problem& problem) const override {
     return SelectAndFinalize(
         problem, config(),
-        [&](const diffusion::MonteCarloEngine& engine,
+        [&](const diffusion::SigmaBackend& engine,
             const std::vector<diffusion::Nominee>& candidates) {
           return core::SelectNominees(engine, problem, candidates,
                                       problem.budget);
         },
-        [](const diffusion::MonteCarloEngine& engine,
+        [](const diffusion::SigmaBackend& engine,
            const std::vector<diffusion::Nominee>& nominees) {
           return baselines::CrGreedyTimings(engine, nominees);
         });
@@ -313,12 +321,21 @@ core::DysimConfig ToDysimConfig(const PlannerConfig& c) {
   cfg.use_item_priority = c.dysim.use_item_priority;
   cfg.use_theorem5_guard = c.dysim.use_theorem5_guard;
   cfg.campaign = MakeCampaign(c);
+  cfg.backend = ToBackendSpec(c);
   cfg.num_threads = c.num_threads;
   cfg.shared_pool = c.shared_pool;
   cfg.prep_cache = c.prep_cache;
   cfg.prep_cache_enabled = c.prep.cache;
   cfg.prep_build_threads = c.prep.build_threads;
   return cfg;
+}
+
+diffusion::SigmaBackendSpec ToBackendSpec(const PlannerConfig& c) {
+  diffusion::SigmaBackendSpec spec;
+  spec.name = c.eval.backend;
+  spec.ris_sketches = c.eval.ris_sketches;
+  spec.sketch_cache = c.sketch_cache;
+  return spec;
 }
 
 namespace internal {

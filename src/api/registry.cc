@@ -1,40 +1,35 @@
 #include "api/registry.h"
 
-#include <algorithm>
-#include <map>
+#include <cstdio>
+#include <cstdlib>
 
-#include "util/check.h"
+#include "util/registry.h"
 
 namespace imdpp::api {
 namespace {
 
-// Meyers singleton: safe against static-initialization ordering with the
+// Typed façade over the shared util::Registry contract (duplicate-name
+// abort, sorted Names(), UnknownMessage with sorted known keys). Meyers
+// singleton: safe against static-initialization ordering with the
 // self-registration statics in planners.cc.
-std::map<std::string, PlannerRegistry::Factory, std::less<>>& Factories() {
-  static auto* factories =
-      new std::map<std::string, PlannerRegistry::Factory, std::less<>>();
-  return *factories;
+util::Registry<PlannerRegistry::Factory>& Impl() {
+  static auto* registry =
+      new util::Registry<PlannerRegistry::Factory>("planner");
+  return *registry;
 }
 
 }  // namespace
 
 bool PlannerRegistry::Register(std::string name, Factory factory) {
-  IMDPP_CHECK(factory != nullptr);
-  auto [it, inserted] = Factories().emplace(std::move(name), factory);
-  if (!inserted) {
-    std::fprintf(stderr, "duplicate planner registration: %s\n",
-                 it->first.c_str());
-    std::abort();
-  }
-  return true;
+  return Impl().Register(std::move(name), factory);
 }
 
 std::unique_ptr<Planner> PlannerRegistry::Create(std::string_view name,
                                                  const PlannerConfig& config) {
   internal::EnsureBuiltinPlanners();
-  auto it = Factories().find(name);
-  if (it == Factories().end()) return nullptr;
-  return it->second(config);
+  const Factory* factory = Impl().Find(name);
+  if (factory == nullptr) return nullptr;
+  return (*factory)(config);
 }
 
 std::unique_ptr<Planner> PlannerRegistry::CreateOrDie(
@@ -48,27 +43,18 @@ std::unique_ptr<Planner> PlannerRegistry::CreateOrDie(
 }
 
 std::string PlannerRegistry::UnknownMessage(std::string_view name) {
-  std::string msg = "unknown planner \"";
-  msg += name;
-  msg += "\"; registered:";
-  for (const std::string& known : Names()) {
-    msg += ' ';
-    msg += known;
-  }
-  return msg;
+  internal::EnsureBuiltinPlanners();
+  return Impl().UnknownMessage(name);
 }
 
 bool PlannerRegistry::Has(std::string_view name) {
   internal::EnsureBuiltinPlanners();
-  return Factories().find(name) != Factories().end();
+  return Impl().Has(name);
 }
 
 std::vector<std::string> PlannerRegistry::Names() {
   internal::EnsureBuiltinPlanners();
-  std::vector<std::string> names;
-  names.reserve(Factories().size());
-  for (const auto& [name, factory] : Factories()) names.push_back(name);
-  return names;  // std::map iterates sorted
+  return Impl().Names();
 }
 
 }  // namespace imdpp::api

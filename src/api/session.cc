@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "prep/ris_sketch.h"
 #include "util/check.h"
 
 namespace imdpp::api {
@@ -9,7 +10,8 @@ namespace imdpp::api {
 CampaignSession::CampaignSession(data::Dataset dataset, PlannerConfig config)
     : dataset_(std::move(dataset)),
       config_(std::move(config)),
-      prep_cache_(std::make_shared<prep::PrepCache>()) {}
+      prep_cache_(std::make_shared<prep::PrepCache>()),
+      sketch_cache_(std::make_shared<prep::RisSketchCache>()) {}
 
 CampaignSession::CampaignSession(data::Dataset dataset, double budget,
                                  int num_promotions, PlannerConfig config)
@@ -60,6 +62,9 @@ PlanResult CampaignSession::Run(const std::string& planner_name,
   if (run_config.prep_cache == nullptr) {
     run_config.prep_cache = prep_cache_;
   }
+  if (run_config.sketch_cache == nullptr) {
+    run_config.sketch_cache = sketch_cache_;
+  }
   std::unique_ptr<Planner> planner =
       PlannerRegistry::CreateOrDie(planner_name, run_config);
   PlanResult result = planner->Plan(problem_);
@@ -92,13 +97,15 @@ PlannerConfig& CampaignSession::mutable_config() {
   return config_;
 }
 
-diffusion::MonteCarloEngine& CampaignSession::engine() {
+diffusion::SigmaBackend& CampaignSession::engine() {
   IMDPP_CHECK(problem_.graph != nullptr);  // SetProblem first
   if (engine_ == nullptr) {
     diffusion::CampaignConfig campaign = config_.campaign;
     campaign.base_seed = config_.seed;
-    engine_ = std::make_unique<diffusion::MonteCarloEngine>(
-        problem_, campaign, config_.eval_samples, config_.num_threads,
+    diffusion::SigmaBackendSpec spec = ToBackendSpec(config_);
+    if (spec.sketch_cache == nullptr) spec.sketch_cache = sketch_cache_;
+    engine_ = diffusion::MakeSigmaBackend(
+        spec, problem_, campaign, config_.eval_samples, config_.num_threads,
         SharedPool(config_.num_threads));
   }
   return *engine_;

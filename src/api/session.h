@@ -1,7 +1,7 @@
 // CampaignSession: the one-stop façade the harnesses and examples want.
 // Owns a data::Dataset, the Problem view currently under study, and a
-// shared evaluation MonteCarloEngine, and can run or compare any set of
-// registered planners on them:
+// shared evaluation backend (diffusion::SigmaBackend), and can run or
+// compare any set of registered planners on them:
 //
 //   api::CampaignSession session(data::MakeYelpLike(0.5));
 //   session.SetProblem(/*budget=*/150.0, /*num_promotions=*/5);
@@ -95,9 +95,9 @@ class CampaignSession {
   /// settings and eval_samples feed it).
   PlannerConfig& mutable_config();
 
-  /// The shared evaluation engine (built lazily from the current problem
-  /// and config).
-  diffusion::MonteCarloEngine& engine();
+  /// The shared evaluation backend (built lazily from the current problem
+  /// and config; config_.eval.backend picks the estimator).
+  diffusion::SigmaBackend& engine();
 
  private:
   /// The session-wide worker pool, built lazily for `num_threads`
@@ -110,7 +110,7 @@ class CampaignSession {
   PlannerConfig config_;
   std::unique_ptr<kg::RelevanceModel> relevance_override_;
   diffusion::Problem problem_;
-  std::unique_ptr<diffusion::MonteCarloEngine> engine_;
+  std::unique_ptr<diffusion::SigmaBackend> engine_;
   std::shared_ptr<util::ThreadPool> pool_;
   int pool_threads_ = 0;  ///< resolved thread count pool_ was built for
   /// The session-wide prep-artifact cache, injected into every planner
@@ -119,6 +119,10 @@ class CampaignSession {
   /// SetProblem calls. Keyed by content, so problem mutations that change
   /// the structure rebuild and ones that don't (budget, importance) hit.
   std::shared_ptr<prep::PrepCache> prep_cache_;
+  /// The session-wide RIS-sketch cache, injected the same way: the "ris"
+  /// backend's sketch sets are content-keyed artifacts reused across
+  /// planners and runs (a no-op for "mc").
+  std::shared_ptr<prep::RisSketchCache> sketch_cache_;
   /// Set by mutable_problem(): the problem may have diverged from the
   /// (budget, promotions, params) it was built from, so the next
   /// SetProblem must rebuild even if those coordinates match.

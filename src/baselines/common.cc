@@ -6,12 +6,13 @@ BaselineResult FinalizeResult(const Problem& problem,
                               const BaselineConfig& config, SeedGroup seeds,
                               int64_t search_simulations) {
   BaselineResult result;
-  MonteCarloEngine eval(problem, config.campaign, config.eval_samples,
-                        config.num_threads, config.shared_pool);
-  result.sigma = eval.Sigma(seeds);
+  std::unique_ptr<SigmaBackend> eval = diffusion::MakeSigmaBackend(
+      config.backend, problem, config.campaign, config.eval_samples,
+      config.num_threads, config.shared_pool);
+  result.sigma = eval->Sigma(seeds);
   result.total_cost = problem.TotalCost(seeds);
   result.seeds = std::move(seeds);
-  result.simulations = search_simulations + eval.num_simulations();
+  result.simulations = search_simulations + eval->num_simulations();
   return result;
 }
 

@@ -16,17 +16,19 @@
 namespace imdpp::baselines {
 
 using core::CandidateConfig;
-using diffusion::MonteCarloEngine;
 using diffusion::Nominee;
 using diffusion::Problem;
 using diffusion::Seed;
 using diffusion::SeedGroup;
+using diffusion::SigmaBackend;
 
 struct BaselineConfig {
   int selection_samples = 12;
   int eval_samples = 48;
   CandidateConfig candidates;
   diffusion::CampaignConfig campaign;
+  /// Which σ-evaluation backend answers every estimate ("mc" default).
+  diffusion::SigmaBackendSpec backend;
   /// Monte-Carlo executor count (util::kAutoThreads = hardware
   /// concurrency, 0 = serial); estimates are thread-count invariant.
   int num_threads = util::kAutoThreads;

@@ -2,13 +2,14 @@
 
 namespace imdpp::baselines {
 
-SeedGroup CrGreedyTimings(const MonteCarloEngine& engine,
+SeedGroup CrGreedyTimings(const SigmaBackend& engine,
                           const std::vector<Nominee>& nominees) {
   const int T = engine.simulator().problem().num_promotions;
   // Candidate (n, t) shares `placed`'s rounds < t, so each σ̂ resumes from
-  // the round-(t-1) checkpoint of the current placement (bit-identical to
-  // evaluating from scratch).
-  diffusion::CheckpointedEval placer(engine, /*base=*/{});
+  // the round-(t-1) checkpoint of the current placement when the backend
+  // checkpoints (bit-identical to evaluating from scratch).
+  std::unique_ptr<diffusion::ScheduleEval> placer =
+      engine.MakeScheduleEval(/*base=*/{});
   SeedGroup placed;
   double sigma_placed = 0.0;
   for (const Nominee& n : nominees) {
@@ -17,14 +18,14 @@ SeedGroup CrGreedyTimings(const MonteCarloEngine& engine,
     for (int t = 1; t <= T; ++t) {
       SeedGroup with = placed;
       with.push_back({n.user, n.item, t});
-      double s = placer.Sigma(with);
+      double s = placer->Sigma(with);
       if (s > best_sigma) {
         best_sigma = s;
         best_t = t;
       }
     }
     placed.push_back({n.user, n.item, best_t});
-    placer.Rebase(placed);
+    placer->Rebase(placed);
     sigma_placed = best_sigma;
   }
   (void)sigma_placed;

@@ -12,7 +12,7 @@ namespace imdpp::baselines {
 
 /// Assigns a promotion in [1, T] to every nominee (T from the engine's
 /// problem). Deterministic; ties prefer earlier rounds.
-SeedGroup CrGreedyTimings(const MonteCarloEngine& engine,
+SeedGroup CrGreedyTimings(const SigmaBackend& engine,
                           const std::vector<Nominee>& nominees);
 
 }  // namespace imdpp::baselines

@@ -5,8 +5,10 @@
 namespace imdpp::baselines {
 
 BaselineResult RunHag(const Problem& problem, const BaselineConfig& config) {
-  MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
-                          config.num_threads, config.shared_pool);
+  std::unique_ptr<SigmaBackend> engine_owner = diffusion::MakeSigmaBackend(
+      config.backend, problem, config.campaign, config.selection_samples,
+      config.num_threads, config.shared_pool);
+  SigmaBackend& engine = *engine_owner;
   std::vector<Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
 

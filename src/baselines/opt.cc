@@ -35,8 +35,10 @@ void Search(const std::vector<Triple>& triples, size_t from, double remaining,
 }  // namespace
 
 BaselineResult RunOpt(const Problem& problem, const OptConfig& config) {
-  MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
-                          config.num_threads, config.shared_pool);
+  std::unique_ptr<SigmaBackend> engine_owner = diffusion::MakeSigmaBackend(
+      config.backend, problem, config.campaign, config.selection_samples,
+      config.num_threads, config.shared_pool);
+  SigmaBackend& engine = *engine_owner;
   std::vector<Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
 

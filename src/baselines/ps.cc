@@ -8,8 +8,10 @@
 namespace imdpp::baselines {
 
 BaselineResult RunPs(const Problem& problem, const PsConfig& config) {
-  MonteCarloEngine engine(problem, config.campaign, config.selection_samples,
-                          config.num_threads, config.shared_pool);
+  std::unique_ptr<SigmaBackend> engine_owner = diffusion::MakeSigmaBackend(
+      config.backend, problem, config.campaign, config.selection_samples,
+      config.num_threads, config.shared_pool);
+  SigmaBackend& engine = *engine_owner;
   std::vector<Nominee> candidates =
       core::BuildCandidateUniverse(problem, config.candidates);
 

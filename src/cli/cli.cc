@@ -12,6 +12,7 @@
 #include "config/config_loader.h"
 #include "core/dysim.h"
 #include "data/dataset_registry.h"
+#include "diffusion/sigma_backend.h"
 #include "prep/prep.h"
 #include "report/report.h"
 
@@ -31,6 +32,8 @@ commands:
             prep-artifact stats (nominees, clusters, markets, MIOA
             regions; build millis with --timings) as JSON — for one
             dataset with --dataset, else for every registered name
+  backends  list the registered σ-evaluation backends (name, summary,
+            capabilities) — the names --backend / eval.backend accept
   help      show this message
 
 shared flags (plan, compare):
@@ -45,6 +48,8 @@ shared flags (plan, compare):
   --theta N                market-overlap theta (market.overlap_theta)
   --selection-samples N    search-time Monte-Carlo samples
   --eval-samples N         final-evaluation Monte-Carlo samples
+  --backend NAME           σ-evaluation backend (default mc; see `imdpp
+                           backends`)
   --timings                include wall-clock fields (breaks byte-stability)
   --out FILE               write JSON here instead of stdout
 
@@ -181,6 +186,13 @@ bool LoadProblemSetup(const config::ParsedArgs& args, ProblemSetup* setup,
   if (!ParseIntFlag(args, "eval-samples", &setup->config.eval_samples,
                     error)) {
     return false;
+  }
+  if (const std::string* backend = args.Find("backend")) {
+    if (!diffusion::SigmaBackendRegistry::Has(*backend)) {
+      *error = diffusion::SigmaBackendRegistry::UnknownMessage(*backend);
+      return false;
+    }
+    setup->config.eval.backend = *backend;
   }
   setup->timings = args.Has("timings");
   return true;
@@ -387,13 +399,14 @@ int RunDatasets(const config::ParsedArgs& args, std::ostream& out,
     std::shared_ptr<util::ThreadPool> pool =
         util::MakeWorkerPool(dcfg.num_threads);
     dcfg.shared_pool = pool;
-    diffusion::MonteCarloEngine engine(problem, dcfg.campaign,
-                                       dcfg.selection_samples,
-                                       dcfg.num_threads, pool);
-    engine.EnableSigmaMemo();
+    std::unique_ptr<diffusion::SigmaBackend> engine =
+        diffusion::MakeSigmaBackend(dcfg.backend, problem, dcfg.campaign,
+                                    dcfg.selection_samples, dcfg.num_threads,
+                                    pool);
+    engine->EnableSigmaMemo();
     prep::PrepLease lease = prep::AcquirePrep(
         nullptr, /*use_cache=*/true, problem, pool, dcfg.prep_build_threads);
-    core::TmiResult tmi = core::RunTmi(problem, engine, dcfg,
+    core::TmiResult tmi = core::RunTmi(problem, *engine, dcfg,
                                        *lease.artifacts);
 
     report::PrepDatasetStats s;
@@ -420,6 +433,47 @@ int RunDatasets(const config::ParsedArgs& args, std::ostream& out,
   return 0;
 }
 
+/// Lists the registered σ backends with their summaries and capability
+/// flags. Descriptions and capabilities live on instances, so each backend
+/// is probed on the tiny catalog toy — cheap (no estimates run) and
+/// byte-stable, like `imdpp datasets`.
+int RunBackends(const config::ParsedArgs&, std::ostream& out,
+                std::ostream& err) {
+  data::Dataset probe;
+  std::string error;
+  if (!data::DatasetRegistry::Make({"fig1-toy", 1.0, 0}, &probe, &error)) {
+    return RuntimeError(err, error);
+  }
+  diffusion::Problem problem = probe.MakeProblem(/*budget=*/1.0,
+                                                 /*num_promotions=*/1);
+  for (const std::string& name : diffusion::SigmaBackendRegistry::Names()) {
+    diffusion::SigmaBackendContext context;
+    context.problem = &problem;
+    context.num_samples = 1;
+    context.num_threads = 0;
+    context.spec.name = name;
+    std::unique_ptr<diffusion::SigmaBackend> backend =
+        diffusion::SigmaBackendRegistry::Create(name, context);
+    if (backend == nullptr) {
+      return RuntimeError(err,
+                          diffusion::SigmaBackendRegistry::UnknownMessage(
+                              name));
+    }
+    const diffusion::BackendCapabilities caps = backend->capabilities();
+    std::string tags;
+    if (caps.resimulates_dynamics) tags += " resimulates-dynamics";
+    if (caps.market_likelihood_pi) tags += " market-likelihood-pi";
+    if (caps.prefix_checkpointing) tags += " prefix-checkpointing";
+    if (caps.initial_state_override) tags += " initial-state-override";
+    if (caps.sketch_prep) tags += " sketch-prep";
+    if (tags.empty()) tags = " (none)";
+    out << name << "\n";
+    out << "  " << backend->description() << "\n";
+    out << "  capabilities:" << tags << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int Run(const std::vector<std::string>& args, std::ostream& out,
@@ -436,8 +490,10 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   if (parsed.command == "compare") return RunCompare(parsed, out, err);
   if (parsed.command == "sweep") return RunSweepCommand(parsed, out, err);
   if (parsed.command == "datasets") return RunDatasets(parsed, out, err);
+  if (parsed.command == "backends") return RunBackends(parsed, out, err);
   return UsageError(err, "unknown command \"" + parsed.command +
-                             "\" (expected plan, compare, sweep, datasets)");
+                             "\" (expected plan, compare, sweep, datasets, "
+                             "backends)");
 }
 
 int Main(int argc, char** argv) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "api/session.h"
+#include "diffusion/sigma_backend.h"
 #include "util/check.h"
 
 namespace imdpp::cli {
@@ -27,15 +28,25 @@ bool RunSweep(const config::SweepSpec& spec,
   for (const config::SweepSpec::DatasetAxis& ds : spec.datasets) {
     if (!validate(ds.planners)) return false;
   }
+  // Backend names too (LoadSweepSpec checks JSON input; specs built in
+  // code reach ExpandSweep without it).
+  for (const std::string& backend : spec.backends) {
+    if (!diffusion::SigmaBackendRegistry::Has(backend)) {
+      *error = diffusion::SigmaBackendRegistry::UnknownMessage(backend);
+      return false;
+    }
+  }
 
   std::vector<config::SweepPoint> points;
   if (!config::ExpandSweep(spec, &points, error)) return false;
   // Points per dataset under the expansion order (promotions, budgets,
-  // thetas, threads, planners innermost; sentinel axes collapse to 1).
+  // thetas, threads, backends, planners innermost; sentinel axes collapse
+  // to 1).
   const size_t axis_base =
       spec.promotions.size() * spec.budgets.size() *
       std::max<size_t>(1, spec.thetas.size()) *
-      std::max<size_t>(1, spec.num_threads.size());
+      std::max<size_t>(1, spec.num_threads.size()) *
+      std::max<size_t>(1, spec.backends.size());
   records->reserve(points.size());
 
   size_t idx = 0;

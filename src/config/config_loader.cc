@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "diffusion/sigma_backend.h"
+
 namespace imdpp::config {
 
 namespace {
@@ -259,6 +261,34 @@ bool ApplyPlannerConfigJson(const util::Json& obj, api::PlannerConfig* cfg,
           return false;
         }
       }
+    } else if (key == "eval") {
+      if (!v.is_object()) {
+        *error = "eval must be an object";
+        return false;
+      }
+      for (const auto& [ekey, ev] : v.members()) {
+        if (ekey == "backend") {
+          if (!ev.is_string()) {
+            *error = "eval.backend must be a string";
+            return false;
+          }
+          // Validated against the registry here so a typo'd backend fails
+          // at config-load time, naming the registered keys.
+          if (!diffusion::SigmaBackendRegistry::Has(ev.AsString())) {
+            *error = diffusion::SigmaBackendRegistry::UnknownMessage(
+                ev.AsString());
+            return false;
+          }
+          cfg->eval.backend = ev.AsString();
+        } else if (ekey == "ris_sketches") {
+          if (!ReadInt(ev, "eval.ris_sketches", &cfg->eval.ris_sketches,
+                       error))
+            return false;
+        } else {
+          *error = "unknown eval key \"" + ekey + "\"";
+          return false;
+        }
+      }
     } else if (key == "candidates") {
       if (!v.is_object()) {
         *error = "candidates must be an object";
@@ -479,6 +509,19 @@ bool LoadSweepSpec(const util::Json& obj, SweepSpec* spec,
         if (!ReadInt(entry, "threads[]", &t, error)) return false;
         spec->num_threads.push_back(t);
       }
+    } else if (key == "backends") {
+      for (const util::Json& entry : v.elements()) {
+        if (!entry.is_string()) {
+          *error = "backends[] must be strings";
+          return false;
+        }
+        if (!diffusion::SigmaBackendRegistry::Has(entry.AsString())) {
+          *error = diffusion::SigmaBackendRegistry::UnknownMessage(
+              entry.AsString());
+          return false;
+        }
+        spec->backends.push_back(entry.AsString());
+      }
     } else if (key == "config") {
       if (!ApplyPlannerConfigJson(v, &spec->base, error)) return false;
     } else {
@@ -522,26 +565,35 @@ bool ExpandSweep(const SweepSpec& spec, std::vector<SweepPoint>* points,
             spec.num_threads.empty()
                 ? std::vector<int>{dataset_config.num_threads}
                 : spec.num_threads;
+        // Empty sentinel = keep each point's own eval.backend (which
+        // dataset/planner overrides may still set).
+        const std::vector<std::string> backends =
+            spec.backends.empty() ? std::vector<std::string>{std::string()}
+                                  : spec.backends;
         const std::vector<SweepSpec::PlannerAxis>& planners =
             ds.planners.empty() ? spec.planners : ds.planners;
         for (int theta : thetas) {
           for (int nt : threads) {
-            for (const SweepSpec::PlannerAxis& pl : planners) {
-              SweepPoint point;
-              point.dataset = ds.spec;
-              point.planner = pl.name;
-              point.budget = b;
-              point.num_promotions = T;
-              point.theta = theta;
-              point.num_threads = nt;
-              point.config = dataset_config;
-              if (!ApplyPlannerConfigJson(pl.overrides, &point.config,
-                                          error)) {
-                return false;
+            for (const std::string& backend : backends) {
+              for (const SweepSpec::PlannerAxis& pl : planners) {
+                SweepPoint point;
+                point.dataset = ds.spec;
+                point.planner = pl.name;
+                point.budget = b;
+                point.num_promotions = T;
+                point.theta = theta;
+                point.num_threads = nt;
+                point.config = dataset_config;
+                if (!ApplyPlannerConfigJson(pl.overrides, &point.config,
+                                            error)) {
+                  return false;
+                }
+                if (theta >= 0) point.config.market.overlap_theta = theta;
+                point.config.num_threads = nt;
+                if (!backend.empty()) point.config.eval.backend = backend;
+                point.backend = point.config.eval.backend;
+                points->push_back(std::move(point));
               }
-              if (theta >= 0) point.config.market.overlap_theta = theta;
-              point.config.num_threads = nt;
-              points->push_back(std::move(point));
             }
           }
         }

@@ -53,6 +53,7 @@ struct SweepPoint {
   int num_promotions = 0;
   int theta = -1;        ///< applied to market.overlap_theta; -1 = config's
   int num_threads = util::kAutoThreads;
+  std::string backend;   ///< resolved σ backend (config.eval.backend)
   api::PlannerConfig config;
 };
 
@@ -77,13 +78,16 @@ struct SweepSpec {
   std::vector<int> promotions;
   std::vector<int> thetas;       ///< empty = keep config's overlap_theta
   std::vector<int> num_threads;  ///< empty = keep config's num_threads
+  /// σ-evaluation backends to cross over (registry names); empty = keep
+  /// each point's config.eval.backend.
+  std::vector<std::string> backends;
   api::PlannerConfig base;
 };
 
 /// Parses a sweep config object:
 ///   {"name": ..., "datasets": [...], "planners": [...],
 ///    "budgets": [...], "promotions": [...], "thetas": [...],
-///    "threads": [...], "config": {...}}
+///    "threads": [...], "backends": [...], "config": {...}}
 /// datasets/planners/budgets/promotions are required and non-empty.
 /// A dataset entry may carry its own "planners" array (subset sweeps).
 bool LoadSweepSpec(const util::Json& obj, SweepSpec* spec,

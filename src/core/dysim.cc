@@ -11,7 +11,7 @@
 namespace imdpp::core {
 
 TmiResult RunTmi(const Problem& problem,
-                 const diffusion::MonteCarloEngine& engine,
+                 const diffusion::SigmaBackend& engine,
                  const DysimConfig& config, prep::PrepArtifacts& artifacts) {
   TmiResult tmi;
 
@@ -48,9 +48,11 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   // (ROADMAP: no per-engine thread respawn); sessions can pass theirs in.
   std::shared_ptr<util::ThreadPool> pool = config.shared_pool;
   if (pool == nullptr) pool = util::MakeWorkerPool(config.num_threads);
-  diffusion::MonteCarloEngine engine(problem, config.campaign,
-                                     config.selection_samples,
-                                     config.num_threads, pool);
+  std::unique_ptr<diffusion::SigmaBackend> engine_owner =
+      diffusion::MakeSigmaBackend(config.backend, problem, config.campaign,
+                                  config.selection_samples,
+                                  config.num_threads, pool);
+  diffusion::SigmaBackend& engine = *engine_owner;
   // The selection sweeps below revisit identical seed vectors (singleton
   // gains re-checked by the greedy, refinement re-testing a timing); the
   // memo returns the identical bits without re-simulating.
@@ -89,7 +91,8 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
     // the same prefix-reuse shape as the σ sweeps, so each re-evaluation
     // resumes from the checkpoints of sg's shared earlier rounds instead
     // of re-simulating them (bit-identical to engine.Expected(sg)).
-    diffusion::CheckpointedEval dre_eval(engine, /*base=*/{});
+    std::unique_ptr<diffusion::ScheduleEval> dre_eval =
+        engine.MakeScheduleEval(/*base=*/{});
     // Promotional durations T_{τ_k} proportional to nominee counts
     // (at least 1), with prefix sums bounding the TDSI timing search.
     int total_nominees = 0;
@@ -126,9 +129,9 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
       TimingSelector tdsi(engine, market.users, T);
       while (!remaining_items.empty()) {
         // DRE: re-evaluate reachability under the current seed group.
-        if (!sg.empty()) dre_eval.Rebase(sg);
+        if (!sg.empty()) dre_eval->Rebase(sg);
         diffusion::ExpectedState es =
-            sg.empty() ? es0 : dre_eval.Expected(sg);
+            sg.empty() ? es0 : dre_eval->Expected(sg);
         DreEvaluator dre(pin, es, market.users, problem.importance,
                          config.dr_max_depth);
         int depth = std::min(market.diameter, config.dr_max_depth);
@@ -156,9 +159,11 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   }
 
   // ---- Theorem-5 guard: best of SG, N_first, and e_max. ----
-  diffusion::MonteCarloEngine eval(problem, config.campaign,
-                                   config.eval_samples, config.num_threads,
-                                   pool);
+  std::unique_ptr<diffusion::SigmaBackend> eval_owner =
+      diffusion::MakeSigmaBackend(config.backend, problem, config.campaign,
+                                  config.eval_samples, config.num_threads,
+                                  pool);
+  diffusion::SigmaBackend& eval = *eval_owner;
   double best_sigma = eval.Sigma(all_seeds);
   SeedGroup best_seeds = all_seeds;
 
@@ -177,10 +182,9 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   // from the placement loop's surviving checkpoints (Rebase keeps every
   // shared-prefix round) instead of rebuilding its own from scratch. The
   // extra resumes land in rounds_skipped; estimates stay bit-identical.
-  std::unique_ptr<diffusion::CheckpointedEval> guard_eval;
+  std::unique_ptr<diffusion::ScheduleEval> guard_eval;
   if (config.use_theorem5_guard && T > 1) {
-    guard_eval =
-        std::make_unique<diffusion::CheckpointedEval>(engine, SeedGroup{});
+    guard_eval = engine.MakeScheduleEval(SeedGroup{});
   }
 
   // Round-greedy placement of the same nominees (CR-Greedy style): for each
@@ -189,7 +193,7 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   // the round-(t-1) checkpoint; accepting a seed at best_t keeps every
   // checkpoint below best_t alive.
   if (config.use_theorem5_guard && T > 1 && !sel.nominees.empty()) {
-    diffusion::CheckpointedEval& placer = *guard_eval;
+    diffusion::ScheduleEval& placer = *guard_eval;
     SeedGroup placed;
     for (const Nominee& n : sel.nominees) {
       int best_t = 1;
@@ -234,7 +238,7 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
     // memo outright. Rebasing the shared guard evaluator (instead of a
     // fresh one) carries the placement loop's checkpoints over for every
     // round the two schedules share.
-    diffusion::CheckpointedEval& refiner = *guard_eval;
+    diffusion::ScheduleEval& refiner = *guard_eval;
     refiner.Rebase(refined);
     for (int sweep = 0; sweep < 2; ++sweep) {
       bool moved = false;

@@ -60,6 +60,10 @@ struct DysimConfig {
 
   diffusion::CampaignConfig campaign;
 
+  /// Which σ-evaluation backend answers every estimate of this run
+  /// ("mc" default; see diffusion/sigma_backend.h).
+  diffusion::SigmaBackendSpec backend;
+
   /// Monte-Carlo executor count (util::kAutoThreads = hardware
   /// concurrency, 0 = serial); estimates are thread-count invariant.
   int num_threads = util::kAutoThreads;
@@ -115,7 +119,7 @@ struct TmiResult {
 /// Runs the TMI phase on `problem`, sourcing clustering distances, MIOA
 /// regions and relevance oracles from `artifacts`.
 TmiResult RunTmi(const Problem& problem,
-                 const diffusion::MonteCarloEngine& engine,
+                 const diffusion::SigmaBackend& engine,
                  const DysimConfig& config, prep::PrepArtifacts& artifacts);
 
 /// Runs Dysim on `problem` (budget and T come from the problem).

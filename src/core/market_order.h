@@ -23,8 +23,8 @@ const char* MarketOrderName(MarketOrderMetric metric);
 
 struct MarketOrderContext {
   const diffusion::Problem* problem = nullptr;
-  /// σ̂ engine, required for PF.
-  const diffusion::MonteCarloEngine* engine = nullptr;
+  /// σ̂ backend, required for PF.
+  const diffusion::SigmaBackend* engine = nullptr;
   /// r̄^S oracle over all users, required for AE and RMS.
   cluster::SubRelevanceFn rel_s;
   /// Optional precomputed top-preference share vector for RMS (the prep::
@@ -42,7 +42,7 @@ void OrderGroups(cluster::MarketPlan& plan, MarketOrderMetric metric,
 /// the first promotion, minus the nominees' total cost.
 double Profitability(const cluster::TargetMarket& market,
                      const diffusion::Problem& problem,
-                     const diffusion::MonteCarloEngine& engine);
+                     const diffusion::SigmaBackend& engine);
 
 /// share(x) = #users whose highest base preference is x — the |V| x |I|
 /// scan RMS repeats per market; the prep:: layer computes it once.

@@ -41,7 +41,7 @@ std::vector<Nominee> BuildCandidateUniverse(const Problem& problem,
   return out;
 }
 
-SelectionResult SelectNominees(const MonteCarloEngine& engine,
+SelectionResult SelectNominees(const SigmaBackend& engine,
                                const Problem& problem,
                                const std::vector<Nominee>& candidates,
                                double budget) {

@@ -21,10 +21,10 @@
 
 namespace imdpp::core {
 
-using diffusion::MonteCarloEngine;
 using diffusion::Nominee;
 using diffusion::Problem;
 using diffusion::SeedGroup;
+using diffusion::SigmaBackend;
 
 /// Candidate pruning: the full universe is V x I (Algorithm 1 line 1); on
 /// larger instances we keep the top users by out-degree and top items by
@@ -49,7 +49,7 @@ struct SelectionResult {
 };
 
 /// Runs Procedure 2. `engine` supplies σ̂.
-SelectionResult SelectNominees(const MonteCarloEngine& engine,
+SelectionResult SelectNominees(const SigmaBackend& engine,
                                const Problem& problem,
                                const std::vector<Nominee>& candidates,
                                double budget);

@@ -202,7 +202,7 @@ SmkResult SolveSmk(int ground_size, const SetFunction& f,
 }
 
 SelectionResult SelectNomineesSmk(
-    const diffusion::MonteCarloEngine& engine,
+    const diffusion::SigmaBackend& engine,
     const diffusion::Problem& problem,
     const std::vector<diffusion::Nominee>& candidates, double budget) {
   SelectionResult result;

@@ -50,7 +50,7 @@ SmkResult SolveSmk(int ground_size, const SetFunction& f,
 /// IMDPP instantiation: nominees selected by SolveSmk with
 /// f(N) = σ̂(N seeded at t = 1). Carries the Theorem-4 guarantee when the
 /// problem's dynamics are frozen (pin::PerceptionParams::FrozenDynamics).
-SelectionResult SelectNomineesSmk(const diffusion::MonteCarloEngine& engine,
+SelectionResult SelectNomineesSmk(const diffusion::SigmaBackend& engine,
                                   const diffusion::Problem& problem,
                                   const std::vector<diffusion::Nominee>& candidates,
                                   double budget);

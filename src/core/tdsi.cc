@@ -5,8 +5,8 @@
 
 namespace imdpp::core {
 
-double TimingSelector::SiOf(const MonteCarloEngine::MarketEval& base,
-                            const MonteCarloEngine::MarketEval& with,
+double TimingSelector::SiOf(const diffusion::MarketEval& base,
+                            const diffusion::MarketEval& with,
                             int t) const {
   const double ma = with.sigma_market - base.sigma_market;
   const double ml = with.pi - base.pi;
@@ -16,11 +16,11 @@ double TimingSelector::SiOf(const MonteCarloEngine::MarketEval& base,
 }
 
 double TimingSelector::SubstantialInfluence(
-    const SeedGroup& sg, const MonteCarloEngine::MarketEval& base,
+    const SeedGroup& sg, const diffusion::MarketEval& base,
     const Seed& cand) const {
   SeedGroup with = sg;
   with.push_back(cand);
-  MonteCarloEngine::MarketEval ev = engine_.EvalMarket(with, market_);
+  diffusion::MarketEval ev = engine_.EvalMarket(with, market_);
   return SiOf(base, ev, cand.promotion);
 }
 
@@ -32,8 +32,8 @@ Seed TimingSelector::PickBest(const SeedGroup& sg,
   t_hi = std::min(total_promotions_, std::max(t_lo, t_hi));
   // The group grows at the latest timings, so checkpoints from earlier
   // PickBest calls stay valid below t_lo.
-  eval_.Rebase(sg);
-  MonteCarloEngine::MarketEval base = eval_.EvalMarket(sg);
+  eval_->Rebase(sg);
+  diffusion::MarketEval base = eval_->EvalMarket(sg);
 
   Seed best{};
   double best_si = -std::numeric_limits<double>::infinity();
@@ -43,7 +43,7 @@ Seed TimingSelector::PickBest(const SeedGroup& sg,
       Seed cand{pending[i].user, pending[i].item, t};
       SeedGroup with = sg;
       with.push_back(cand);
-      double si = SiOf(base, eval_.EvalMarket(with), t);
+      double si = SiOf(base, eval_->EvalMarket(with), t);
       if (si > best_si) {
         best_si = si;
         best = cand;

@@ -19,6 +19,7 @@
 #ifndef IMDPP_CORE_TDSI_H_
 #define IMDPP_CORE_TDSI_H_
 
+#include <memory>
 #include <vector>
 
 #include "diffusion/monte_carlo.h"
@@ -26,29 +27,29 @@
 
 namespace imdpp::core {
 
-using diffusion::MonteCarloEngine;
 using diffusion::Nominee;
 using diffusion::Seed;
 using diffusion::SeedGroup;
+using diffusion::SigmaBackend;
 using graph::UserId;
 
 class TimingSelector {
  public:
   /// `market_users` is τ_k; `total_promotions` is T.
-  TimingSelector(const MonteCarloEngine& engine,
+  TimingSelector(const SigmaBackend& engine,
                  const std::vector<UserId>& market_users,
                  int total_promotions)
       : engine_(engine),
         market_(market_users),
         total_promotions_(total_promotions),
-        eval_(engine, /*base=*/{}, market_users) {}
+        eval_(engine.MakeScheduleEval(/*base=*/{}, market_users)) {}
 
   /// SI of candidate seed `cand` given the current group seeds `sg`.
   /// `base` must be engine.EvalMarket(sg, market) — passed in so callers
   /// amortize it across candidates. (Reference path; PickBest uses the
-  /// checkpointed equivalent.)
+  /// backend's schedule evaluator.)
   double SubstantialInfluence(const SeedGroup& sg,
-                              const MonteCarloEngine::MarketEval& base,
+                              const diffusion::MarketEval& base,
                               const Seed& cand) const;
 
   /// Picks the (nominee, timing) pair with maximal SI over nominees in
@@ -58,15 +59,15 @@ class TimingSelector {
                 int t_lo, int t_hi, int* best_index);
 
  private:
-  /// SI from the two (checkpoint-resumed) market evaluations — the exact
+  /// SI from the two (prefix-resumed) market evaluations — the exact
   /// arithmetic of SubstantialInfluence.
-  double SiOf(const MonteCarloEngine::MarketEval& base,
-              const MonteCarloEngine::MarketEval& with, int t) const;
+  double SiOf(const diffusion::MarketEval& base,
+              const diffusion::MarketEval& with, int t) const;
 
-  const MonteCarloEngine& engine_;
+  const SigmaBackend& engine_;
   const std::vector<UserId>& market_;
   int total_promotions_;
-  diffusion::CheckpointedEval eval_;
+  std::unique_ptr<diffusion::ScheduleEval> eval_;
 };
 
 }  // namespace imdpp::core

@@ -10,15 +10,18 @@
 
 #include "data/catalog.h"
 #include "util/check.h"
+#include "util/registry.h"
 
 namespace imdpp::data {
 
 namespace {
 
-std::map<std::string, DatasetRegistry::Factory, std::less<>>& Factories() {
-  static auto* factories =
-      new std::map<std::string, DatasetRegistry::Factory, std::less<>>();
-  return *factories;
+// Typed façade over the shared util::Registry contract; same Meyers-
+// singleton ordering guarantee as before the dedup.
+util::Registry<DatasetRegistry::Factory>& Impl() {
+  static auto* registry =
+      new util::Registry<DatasetRegistry::Factory>("dataset");
+  return *registry;
 }
 
 int Scaled(int base, double scale) {
@@ -156,21 +159,13 @@ DatasetSpec ParseDatasetSpec(std::string_view text) {
 }
 
 bool DatasetRegistry::Register(std::string name, Factory factory) {
-  IMDPP_CHECK(factory != nullptr);
-  auto [it, inserted] = Factories().emplace(std::move(name), factory);
-  if (!inserted) {
-    std::fprintf(stderr, "duplicate dataset registration: %s\n",
-                 it->first.c_str());
-    std::abort();
-  }
-  return true;
+  return Impl().Register(std::move(name), factory);
 }
 
 bool DatasetRegistry::Make(const DatasetSpec& spec, Dataset* out,
                            std::string* error) {
-  auto it = Factories().find(spec.name);
-  if (it != Factories().end()) {
-    *out = it->second(spec.scale, spec.seed);
+  if (const Factory* factory = Impl().Find(spec.name)) {
+    *out = (*factory)(spec.scale, spec.seed);
     return true;
   }
   const int scale_n = ParseScaleN(spec.name);
@@ -196,27 +191,13 @@ Dataset DatasetRegistry::MakeOrDie(const DatasetSpec& spec) {
   return out;
 }
 
-bool DatasetRegistry::Has(std::string_view name) {
-  return Factories().find(name) != Factories().end();
-}
+bool DatasetRegistry::Has(std::string_view name) { return Impl().Has(name); }
 
-std::vector<std::string> DatasetRegistry::Names() {
-  std::vector<std::string> names;
-  names.reserve(Factories().size());
-  for (const auto& [name, factory] : Factories()) names.push_back(name);
-  return names;  // std::map iterates sorted
-}
+std::vector<std::string> DatasetRegistry::Names() { return Impl().Names(); }
 
 std::string DatasetRegistry::UnknownMessage(std::string_view name) {
-  std::string msg = "unknown dataset \"";
-  msg += name;
-  msg += "\"; registered:";
-  for (const std::string& known : Names()) {
-    msg += ' ';
-    msg += known;
-  }
-  msg += " (also recognized: scale-<N>, a path to a SyntheticSpec .json)";
-  return msg;
+  return Impl().UnknownMessage(name) +
+         " (also recognized: scale-<N>, a path to a SyntheticSpec .json)";
 }
 
 // --------------------------------------------------- SyntheticSpec ← JSON

@@ -493,4 +493,30 @@ ExpectedState CheckpointedEval::Expected(const SeedGroup& group) {
       resume == 0 ? nullptr : &cp_[static_cast<size_t>(resume - 1)]);
 }
 
+// --------------------------------------------------------------------------
+// SigmaBackend surface
+
+std::unique_ptr<ScheduleEval> MonteCarloEngine::MakeScheduleEval(
+    SeedGroup base, std::vector<UserId> market) const {
+  return std::make_unique<CheckpointedEval>(*this, std::move(base),
+                                            std::move(market));
+}
+
+namespace {
+
+std::unique_ptr<SigmaBackend> MakeMcBackend(
+    const SigmaBackendContext& context) {
+  return std::make_unique<MonteCarloEngine>(
+      *context.problem, context.campaign, context.num_samples,
+      context.num_threads, context.shared_pool);
+}
+
+IMDPP_REGISTER_SIGMA_BACKEND("mc", MakeMcBackend);
+
+}  // namespace
+
+namespace internal {
+void AnchorMcBackend() {}
+}  // namespace internal
+
 }  // namespace imdpp::diffusion

@@ -41,52 +41,16 @@
 #include <vector>
 
 #include "diffusion/campaign_simulator.h"
+#include "diffusion/sigma_backend.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace imdpp::diffusion {
 
-/// Sample-averaged end-of-campaign state.
-class ExpectedState {
- public:
-  ExpectedState(int num_users, int num_items, int num_metas);
-
-  double AdoptionProb(UserId u, ItemId x) const {
-    return adoption_prob_[static_cast<size_t>(u) * num_items_ + x];
-  }
-  std::span<const float> AvgWmeta(UserId u) const {
-    return {avg_wmeta_.data() + static_cast<size_t>(u) * num_metas_,
-            static_cast<size_t>(num_metas_)};
-  }
-
-  /// Average complementary relevance r̄^C_{x,y} over `users` (all users if
-  /// empty), evaluated at each user's expected weightings.
-  double AvgRelC(const pin::PersonalItemNetwork& pin,
-                 const std::vector<UserId>& users, ItemId x, ItemId y) const;
-  double AvgRelS(const pin::PersonalItemNetwork& pin,
-                 const std::vector<UserId>& users, ItemId x, ItemId y) const;
-
-  int num_users() const { return num_users_; }
-
-  /// Expected state before any promotion: zero adoptions, initial Wmeta.
-  static ExpectedState InitialOf(const Problem& problem);
-
- private:
-  friend class MonteCarloEngine;
-  friend class CheckpointedEval;
-  double AvgRel(const pin::PersonalItemNetwork& pin,
-                const std::vector<UserId>& users, ItemId x, ItemId y,
-                bool complementary) const;
-
-  int num_users_;
-  int num_items_;
-  int num_metas_;
-  std::vector<float> adoption_prob_;  ///< |V| x |I|
-  std::vector<float> avg_wmeta_;      ///< |V| x M
-};
-
-class MonteCarloEngine {
+/// The "mc" SigmaBackend: the accuracy reference every other backend is
+/// gated against (tests/backend_test.cc).
+class MonteCarloEngine : public SigmaBackend {
  public:
   /// `num_samples` realizations per estimate (M in the paper, Sec. VI-A).
   /// `num_threads` is the total executor count for the sample loop:
@@ -98,28 +62,44 @@ class MonteCarloEngine {
                    int num_samples, int num_threads = util::kAutoThreads,
                    std::shared_ptr<util::ThreadPool> shared_pool = nullptr);
 
+  std::string_view name() const override { return "mc"; }
+  std::string_view description() const override {
+    return "forward Monte-Carlo re-simulation of the dynamic-perception "
+           "diffusion (the accuracy reference)";
+  }
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps;
+    caps.resimulates_dynamics = true;
+    caps.market_likelihood_pi = true;
+    caps.prefix_checkpointing = true;
+    caps.initial_state_override = true;
+    return caps;
+  }
+
+  /// Kept as a nested alias through the ISSUE 7 hoist to diffusion scope.
+  using MarketEval = ::imdpp::diffusion::MarketEval;
+
   /// σ̂(S): mean importance-weighted adoptions.
   /// Like every estimate entry point, takes the engine mutex for the whole
   /// call: concurrent estimates on one engine serialize (the memos, work
   /// counters, mask cache and lazy pool are all IMDPP_GUARDED_BY(mu_)),
   /// while the sample loop inside still fans out over the thread pool.
-  double Sigma(const SeedGroup& seeds) const IMDPP_EXCLUDES(mu_);
-
-  struct MarketEval {
-    double sigma = 0.0;         ///< campaign-wide σ̂
-    double sigma_market = 0.0;  ///< σ̂ restricted to the market's users
-    double pi = 0.0;            ///< likelihood π̂_τ (Eq. 13)
-  };
+  double Sigma(const SeedGroup& seeds) const override IMDPP_EXCLUDES(mu_);
 
   /// Joint estimate of σ, σ_τ and π_τ for the market `users` in one pass.
   /// The |V| market mask is cached per user list, so repeated evaluations
   /// of the same market (TDSI's inner loop) skip the rebuild.
   MarketEval EvalMarket(const SeedGroup& seeds,
-                        const std::vector<UserId>& users) const
+                        const std::vector<UserId>& users) const override
       IMDPP_EXCLUDES(mu_);
 
   /// Expected end-of-campaign state under `seeds`.
-  ExpectedState Expected(const SeedGroup& seeds) const IMDPP_EXCLUDES(mu_);
+  ExpectedState Expected(const SeedGroup& seeds) const override
+      IMDPP_EXCLUDES(mu_);
+
+  /// A CheckpointedEval over this engine: promotion-round prefix reuse.
+  std::unique_ptr<ScheduleEval> MakeScheduleEval(
+      SeedGroup base, std::vector<UserId> market = {}) const override;
 
   /// Starts every realization from `states` instead of the problem's
   /// initial state (adaptive IM). Pass nullptr to reset. The pointee must
@@ -139,38 +119,39 @@ class MonteCarloEngine {
   /// without simulating): Sigma() by seed vector, EvalMarket() by
   /// (seed vector, market user list). Off by default to keep the
   /// simulation-counter semantics of plain engines.
-  void EnableSigmaMemo(size_t max_entries = 1 << 14) IMDPP_EXCLUDES(mu_) {
+  void EnableSigmaMemo(size_t max_entries = 1 << 14) override
+      IMDPP_EXCLUDES(mu_) {
     util::MutexLock lock(mu_);
     sigma_memo_capacity_ = max_entries;
   }
 
-  const CampaignSimulator& simulator() const { return sim_; }
-  int num_samples() const { return num_samples_; }
+  const CampaignSimulator& simulator() const override { return sim_; }
+  int num_samples() const override { return num_samples_; }
   /// Resolved executor count (>= 0; 0 and 1 both mean serial).
-  int num_threads() const { return num_threads_; }
+  int num_threads() const override { return num_threads_; }
 
   /// Total simulator invocations since construction (bumped once per
   /// estimate, under the engine mutex like every other work counter).
   /// Memoized estimates do not simulate and are not charged.
-  int64_t num_simulations() const IMDPP_EXCLUDES(mu_) {
+  int64_t num_simulations() const override IMDPP_EXCLUDES(mu_) {
     util::MutexLock lock(mu_);
     return num_simulations_;
   }
   /// Promotion-rounds actually executed (summed over samples), including
   /// checkpoint building.
-  int64_t num_rounds_simulated() const IMDPP_EXCLUDES(mu_) {
+  int64_t num_rounds_simulated() const override IMDPP_EXCLUDES(mu_) {
     util::MutexLock lock(mu_);
     return num_rounds_simulated_;
   }
   /// Promotion-rounds a naive evaluation (T rounds per sample, no reuse)
   /// would have executed on top: unseeded-round skips, checkpoint-prefix
   /// resumes, and memoized estimates.
-  int64_t num_rounds_skipped() const IMDPP_EXCLUDES(mu_) {
+  int64_t num_rounds_skipped() const override IMDPP_EXCLUDES(mu_) {
     util::MutexLock lock(mu_);
     return num_rounds_skipped_;
   }
   /// Sigma() calls answered from the memo.
-  int64_t num_memo_hits() const IMDPP_EXCLUDES(mu_) {
+  int64_t num_memo_hits() const override IMDPP_EXCLUDES(mu_) {
     util::MutexLock lock(mu_);
     return num_memo_hits_;
   }
@@ -286,7 +267,7 @@ class MonteCarloEngine {
 /// Requires the engine to evaluate from the problem's initial state (no
 /// SetInitialStates). All estimates run on the engine's sharded sample
 /// loop and are charged to its work counters.
-class CheckpointedEval {
+class CheckpointedEval final : public ScheduleEval {
  public:
   /// `market` fixes the user list for EvalMarket() (empty = Sigma only);
   /// checkpoints embed the market's σ_τ partials, so one CheckpointedEval
@@ -298,11 +279,11 @@ class CheckpointedEval {
   /// shared rounds are resumed from checkpoints. Consults the engine's σ
   /// memo when enabled. Takes the engine mutex like a direct estimate;
   /// the CheckpointedEval itself is single-owner (not thread-safe).
-  double Sigma(const SeedGroup& group) IMDPP_EXCLUDES(engine_.mu_);
+  double Sigma(const SeedGroup& group) override IMDPP_EXCLUDES(engine_.mu_);
 
   /// Joint σ/σ_τ/π estimate of `group` for the fixed market. Consults the
   /// engine's (group, market) memo when enabled.
-  MonteCarloEngine::MarketEval EvalMarket(const SeedGroup& group)
+  MarketEval EvalMarket(const SeedGroup& group) override
       IMDPP_EXCLUDES(engine_.mu_);
 
   /// Expected end-of-campaign state under `group`, resuming shared prefix
@@ -310,13 +291,14 @@ class CheckpointedEval {
   /// The shape DRE wants: it re-evaluates the expected state per item
   /// under a growing seed group, so each call extends the base's
   /// checkpoints once instead of re-simulating every earlier round.
-  ExpectedState Expected(const SeedGroup& group) IMDPP_EXCLUDES(engine_.mu_);
+  ExpectedState Expected(const SeedGroup& group) override
+      IMDPP_EXCLUDES(engine_.mu_);
 
   /// Adopts `base` as the new base group, keeping the checkpoints of every
   /// round before the first divergence from the previous base.
-  void Rebase(SeedGroup base);
+  void Rebase(SeedGroup base) override;
 
-  const SeedGroup& base() const { return base_; }
+  const SeedGroup& base() const override { return base_; }
 
  private:
   struct Outcome {

@@ -1,0 +1,151 @@
+#include "diffusion/ris_backend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace imdpp::diffusion {
+
+RisBackend::RisBackend(const Problem& problem, const CampaignConfig& config,
+                       int num_samples, int num_threads,
+                       std::shared_ptr<util::ThreadPool> shared_pool,
+                       SigmaBackendSpec spec)
+    : problem_(problem),
+      mc_(problem, config, num_samples, num_threads, shared_pool),
+      spec_(std::move(spec)),
+      pool_(std::move(shared_pool)),
+      build_threads_(num_threads) {}
+
+void RisBackend::EnsureSketches() const {
+  if (sketches_ != nullptr) return;
+  prep::RisSketchLease lease = prep::AcquireRisSketches(
+      spec_.sketch_cache, problem_, mc_.simulator().config(),
+      spec_.ris_sketches, pool_, build_threads_);
+  sketches_ = lease.sketches;
+  sketch_builds_ += lease.built ? 1 : 0;
+  sketch_reuses_ += lease.reused ? 1 : 0;
+  covered_mark_.assign(static_cast<size_t>(sketches_->num_sketches()), 0);
+  covered_epoch_ = 0;
+}
+
+int64_t RisBackend::CountCovered(const SeedGroup& seeds,
+                                 const std::vector<uint8_t>* market_mask,
+                                 int64_t* covered_market) const {
+  const prep::RisSketchSet& sk = *sketches_;
+  ++covered_epoch_;
+  if (covered_epoch_ == 0) {  // epoch wrap: stamps are stale, reset them
+    std::fill(covered_mark_.begin(), covered_mark_.end(), 0u);
+    covered_epoch_ = 1;
+  }
+  int64_t covered = 0;
+  int64_t market = 0;
+  for (const Seed& s : seeds) {
+    for (int32_t j : sk.Postings(s.user, s.item)) {
+      if (covered_mark_[static_cast<size_t>(j)] == covered_epoch_) continue;
+      covered_mark_[static_cast<size_t>(j)] = covered_epoch_;
+      ++covered;
+      if (market_mask != nullptr &&
+          (*market_mask)[static_cast<size_t>(sk.root_user(j))] != 0) {
+        ++market;
+      }
+    }
+  }
+  if (covered_market != nullptr) *covered_market = market;
+  return covered;
+}
+
+const std::vector<uint8_t>* RisBackend::CachedMask(
+    const std::vector<UserId>& users) const {
+  if (!mask_valid_ || mask_users_ != users) {
+    mask_users_ = users;
+    mask_.assign(static_cast<size_t>(problem_.NumUsers()), 0);
+    for (UserId u : users) mask_[static_cast<size_t>(u)] = 1;
+    mask_valid_ = true;
+  }
+  return &mask_;
+}
+
+void RisBackend::ChargeEstimate() const {
+  num_rounds_skipped_ += static_cast<int64_t>(mc_.num_samples()) *
+                         problem_.num_promotions;
+}
+
+double RisBackend::Sigma(const SeedGroup& seeds) const {
+  util::MutexLock lock(mu_);
+  if (MemoEnabled()) {
+    auto it = sigma_memo_.find(seeds);
+    if (it != sigma_memo_.end()) {
+      ++num_memo_hits_;
+      ChargeEstimate();
+      return it->second;
+    }
+  }
+  EnsureSketches();
+  const double sigma =
+      sketches_->scale_per_sketch() *
+      static_cast<double>(CountCovered(seeds, nullptr, nullptr));
+  ChargeEstimate();
+  if (MemoEnabled() && sigma_memo_.size() < sigma_memo_capacity_) {
+    sigma_memo_.emplace(seeds, sigma);
+  }
+  return sigma;
+}
+
+MarketEval RisBackend::EvalMarket(const SeedGroup& seeds,
+                                  const std::vector<UserId>& users) const {
+  util::MutexLock lock(mu_);
+  if (MemoEnabled()) {
+    auto market_it = market_memo_.find(users);
+    if (market_it != market_memo_.end()) {
+      auto it = market_it->second.find(seeds);
+      if (it != market_it->second.end()) {
+        ++num_memo_hits_;
+        ChargeEstimate();
+        return it->second;
+      }
+    }
+  }
+  EnsureSketches();
+  const std::vector<uint8_t>* mask = CachedMask(users);
+  int64_t covered_market = 0;
+  const int64_t covered = CountCovered(seeds, mask, &covered_market);
+  MarketEval out;
+  out.sigma = sketches_->scale_per_sketch() * static_cast<double>(covered);
+  out.sigma_market =
+      sketches_->scale_per_sketch() * static_cast<double>(covered_market);
+  out.pi = 0.0;  // no likelihood model on sketches (see header)
+  ChargeEstimate();
+  if (MemoEnabled() && market_memo_entries_ < sigma_memo_capacity_) {
+    if (market_memo_[users].emplace(seeds, out).second) {
+      ++market_memo_entries_;
+    }
+  }
+  return out;
+}
+
+ExpectedState RisBackend::Expected(const SeedGroup& seeds) const {
+  return mc_.Expected(seeds);
+}
+
+namespace {
+
+std::unique_ptr<SigmaBackend> MakeRisBackend(
+    const SigmaBackendContext& context) {
+  return std::make_unique<RisBackend>(*context.problem, context.campaign,
+                                      context.num_samples,
+                                      context.num_threads,
+                                      context.shared_pool, context.spec);
+}
+
+IMDPP_REGISTER_SIGMA_BACKEND("ris", MakeRisBackend);
+
+}  // namespace
+
+namespace internal {
+// Linker anchor (see sigma_backend.h): keeps this translation unit — and
+// the self-registration above — in statically linked binaries.
+void AnchorRisBackend() {}
+}  // namespace internal
+
+}  // namespace imdpp::diffusion

@@ -1,0 +1,169 @@
+// The "ris" SigmaBackend: σ by reverse-reachable sketch coverage
+// (prep/ris_sketch.h) instead of forward re-simulation.
+//
+// Estimates are sorted-posting probes over a sketch set built once per
+// (problem structure, importances, base_seed, θ, model) and cached as a
+// prep:: artifact — every σ̂ query after the first costs microseconds, so
+// the greedy selection loops that dominate planning run orders of
+// magnitude faster at scale. The price is accuracy: sketches freeze the
+// dynamics at the initial state (no perception updates, no association
+// adoptions, no promotion timing — a seed covers at any t), so "ris" is a
+// static first-order approximation of the paper's process. The gap
+// against the "mc" reference is gated by tests/backend_test.cc.
+//
+// Pairing: every query is answered on the SAME sketch set, so
+// Sigma(S ∪ {s}) − Sigma(S) is a paired coverage-gain estimate — the
+// common-random-number property the backend contract requires.
+//
+// Division of labor: Expected() (the Dysim machinery's DRE input) has no
+// sketch analogue and delegates to an embedded Monte-Carlo engine;
+// EvalMarket() restricts coverage to market-rooted sketches and reports
+// π̂ = 0 (capabilities().market_likelihood_pi is false — under "ris"
+// TDSI's ML term drops out and timing is driven by σ̂_τ alone).
+#ifndef IMDPP_DIFFUSION_RIS_BACKEND_H_
+#define IMDPP_DIFFUSION_RIS_BACKEND_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "diffusion/monte_carlo.h"
+#include "diffusion/sigma_backend.h"
+#include "prep/ris_sketch.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace imdpp::diffusion {
+
+class RisBackend final : public SigmaBackend {
+ public:
+  /// Mirrors the MonteCarloEngine constructor plus the backend spec
+  /// (θ = spec.ris_sketches, optional shared sketch cache). `num_samples`
+  /// sizes the embedded Monte-Carlo engine Expected() delegates to and
+  /// the naive-work baseline the counters book against.
+  RisBackend(const Problem& problem, const CampaignConfig& config,
+             int num_samples, int num_threads,
+             std::shared_ptr<util::ThreadPool> shared_pool,
+             SigmaBackendSpec spec);
+
+  std::string_view name() const override { return "ris"; }
+  std::string_view description() const override {
+    return "reverse-reachable sketch coverage at frozen initial dynamics "
+           "(fast static approximation)";
+  }
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps;
+    caps.sketch_prep = true;
+    return caps;
+  }
+
+  /// σ̂(S) = scale * #covered sketches. Builds (or acquires from the
+  /// shared cache) the sketch set on first use, under the backend mutex.
+  double Sigma(const SeedGroup& seeds) const override IMDPP_EXCLUDES(mu_);
+
+  /// σ̂ plus the market-rooted restriction; pi is always 0 (see file
+  /// comment). The |V| market mask is cached per user list like the
+  /// Monte-Carlo engine's.
+  MarketEval EvalMarket(const SeedGroup& seeds,
+                        const std::vector<UserId>& users) const override
+      IMDPP_EXCLUDES(mu_);
+
+  /// Delegated to the embedded Monte-Carlo engine: the expected-state
+  /// consumers (r̄^C/r̄^S, AE, DR) need per-user adoption probabilities and
+  /// weightings that coverage counts cannot provide.
+  ExpectedState Expected(const SeedGroup& seeds) const override;
+
+  void EnableSigmaMemo(size_t max_entries = 1 << 14) override
+      IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    sigma_memo_capacity_ = max_entries;
+  }
+
+  const CampaignSimulator& simulator() const override {
+    return mc_.simulator();
+  }
+  int num_samples() const override { return mc_.num_samples(); }
+  int num_threads() const override { return mc_.num_threads(); }
+
+  /// Sketch queries invoke no simulator; only the Expected() delegation
+  /// (and its engine) simulates.
+  int64_t num_simulations() const override {
+    return mc_.num_simulations();
+  }
+  int64_t num_rounds_simulated() const override {
+    return mc_.num_rounds_simulated();
+  }
+  /// Coverage estimates book the whole naive T-rounds-per-sample total as
+  /// skipped, keeping simulated + skipped comparable across backends.
+  int64_t num_rounds_skipped() const override IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return num_rounds_skipped_ + mc_.num_rounds_skipped();
+  }
+  int64_t num_memo_hits() const override IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return num_memo_hits_ + mc_.num_memo_hits();
+  }
+
+  /// Whether this backend's estimates so far built a sketch set (1) or
+  /// served one from the shared cache (tests and diagnostics).
+  int64_t sketch_builds() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return sketch_builds_;
+  }
+  int64_t sketch_reuses() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return sketch_reuses_;
+  }
+
+ private:
+  /// Acquires the sketch set on first use (cache-served when the spec
+  /// carries a shared cache).
+  void EnsureSketches() const IMDPP_REQUIRES(mu_);
+  /// Distinct sketches covered by `seeds`; when `market_mask` is set,
+  /// also counts the covered sketches whose root user is in the market.
+  int64_t CountCovered(const SeedGroup& seeds,
+                       const std::vector<uint8_t>* market_mask,
+                       int64_t* covered_market) const IMDPP_REQUIRES(mu_);
+  const std::vector<uint8_t>* CachedMask(const std::vector<UserId>& users)
+      const IMDPP_REQUIRES(mu_);
+  bool MemoEnabled() const IMDPP_REQUIRES(mu_) {
+    return sigma_memo_capacity_ > 0;
+  }
+  /// Books one coverage estimate (all rounds skipped) / one memo hit.
+  void ChargeEstimate() const IMDPP_REQUIRES(mu_);
+
+  const Problem& problem_;
+  MonteCarloEngine mc_;
+  SigmaBackendSpec spec_;
+  std::shared_ptr<util::ThreadPool> pool_;
+  int build_threads_;
+
+  /// Guards the lazily acquired sketch set, the query scratch, the memos,
+  /// the mask cache and the work counters — the engine-mutex pattern of
+  /// monte_carlo.h.
+  mutable util::Mutex mu_;
+  mutable std::shared_ptr<const prep::RisSketchSet> sketches_
+      IMDPP_GUARDED_BY(mu_);
+  mutable int64_t sketch_builds_ IMDPP_GUARDED_BY(mu_) = 0;
+  mutable int64_t sketch_reuses_ IMDPP_GUARDED_BY(mu_) = 0;
+  /// Epoch-stamped covered flags (θ entries), reused across queries.
+  mutable std::vector<uint32_t> covered_mark_ IMDPP_GUARDED_BY(mu_);
+  mutable uint32_t covered_epoch_ IMDPP_GUARDED_BY(mu_) = 0;
+  mutable int64_t num_rounds_skipped_ IMDPP_GUARDED_BY(mu_) = 0;
+  mutable int64_t num_memo_hits_ IMDPP_GUARDED_BY(mu_) = 0;
+  /// σ / market memos, keyed exactly like the Monte-Carlo engine's.
+  mutable std::map<SeedGroup, double> sigma_memo_ IMDPP_GUARDED_BY(mu_);
+  mutable std::map<std::vector<UserId>, std::map<SeedGroup, MarketEval>>
+      market_memo_ IMDPP_GUARDED_BY(mu_);
+  mutable size_t market_memo_entries_ IMDPP_GUARDED_BY(mu_) = 0;
+  size_t sigma_memo_capacity_ IMDPP_GUARDED_BY(mu_) = 0;
+  mutable std::vector<UserId> mask_users_ IMDPP_GUARDED_BY(mu_);
+  mutable std::vector<uint8_t> mask_ IMDPP_GUARDED_BY(mu_);
+  mutable bool mask_valid_ IMDPP_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace imdpp::diffusion
+
+#endif  // IMDPP_DIFFUSION_RIS_BACKEND_H_

@@ -1,0 +1,275 @@
+// The pluggable σ-evaluation seam (ISSUE 7 tentpole): every planner and
+// baseline estimates σ(S), the market-restricted σ_τ / π_τ, and the
+// expected end-of-campaign state through the abstract SigmaBackend below,
+// and backends register by name exactly like planners and datasets do.
+//
+// The estimation contract every backend must honor:
+//   * Sigma / EvalMarket / Expected are pure functions of (problem,
+//     campaign config, base_seed, num_samples, seed group [, market]) —
+//     bit-identical across calls, thread counts, and processes. All
+//     randomness must be counter-based (util/hash.h), never stateful.
+//   * Estimates for different seed groups under one backend instance are
+//     *paired* (common random numbers): backend.Sigma(S ∪ {s}) −
+//     backend.Sigma(S) must be a low-variance paired estimate of the
+//     marginal gain, because greedy selection everywhere in this repo
+//     compares estimates, not absolute values. Backends achieve this by
+//     reusing the same sampled worlds (realizations, sketches) for every
+//     query they answer.
+//   * Work done per estimate is booked through the num_simulations /
+//     num_rounds_* / num_memo_hits counters so reports stay comparable
+//     across backends.
+//
+// Registered backends:
+//   * "mc"  — MonteCarloEngine (diffusion/monte_carlo.h): forward
+//     re-simulation of the full dynamic-perception process. The accuracy
+//     reference; exact in expectation.
+//   * "ris" — RisBackend (diffusion/ris_backend.h): reverse-reachable
+//     sketches built once per (graph, dynamics, seed, θ) as a prep::
+//     artifact, answering σ by coverage counting. A static first-order
+//     approximation that trades accuracy for orders-of-magnitude cheaper
+//     queries at scale.
+#ifndef IMDPP_DIFFUSION_SIGMA_BACKEND_H_
+#define IMDPP_DIFFUSION_SIGMA_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "diffusion/campaign_simulator.h"
+#include "util/thread_pool.h"
+
+namespace imdpp::prep {
+class RisSketchCache;
+}  // namespace imdpp::prep
+
+namespace imdpp::diffusion {
+
+class MonteCarloEngine;
+class CheckpointedEval;
+
+/// Sample-averaged end-of-campaign state.
+class ExpectedState {
+ public:
+  ExpectedState(int num_users, int num_items, int num_metas);
+
+  double AdoptionProb(UserId u, ItemId x) const {
+    return adoption_prob_[static_cast<size_t>(u) * num_items_ + x];
+  }
+  std::span<const float> AvgWmeta(UserId u) const {
+    return {avg_wmeta_.data() + static_cast<size_t>(u) * num_metas_,
+            static_cast<size_t>(num_metas_)};
+  }
+
+  /// Average complementary relevance r̄^C_{x,y} over `users` (all users if
+  /// empty), evaluated at each user's expected weightings.
+  double AvgRelC(const pin::PersonalItemNetwork& pin,
+                 const std::vector<UserId>& users, ItemId x, ItemId y) const;
+  double AvgRelS(const pin::PersonalItemNetwork& pin,
+                 const std::vector<UserId>& users, ItemId x, ItemId y) const;
+
+  int num_users() const { return num_users_; }
+
+  /// Expected state before any promotion: zero adoptions, initial Wmeta.
+  static ExpectedState InitialOf(const Problem& problem);
+
+ private:
+  friend class MonteCarloEngine;
+  friend class CheckpointedEval;
+  double AvgRel(const pin::PersonalItemNetwork& pin,
+                const std::vector<UserId>& users, ItemId x, ItemId y,
+                bool complementary) const;
+
+  int num_users_;
+  int num_items_;
+  int num_metas_;
+  std::vector<float> adoption_prob_;  ///< |V| x |I|
+  std::vector<float> avg_wmeta_;      ///< |V| x M
+};
+
+/// Joint σ / σ_τ / π_τ estimate (the market triple of Eq. 13).
+struct MarketEval {
+  double sigma = 0.0;         ///< campaign-wide σ̂
+  double sigma_market = 0.0;  ///< σ̂ restricted to the market's users
+  double pi = 0.0;            ///< likelihood π̂_τ (Eq. 13)
+};
+
+/// What a backend can and cannot do — rendered by `imdpp backends`.
+struct BackendCapabilities {
+  /// Re-runs the full dynamic-perception diffusion per estimate (Wmeta
+  /// updates, associations, multi-step rounds). False = static
+  /// approximation with frozen initial dynamics.
+  bool resimulates_dynamics = false;
+  /// EvalMarket fills the likelihood π̂_τ (Eq. 13). False = pi is 0.
+  bool market_likelihood_pi = false;
+  /// MakeScheduleEval reuses promotion-round prefixes across estimates
+  /// (checkpointing) instead of plain forwarding.
+  bool prefix_checkpointing = false;
+  /// Supports starting realizations from an observed state
+  /// (SetInitialStates-style adaptive replanning).
+  bool initial_state_override = false;
+  /// Builds a content-hash-keyed prep:: sketch artifact at first use.
+  bool sketch_prep = false;
+};
+
+/// One backend-owned evaluator bound to a mutable *base* seed group (and
+/// optionally a fixed market): the shape TDSI's PickBest, the greedy
+/// timing placement, and Dysim's DRE loop evaluate through. Backends with
+/// prefix reuse (MC checkpoints) return an accelerated implementation
+/// from MakeScheduleEval; the default simply forwards to the backend.
+/// Single-owner (not thread-safe); estimates are charged to the backend.
+class ScheduleEval {
+ public:
+  virtual ~ScheduleEval() = default;
+
+  /// σ̂(group), bit-identical to backend.Sigma(group).
+  virtual double Sigma(const SeedGroup& group) = 0;
+  /// Joint σ/σ_τ/π estimate of `group` for the fixed market.
+  virtual MarketEval EvalMarket(const SeedGroup& group) = 0;
+  /// Expected end-of-campaign state under `group`.
+  virtual ExpectedState Expected(const SeedGroup& group) = 0;
+  /// Adopts `base` as the new base group (prefix-reusing implementations
+  /// keep the checkpoints of every round before the first divergence).
+  virtual void Rebase(SeedGroup base) = 0;
+  virtual const SeedGroup& base() const = 0;
+};
+
+/// Abstract σ-evaluation backend. See the file comment for the estimation
+/// contract. Estimate entry points are const and safe to share across
+/// threads at estimate granularity (implementations serialize internally);
+/// the non-const members (EnableSigmaMemo) are setup-phase only.
+class SigmaBackend {
+ public:
+  virtual ~SigmaBackend() = default;
+
+  /// Registry key ("mc", "ris").
+  virtual std::string_view name() const = 0;
+  /// One-line summary for `imdpp backends`.
+  virtual std::string_view description() const = 0;
+  virtual BackendCapabilities capabilities() const = 0;
+
+  /// σ̂(S): mean importance-weighted adoptions.
+  virtual double Sigma(const SeedGroup& seeds) const = 0;
+  /// Joint estimate of σ, σ_τ and π_τ for the market `users` in one pass.
+  virtual MarketEval EvalMarket(const SeedGroup& seeds,
+                                const std::vector<UserId>& users) const = 0;
+  /// Expected end-of-campaign state under `seeds`.
+  virtual ExpectedState Expected(const SeedGroup& seeds) const = 0;
+
+  /// Opts in to memoizing estimates by exact input (identical input =>
+  /// identical estimate): Sigma() by seed vector, EvalMarket() by
+  /// (seed vector, market user list). Off by default to keep the
+  /// work-counter semantics of plain backends.
+  virtual void EnableSigmaMemo(size_t max_entries = 1 << 14) = 0;
+
+  /// An evaluator bound to `base` (and `market`, for EvalMarket). The
+  /// base-class implementation forwards every call to this backend;
+  /// backends with prefix reuse override it.
+  virtual std::unique_ptr<ScheduleEval> MakeScheduleEval(
+      SeedGroup base, std::vector<UserId> market = {}) const;
+
+  /// The underlying campaign simulator — the problem/dynamics surface
+  /// (`simulator().problem()`, `simulator().dynamics().pin()`) planners
+  /// read regardless of how σ is estimated.
+  virtual const CampaignSimulator& simulator() const = 0;
+
+  /// Realizations (or sketch-budget equivalent) per estimate.
+  virtual int num_samples() const = 0;
+  /// Resolved executor count (>= 0; 0 and 1 both mean serial).
+  virtual int num_threads() const = 0;
+
+  /// Work counters (see monte_carlo.h for the mc semantics; every backend
+  /// keeps simulated + skipped equal to the naive T-rounds-per-sample
+  /// total over the estimates it was asked for).
+  virtual int64_t num_simulations() const = 0;
+  virtual int64_t num_rounds_simulated() const = 0;
+  virtual int64_t num_rounds_skipped() const = 0;
+  virtual int64_t num_memo_hits() const = 0;
+};
+
+/// Which backend to build and its backend-specific knobs — the value that
+/// travels PlannerConfig → DysimConfig/BaselineConfig → MakeSigmaBackend.
+struct SigmaBackendSpec {
+  std::string name = "mc";
+  /// "ris": reverse-reachable sketches per sketch set (θ).
+  int ris_sketches = 4096;
+  /// Optional shared sketch-artifact cache (sessions inject theirs so
+  /// planners and sweeps reuse one build per dataset); null = the backend
+  /// builds a private sketch set.
+  std::shared_ptr<prep::RisSketchCache> sketch_cache;
+};
+
+/// Everything a backend factory gets to build an instance: the engine
+/// constructor arguments of the pre-seam era plus the spec.
+struct SigmaBackendContext {
+  const Problem* problem = nullptr;
+  CampaignConfig campaign;
+  int num_samples = 0;
+  int num_threads = util::kAutoThreads;
+  std::shared_ptr<util::ThreadPool> shared_pool;
+  SigmaBackendSpec spec;
+};
+
+/// String-keyed backend registry, mirroring api::PlannerRegistry and
+/// data::DatasetRegistry (one util::Registry under the hood): duplicate
+/// names abort, Names() is sorted, misses report the sorted known keys.
+class SigmaBackendRegistry {
+ public:
+  using Factory =
+      std::unique_ptr<SigmaBackend> (*)(const SigmaBackendContext& context);
+
+  /// Registers `factory` under `name`; aborts on duplicates. Meant to be
+  /// called from namespace-scope initializers via
+  /// IMDPP_REGISTER_SIGMA_BACKEND.
+  static bool Register(std::string name, Factory factory);
+
+  /// Builds the backend registered under `name`, or returns nullptr.
+  static std::unique_ptr<SigmaBackend> Create(
+      std::string_view name, const SigmaBackendContext& context);
+
+  /// Like Create, but prints UnknownMessage and aborts on a miss.
+  static std::unique_ptr<SigmaBackend> CreateOrDie(
+      std::string_view name, const SigmaBackendContext& context);
+
+  static bool Has(std::string_view name);
+
+  /// Sorted registered names.
+  static std::vector<std::string> Names();
+
+  /// `unknown backend "name"; registered: mc ris`.
+  static std::string UnknownMessage(std::string_view name);
+};
+
+/// Builds the backend `spec` names with CreateOrDie semantics — the one
+/// construction path planners, baselines and the session all use. Callers
+/// with user-provided names validate via SigmaBackendRegistry::Has first.
+std::unique_ptr<SigmaBackend> MakeSigmaBackend(
+    const SigmaBackendSpec& spec, const Problem& problem,
+    const CampaignConfig& campaign, int num_samples, int num_threads,
+    std::shared_ptr<util::ThreadPool> shared_pool);
+
+namespace internal {
+/// Linker anchors: the builtin backends self-register from their own
+/// translation units; referencing these no-op functions from every
+/// registry lookup keeps those TUs linked into static binaries.
+void AnchorMcBackend();   // defined in monte_carlo.cc
+void AnchorRisBackend();  // defined in ris_backend.cc
+void EnsureBuiltinSigmaBackends();
+}  // namespace internal
+
+/// Registers `fn` (a `std::unique_ptr<SigmaBackend>(const
+/// SigmaBackendContext&)` factory) under `key` at static-init time.
+#define IMDPP_REGISTER_SIGMA_BACKEND(key, fn)                               \
+  [[maybe_unused]] static const bool imdpp_backend_registered_##fn =        \
+      ::imdpp::diffusion::SigmaBackendRegistry::Register(                   \
+          key, +[](const ::imdpp::diffusion::SigmaBackendContext& context)  \
+                   -> std::unique_ptr<::imdpp::diffusion::SigmaBackend> {   \
+            return fn(context);                                             \
+          })
+
+}  // namespace imdpp::diffusion
+
+#endif  // IMDPP_DIFFUSION_SIGMA_BACKEND_H_

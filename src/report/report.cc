@@ -92,6 +92,7 @@ util::Json SweepJson(const std::string& name,
     p.Set("promotions", rec.point.num_promotions);
     if (rec.point.theta >= 0) p.Set("theta", rec.point.theta);
     p.Set("threads", rec.point.num_threads);
+    p.Set("backend", rec.point.backend.empty() ? "mc" : rec.point.backend);
     p.Set("result", PlanResultJson(rec.result, include_timings));
     points.Append(std::move(p));
   }
@@ -104,10 +105,10 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
   std::vector<std::string> header{
       "dataset",     "scale",        "planner",
       "budget",      "promotions",   "theta",
-      "threads",     "sigma",        "total_cost",
-      "num_seeds",   "simulations",  "rounds_simulated",
-      "rounds_skipped", "memo_hits", "prep_builds",
-      "prep_reuses"};
+      "threads",     "backend",      "sigma",
+      "total_cost",  "num_seeds",    "simulations",
+      "rounds_simulated", "rounds_skipped", "memo_hits",
+      "prep_builds", "prep_reuses"};
   if (include_timings) {
     header.push_back("prep_millis");
     header.push_back("wall_seconds");
@@ -125,6 +126,7 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
         std::to_string(rec.point.num_promotions),
         rec.point.theta >= 0 ? std::to_string(rec.point.theta) : "-",
         std::to_string(rec.point.num_threads),
+        rec.point.backend.empty() ? "mc" : rec.point.backend,
         Fixed(r.sigma, 4),
         Fixed(r.total_cost, 2),
         std::to_string(r.seeds.size()),

@@ -1,0 +1,84 @@
+// The shared contract of the string-keyed self-registration registries
+// (api::PlannerRegistry, data::DatasetRegistry,
+// diffusion::SigmaBackendRegistry): duplicate names abort, Names() is
+// sorted, and every lookup failure reports the unknown name plus the
+// sorted known keys. The public registries stay thin typed façades over
+// one instance each — their call sites never see this template, and each
+// façade keeps its own Meyers singleton so registration statics in other
+// translation units stay ordering-safe.
+#ifndef IMDPP_UTIL_REGISTRY_H_
+#define IMDPP_UTIL_REGISTRY_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace imdpp::util {
+
+/// `Factory` is any nullable callable handle (the façades use plain
+/// function pointers). `kind` names the registered thing in messages
+/// ("planner", "dataset", "backend").
+template <typename Factory>
+class Registry {
+ public:
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers `factory` under `name`; returns true. Duplicate names
+  /// abort (two implementations claiming one key is a programming error).
+  bool Register(std::string name, Factory factory) {
+    IMDPP_CHECK(factory != nullptr);
+    auto [it, inserted] = factories_.emplace(std::move(name), factory);
+    if (!inserted) {
+      std::fprintf(stderr, "duplicate %s registration: %s\n", kind_.c_str(),
+                   it->first.c_str());
+      std::abort();
+    }
+    return true;
+  }
+
+  /// The factory registered under `name`, or nullptr on a miss.
+  const Factory* Find(std::string_view name) const {
+    auto it = factories_.find(name);
+    return it == factories_.end() ? nullptr : &it->second;
+  }
+
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) names.push_back(name);
+    return names;  // std::map iterates sorted
+  }
+
+  /// `unknown <kind> "name"; registered: a b c` — the failure message
+  /// every lookup path reports (façades may append recognized name
+  /// families of their own).
+  std::string UnknownMessage(std::string_view name) const {
+    std::string msg = "unknown ";
+    msg += kind_;
+    msg += " \"";
+    msg += name;
+    msg += "\"; registered:";
+    for (const auto& [known, factory] : factories_) {
+      msg += ' ';
+      msg += known;
+    }
+    return msg;
+  }
+
+ private:
+  std::string kind_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace imdpp::util
+
+#endif  // IMDPP_UTIL_REGISTRY_H_

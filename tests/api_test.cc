@@ -12,6 +12,7 @@
 #include "api/session.h"
 #include "data/catalog.h"
 #include "data/dataset_registry.h"
+#include "diffusion/sigma_backend.h"
 #include "tests/test_util.h"
 
 namespace imdpp::api {
@@ -107,6 +108,52 @@ TEST(DatasetRegistry, UnknownMessageListsEveryRegisteredNameSorted) {
   EXPECT_FALSE(data::DatasetRegistry::Make({"no_such_dataset", 1.0, 0},
                                            &unused, &error));
   EXPECT_EQ(error, msg);
+}
+
+TEST(SigmaBackendRegistry, EveryExpectedNameCreatesAWorkingBackend) {
+  // The σ-backend registry round-trips like the planner registry: every
+  // registered name builds a backend whose name() echoes the key.
+  TinyWorld w = ConformanceWorld();
+  const std::vector<std::string> names =
+      diffusion::SigmaBackendRegistry::Names();
+  EXPECT_EQ(names, (std::vector<std::string>{"mc", "ris"}));
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const std::string& name : names) {
+    EXPECT_TRUE(diffusion::SigmaBackendRegistry::Has(name)) << name;
+    diffusion::SigmaBackendSpec spec;
+    spec.name = name;
+    spec.ris_sketches = 64;
+    std::unique_ptr<diffusion::SigmaBackend> backend =
+        diffusion::MakeSigmaBackend(spec, w.problem, {}, /*num_samples=*/4,
+                                    /*num_threads=*/0, nullptr);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_EQ(backend->name(), name);
+    EXPECT_FALSE(backend->description().empty()) << name;
+    // Backends answer estimates out of the box and pair repeated queries.
+    const diffusion::SeedGroup seeds = {{0, 0, 1}};
+    EXPECT_GE(backend->Sigma(seeds), 0.0) << name;
+    EXPECT_DOUBLE_EQ(backend->Sigma(seeds), backend->Sigma(seeds)) << name;
+  }
+}
+
+TEST(SigmaBackendRegistry, UnknownNameFailsCleanly) {
+  EXPECT_FALSE(diffusion::SigmaBackendRegistry::Has("no_such_backend"));
+  EXPECT_EQ(diffusion::SigmaBackendRegistry::Create("no_such_backend", {}),
+            nullptr);
+  EXPECT_EQ(diffusion::SigmaBackendRegistry::Create("", {}), nullptr);
+}
+
+TEST(SigmaBackendRegistry, UnknownMessageListsEveryRegisteredNameSorted) {
+  const std::string msg =
+      diffusion::SigmaBackendRegistry::UnknownMessage("no_such_backend");
+  EXPECT_NE(msg.find("no_such_backend"), std::string::npos) << msg;
+  size_t last_pos = 0;
+  for (const std::string& name : diffusion::SigmaBackendRegistry::Names()) {
+    const size_t pos = msg.find(" " + name);
+    ASSERT_NE(pos, std::string::npos) << name << " missing from: " << msg;
+    EXPECT_GT(pos, last_pos) << "names not in sorted order: " << msg;
+    last_pos = pos;
+  }
 }
 
 TEST(DatasetRegistry, ResolvesCatalogKeysScaleFamilyAndSpecs) {
@@ -216,7 +263,7 @@ TEST(CampaignSession, RunsAndComparesPlannersOnAnOwnedDataset) {
 TEST(CampaignSession, SetProblemWithUnchangedCoordinatesIsANoOp) {
   CampaignSession session(data::MakeFig1Toy(), FastConfig());
   session.SetProblem(20.0, 2);
-  diffusion::MonteCarloEngine* engine = &session.engine();
+  diffusion::SigmaBackend* engine = &session.engine();
   // Unchanged coordinates: the shared engine (and with it the warm prep
   // artifacts) survives — no rebuild, no reset.
   session.SetProblem(20.0, 2);

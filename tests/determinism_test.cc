@@ -13,6 +13,7 @@
 #include "api/session.h"
 #include "data/catalog.h"
 #include "diffusion/monte_carlo.h"
+#include "diffusion/sigma_backend.h"
 #include "util/thread_pool.h"
 
 namespace imdpp::api {
@@ -159,6 +160,73 @@ TEST(DeterminismGate, PrepCacheColdVsWarmBitIdenticalForEveryPlanner) {
       ExpectSamePlan(cold, r, "prep build threads");
     }
   }
+}
+
+// ISSUE 7: the SigmaBackend seam must be invisible for "mc" — the
+// registry-built backend is the Monte-Carlo engine, bit-identical to
+// constructing the engine directly, at 1/2/hardware thread counts.
+TEST(DeterminismGate, RegistryMcBackendMatchesDirectEngineAcrossThreads) {
+  const int hardware = util::HardwareConcurrency();
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem problem = ds.MakeProblem(/*budget=*/100.0,
+                                              /*num_promotions=*/2);
+  diffusion::CampaignConfig campaign;
+  campaign.base_seed = 20260731;
+  const diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 2}};
+  diffusion::MonteCarloEngine direct(problem, campaign, 8, /*num_threads=*/1);
+  const double expected = direct.Sigma(seeds);
+  for (int threads : {1, 2, hardware}) {
+    diffusion::SigmaBackendSpec spec;  // defaults to name = "mc"
+    std::unique_ptr<diffusion::SigmaBackend> backend =
+        diffusion::MakeSigmaBackend(spec, problem, campaign, 8, threads,
+                                    nullptr);
+    EXPECT_EQ(backend->name(), "mc");
+    EXPECT_EQ(backend->Sigma(seeds), expected) << "threads=" << threads;
+  }
+}
+
+// The "ris" sketch build shards by θ alone and merges in ascending sketch
+// order, so estimates are bit-identical at any build thread count.
+TEST(DeterminismGate, RisBackendBitIdenticalAcrossBuildThreadCounts) {
+  const int hardware = util::HardwareConcurrency();
+  data::Dataset ds = data::MakeSmallAmazonSample();
+  diffusion::Problem problem = ds.MakeProblem(/*budget=*/100.0,
+                                              /*num_promotions=*/2);
+  diffusion::CampaignConfig campaign;
+  campaign.base_seed = 20260731;
+  const diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 2}};
+  std::vector<double> sigmas;
+  for (int threads : {0, 1, 2, hardware}) {
+    diffusion::SigmaBackendSpec spec;
+    spec.name = "ris";
+    spec.ris_sketches = 8192;  // enough that the tiny seed group covers
+    std::unique_ptr<diffusion::SigmaBackend> backend =
+        diffusion::MakeSigmaBackend(spec, problem, campaign, 8, threads,
+                                    util::MakeWorkerPool(threads));
+    sigmas.push_back(backend->Sigma(seeds));
+  }
+  EXPECT_GT(sigmas[0], 0.0);
+  for (size_t i = 1; i < sigmas.size(); ++i) {
+    EXPECT_EQ(sigmas[i], sigmas[0]);
+  }
+}
+
+// And a full planner run under eval.backend = "ris" stays bit-identical
+// across executor counts, like every other gate in this file.
+TEST(DeterminismGate, DysimUnderRisBackendBitIdenticalAcrossThreadCounts) {
+  auto run = [](int threads) {
+    PlannerConfig cfg = GateConfig(threads);
+    cfg.eval.backend = "ris";
+    cfg.eval.ris_sketches = 256;
+    CampaignSession session(data::MakeSmallAmazonSample(), cfg);
+    session.SetProblem(/*budget=*/100.0, /*num_promotions=*/2);
+    return session.Run("dysim");
+  };
+  PlanResult one = run(1);
+  PlanResult two = run(2);
+  PlanResult wide = run(util::HardwareConcurrency());
+  ExpectSamePlan(one, two, "ris: 1 thread vs 2 threads");
+  ExpectSamePlan(one, wide, "ris: 1 thread vs hardware threads");
 }
 
 TEST(DeterminismGate, SessionSigmaThreadCountInvariant) {
