@@ -80,10 +80,10 @@ int main(int argc, char** argv) {
   util::Json parsed;
   config::SweepSpec spec;
   std::vector<report::SweepRecord> records;
-  std::string error;
-  if (!config::LoadJsonFile(path, &parsed, &error) ||
-      !config::LoadSweepSpec(parsed, &spec, &error)) {
-    std::fprintf(stderr, "%s\n", error.c_str());
+  util::Status status = config::LoadJsonFile(path, &parsed);
+  if (status.ok()) status = config::LoadSweepSpec(parsed, &spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
   if (spec.promotions.size() != 1) {
@@ -95,8 +95,9 @@ int main(int argc, char** argv) {
                  path.c_str(), spec.promotions.size());
     return 1;
   }
-  if (!cli::RunSweep(spec, &records, &error)) {
-    std::fprintf(stderr, "%s\n", error.c_str());
+  status = cli::RunSweep(spec, &records);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
 

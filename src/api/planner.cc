@@ -2,15 +2,29 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace imdpp::api {
 
 PlanResult Planner::Plan(const diffusion::Problem& problem) const {
   Timer timer;
+  const util::RobustnessCounters before = util::SnapshotRobustnessCounters();
   PlanResult result = PlanImpl(problem);
   result.wall_seconds = timer.Seconds();
   result.planner = std::string(name());
+  // Robustness accounting (ISSUE 8): what this run injected, retried and
+  // degraded, as deltas of the process-wide counters. CampaignSession::Run
+  // re-books over this with its wider bracket (final σ̂ included).
+  const util::RobustnessCounters after = util::SnapshotRobustnessCounters();
+  result.faults_injected = after.faults_injected - before.faults_injected;
+  result.retries = after.retries - before.retries;
+  result.fallbacks = after.fallbacks - before.fallbacks;
+  // A fired run token is the run's outcome, whatever PlanImpl returned:
+  // planners stop at their next boundary and surface partial state.
+  if (result.status.ok() && config_.cancel != nullptr) {
+    result.status = config_.cancel->Check();
+  }
   if (result.total_cost == 0.0 && !result.seeds.empty()) {
     result.total_cost = problem.TotalCost(result.seeds);
   }

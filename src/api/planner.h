@@ -28,6 +28,8 @@
 #include "diffusion/problem.h"
 #include "diffusion/seed.h"
 #include "prep/prep.h"
+#include "util/cancel.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace imdpp::api {
@@ -67,6 +69,20 @@ struct PlannerConfig {
   /// (and share internally) their own.
   std::shared_ptr<util::ThreadPool> shared_pool;
 
+  /// Wall-clock budget for one Plan() call in milliseconds (0 = none).
+  /// CampaignSession::Run turns this into a deadline token; past the
+  /// deadline the run stops at the next shard / iteration boundary and
+  /// reports kDeadlineExceeded. Purely a cutoff — runs that finish in
+  /// time are bit-identical to deadline-free runs.
+  int64_t deadline_ms = 0;
+
+  /// Cooperative cancellation/deadline token threaded through every
+  /// engine, prep build and greedy loop the run touches (ISSUE 8). Null =
+  /// the session derives one from deadline_ms (or the backends make
+  /// private ones). Fire it from any thread to stop the run promptly with
+  /// kCancelled; the session and pool stay reusable.
+  std::shared_ptr<util::CancelToken> cancel;
+
   /// prep:: artifact-layer knobs (market structure built once per
   /// dataset; see prep/prep.h).
   struct PrepOptions {
@@ -95,6 +111,11 @@ struct PlannerConfig {
     std::string backend = "mc";
     /// Sketch count θ for the "ris" backend (ignored by "mc").
     int ris_sketches = 4096;
+    /// Opt-in graceful degradation (ISSUE 8): registry key of the backend
+    /// a failing primary falls back to (today: "ris" degrading to its
+    /// embedded "mc" engine when the sketch build fails). Empty = a
+    /// backend failure fails the run.
+    std::string fallback_backend;
   };
   EvalOptions eval;
 
@@ -176,6 +197,18 @@ struct PlanResult {
   std::vector<diffusion::Nominee> nominees;
   size_t num_markets = 0;
   size_t num_groups = 0;
+
+  /// How the run ended (ISSUE 8): OkStatus() for a completed plan;
+  /// kCancelled / kDeadlineExceeded when the run's token fired; the
+  /// injected or real error otherwise. A non-ok result's seeds/sigma are
+  /// whatever partial state existed at the stop and must not be compared.
+  util::Status status;
+  /// Robustness accounting for this run: deltas of the process-wide
+  /// counters (util/fault_injection.h) across the run. 0/0/0 on the happy
+  /// path.
+  int64_t faults_injected = 0;  ///< armed fault points that fired
+  int64_t retries = 0;          ///< transient-fault retry attempts
+  int64_t fallbacks = 0;        ///< graceful degradations taken
 };
 
 /// Maps the unified config onto Dysim's native struct (folding the master

@@ -55,6 +55,7 @@ PlanResult FromBaseline(baselines::BaselineResult r) {
   out.prep_builds = r.prep_builds;
   out.prep_reuses = r.prep_reuses;
   out.prep_millis = r.prep_millis;
+  out.status = std::move(r.status);
   return out;
 }
 
@@ -82,6 +83,7 @@ class DysimPlanner : public Planner {
     out.nominees = std::move(r.nominees);
     out.num_markets = r.plan.markets.size();
     out.num_groups = r.plan.groups.size();
+    out.status = std::move(r.status);
     return out;
   }
 };
@@ -106,6 +108,7 @@ class AdaptivePlanner : public Planner {
     out.prep_builds = r.prep_builds;
     out.prep_reuses = r.prep_reuses;
     out.prep_millis = r.prep_millis;
+    out.status = std::move(r.status);
     for (core::AdaptiveRound& round : r.rounds) {
       PlanRound pr;
       pr.promotion = round.promotion;
@@ -114,6 +117,9 @@ class AdaptivePlanner : public Planner {
       pr.realized_sigma = round.realized_sigma;
       out.rounds.push_back(std::move(pr));
     }
+    // A failed run keeps its partial trajectory; nothing left to
+    // re-estimate.
+    if (!out.status.ok()) return out;
     // The adaptive run reports one realized trajectory; re-estimate the
     // final schedule's σ̂ from the initial state so `sigma` means the same
     // thing for every planner.
@@ -335,6 +341,8 @@ diffusion::SigmaBackendSpec ToBackendSpec(const PlannerConfig& c) {
   spec.name = c.eval.backend;
   spec.ris_sketches = c.eval.ris_sketches;
   spec.sketch_cache = c.sketch_cache;
+  spec.cancel = c.cancel;
+  spec.fallback_backend = c.eval.fallback_backend;
   return spec;
 }
 

@@ -1,9 +1,11 @@
 #include "api/session.h"
 
+#include <chrono>
 #include <utility>
 
 #include "prep/ris_sketch.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace imdpp::api {
 
@@ -52,6 +54,7 @@ PlanResult CampaignSession::Run(const std::string& planner_name) {
 PlanResult CampaignSession::Run(const std::string& planner_name,
                                 const PlannerConfig& config) {
   IMDPP_CHECK(problem_.graph != nullptr);  // SetProblem first
+  const util::RobustnessCounters before = util::SnapshotRobustnessCounters();
   PlannerConfig run_config = config;
   if (run_config.shared_pool == nullptr) {
     run_config.shared_pool = SharedPool(run_config.num_threads);
@@ -65,10 +68,51 @@ PlanResult CampaignSession::Run(const std::string& planner_name,
   if (run_config.sketch_cache == nullptr) {
     run_config.sketch_cache = sketch_cache_;
   }
+  // Every Run gets its own cancellation token (ISSUE 8): deadline-armed
+  // when the config asks for one, plain otherwise, so the plumbing is
+  // live — and tested — on every run. A caller-provided token wins (the
+  // caller decides its deadline), and either way a fired token never
+  // outlives this Run: the session and its pool stay reusable.
+  if (run_config.cancel == nullptr) {
+    run_config.cancel =
+        run_config.deadline_ms > 0
+            ? util::CancelToken::WithDeadline(
+                  std::chrono::milliseconds(run_config.deadline_ms))
+            : std::make_shared<util::CancelToken>();
+  }
+  PlanResult result;
+  // Soft lookup (ISSUE 8): an unknown planner is a structured kNotFound
+  // result, not an abort — the CLI maps it to its exit code and JSON.
   std::unique_ptr<Planner> planner =
-      PlannerRegistry::CreateOrDie(planner_name, run_config);
-  PlanResult result = planner->Plan(problem_);
-  result.sigma = Sigma(result.seeds);
+      PlannerRegistry::Create(planner_name, run_config);
+  if (planner == nullptr) {
+    result.planner = planner_name;
+    result.status = util::NotFoundError(
+        PlannerRegistry::UnknownMessage(planner_name));
+  } else {
+    result = planner->Plan(problem_);
+    // The final paired σ̂ on the shared engine is skipped for a failed
+    // run: its seeds are partial state, and scoring them would burn the
+    // deadline the run already missed.
+    if (result.status.ok()) result.sigma = Sigma(result.seeds);
+  }
+  // Re-book the robustness deltas over the whole Run bracket (planning
+  // plus the final σ̂), superseding Plan()'s narrower bracket.
+  const util::RobustnessCounters after = util::SnapshotRobustnessCounters();
+  result.faults_injected = after.faults_injected - before.faults_injected;
+  result.retries = after.retries - before.retries;
+  result.fallbacks = after.fallbacks - before.fallbacks;
+  // The shared scoring engine may have latched an eval fault of its own
+  // (its token is the session config's, not this run's). Surface it and
+  // drop the poisoned engine, so the next run rebuilds a fresh one — the
+  // session stays reusable after a failed run.
+  if (result.status.ok() && engine_ != nullptr) {
+    const util::CancelToken* shared = engine_->cancel_token();
+    if (shared != nullptr) {
+      result.status = shared->Check();
+      if (!result.status.ok()) engine_.reset();
+    }
+  }
   return result;
 }
 

@@ -66,9 +66,12 @@ class CampaignSession {
                                 double budget, int num_promotions,
                                 pin::PerceptionParams params = {});
 
-  /// Plans with the named registered planner (aborts on unknown names —
-  /// use PlannerRegistry::Create for a soft failure), then re-estimates
-  /// σ̂ on the shared engine.
+  /// Plans with the named registered planner, then re-estimates σ̂ on the
+  /// shared engine. Failures are structured (ISSUE 8), never aborts: an
+  /// unknown name returns a kNotFound result, a fired deadline /
+  /// cancellation / injected fault returns the token's reason in
+  /// PlanResult::status with whatever partial state existed — and the
+  /// session (engine, caches, pool) stays reusable for the next run.
   PlanResult Run(const std::string& planner_name);
 
   /// Same, but plans under `config` instead of the session's config

@@ -1,5 +1,7 @@
 #include "baselines/common.h"
 
+#include "util/cancel.h"
+
 namespace imdpp::baselines {
 
 BaselineResult FinalizeResult(const Problem& problem,
@@ -13,6 +15,9 @@ BaselineResult FinalizeResult(const Problem& problem,
   result.total_cost = problem.TotalCost(seeds);
   result.seeds = std::move(seeds);
   result.simulations = search_simulations + eval->num_simulations();
+  // A fired run token is the baseline's outcome (the estimates above
+  // returned don't-care values once it fired).
+  result.status = util::CheckCancel(config.backend.cancel.get());
   return result;
 }
 

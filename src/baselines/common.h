@@ -12,6 +12,7 @@
 #include "diffusion/monte_carlo.h"
 #include "diffusion/problem.h"
 #include "prep/prep.h"
+#include "util/status.h"
 
 namespace imdpp::baselines {
 
@@ -51,6 +52,10 @@ struct BaselineResult {
   int64_t prep_builds = 0;
   int64_t prep_reuses = 0;
   double prep_millis = 0.0;
+  /// How the run ended (see core::DysimResult::status): OkStatus() for a
+  /// completed baseline, the token's reason or a prep-acquisition error
+  /// otherwise. FinalizeResult fills it from the run's token.
+  util::Status status;
 };
 
 /// Final σ̂ at eval_samples plus bookkeeping, shared by every baseline.

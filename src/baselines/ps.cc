@@ -4,6 +4,7 @@
 
 #include "baselines/cr_greedy.h"
 #include "graph/graph_algos.h"
+#include "util/cancel.h"
 
 namespace imdpp::baselines {
 
@@ -19,9 +20,16 @@ BaselineResult RunPs(const Problem& problem, const PsConfig& config) {
   // artifacts: batch-computed in parallel on first use, then shared with
   // Dysim's market build (same (threshold, max_hops) = same entries) and
   // with later PS runs of the session.
-  prep::PrepLease lease =
+  util::StatusOr<prep::PrepLease> lease_or =
       prep::AcquirePrep(config.prep_cache, config.prep_cache_enabled, problem,
-                        config.shared_pool, config.prep_build_threads);
+                        config.shared_pool, config.prep_build_threads,
+                        config.backend.cancel);
+  if (!lease_or.ok()) {
+    BaselineResult failed;
+    failed.status = lease_or.status();
+    return failed;
+  }
+  prep::PrepLease& lease = *lease_or;
   prep::PrepArtifacts& art = *lease.artifacts;
   const double prep_millis_before = lease.built ? 0.0 : art.total_millis();
   std::vector<graph::UserId> sources;
@@ -37,7 +45,9 @@ BaselineResult RunPs(const Problem& problem, const PsConfig& config) {
   std::vector<uint8_t> used(candidates.size(), 0);
   std::vector<Nominee> selected;
   double spent = 0.0;
-  while (true) {
+  // Greedy-iteration boundary checks (ISSUE 8): a fired token stops the
+  // coverage greedy with the seeds picked so far.
+  while (util::CheckCancel(config.backend.cancel.get()).ok()) {
     int best = -1;
     double best_ratio = 0.0;
     for (size_t i = 0; i < candidates.size(); ++i) {

@@ -15,6 +15,8 @@
 #include "diffusion/sigma_backend.h"
 #include "prep/prep.h"
 #include "report/report.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
 
 namespace imdpp::cli {
 
@@ -50,6 +52,9 @@ shared flags (plan, compare):
   --eval-samples N         final-evaluation Monte-Carlo samples
   --backend NAME           σ-evaluation backend (default mc; see `imdpp
                            backends`)
+  --deadline-ms N          per-run wall-clock budget in milliseconds
+                           (0 = none); an expired deadline fails the run
+                           with deadline_exceeded instead of finishing
   --timings                include wall-clock fields (breaks byte-stability)
   --out FILE               write JSON here instead of stdout
 
@@ -62,6 +67,14 @@ datasets: --prep plus the shared flags above (problem coordinates default
 
 flag files: --flagfile FILE splices whitespace-separated tokens from FILE
 (# comments); flags given after it override the file's.
+
+robustness: failures are structured — every error prints one JSON line
+{"error":{"code":...,"code_name":...,"message":...}} on stderr before the
+human message, and exits 2 for invalid_argument, 1 otherwise.
+--fail-on SPEC[,SPEC...] (or the IMDPP_FAIL_ON env var) arms named fault
+points for testing, SPEC = point[:RANGE][:CODE], e.g.
+`prep.build:1:resource_exhausted`. Underscore spellings --deadline_ms /
+--fail_on are accepted aliases.
 
 Identical invocations print identical bytes (unless --timings), so
 `imdpp plan ... | diff - <(imdpp plan ...)` is a determinism check.
@@ -89,6 +102,24 @@ int UsageError(std::ostream& err, const std::string& message) {
 int RuntimeError(std::ostream& err, const std::string& message) {
   err << "imdpp: " << message << "\n";
   return 1;
+}
+
+/// The structured-error boundary (ISSUE 8): every util::Status failure
+/// leaves the CLI through here. One compact machine-readable JSON line on
+/// stderr — {"error":{"code":...,"code_name":...,"message":...}}, fixed
+/// member order, byte-deterministic — then the human rendering; exit code
+/// follows the legacy split: kInvalidArgument is a usage error (2),
+/// everything else a runtime failure (1).
+int StatusError(std::ostream& err, const util::Status& status) {
+  util::Json detail = util::Json::Object();
+  detail.Set("code", static_cast<int>(status.code()));
+  detail.Set("code_name", std::string(util::StatusCodeName(status.code())));
+  detail.Set("message", status.message());
+  util::Json wrapper = util::Json::Object();
+  wrapper.Set("error", std::move(detail));
+  err << wrapper.Dump() << "\n";
+  err << "imdpp: " << status.ToString() << "\n";
+  return status.code() == util::StatusCode::kInvalidArgument ? 2 : 1;
 }
 
 bool ParseNumberFlag(const config::ParsedArgs& args, const char* key,
@@ -144,58 +175,62 @@ struct ProblemSetup {
   bool timings = false;
 };
 
-bool LoadProblemSetup(const config::ParsedArgs& args, ProblemSetup* setup,
-                      std::string* error, bool dataset_required = true) {
+util::Status LoadProblemSetup(const config::ParsedArgs& args,
+                              ProblemSetup* setup,
+                              bool dataset_required = true) {
+  std::string error;
   const std::string* dataset = args.Find("dataset");
   if (dataset == nullptr && dataset_required) {
-    *error = "--dataset is required";
-    return false;
+    return util::InvalidArgumentError("--dataset is required");
   }
   if (dataset != nullptr) setup->dataset = data::ParseDatasetSpec(*dataset);
-  if (!ParseNumberFlag(args, "scale", &setup->dataset.scale, error)) {
-    return false;
-  }
-  if (!ParseSeedFlag(args, "dataset-seed", &setup->dataset.seed, error)) {
-    return false;
+  if (!ParseNumberFlag(args, "scale", &setup->dataset.scale, &error) ||
+      !ParseSeedFlag(args, "dataset-seed", &setup->dataset.seed, &error)) {
+    return util::InvalidArgumentError(std::move(error));
   }
 
   if (const std::string* config_path = args.Find("config")) {
     util::Json overrides;
-    if (!config::LoadJsonFile(*config_path, &overrides, error)) return false;
-    if (!config::ApplyPlannerConfigJson(overrides, &setup->config, error)) {
-      *error = *config_path + ": " + *error;
-      return false;
+    IMDPP_RETURN_IF_ERROR(config::LoadJsonFile(*config_path, &overrides));
+    const util::Status applied =
+        config::ApplyPlannerConfigJson(overrides, &setup->config);
+    if (!applied.ok()) {
+      return util::Status(applied.code(),
+                          *config_path + ": " + applied.message());
     }
   }
-  if (!ParseNumberFlag(args, "budget", &setup->budget, error)) return false;
-  if (!ParseIntFlag(args, "promotions", &setup->promotions, error)) {
-    return false;
+  if (!ParseNumberFlag(args, "budget", &setup->budget, &error) ||
+      !ParseIntFlag(args, "promotions", &setup->promotions, &error) ||
+      !ParseSeedFlag(args, "seed", &setup->config.seed, &error) ||
+      !ParseIntFlag(args, "threads", &setup->config.num_threads, &error) ||
+      !ParseIntFlag(args, "theta", &setup->config.market.overlap_theta,
+                    &error) ||
+      !ParseIntFlag(args, "selection-samples",
+                    &setup->config.selection_samples, &error) ||
+      !ParseIntFlag(args, "eval-samples", &setup->config.eval_samples,
+                    &error)) {
+    return util::InvalidArgumentError(std::move(error));
   }
-  if (!ParseSeedFlag(args, "seed", &setup->config.seed, error)) return false;
-  if (!ParseIntFlag(args, "threads", &setup->config.num_threads, error)) {
-    return false;
+  // --deadline-ms (underscore alias accepted; later flag wins because both
+  // parse into the same slot in order): per-run wall-clock budget, 0 = off.
+  double deadline = static_cast<double>(setup->config.deadline_ms);
+  if (!ParseNumberFlag(args, "deadline-ms", &deadline, &error) ||
+      !ParseNumberFlag(args, "deadline_ms", &deadline, &error)) {
+    return util::InvalidArgumentError(std::move(error));
   }
-  if (!ParseIntFlag(args, "theta", &setup->config.market.overlap_theta,
-                    error)) {
-    return false;
+  if (deadline < 0) {
+    return util::InvalidArgumentError("--deadline-ms must be >= 0");
   }
-  if (!ParseIntFlag(args, "selection-samples",
-                    &setup->config.selection_samples, error)) {
-    return false;
-  }
-  if (!ParseIntFlag(args, "eval-samples", &setup->config.eval_samples,
-                    error)) {
-    return false;
-  }
+  setup->config.deadline_ms = static_cast<int64_t>(deadline);
   if (const std::string* backend = args.Find("backend")) {
     if (!diffusion::SigmaBackendRegistry::Has(*backend)) {
-      *error = diffusion::SigmaBackendRegistry::UnknownMessage(*backend);
-      return false;
+      return util::NotFoundError(
+          diffusion::SigmaBackendRegistry::UnknownMessage(*backend));
     }
     setup->config.eval.backend = *backend;
   }
   setup->timings = args.Has("timings");
-  return true;
+  return util::OkStatus();
 }
 
 /// Writes `text` to --out (if given) or to `out`.
@@ -248,18 +283,20 @@ int RunPlan(const config::ParsedArgs& args, std::ostream& out,
             std::ostream& err) {
   ProblemSetup setup;
   std::string error;
-  if (!LoadProblemSetup(args, &setup, &error)) return UsageError(err, error);
+  util::Status status = LoadProblemSetup(args, &setup);
+  if (!status.ok()) return StatusError(err, status);
   const std::string planner = args.GetOr("planner", "dysim");
   if (!api::PlannerRegistry::Has(planner)) {
-    return RuntimeError(err, api::PlannerRegistry::UnknownMessage(planner));
+    return StatusError(err, util::NotFoundError(
+                                api::PlannerRegistry::UnknownMessage(planner)));
   }
   data::Dataset dataset;
-  if (!data::DatasetRegistry::Make(setup.dataset, &dataset, &error)) {
-    return RuntimeError(err, error);
-  }
+  status = data::DatasetRegistry::Make(setup.dataset, &dataset);
+  if (!status.ok()) return StatusError(err, status);
   api::CampaignSession session(std::move(dataset), setup.config);
   session.SetProblem(setup.budget, setup.promotions);
   api::PlanResult result = session.Run(planner);
+  if (!result.status.ok()) return StatusError(err, result.status);
 
   util::Json output = util::Json::Object();
   output.Set("command", "plan");
@@ -278,7 +315,8 @@ int RunCompare(const config::ParsedArgs& args, std::ostream& out,
                std::ostream& err) {
   ProblemSetup setup;
   std::string error;
-  if (!LoadProblemSetup(args, &setup, &error)) return UsageError(err, error);
+  util::Status status = LoadProblemSetup(args, &setup);
+  if (!status.ok()) return StatusError(err, status);
   const std::string* planners_flag = args.Find("planners");
   if (planners_flag == nullptr) {
     return UsageError(err, "--planners A,B,C is required");
@@ -289,16 +327,23 @@ int RunCompare(const config::ParsedArgs& args, std::ostream& out,
   }
   for (const std::string& name : planners) {
     if (!api::PlannerRegistry::Has(name)) {
-      return RuntimeError(err, api::PlannerRegistry::UnknownMessage(name));
+      return StatusError(err, util::NotFoundError(
+                                  api::PlannerRegistry::UnknownMessage(name)));
     }
   }
   data::Dataset dataset;
-  if (!data::DatasetRegistry::Make(setup.dataset, &dataset, &error)) {
-    return RuntimeError(err, error);
-  }
+  status = data::DatasetRegistry::Make(setup.dataset, &dataset);
+  if (!status.ok()) return StatusError(err, status);
   api::CampaignSession session(std::move(dataset), setup.config);
   session.SetProblem(setup.budget, setup.promotions);
   api::CompareResult compare = session.Compare(planners);
+  for (const api::PlanResult& r : compare) {
+    if (!r.status.ok()) {
+      return StatusError(err, util::Status(r.status.code(),
+                                           r.planner + ": " +
+                                               r.status.message()));
+    }
+  }
 
   util::Json output = util::Json::Object();
   output.Set("command", "compare");
@@ -323,12 +368,13 @@ int RunSweepCommand(const config::ParsedArgs& args, std::ostream& out,
   }
   std::string error;
   util::Json parsed;
-  if (!config::LoadJsonFile(*config_path, &parsed, &error)) {
-    return RuntimeError(err, error);
-  }
+  util::Status status = config::LoadJsonFile(*config_path, &parsed);
+  if (!status.ok()) return StatusError(err, status);
   config::SweepSpec spec;
-  if (!config::LoadSweepSpec(parsed, &spec, &error)) {
-    return RuntimeError(err, *config_path + ": " + error);
+  status = config::LoadSweepSpec(parsed, &spec);
+  if (!status.ok()) {
+    return StatusError(err, util::Status(status.code(), *config_path + ": " +
+                                                            status.message()));
   }
   const bool timings = args.Has("timings");
   const bool quiet = args.Has("quiet");
@@ -341,9 +387,8 @@ int RunSweepCommand(const config::ParsedArgs& args, std::ostream& out,
           << "\n";
     };
   }
-  if (!RunSweep(spec, &records, &error, progress)) {
-    return RuntimeError(err, error);
-  }
+  status = RunSweep(spec, &records, progress);
+  if (!status.ok()) return StatusError(err, status);
   const util::Json output = report::SweepJson(spec.name, records, timings);
   if (!EmitText(args, "out", output.Dump(2) + "\n", out, &error)) {
     return RuntimeError(err, error);
@@ -375,9 +420,9 @@ int RunDatasets(const config::ParsedArgs& args, std::ostream& out,
   // byte-stable JSON unless --timings (which adds the build millis).
   ProblemSetup setup;
   std::string error;
-  if (!LoadProblemSetup(args, &setup, &error, /*dataset_required=*/false)) {
-    return UsageError(err, error);
-  }
+  util::Status status =
+      LoadProblemSetup(args, &setup, /*dataset_required=*/false);
+  if (!status.ok()) return StatusError(err, status);
   std::vector<data::DatasetSpec> specs;
   if (args.Has("dataset")) {
     specs.push_back(setup.dataset);
@@ -390,9 +435,8 @@ int RunDatasets(const config::ParsedArgs& args, std::ostream& out,
   std::vector<report::PrepDatasetStats> stats;
   for (const data::DatasetSpec& spec : specs) {
     data::Dataset dataset;
-    if (!data::DatasetRegistry::Make(spec, &dataset, &error)) {
-      return RuntimeError(err, error);
-    }
+    status = data::DatasetRegistry::Make(spec, &dataset);
+    if (!status.ok()) return StatusError(err, status);
     diffusion::Problem problem =
         dataset.MakeProblem(setup.budget, setup.promotions);
     core::DysimConfig dcfg = api::ToDysimConfig(setup.config);
@@ -404,8 +448,10 @@ int RunDatasets(const config::ParsedArgs& args, std::ostream& out,
                                     dcfg.selection_samples, dcfg.num_threads,
                                     pool);
     engine->EnableSigmaMemo();
-    prep::PrepLease lease = prep::AcquirePrep(
+    util::StatusOr<prep::PrepLease> lease_or = prep::AcquirePrep(
         nullptr, /*use_cache=*/true, problem, pool, dcfg.prep_build_threads);
+    if (!lease_or.ok()) return StatusError(err, lease_or.status());
+    prep::PrepLease& lease = *lease_or;
     core::TmiResult tmi = core::RunTmi(problem, *engine, dcfg,
                                        *lease.artifacts);
 
@@ -440,10 +486,9 @@ int RunDatasets(const config::ParsedArgs& args, std::ostream& out,
 int RunBackends(const config::ParsedArgs&, std::ostream& out,
                 std::ostream& err) {
   data::Dataset probe;
-  std::string error;
-  if (!data::DatasetRegistry::Make({"fig1-toy", 1.0, 0}, &probe, &error)) {
-    return RuntimeError(err, error);
-  }
+  const util::Status status =
+      data::DatasetRegistry::Make({"fig1-toy", 1.0, 0}, &probe);
+  if (!status.ok()) return StatusError(err, status);
   diffusion::Problem problem = probe.MakeProblem(/*budget=*/1.0,
                                                  /*num_promotions=*/1);
   for (const std::string& name : diffusion::SigmaBackendRegistry::Names()) {
@@ -479,21 +524,43 @@ int RunBackends(const config::ParsedArgs&, std::ostream& out,
 int Run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   config::ParsedArgs parsed;
-  std::string error;
-  if (!config::ParseArgs(args, &parsed, &error)) return UsageError(err, error);
-  if (parsed.command.empty() || parsed.command == "help" ||
-      parsed.Has("help")) {
-    (parsed.command.empty() && !parsed.Has("help") ? err : out) << kUsage;
-    return parsed.command.empty() && !parsed.Has("help") ? 2 : 0;
+  const util::Status parse_status = config::ParseArgs(args, &parsed);
+  if (!parse_status.ok()) return StatusError(err, parse_status);
+  // Fault arming before any command work, so config.parse / data.load
+  // fire on this very invocation. Env first: --fail-on re-arms (replaces)
+  // points it shares with IMDPP_FAIL_ON, so the flag wins.
+  if (const char* env = std::getenv("IMDPP_FAIL_ON")) {
+    const util::Status armed = util::FaultInjector::Global().ArmList(env);
+    if (!armed.ok()) return StatusError(err, armed);
   }
-  if (parsed.command == "plan") return RunPlan(parsed, out, err);
-  if (parsed.command == "compare") return RunCompare(parsed, out, err);
-  if (parsed.command == "sweep") return RunSweepCommand(parsed, out, err);
-  if (parsed.command == "datasets") return RunDatasets(parsed, out, err);
-  if (parsed.command == "backends") return RunBackends(parsed, out, err);
-  return UsageError(err, "unknown command \"" + parsed.command +
-                             "\" (expected plan, compare, sweep, datasets, "
-                             "backends)");
+  const std::string* fail_on = parsed.Find("fail-on");
+  if (fail_on == nullptr) fail_on = parsed.Find("fail_on");
+  if (fail_on != nullptr) {
+    const util::Status armed = util::FaultInjector::Global().ArmList(*fail_on);
+    if (!armed.ok()) return StatusError(err, armed);
+  }
+  // Disarm on the way out: cli::Run is an in-process API (tests, benches)
+  // as well as the binary's main, so points armed for this invocation must
+  // not leak into the caller's next one.
+  const bool armed_faults =
+      fail_on != nullptr || std::getenv("IMDPP_FAIL_ON") != nullptr;
+  const int code = [&] {
+    if (parsed.command.empty() || parsed.command == "help" ||
+        parsed.Has("help")) {
+      (parsed.command.empty() && !parsed.Has("help") ? err : out) << kUsage;
+      return parsed.command.empty() && !parsed.Has("help") ? 2 : 0;
+    }
+    if (parsed.command == "plan") return RunPlan(parsed, out, err);
+    if (parsed.command == "compare") return RunCompare(parsed, out, err);
+    if (parsed.command == "sweep") return RunSweepCommand(parsed, out, err);
+    if (parsed.command == "datasets") return RunDatasets(parsed, out, err);
+    if (parsed.command == "backends") return RunBackends(parsed, out, err);
+    return UsageError(err, "unknown command \"" + parsed.command +
+                               "\" (expected plan, compare, sweep, datasets, "
+                               "backends)");
+  }();
+  if (armed_faults) util::FaultInjector::Global().Reset();
+  return code;
 }
 
 int Main(int argc, char** argv) {

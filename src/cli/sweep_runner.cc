@@ -8,37 +8,39 @@
 
 namespace imdpp::cli {
 
-bool RunSweep(const config::SweepSpec& spec,
-              std::vector<report::SweepRecord>* records, std::string* error,
-              const SweepProgressFn& progress) {
+util::Status RunSweep(const config::SweepSpec& spec,
+                      std::vector<report::SweepRecord>* records,
+                      const SweepProgressFn& progress) {
   records->clear();
 
   // Validate every axis name up front: a typo must fail before hours of
   // simulation, and with the full key listing.
-  auto validate = [&](const std::vector<config::SweepSpec::PlannerAxis>& axes) {
+  auto validate =
+      [](const std::vector<config::SweepSpec::PlannerAxis>& axes)
+      -> util::Status {
     for (const config::SweepSpec::PlannerAxis& pl : axes) {
       if (!api::PlannerRegistry::Has(pl.name)) {
-        *error = api::PlannerRegistry::UnknownMessage(pl.name);
-        return false;
+        return util::NotFoundError(api::PlannerRegistry::UnknownMessage(
+            pl.name));
       }
     }
-    return true;
+    return util::OkStatus();
   };
-  if (!validate(spec.planners)) return false;
+  IMDPP_RETURN_IF_ERROR(validate(spec.planners));
   for (const config::SweepSpec::DatasetAxis& ds : spec.datasets) {
-    if (!validate(ds.planners)) return false;
+    IMDPP_RETURN_IF_ERROR(validate(ds.planners));
   }
   // Backend names too (LoadSweepSpec checks JSON input; specs built in
   // code reach ExpandSweep without it).
   for (const std::string& backend : spec.backends) {
     if (!diffusion::SigmaBackendRegistry::Has(backend)) {
-      *error = diffusion::SigmaBackendRegistry::UnknownMessage(backend);
-      return false;
+      return util::NotFoundError(
+          diffusion::SigmaBackendRegistry::UnknownMessage(backend));
     }
   }
 
   std::vector<config::SweepPoint> points;
-  if (!config::ExpandSweep(spec, &points, error)) return false;
+  IMDPP_RETURN_IF_ERROR(config::ExpandSweep(spec, &points));
   // Points per dataset under the expansion order (promotions, budgets,
   // thetas, threads, backends, planners innermost; sentinel axes collapse
   // to 1).
@@ -58,12 +60,10 @@ bool RunSweep(const config::SweepSpec& spec,
     // overrides): every point of this dataset scores on one shared
     // engine, so planner comparisons stay paired.
     api::PlannerConfig session_config = spec.base;
-    if (!config::ApplyPlannerConfigJson(ds.overrides, &session_config,
-                                        error)) {
-      return false;
-    }
+    IMDPP_RETURN_IF_ERROR(
+        config::ApplyPlannerConfigJson(ds.overrides, &session_config));
     data::Dataset dataset;
-    if (!data::DatasetRegistry::Make(ds.spec, &dataset, error)) return false;
+    IMDPP_RETURN_IF_ERROR(data::DatasetRegistry::Make(ds.spec, &dataset));
     api::CampaignSession session(std::move(dataset), session_config);
 
     for (size_t k = 0; k < per_dataset; ++k, ++idx) {
@@ -75,11 +75,18 @@ bool RunSweep(const config::SweepSpec& spec,
       report::SweepRecord record;
       record.point = point;
       record.result = session.Run(point.planner, point.config);
+      if (!record.result.status.ok()) {
+        // A failed point (deadline, cancellation, injected fault) fails
+        // the sweep: a partial grid must not serialize as a complete one.
+        return util::Status(record.result.status.code(),
+                            point.dataset.name + "/" + point.planner + ": " +
+                                record.result.status.message());
+      }
       records->push_back(std::move(record));
     }
   }
   IMDPP_CHECK_EQ(idx, points.size());  // the slice arithmetic covered all
-  return true;
+  return util::OkStatus();
 }
 
 }  // namespace imdpp::cli

@@ -26,12 +26,16 @@ namespace imdpp::cli {
 using SweepProgressFn =
     std::function<void(const config::SweepPoint&, size_t, size_t)>;
 
-/// Runs every point of the expanded grid. Fails fast (false + *error) on
-/// unknown planner or dataset names — with the registries' sorted key
-/// listings — before any simulation starts.
-bool RunSweep(const config::SweepSpec& spec,
-              std::vector<report::SweepRecord>* records, std::string* error,
-              const SweepProgressFn& progress = nullptr);
+/// Runs every point of the expanded grid. Fails fast (kNotFound /
+/// kInvalidArgument) on unknown planner, backend, or dataset names — with
+/// the registries' sorted key listings — before any simulation starts. A
+/// point whose PlanResult carries a non-ok status (deadline, cancellation,
+/// injected fault) aborts the sweep with that status, prefixed with the
+/// point's dataset/planner coordinates; records keeps the points that
+/// completed before it.
+util::Status RunSweep(const config::SweepSpec& spec,
+                      std::vector<report::SweepRecord>* records,
+                      const SweepProgressFn& progress = nullptr);
 
 }  // namespace imdpp::cli
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "diffusion/sigma_backend.h"
+#include "util/fault_injection.h"
 
 namespace imdpp::config {
 
@@ -208,25 +209,29 @@ bool ApplyDysim(const util::Json& obj,
 
 }  // namespace
 
-bool LoadJsonFile(const std::string& path, util::Json* out,
-                  std::string* error) {
+util::Status LoadJsonFile(const std::string& path, util::Json* out) {
+  // The config.parse fault point (ISSUE 8): fires before the file is
+  // touched, so an armed fault surfaces exactly like a bad config would.
+  IMDPP_RETURN_IF_ERROR(util::FaultInjector::Global().Hit("config.parse"));
   std::ifstream in(path);
   if (!in) {
-    *error = "cannot open \"" + path + "\"";
-    return false;
+    return util::NotFoundError("cannot open \"" + path + "\"");
   }
   std::ostringstream text;
   text << in.rdbuf();
   std::string parse_error;
   if (!util::Json::Parse(text.str(), out, &parse_error)) {
-    *error = path + ":" + parse_error;
-    return false;
+    return util::InvalidArgumentError(path + ":" + parse_error);
   }
-  return true;
+  return util::OkStatus();
 }
 
-bool ApplyPlannerConfigJson(const util::Json& obj, api::PlannerConfig* cfg,
-                            std::string* error) {
+namespace {
+
+/// The bool + error-string core the recursive parsers below share; the
+/// public surface wraps it into util::Status (kInvalidArgument).
+bool ApplyPlannerConfigJsonImpl(const util::Json& obj, api::PlannerConfig* cfg,
+                                std::string* error) {
   if (obj.is_null()) return true;  // no overrides
   if (!obj.is_object()) {
     *error = "planner config must be a JSON object";
@@ -243,6 +248,14 @@ bool ApplyPlannerConfigJson(const util::Json& obj, api::PlannerConfig* cfg,
       if (!ReadSeed(v, "seed", &cfg->seed, error)) return false;
     } else if (key == "num_threads") {
       if (!ReadInt(v, "num_threads", &cfg->num_threads, error)) return false;
+    } else if (key == "deadline_ms") {
+      int deadline = static_cast<int>(cfg->deadline_ms);
+      if (!ReadInt(v, "deadline_ms", &deadline, error)) return false;
+      if (deadline < 0) {
+        *error = "deadline_ms must be >= 0";
+        return false;
+      }
+      cfg->deadline_ms = deadline;
     } else if (key == "prep") {
       if (!v.is_object()) {
         *error = "prep must be an object";
@@ -280,6 +293,20 @@ bool ApplyPlannerConfigJson(const util::Json& obj, api::PlannerConfig* cfg,
             return false;
           }
           cfg->eval.backend = ev.AsString();
+        } else if (ekey == "fallback_backend") {
+          if (!ev.is_string()) {
+            *error = "eval.fallback_backend must be a string";
+            return false;
+          }
+          // "" disables degradation; anything else must be a registered
+          // backend, checked now for the same fail-at-load reason.
+          if (!ev.AsString().empty() &&
+              !diffusion::SigmaBackendRegistry::Has(ev.AsString())) {
+            *error = diffusion::SigmaBackendRegistry::UnknownMessage(
+                ev.AsString());
+            return false;
+          }
+          cfg->eval.fallback_backend = ev.AsString();
         } else if (ekey == "ris_sketches") {
           if (!ReadInt(ev, "eval.ris_sketches", &cfg->eval.ris_sketches,
                        error))
@@ -382,8 +409,9 @@ bool ApplyPlannerConfigJson(const util::Json& obj, api::PlannerConfig* cfg,
   return true;
 }
 
-bool DatasetSpecFromJson(const util::Json& value, data::DatasetSpec* spec,
-                         util::Json* config_overrides, std::string* error) {
+bool DatasetSpecFromJsonImpl(const util::Json& value, data::DatasetSpec* spec,
+                             util::Json* config_overrides,
+                             std::string* error) {
   *config_overrides = util::Json();
   if (value.is_string()) {
     *spec = data::ParseDatasetSpec(value.AsString());
@@ -413,6 +441,27 @@ bool DatasetSpecFromJson(const util::Json& value, data::DatasetSpec* spec,
     }
   }
   return true;
+}
+
+}  // namespace
+
+util::Status ApplyPlannerConfigJson(const util::Json& obj,
+                                    api::PlannerConfig* cfg) {
+  std::string error;
+  if (!ApplyPlannerConfigJsonImpl(obj, cfg, &error)) {
+    return util::InvalidArgumentError(std::move(error));
+  }
+  return util::OkStatus();
+}
+
+util::Status DatasetSpecFromJson(const util::Json& value,
+                                 data::DatasetSpec* spec,
+                                 util::Json* config_overrides) {
+  std::string error;
+  if (!DatasetSpecFromJsonImpl(value, spec, config_overrides, &error)) {
+    return util::InvalidArgumentError(std::move(error));
+  }
+  return util::OkStatus();
 }
 
 // -------------------------------------------------------------- sweeps
@@ -457,14 +506,12 @@ bool ParseDatasetAxis(const util::Json& entry, SweepSpec::DatasetAxis* axis,
       }
     }
   }
-  return DatasetSpecFromJson(without_planners, &axis->spec, &axis->overrides,
-                             error);
+  return DatasetSpecFromJsonImpl(without_planners, &axis->spec,
+                                 &axis->overrides, error);
 }
 
-}  // namespace
-
-bool LoadSweepSpec(const util::Json& obj, SweepSpec* spec,
-                   std::string* error) {
+bool LoadSweepSpecImpl(const util::Json& obj, SweepSpec* spec,
+                       std::string* error) {
   if (!obj.is_object()) {
     *error = "sweep config must be a JSON object";
     return false;
@@ -523,7 +570,7 @@ bool LoadSweepSpec(const util::Json& obj, SweepSpec* spec,
         spec->backends.push_back(entry.AsString());
       }
     } else if (key == "config") {
-      if (!ApplyPlannerConfigJson(v, &spec->base, error)) return false;
+      if (!ApplyPlannerConfigJsonImpl(v, &spec->base, error)) return false;
     } else {
       *error = "unknown sweep config key \"" + key + "\"";
       return false;
@@ -548,12 +595,12 @@ bool LoadSweepSpec(const util::Json& obj, SweepSpec* spec,
   return true;
 }
 
-bool ExpandSweep(const SweepSpec& spec, std::vector<SweepPoint>* points,
-                 std::string* error) {
+bool ExpandSweepImpl(const SweepSpec& spec, std::vector<SweepPoint>* points,
+                     std::string* error) {
   points->clear();
   for (const SweepSpec::DatasetAxis& ds : spec.datasets) {
     api::PlannerConfig dataset_config = spec.base;
-    if (!ApplyPlannerConfigJson(ds.overrides, &dataset_config, error)) {
+    if (!ApplyPlannerConfigJsonImpl(ds.overrides, &dataset_config, error)) {
       return false;
     }
     for (int T : spec.promotions) {
@@ -584,8 +631,8 @@ bool ExpandSweep(const SweepSpec& spec, std::vector<SweepPoint>* points,
                 point.theta = theta;
                 point.num_threads = nt;
                 point.config = dataset_config;
-                if (!ApplyPlannerConfigJson(pl.overrides, &point.config,
-                                            error)) {
+                if (!ApplyPlannerConfigJsonImpl(pl.overrides, &point.config,
+                                                error)) {
                   return false;
                 }
                 if (theta >= 0) point.config.market.overlap_theta = theta;
@@ -601,6 +648,25 @@ bool ExpandSweep(const SweepSpec& spec, std::vector<SweepPoint>* points,
     }
   }
   return true;
+}
+
+}  // namespace
+
+util::Status LoadSweepSpec(const util::Json& obj, SweepSpec* spec) {
+  std::string error;
+  if (!LoadSweepSpecImpl(obj, spec, &error)) {
+    return util::InvalidArgumentError(std::move(error));
+  }
+  return util::OkStatus();
+}
+
+util::Status ExpandSweep(const SweepSpec& spec,
+                         std::vector<SweepPoint>* points) {
+  std::string error;
+  if (!ExpandSweepImpl(spec, points, &error)) {
+    return util::InvalidArgumentError(std::move(error));
+  }
+  return util::OkStatus();
 }
 
 // ------------------------------------------------------------ flag files
@@ -666,8 +732,10 @@ std::string ParsedArgs::GetOr(std::string_view key,
   return v != nullptr ? *v : std::string(fallback);
 }
 
-bool ParseArgs(const std::vector<std::string>& args, ParsedArgs* out,
-               std::string* error) {
+namespace {
+
+bool ParseArgsImpl(const std::vector<std::string>& args, ParsedArgs* out,
+                   std::string* error) {
   *out = ParsedArgs{};
   std::vector<std::string> tokens;
   if (!ExpandTokens(args, 0, &tokens, error)) return false;
@@ -701,6 +769,16 @@ bool ParseArgs(const std::vector<std::string>& args, ParsedArgs* out,
     }
   }
   return true;
+}
+
+}  // namespace
+
+util::Status ParseArgs(const std::vector<std::string>& args, ParsedArgs* out) {
+  std::string error;
+  if (!ParseArgsImpl(args, out, &error)) {
+    return util::InvalidArgumentError(std::move(error));
+  }
+  return util::OkStatus();
 }
 
 }  // namespace imdpp::config

@@ -26,23 +26,26 @@
 #include "api/planner.h"
 #include "data/dataset_registry.h"
 #include "util/json.h"
+#include "util/status.h"
 
 namespace imdpp::config {
 
-/// Reads and parses a JSON file; errors carry the file name and position.
-bool LoadJsonFile(const std::string& path, util::Json* out,
-                  std::string* error);
+/// Reads and parses a JSON file. Structured failures (ISSUE 8): a missing
+/// file is kNotFound, a parse error kInvalidArgument (carrying the file
+/// name and position). Runs the config.parse fault point first.
+util::Status LoadJsonFile(const std::string& path, util::Json* out);
 
 /// Applies a JSON object of overrides onto *cfg. Unknown keys and
-/// mistyped values fail with a message naming the key (a typo'd knob must
-/// not silently run the default).
-bool ApplyPlannerConfigJson(const util::Json& obj, api::PlannerConfig* cfg,
-                            std::string* error);
+/// mistyped values fail with kInvalidArgument naming the key (a typo'd
+/// knob must not silently run the default).
+util::Status ApplyPlannerConfigJson(const util::Json& obj,
+                                    api::PlannerConfig* cfg);
 
 /// Dataset reference: "yelp-like@0.5" string or {name, scale, seed}
 /// object, with an optional per-dataset "config" override object.
-bool DatasetSpecFromJson(const util::Json& value, data::DatasetSpec* spec,
-                         util::Json* config_overrides, std::string* error);
+util::Status DatasetSpecFromJson(const util::Json& value,
+                                 data::DatasetSpec* spec,
+                                 util::Json* config_overrides);
 
 /// One expanded grid point with its fully resolved configuration
 /// (base config + dataset overrides + planner overrides + axis values).
@@ -90,16 +93,15 @@ struct SweepSpec {
 ///    "threads": [...], "backends": [...], "config": {...}}
 /// datasets/planners/budgets/promotions are required and non-empty.
 /// A dataset entry may carry its own "planners" array (subset sweeps).
-bool LoadSweepSpec(const util::Json& obj, SweepSpec* spec,
-                   std::string* error);
+util::Status LoadSweepSpec(const util::Json& obj, SweepSpec* spec);
 
 /// The full cross-product, datasets outermost then promotions, budgets,
 /// thetas, threads, planners innermost — the order a session-reusing
 /// runner wants (one dataset build, one problem per (T, b)). Per-axis
-/// config overrides are resolved here; returns false (with *error) if an
-/// override object is malformed.
-bool ExpandSweep(const SweepSpec& spec, std::vector<SweepPoint>* points,
-                 std::string* error);
+/// config overrides are resolved here; a malformed override object fails
+/// with kInvalidArgument.
+util::Status ExpandSweep(const SweepSpec& spec,
+                         std::vector<SweepPoint>* points);
 
 /// Flag-style command line: subcommand + positionals + "--key value" /
 /// "--key=value" flags ("--key" followed by another flag or end of args
@@ -119,8 +121,7 @@ struct ParsedArgs {
   bool Has(std::string_view key) const { return Find(key) != nullptr; }
 };
 
-bool ParseArgs(const std::vector<std::string>& args, ParsedArgs* out,
-               std::string* error);
+util::Status ParseArgs(const std::vector<std::string>& args, ParsedArgs* out);
 
 }  // namespace imdpp::config
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/cancel.h"
+
 namespace imdpp::core {
 
 namespace {
@@ -37,9 +39,15 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
   // average initial weighting), shared with every other planner of the
   // session instead of rebuilt per adaptive run.
   diffusion::CampaignConfig camp = config.base.campaign;
-  prep::PrepLease lease = prep::AcquirePrep(
+  const std::shared_ptr<util::CancelToken>& cancel = config.base.backend.cancel;
+  util::StatusOr<prep::PrepLease> lease_or = prep::AcquirePrep(
       config.base.prep_cache, config.base.prep_cache_enabled, problem, pool,
-      config.base.prep_build_threads);
+      config.base.prep_build_threads, cancel);
+  if (!lease_or.ok()) {
+    result.status = lease_or.status();
+    return result;
+  }
+  prep::PrepLease& lease = *lease_or;
   const prep::PrepArtifacts& art = *lease.artifacts;
   result.prep_builds = lease.built ? 1 : 0;
   result.prep_reuses = lease.reused ? 1 : 0;
@@ -51,6 +59,10 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
   };
 
   for (int t = 1; t <= T; ++t) {
+    // Promotion-round boundary: a fired token (deadline, cancellation,
+    // injected eval fault) stops the adaptive loop with the rounds
+    // planned so far.
+    if (!util::CheckCancel(cancel.get()).ok()) break;
     const int horizon = T - t + 1;
     // Sub-problem over the remaining horizon, starting from reality.
     Problem sub = problem;
@@ -58,7 +70,7 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
     sub.budget = remaining;
     diffusion::MonteCarloEngine engine(sub, camp,
                                        config.base.selection_samples,
-                                       config.base.num_threads, pool);
+                                       config.base.num_threads, pool, cancel);
     engine.SetInitialStates(&reality);
 
     std::vector<Nominee> candidates =
@@ -69,7 +81,8 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
     SeedGroup chosen;  // sub-time: promotion index 1 = this round
     double sigma_base = 0.0;
     bool open = true;
-    while (open && !candidates.empty()) {
+    while (open && !candidates.empty() &&
+           util::CheckCancel(cancel.get()).ok()) {
       // Highest-MCP affordable candidate over the observed state.
       int best_idx = -1;
       double best_ratio = 0.0;
@@ -144,6 +157,7 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
     result.total_spent += round.spent;
     result.rounds.push_back(std::move(round));
   }
+  result.status = util::CheckCancel(cancel.get());
   return result;
 }
 

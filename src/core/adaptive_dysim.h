@@ -48,6 +48,9 @@ struct AdaptiveResult {
   int64_t prep_builds = 0;
   int64_t prep_reuses = 0;
   double prep_millis = 0.0;
+  /// How the run ended (see DysimResult::status); a non-ok run stops at
+  /// the next promotion-round boundary with the rounds planned so far.
+  util::Status status;
 };
 
 AdaptiveResult RunAdaptiveDysim(const Problem& problem,

@@ -7,6 +7,7 @@
 
 #include "core/dre.h"
 #include "core/tdsi.h"
+#include "util/cancel.h"
 
 namespace imdpp::core {
 
@@ -43,6 +44,11 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   problem.Validate();
   DysimResult result;
   const int T = problem.num_promotions;
+  // The run's cancellation/deadline token (may be null). Checked at every
+  // phase and greedy-iteration boundary below; the engines additionally
+  // check it per estimate. All checks are pure control flow while the
+  // token is quiet — no-deadline runs are bit-identical.
+  const util::CancelToken* cancel = config.backend.cancel.get();
 
   // One worker pool serves both the search and the final-eval engine
   // (ROADMAP: no per-engine thread respawn); sessions can pass theirs in.
@@ -61,9 +67,15 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
 
   // ---- Prep artifacts: built once here, or served from the session's
   // cache (one build per dataset across Run/Compare/sweep cells). ----
-  prep::PrepLease lease =
+  util::StatusOr<prep::PrepLease> lease_or =
       prep::AcquirePrep(config.prep_cache, config.prep_cache_enabled, problem,
-                        pool, config.prep_build_threads);
+                        pool, config.prep_build_threads,
+                        config.backend.cancel);
+  if (!lease_or.ok()) {
+    result.status = lease_or.status();
+    return result;
+  }
+  prep::PrepLease& lease = *lease_or;
   prep::PrepArtifacts& art = *lease.artifacts;
   const double prep_millis_before = lease.built ? 0.0 : art.total_millis();
 
@@ -86,6 +98,7 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
       diffusion::ExpectedState::InitialOf(problem);
   SeedGroup all_seeds;
   for (const cluster::MarketGroup& group : plan.groups) {
+    if (!util::CheckCancel(cancel).ok()) break;
     SeedGroup sg;
     // DRE re-evaluates the expected state per item under the growing sg —
     // the same prefix-reuse shape as the σ sweeps, so each re-evaluation
@@ -127,7 +140,7 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
 
       std::vector<kg::ItemId> remaining_items = market.items;
       TimingSelector tdsi(engine, market.users, T);
-      while (!remaining_items.empty()) {
+      while (!remaining_items.empty() && util::CheckCancel(cancel).ok()) {
         // DRE: re-evaluate reachability under the current seed group.
         if (!sg.empty()) dre_eval->Rebase(sg);
         diffusion::ExpectedState es =
@@ -196,6 +209,7 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
     diffusion::ScheduleEval& placer = *guard_eval;
     SeedGroup placed;
     for (const Nominee& n : sel.nominees) {
+      if (!util::CheckCancel(cancel).ok()) break;
       int best_t = 1;
       double best_s = -1.0;
       for (int t = 1; t <= T; ++t) {
@@ -240,9 +254,10 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
     // round the two schedules share.
     diffusion::ScheduleEval& refiner = *guard_eval;
     refiner.Rebase(refined);
-    for (int sweep = 0; sweep < 2; ++sweep) {
+    for (int sweep = 0; sweep < 2 && util::CheckCancel(cancel).ok(); ++sweep) {
       bool moved = false;
       for (size_t i = 0; i < refined.size(); ++i) {
+        if (!util::CheckCancel(cancel).ok()) break;
         int original = refined[i].promotion;
         int best_t = original;
         SeedGroup without = refined;
@@ -282,6 +297,9 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   result.prep_builds = lease.built ? 1 : 0;
   result.prep_reuses = lease.reused ? 1 : 0;
   result.prep_millis = art.total_millis() - prep_millis_before;
+  // A token that fired anywhere above is the run's outcome; the seeds and
+  // σ̂ carried out are the partial state at the stop.
+  result.status = util::CheckCancel(cancel);
   return result;
 }
 

@@ -30,6 +30,7 @@
 #include "core/nominee_selection.h"
 #include "diffusion/monte_carlo.h"
 #include "prep/prep.h"
+#include "util/status.h"
 
 namespace imdpp::core {
 
@@ -104,6 +105,11 @@ struct DysimResult {
   int64_t prep_builds = 0;
   int64_t prep_reuses = 0;
   double prep_millis = 0.0;
+  /// How the run ended (ISSUE 8): OkStatus() for a completed plan; the
+  /// token's reason (kCancelled / kDeadlineExceeded / an injected error)
+  /// when config.backend.cancel fired, or the prep-acquisition error. A
+  /// non-ok result carries whatever partial state existed at the stop.
+  util::Status status;
 };
 
 /// TMI phase output (Procedure 2 + 3 + market identification), shared by

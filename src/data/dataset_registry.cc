@@ -10,7 +10,9 @@
 
 #include "data/catalog.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/registry.h"
+#include "util/retry.h"
 
 namespace imdpp::data {
 
@@ -66,25 +68,23 @@ bool LooksLikeSpecFile(std::string_view name) {
          (name.size() > 5 && name.substr(name.size() - 5) == ".json");
 }
 
-bool MakeFromSpecFile(const DatasetSpec& spec, Dataset* out,
-                      std::string* error) {
+util::Status MakeFromSpecFile(const DatasetSpec& spec, Dataset* out) {
   std::ifstream in{std::string(spec.name)};
   if (!in) {
-    *error = "cannot open dataset spec file \"" + spec.name + "\"";
-    return false;
+    return util::NotFoundError("cannot open dataset spec file \"" +
+                               spec.name + "\"");
   }
   std::ostringstream text;
   text << in.rdbuf();
   util::Json parsed;
   std::string parse_error;
   if (!util::Json::Parse(text.str(), &parsed, &parse_error)) {
-    *error = spec.name + ":" + parse_error;
-    return false;
+    return util::InvalidArgumentError(spec.name + ":" + parse_error);
   }
   SyntheticSpec synth;
-  if (!ApplySyntheticSpecJson(parsed, &synth, error)) {
-    *error = spec.name + ": " + *error;
-    return false;
+  util::Status applied = ApplySyntheticSpecJson(parsed, &synth);
+  if (!applied.ok()) {
+    return util::Status(applied.code(), spec.name + ": " + applied.message());
   }
   if (spec.scale != 1.0) {
     synth.num_users = Scaled(synth.num_users, spec.scale);
@@ -95,7 +95,7 @@ bool MakeFromSpecFile(const DatasetSpec& spec, Dataset* out,
   }
   if (spec.seed != 0) synth.seed = spec.seed;
   *out = GenerateSynthetic(synth);
-  return true;
+  return util::OkStatus();
 }
 
 // ------------------------------------------------- built-in registrations
@@ -162,30 +162,32 @@ bool DatasetRegistry::Register(std::string name, Factory factory) {
   return Impl().Register(std::move(name), factory);
 }
 
-bool DatasetRegistry::Make(const DatasetSpec& spec, Dataset* out,
-                           std::string* error) {
+util::Status DatasetRegistry::Make(const DatasetSpec& spec, Dataset* out) {
+  // The data.load fault point (ISSUE 8): transient codes are retried so an
+  // armed `data.load:1:resource_exhausted` recovers on the second attempt.
+  IMDPP_RETURN_IF_ERROR(util::RetryTransient(
+      [] { return util::FaultInjector::Global().Hit("data.load"); }));
   if (const Factory* factory = Impl().Find(spec.name)) {
     *out = (*factory)(spec.scale, spec.seed);
-    return true;
+    return util::OkStatus();
   }
   const int scale_n = ParseScaleN(spec.name);
   if (scale_n >= 0) {
     *out = MakeScaleN(static_cast<int>(std::lround(scale_n * spec.scale)),
                       spec.seed);
-    return true;
+    return util::OkStatus();
   }
   if (LooksLikeSpecFile(spec.name)) {
-    return MakeFromSpecFile(spec, out, error);
+    return MakeFromSpecFile(spec, out);
   }
-  if (error != nullptr) *error = UnknownMessage(spec.name);
-  return false;
+  return util::NotFoundError(UnknownMessage(spec.name));
 }
 
 Dataset DatasetRegistry::MakeOrDie(const DatasetSpec& spec) {
   Dataset out;
-  std::string error;
-  if (!Make(spec, &out, &error)) {
-    std::fprintf(stderr, "%s\n", error.c_str());
+  const util::Status status = Make(spec, &out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
     std::abort();
   }
   return out;
@@ -230,10 +232,8 @@ bool TypeNamesFromJson(const util::Json& obj, KgTypeNames* types,
   return true;
 }
 
-}  // namespace
-
-bool ApplySyntheticSpecJson(const util::Json& obj, SyntheticSpec* spec,
-                            std::string* error) {
+bool ApplySyntheticSpecJsonImpl(const util::Json& obj, SyntheticSpec* spec,
+                                std::string* error) {
   if (!obj.is_object()) {
     *error = "dataset spec must be a JSON object";
     return false;
@@ -355,6 +355,17 @@ bool ApplySyntheticSpecJson(const util::Json& obj, SyntheticSpec* spec,
     }
   }
   return true;
+}
+
+}  // namespace
+
+util::Status ApplySyntheticSpecJson(const util::Json& obj,
+                                    SyntheticSpec* spec) {
+  std::string error;
+  if (!ApplySyntheticSpecJsonImpl(obj, spec, &error)) {
+    return util::InvalidArgumentError(std::move(error));
+  }
+  return util::OkStatus();
 }
 
 }  // namespace imdpp::data

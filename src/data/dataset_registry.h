@@ -23,6 +23,7 @@
 
 #include "data/synthetic.h"
 #include "util/json.h"
+#include "util/status.h"
 
 namespace imdpp::data {
 
@@ -46,9 +47,11 @@ class DatasetRegistry {
   static bool Register(std::string name, Factory factory);
 
   /// Materializes `spec` (registered key, scale-<N>, or JSON file path).
-  /// On failure returns false and fills *error with a message listing the
-  /// registered keys; *out is untouched.
-  static bool Make(const DatasetSpec& spec, Dataset* out, std::string* error);
+  /// Structured failures (ISSUE 8): an unknown name or missing spec file
+  /// is kNotFound (the message lists the registered keys), a malformed
+  /// spec file kInvalidArgument; *out is untouched on failure. Runs the
+  /// data.load fault point before any build.
+  static util::Status Make(const DatasetSpec& spec, Dataset* out);
 
   /// Like Make but aborts with the key listing on a miss.
   static Dataset MakeOrDie(const DatasetSpec& spec);
@@ -66,9 +69,9 @@ class DatasetRegistry {
 
 /// Applies the members of a JSON object onto *spec (partial override:
 /// absent keys keep their current values). Unknown keys or mistyped
-/// values fail with a message naming the key.
-bool ApplySyntheticSpecJson(const util::Json& obj, SyntheticSpec* spec,
-                            std::string* error);
+/// values fail with kInvalidArgument naming the key.
+util::Status ApplySyntheticSpecJson(const util::Json& obj,
+                                    SyntheticSpec* spec);
 
 /// Registers `fn` (callable as Dataset(double scale, uint64_t seed)) as a
 /// dataset factory under `key`.

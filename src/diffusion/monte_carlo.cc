@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/fault_injection.h"
+
 namespace imdpp::diffusion {
 
 namespace {
@@ -70,15 +72,25 @@ ExpectedState ExpectedState::InitialOf(const Problem& problem) {
   return es;
 }
 
-MonteCarloEngine::MonteCarloEngine(const Problem& problem,
-                                   const CampaignConfig& config,
-                                   int num_samples, int num_threads,
-                                   std::shared_ptr<util::ThreadPool> shared_pool)
+MonteCarloEngine::MonteCarloEngine(
+    const Problem& problem, const CampaignConfig& config, int num_samples,
+    int num_threads, std::shared_ptr<util::ThreadPool> shared_pool,
+    std::shared_ptr<const util::CancelToken> cancel)
     : sim_(problem, config),
       num_samples_(num_samples),
       num_threads_(util::ResolveNumThreads(num_threads)),
-      shared_pool_(std::move(shared_pool)) {
+      shared_pool_(std::move(shared_pool)),
+      cancel_(std::move(cancel)) {
   IMDPP_CHECK_GT(num_samples, 0);
+  // Keep the never-null invariant: fault propagation and the shard-loop
+  // checks always have a token, whether or not the caller provided one.
+  if (cancel_ == nullptr) cancel_ = std::make_shared<util::CancelToken>();
+}
+
+bool MonteCarloEngine::BeginEstimate() const {
+  util::Status fault = util::FaultInjector::Global().Hit("eval.sigma");
+  if (!fault.ok()) cancel_->Cancel(std::move(fault));
+  return cancel_->Check().ok();
 }
 
 int MonteCarloEngine::NumShards() const {
@@ -176,6 +188,7 @@ void MonteCarloEngine::ChargeEstimate(int rounds_run) const {
 
 double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
   util::MutexLock lock(mu_);
+  if (!BeginEstimate()) return 0.0;
   double memoized = 0.0;
   if (MemoLookup(seeds, &memoized)) return memoized;
   const SeedSchedule sched(seeds, sim_.problem());
@@ -188,6 +201,7 @@ double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
     int rounds = 0;
     const int end = ShardBegin(shard + 1);
     for (int s = ShardBegin(shard); s < end; ++s) {
+      if (!cancel_->Check().ok()) break;
       sim_.Restore(nullptr, initial_states_, scratch);
       rounds = sim_.SimulateRounds(sched, static_cast<uint64_t>(s), 1, t_end,
                                    nullptr, scratch);
@@ -196,6 +210,7 @@ double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
     partial[shard] = total;
     if (shard == 0) rounds_run = rounds;  // schedule property: same for all
   });
+  if (Cancelled()) return 0.0;
   double total = 0.0;
   for (double p : partial) total += p;  // fixed shard order
   ChargeEstimate(rounds_run);
@@ -207,6 +222,7 @@ double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
 MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
     const SeedGroup& seeds, const std::vector<UserId>& users) const {
   util::MutexLock lock(mu_);
+  if (!BeginEstimate()) return MarketEval{};
   MarketEval memoized;
   if (MarketMemoLookup(seeds, users, &memoized)) return memoized;
   const std::vector<uint8_t>* mask = CachedMask(users);
@@ -220,6 +236,7 @@ MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
     int rounds = 0;
     const int end = ShardBegin(shard + 1);
     for (int s = ShardBegin(shard); s < end; ++s) {
+      if (!cancel_->Check().ok()) break;
       sim_.Restore(nullptr, initial_states_, scratch);
       rounds = sim_.SimulateRounds(sched, static_cast<uint64_t>(s), 1, t_end,
                                    mask, scratch);
@@ -230,6 +247,7 @@ MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
     partial[shard] = acc;
     if (shard == 0) rounds_run = rounds;
   });
+  if (Cancelled()) return MarketEval{};
   MarketEval out;
   for (const MarketEval& acc : partial) {  // fixed shard order
     out.sigma += acc.sigma;
@@ -246,6 +264,10 @@ MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
 
 ExpectedState MonteCarloEngine::Expected(const SeedGroup& seeds) const {
   util::MutexLock lock(mu_);
+  if (!BeginEstimate()) {
+    const Problem& p = sim_.problem();
+    return ExpectedState(p.NumUsers(), p.NumItems(), p.NumMetas());
+  }
   return ExpectedFrom(SeedSchedule(seeds, sim_.problem()), 1, nullptr);
 }
 
@@ -265,6 +287,7 @@ ExpectedState MonteCarloEngine::ExpectedFrom(
     int rounds = 0;
     const int end = ShardBegin(shard + 1);
     for (int s = ShardBegin(shard); s < end; ++s) {
+      if (!cancel_->Check().ok()) break;
       sim_.Restore(start == nullptr ? nullptr
                                     : &(*start)[static_cast<size_t>(s)],
                    initial_states_, scratch);
@@ -310,6 +333,9 @@ ExpectedState MonteCarloEngine::ExpectedFrom(
       accumulate(shard, shard_acc);
       fold(shard_acc);
     }
+  }
+  if (Cancelled()) {
+    return ExpectedState(p.NumUsers(), p.NumItems(), p.NumMetas());
   }
   ChargeEstimate(rounds_run);
   const float inv = 1.0f / static_cast<float>(num_samples_);
@@ -370,6 +396,7 @@ void CheckpointedEval::EnsureCheckpoints(int upto) {
     int rounds = 0;
     const int end = engine_.ShardBegin(shard + 1);
     for (int s = engine_.ShardBegin(shard); s < end; ++s) {
+      if (!engine_.cancel_->Check().ok()) break;
       const SampleCheckpoint* start =
           from == 0 ? nullptr
                     : &cp_[static_cast<size_t>(from - 1)][static_cast<size_t>(s)];
@@ -385,6 +412,11 @@ void CheckpointedEval::EnsureCheckpoints(int upto) {
     }
     if (shard == 0) rounds_built = rounds;
   });
+  // A build the token interrupted left some samples unfrozen: advancing
+  // rounds_ready_ would later resume from half-built checkpoints, so
+  // leave the ready watermark (and the work accounting) untouched — the
+  // next uncancelled build redoes these rounds from the old watermark.
+  if (engine_.Cancelled()) return;
   // Building is amortized shared work, not an estimate of its own: move
   // its rounds from the skipped to the simulated bucket so that
   // simulated + skipped stays exactly the naive T-rounds-per-sample
@@ -428,6 +460,7 @@ CheckpointedEval::Outcome CheckpointedEval::Eval(const SeedGroup& group,
     int rounds = 0;
     const int end = engine_.ShardBegin(shard + 1);
     for (int s = engine_.ShardBegin(shard); s < end; ++s) {
+      if (!engine_.cancel_->Check().ok()) break;
       const SampleCheckpoint* start =
           resume == 0
               ? nullptr
@@ -445,6 +478,7 @@ CheckpointedEval::Outcome CheckpointedEval::Eval(const SeedGroup& group,
     partial[shard] = acc;
     if (shard == 0) rounds_run = rounds;
   });
+  if (engine_.Cancelled()) return Outcome{};
   Outcome out;
   for (const Part& acc : partial) {  // fixed shard order
     out.sigma += acc.sigma;
@@ -460,9 +494,11 @@ CheckpointedEval::Outcome CheckpointedEval::Eval(const SeedGroup& group,
 
 double CheckpointedEval::Sigma(const SeedGroup& group) {
   util::MutexLock lock(engine_.mu_);
+  if (!engine_.BeginEstimate()) return 0.0;
   double memoized = 0.0;
   if (engine_.MemoLookup(group, &memoized)) return memoized;
   const double sigma = Eval(group, /*want_pi=*/false).sigma;
+  if (engine_.Cancelled()) return sigma;  // partial: keep it out of the memo
   engine_.MemoStore(group, sigma);
   return sigma;
 }
@@ -471,10 +507,12 @@ MonteCarloEngine::MarketEval CheckpointedEval::EvalMarket(
     const SeedGroup& group) {
   IMDPP_CHECK(!market_.empty());
   util::MutexLock lock(engine_.mu_);
+  if (!engine_.BeginEstimate()) return MonteCarloEngine::MarketEval{};
   MonteCarloEngine::MarketEval memoized;
   if (engine_.MarketMemoLookup(group, market_, &memoized)) return memoized;
   const Outcome o = Eval(group, /*want_pi=*/true);
   const MonteCarloEngine::MarketEval out{o.sigma, o.sigma_market, o.pi};
+  if (engine_.Cancelled()) return out;  // partial: keep it out of the memo
   engine_.MarketMemoStore(group, market_, out);
   return out;
 }
@@ -483,6 +521,9 @@ ExpectedState CheckpointedEval::Expected(const SeedGroup& group) {
   util::MutexLock lock(engine_.mu_);
   IMDPP_CHECK(engine_.initial_states_ == nullptr);
   const Problem& p = engine_.sim_.problem();
+  if (!engine_.BeginEstimate()) {
+    return ExpectedState(p.NumUsers(), p.NumItems(), p.NumMetas());
+  }
   const SeedSchedule sched(group, p);
   const int diverge = FirstDivergence(base_sched_, sched, p.num_promotions);
   int resume = std::min(diverge - 1, base_sched_.last_active_round());
@@ -508,7 +549,7 @@ std::unique_ptr<SigmaBackend> MakeMcBackend(
     const SigmaBackendContext& context) {
   return std::make_unique<MonteCarloEngine>(
       *context.problem, context.campaign, context.num_samples,
-      context.num_threads, context.shared_pool);
+      context.num_threads, context.shared_pool, context.spec.cancel);
 }
 
 IMDPP_REGISTER_SIGMA_BACKEND("mc", MakeMcBackend);

@@ -42,6 +42,7 @@
 
 #include "diffusion/campaign_simulator.h"
 #include "diffusion/sigma_backend.h"
+#include "util/cancel.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -58,9 +59,15 @@ class MonteCarloEngine : public SigmaBackend {
   /// are bit-identical for every value (see file comment). `shared_pool`
   /// (optional) backs the sample loop instead of an engine-owned lazy
   /// pool, so several engines can share one set of workers.
+  /// `cancel` (optional) is the run's cooperative cancellation/deadline
+  /// token (ISSUE 8): every estimate checks it per sample and
+  /// short-circuits once it fires. Null = the engine creates a private
+  /// token, so fault propagation (the eval.sigma point latches its error
+  /// onto the token) always has a channel.
   MonteCarloEngine(const Problem& problem, const CampaignConfig& config,
                    int num_samples, int num_threads = util::kAutoThreads,
-                   std::shared_ptr<util::ThreadPool> shared_pool = nullptr);
+                   std::shared_ptr<util::ThreadPool> shared_pool = nullptr,
+                   std::shared_ptr<const util::CancelToken> cancel = nullptr);
 
   std::string_view name() const override { return "mc"; }
   std::string_view description() const override {
@@ -156,8 +163,25 @@ class MonteCarloEngine : public SigmaBackend {
     return num_memo_hits_;
   }
 
+  /// The token estimates check; never null (see the constructor).
+  const util::CancelToken* cancel_token() const override {
+    return cancel_.get();
+  }
+
  private:
   friend class CheckpointedEval;
+
+  /// Estimate-entry robustness gate: counts an eval.sigma fault-point hit
+  /// (latching any injected error onto the token) and then checks the
+  /// token. False = the estimate must return immediately with a
+  /// don't-care value — the caller reads the real error off
+  /// cancel_token(). Runs before memo lookups so fault schedules count
+  /// every estimate entry, memoized or not.
+  bool BeginEstimate() const;
+  /// Post-shard-loop gate: true = the token fired mid-estimate, so the
+  /// folded value is garbage — skip ChargeEstimate and the memo store
+  /// (a partial estimate must never poison the memo).
+  bool Cancelled() const { return cancel_->Fired(); }
 
   /// Number of per-estimate shards: min(num_samples, kMaxShards). A
   /// function of the sample count only, so the reduction tree is fixed.
@@ -216,6 +240,9 @@ class MonteCarloEngine : public SigmaBackend {
   /// parallel estimate (num_threads_ - 1 workers; the calling thread is
   /// the remaining executor).
   std::shared_ptr<util::ThreadPool> shared_pool_;
+  /// Never null; see the constructor. Not guarded: the token has its own
+  /// synchronization and shard tasks read it without the engine mutex.
+  std::shared_ptr<const util::CancelToken> cancel_;
 
   /// Guards every piece of state an estimate mutates: memos, work
   /// counters, the mask cache, the lazily created pool and the

@@ -20,6 +20,14 @@
 // EvalMarket() restricts coverage to market-rooted sketches and reports
 // π̂ = 0 (capabilities().market_likelihood_pi is false — under "ris"
 // TDSI's ML term drops out and timing is driven by σ̂_τ alone).
+//
+// Robustness (ISSUE 8): estimates run the eval.sigma fault point and the
+// run's CancelToken like the Monte-Carlo engine. A failed sketch
+// acquisition (the prep.sketch fault point, after transient retries)
+// either fails the run through the token, or — when
+// spec.fallback_backend is set — degrades the backend to its embedded
+// Monte-Carlo engine for the rest of its life, booking one `fallbacks`
+// counter (graceful degradation, tentpole prong 4).
 #ifndef IMDPP_DIFFUSION_RIS_BACKEND_H_
 #define IMDPP_DIFFUSION_RIS_BACKEND_H_
 
@@ -40,9 +48,12 @@ namespace imdpp::diffusion {
 class RisBackend final : public SigmaBackend {
  public:
   /// Mirrors the MonteCarloEngine constructor plus the backend spec
-  /// (θ = spec.ris_sketches, optional shared sketch cache). `num_samples`
+  /// (θ = spec.ris_sketches, optional shared sketch cache, the run's
+  /// cancellation token, and the opt-in fallback backend). `num_samples`
   /// sizes the embedded Monte-Carlo engine Expected() delegates to and
-  /// the naive-work baseline the counters book against.
+  /// the naive-work baseline the counters book against. The embedded
+  /// engine shares this backend's token, so an eval fault or deadline
+  /// fires one channel no matter which path answered.
   RisBackend(const Problem& problem, const CampaignConfig& config,
              int num_samples, int num_threads,
              std::shared_ptr<util::ThreadPool> shared_pool,
@@ -117,10 +128,35 @@ class RisBackend final : public SigmaBackend {
     return sketch_reuses_;
   }
 
+  /// The token estimates check; never null (see the constructor).
+  const util::CancelToken* cancel_token() const override {
+    return cancel_.get();
+  }
+
+  /// True once a failed sketch acquisition degraded this backend to its
+  /// embedded Monte-Carlo engine (ISSUE 8, prong 4) — only possible when
+  /// spec.fallback_backend is non-empty.
+  bool degraded() const IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return degraded_;
+  }
+
  private:
   /// Acquires the sketch set on first use (cache-served when the spec
-  /// carries a shared cache).
-  void EnsureSketches() const IMDPP_REQUIRES(mu_);
+  /// carries a shared cache). Non-ok = the acquisition failed (injected
+  /// prep.sketch fault, cancellation, deadline); the caller routes the
+  /// status through HandleSketchFailure.
+  util::Status EnsureSketches() const IMDPP_REQUIRES(mu_);
+  /// Estimate-entry gate, mirroring MonteCarloEngine::BeginEstimate: runs
+  /// the eval.sigma fault point (latching any injected error onto the
+  /// token) and checks the token. False = return a don't-care value.
+  bool BeginEstimate() const;
+  /// Routes a failed sketch acquisition: cancellations/deadlines and
+  /// fault errors without a configured fallback fire the token and return
+  /// false (the estimate gives up); otherwise flips degraded_, books one
+  /// `fallbacks` counter, and returns true — the caller re-answers from
+  /// the embedded Monte-Carlo engine.
+  bool HandleSketchFailure(util::Status status) const IMDPP_REQUIRES(mu_);
   /// Distinct sketches covered by `seeds`; when `market_mask` is set,
   /// also counts the covered sketches whose root user is in the market.
   int64_t CountCovered(const SeedGroup& seeds,
@@ -135,6 +171,9 @@ class RisBackend final : public SigmaBackend {
   void ChargeEstimate() const IMDPP_REQUIRES(mu_);
 
   const Problem& problem_;
+  /// Never null: spec.cancel when provided, else a private token. Shared
+  /// with the embedded engine (declared before mc_ so it exists first).
+  std::shared_ptr<const util::CancelToken> cancel_;
   MonteCarloEngine mc_;
   SigmaBackendSpec spec_;
   std::shared_ptr<util::ThreadPool> pool_;
@@ -146,6 +185,7 @@ class RisBackend final : public SigmaBackend {
   mutable util::Mutex mu_;
   mutable std::shared_ptr<const prep::RisSketchSet> sketches_
       IMDPP_GUARDED_BY(mu_);
+  mutable bool degraded_ IMDPP_GUARDED_BY(mu_) = false;
   mutable int64_t sketch_builds_ IMDPP_GUARDED_BY(mu_) = 0;
   mutable int64_t sketch_reuses_ IMDPP_GUARDED_BY(mu_) = 0;
   /// Epoch-stamped covered flags (θ entries), reused across queries.

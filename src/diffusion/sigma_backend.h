@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "diffusion/campaign_simulator.h"
+#include "util/cancel.h"
 #include "util/thread_pool.h"
 
 namespace imdpp::prep {
@@ -188,6 +189,14 @@ class SigmaBackend {
   virtual int64_t num_rounds_simulated() const = 0;
   virtual int64_t num_rounds_skipped() const = 0;
   virtual int64_t num_memo_hits() const = 0;
+
+  /// The CancelToken this backend's estimates check and latch errors onto
+  /// (ISSUE 8): an injected eval fault or an expired deadline fires the
+  /// token, estimates short-circuit, and the run's owner reads the
+  /// latched Status here. Never null for the builtin backends (an engine
+  /// given no token makes a private one so fault propagation always has a
+  /// channel); may be null for minimal test doubles.
+  virtual const util::CancelToken* cancel_token() const { return nullptr; }
 };
 
 /// Which backend to build and its backend-specific knobs — the value that
@@ -200,6 +209,16 @@ struct SigmaBackendSpec {
   /// planners and sweeps reuse one build per dataset); null = the backend
   /// builds a private sketch set.
   std::shared_ptr<prep::RisSketchCache> sketch_cache;
+  /// Cooperative cancellation/deadline token for every estimate this
+  /// backend answers (ISSUE 8). Null = the backend creates a private
+  /// token (still the fault-propagation channel, but nobody external
+  /// cancels it).
+  std::shared_ptr<util::CancelToken> cancel;
+  /// Opt-in graceful degradation (ISSUE 8, prong 4): non-empty = a "ris"
+  /// backend whose sketch build fails answers from its embedded
+  /// Monte-Carlo engine (the named backend, in practice "mc") instead of
+  /// failing the run; the degradation books one `fallbacks` counter.
+  std::string fallback_backend;
 };
 
 /// Everything a backend factory gets to build an instance: the engine

@@ -5,7 +5,9 @@
 
 #include "core/market_order.h"
 #include "pin/personal_item_network.h"
+#include "util/fault_injection.h"
 #include "util/hash.h"
+#include "util/retry.h"
 #include "util/timer.h"
 
 namespace imdpp::prep {
@@ -32,6 +34,17 @@ std::vector<UserId> SortedUnique(std::vector<UserId> users) {
   std::sort(users.begin(), users.end());
   users.erase(std::unique(users.begin(), users.end()), users.end());
   return users;
+}
+
+/// The pre-build gate both acquisition paths run: the prep.build fault
+/// point (transient codes retried with bounded backoff) and the run's
+/// cancellation token. Non-ok = do not build, do not touch any cache.
+util::Status PrepBuildGate(const util::CancelToken* cancel) {
+  return util::RetryTransient([&] {
+    util::Status fault = util::FaultInjector::Global().Hit("prep.build");
+    if (!fault.ok()) return fault;
+    return util::CheckCancel(cancel);
+  });
 }
 
 }  // namespace
@@ -63,14 +76,16 @@ uint64_t StructuralKey(const diffusion::Problem& problem) {
 
 PrepArtifacts::PrepArtifacts(const diffusion::Problem& problem,
                              std::shared_ptr<util::ThreadPool> pool,
-                             int build_threads)
+                             int build_threads,
+                             std::shared_ptr<const util::CancelToken> cancel)
     : graph_(problem.graph),
       pool_(std::move(pool)),
       build_threads_(build_threads),
+      cancel_(std::move(cancel)),
       num_items_(problem.NumItems()) {
   // No locking in here: the object is not shared until construction
   // returns (and clang's analysis exempts constructors accordingly).
-  const Exec exec{graph_, pool_, build_threads_};
+  const Exec exec{graph_, pool_, build_threads_, cancel_};
   Timer timer;
 
   // Average initial weighting — the exact float accumulation the inline
@@ -107,12 +122,20 @@ PrepArtifacts::PrepArtifacts(const diffusion::Problem& problem,
 
 void PrepArtifacts::RunBatch(const Exec& exec, int n,
                              const std::function<void(int)>& fn) {
+  // Cooperative cancellation: once the run's token fires, remaining tasks
+  // are skipped (their slots stay default-constructed — callers must not
+  // merge a batch whose token fired). Pure control flow while the token
+  // is quiet, so results stay bit-identical.
+  const std::function<void(int)> guarded = [&](int i) {
+    if (util::CancelFired(exec.cancel.get())) return;
+    fn(i);
+  };
   const bool parallel = exec.pool != nullptr && n >= 2 &&
                         util::ResolveNumThreads(exec.build_threads) > 1;
   if (parallel) {
-    exec.pool->ParallelFor(n, fn);
+    exec.pool->ParallelFor(n, guarded);
   } else {
-    for (int i = 0; i < n; ++i) fn(i);
+    for (int i = 0; i < n; ++i) guarded(i);
   }
 }
 
@@ -166,6 +189,10 @@ void PrepArtifacts::PrefetchRegions(std::vector<UserId> sources,
     computed[static_cast<size_t>(i)].region =
         cluster::RegionFromPaths(computed[static_cast<size_t>(i)].paths);
   });
+  // A fired token means some slots were skipped; merging them would cache
+  // empty regions as if computed. Drop the whole batch — on-demand lookups
+  // (RegionEntry) still work, and an uncancelled run recomputes cleanly.
+  if (util::CancelFired(exec.cancel.get())) return;
   util::MutexLock lock(mu_);
   for (size_t i = 0; i < missing.size(); ++i) {
     regions_.emplace(RegionKey{missing[i], Bits(threshold), max_hops},
@@ -187,6 +214,10 @@ int PrepArtifacts::HopDistance(UserId a, UserId b, int max_hops) {
   PrefetchHopRows({a}, max_hops);
   util::MutexLock lock(mu_);
   auto it = hop_rows_.find(HopKey{a, max_hops});
+  // Missing after a prefetch only when the run's token fired mid-batch
+  // (the merge was dropped); the answer is a don't-care the cancelled
+  // caller discards.
+  if (it == hop_rows_.end()) return graph::kUnreachable;
   auto hit = it->second.find(b);
   return hit == it->second.end() ? graph::kUnreachable : hit->second;
 }
@@ -224,6 +255,10 @@ void PrepArtifacts::PrefetchHopRows(std::vector<UserId> sources,
       frontier.swap(next);
     }
   });
+  // Same contract as PrefetchRegions: never merge a batch whose token
+  // fired — a skipped slot is an empty row, and caching it would turn
+  // every pair under that source unreachable forever.
+  if (util::CancelFired(exec.cancel.get())) return;
   util::MutexLock lock(mu_);
   for (size_t i = 0; i < missing.size(); ++i) {
     hop_rows_.emplace(HopKey{missing[i], max_hops}, std::move(rows[i]));
@@ -293,9 +328,10 @@ cluster::MarketPlan PrepArtifacts::Plan(
   return plan;
 }
 
-PrepLease PrepCache::Acquire(const diffusion::Problem& problem,
-                             std::shared_ptr<util::ThreadPool> pool,
-                             int build_threads) {
+util::StatusOr<PrepLease> PrepCache::Acquire(
+    const diffusion::Problem& problem, std::shared_ptr<util::ThreadPool> pool,
+    int build_threads, std::shared_ptr<const util::CancelToken> cancel) {
+  IMDPP_RETURN_IF_ERROR(util::CheckCancel(cancel.get()));
   PrepLease lease;
   // The content hash per acquisition IS the cache's correctness story —
   // it is what lets mutated problems re-key instead of serving stale
@@ -309,13 +345,20 @@ PrepLease PrepCache::Acquire(const diffusion::Problem& problem,
     lease.artifacts = it->second;
     // Lazy sweeps on the reused artifact run on THIS run's graph pointer
     // and executors (content-equal by key; see Rebind).
-    lease.artifacts->Rebind(problem, std::move(pool), build_threads);
+    lease.artifacts->Rebind(problem, std::move(pool), build_threads,
+                            std::move(cancel));
     lease.reused = true;
     ++reuses_;
     return lease;
   }
+  IMDPP_RETURN_IF_ERROR(PrepBuildGate(cancel.get()));
   lease.artifacts = std::make_shared<PrepArtifacts>(problem, std::move(pool),
-                                                    build_threads);
+                                                    build_threads, cancel);
+  // A token that fired during the build left the artifact incomplete
+  // (batch tasks early-exit): return the reason WITHOUT counting the
+  // build or inserting — the cache never holds a partial artifact, and
+  // the next acquirer rebuilds from scratch.
+  IMDPP_RETURN_IF_ERROR(util::CheckCancel(cancel.get()));
   lease.built = true;
   ++builds_;
   if (artifacts_.size() >= kMaxArtifacts) artifacts_.clear();
@@ -323,16 +366,19 @@ PrepLease PrepCache::Acquire(const diffusion::Problem& problem,
   return lease;
 }
 
-PrepLease AcquirePrep(const std::shared_ptr<PrepCache>& cache, bool use_cache,
-                      const diffusion::Problem& problem,
-                      std::shared_ptr<util::ThreadPool> pool,
-                      int build_threads) {
+util::StatusOr<PrepLease> AcquirePrep(
+    const std::shared_ptr<PrepCache>& cache, bool use_cache,
+    const diffusion::Problem& problem, std::shared_ptr<util::ThreadPool> pool,
+    int build_threads, std::shared_ptr<const util::CancelToken> cancel) {
   if (cache != nullptr && use_cache) {
-    return cache->Acquire(problem, std::move(pool), build_threads);
+    return cache->Acquire(problem, std::move(pool), build_threads,
+                          std::move(cancel));
   }
+  IMDPP_RETURN_IF_ERROR(PrepBuildGate(cancel.get()));
   PrepLease lease;
   lease.artifacts = std::make_shared<PrepArtifacts>(problem, std::move(pool),
-                                                    build_threads);
+                                                    build_threads, cancel);
+  IMDPP_RETURN_IF_ERROR(util::CheckCancel(cancel.get()));
   lease.built = true;
   return lease;
 }

@@ -61,7 +61,9 @@
 #include "cluster/target_market.h"
 #include "diffusion/problem.h"
 #include "graph/graph_algos.h"
+#include "util/cancel.h"
 #include "util/mutex.h"
+#include "util/status.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
@@ -83,9 +85,13 @@ class PrepArtifacts {
   /// Builds the eager artifacts (w̄0, RelC/RelS tables, share vector) and
   /// times the build. `pool` (optional, typically the session's) backs
   /// the parallel sweeps; `build_threads` gates them (<= 1 = inline,
-  /// anything else = the pool's workers when a pool exists).
+  /// anything else = the pool's workers when a pool exists). `cancel`
+  /// (optional) lets batch tasks early-exit once the run's token fires —
+  /// a cancelled build is incomplete, which is why PrepCache::Acquire
+  /// re-checks the token before caching what this constructor built.
   PrepArtifacts(const diffusion::Problem& problem,
-                std::shared_ptr<util::ThreadPool> pool, int build_threads);
+                std::shared_ptr<util::ThreadPool> pool, int build_threads,
+                std::shared_ptr<const util::CancelToken> cancel = nullptr);
 
   /// Re-points the lazy sweeps at the acquiring run's problem and
   /// executors. Called on every cache hit: the key matching guarantees
@@ -93,14 +99,18 @@ class PrepArtifacts {
   /// built from, and rebinding the pointer keeps a shared PrepCache safe
   /// even when the original problem's owner is gone; rebinding the pool
   /// keeps a cached artifact from pinning the (possibly serial, possibly
-  /// stale) executors of the run that happened to build it.
+  /// stale) executors of the run that happened to build it. The token is
+  /// rebound for the same reason: lazy sweeps must answer to the
+  /// acquiring run's deadline, not the builder's.
   void Rebind(const diffusion::Problem& problem,
-              std::shared_ptr<util::ThreadPool> pool, int build_threads)
+              std::shared_ptr<util::ThreadPool> pool, int build_threads,
+              std::shared_ptr<const util::CancelToken> cancel = nullptr)
       IMDPP_EXCLUDES(mu_) {
     util::MutexLock lock(mu_);
     graph_ = problem.graph;
     pool_ = std::move(pool);
     build_threads_ = build_threads;
+    cancel_ = std::move(cancel);
   }
 
   // ---------------------------------------------------- eager artifacts
@@ -189,9 +199,10 @@ class PrepArtifacts {
     const graph::SocialGraph* graph = nullptr;
     std::shared_ptr<util::ThreadPool> pool;
     int build_threads = 1;
+    std::shared_ptr<const util::CancelToken> cancel;
   };
   Exec Executors() IMDPP_REQUIRES(mu_) {
-    return Exec{graph_, pool_, build_threads_};
+    return Exec{graph_, pool_, build_threads_, cancel_};
   }
 
   /// Runs fn(0..n-1) — on the pool when parallel prep is enabled, inline
@@ -218,6 +229,7 @@ class PrepArtifacts {
   const graph::SocialGraph* graph_ IMDPP_GUARDED_BY(mu_);
   std::shared_ptr<util::ThreadPool> pool_ IMDPP_GUARDED_BY(mu_);
   int build_threads_ IMDPP_GUARDED_BY(mu_);
+  std::shared_ptr<const util::CancelToken> cancel_ IMDPP_GUARDED_BY(mu_);
   int num_items_;
 
   std::vector<float> avg_wmeta0_;
@@ -257,8 +269,18 @@ class PrepCache {
  public:
   /// Thread-safe: concurrent acquirers serialize on the map probe only —
   /// the content hash is computed before mu_ is taken.
-  PrepLease Acquire(const diffusion::Problem& problem,
-                    std::shared_ptr<util::ThreadPool> pool, int build_threads)
+  ///
+  /// Robustness (ISSUE 8): the prep.build fault point fires before a
+  /// miss's build (transient codes are retried with bounded backoff), and
+  /// `cancel` is checked on entry and again between the build and the
+  /// cache insert. A failed or cancelled acquisition returns its Status
+  /// WITHOUT touching the cache map or the builds counter: no partial
+  /// artifact is ever cached, and the next acquirer rebuilds cleanly
+  /// (tests/fault_matrix_test.cc regression-tests exactly this).
+  util::StatusOr<PrepLease> Acquire(
+      const diffusion::Problem& problem,
+      std::shared_ptr<util::ThreadPool> pool, int build_threads,
+      std::shared_ptr<const util::CancelToken> cancel = nullptr)
       IMDPP_EXCLUDES(mu_);
 
   int64_t builds() const IMDPP_EXCLUDES(mu_) {
@@ -287,11 +309,13 @@ class PrepCache {
 
 /// The one entry point planners call: serves from `cache` when present
 /// and `use_cache` is on, else builds a standalone artifact (counted as a
-/// build either way).
-PrepLease AcquirePrep(const std::shared_ptr<PrepCache>& cache, bool use_cache,
-                      const diffusion::Problem& problem,
-                      std::shared_ptr<util::ThreadPool> pool,
-                      int build_threads);
+/// build either way). Both paths run the prep.build fault point (with
+/// transient retry) and honor `cancel`; see PrepCache::Acquire.
+util::StatusOr<PrepLease> AcquirePrep(
+    const std::shared_ptr<PrepCache>& cache, bool use_cache,
+    const diffusion::Problem& problem,
+    std::shared_ptr<util::ThreadPool> pool, int build_threads,
+    std::shared_ptr<const util::CancelToken> cancel = nullptr);
 
 }  // namespace imdpp::prep
 

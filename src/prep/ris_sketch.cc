@@ -8,7 +8,9 @@
 #include "pin/dynamics.h"
 #include "prep/prep.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/hash.h"
+#include "util/retry.h"
 
 namespace imdpp::prep {
 
@@ -44,6 +46,17 @@ void RunBatch(const std::shared_ptr<util::ThreadPool>& pool, int build_threads,
   }
 }
 
+/// The pre-build gate both acquisition paths run: the prep.sketch fault
+/// point (transient codes retried with bounded backoff) and the run's
+/// cancellation token. Non-ok = do not build, do not touch any cache.
+util::Status SketchBuildGate(const util::CancelToken* cancel) {
+  return util::RetryTransient([&] {
+    util::Status fault = util::FaultInjector::Global().Hit("prep.sketch");
+    if (!fault.ok()) return fault;
+    return util::CheckCancel(cancel);
+  });
+}
+
 }  // namespace
 
 uint64_t RisSketchKey(const diffusion::Problem& problem,
@@ -66,7 +79,8 @@ RisSketchSet::RisSketchSet(const diffusion::Problem& problem,
                            const diffusion::CampaignConfig& campaign,
                            int num_sketches,
                            std::shared_ptr<util::ThreadPool> pool,
-                           int build_threads)
+                           int build_threads,
+                           std::shared_ptr<const util::CancelToken> cancel)
     : num_users_(problem.NumUsers()),
       num_items_(problem.NumItems()),
       num_sketches_(num_sketches) {
@@ -126,6 +140,10 @@ RisSketchSet::RisSketchSet(const diffusion::Problem& problem,
     const int begin = ShardBegin(num_sketches_, shards, shard);
     const int end = ShardBegin(num_sketches_, shards, shard + 1);
     for (int j = begin; j < end; ++j) {
+      // Cooperative cancellation at sketch granularity: a fired token
+      // leaves this set incomplete, and the acquisition paths re-check
+      // the token before ever caching or leasing it.
+      if (util::CancelFired(cancel.get())) break;
       const ItemId x = root_item_[static_cast<size_t>(j)];
       const UserId root = root_user_[static_cast<size_t>(j)];
       std::vector<UserId>& out = members[static_cast<size_t>(j)];
@@ -186,10 +204,12 @@ RisSketchSet::RisSketchSet(const diffusion::Problem& problem,
   }
 }
 
-RisSketchLease RisSketchCache::Acquire(
+util::StatusOr<RisSketchLease> RisSketchCache::Acquire(
     const diffusion::Problem& problem,
     const diffusion::CampaignConfig& campaign, int num_sketches,
-    std::shared_ptr<util::ThreadPool> pool, int build_threads) {
+    std::shared_ptr<util::ThreadPool> pool, int build_threads,
+    std::shared_ptr<const util::CancelToken> cancel) {
+  IMDPP_RETURN_IF_ERROR(util::CheckCancel(cancel.get()));
   RisSketchLease lease;
   // Content-hashed per acquisition, like PrepCache: mutated problems
   // re-key instead of serving stale sketches. Hashed before taking mu_.
@@ -202,8 +222,13 @@ RisSketchLease RisSketchCache::Acquire(
     ++reuses_;
     return lease;
   }
+  IMDPP_RETURN_IF_ERROR(SketchBuildGate(cancel.get()));
   lease.sketches = std::make_shared<const RisSketchSet>(
-      problem, campaign, num_sketches, std::move(pool), build_threads);
+      problem, campaign, num_sketches, std::move(pool), build_threads, cancel);
+  // A token that fired during the build left the set incomplete: return
+  // the reason WITHOUT counting the build or inserting, so the cache
+  // never holds a partial sketch set.
+  IMDPP_RETURN_IF_ERROR(util::CheckCancel(cancel.get()));
   lease.built = true;
   ++builds_;
   if (sketches_.size() >= kMaxArtifacts) sketches_.clear();
@@ -211,19 +236,21 @@ RisSketchLease RisSketchCache::Acquire(
   return lease;
 }
 
-RisSketchLease AcquireRisSketches(const std::shared_ptr<RisSketchCache>& cache,
-                                  const diffusion::Problem& problem,
-                                  const diffusion::CampaignConfig& campaign,
-                                  int num_sketches,
-                                  std::shared_ptr<util::ThreadPool> pool,
-                                  int build_threads) {
+util::StatusOr<RisSketchLease> AcquireRisSketches(
+    const std::shared_ptr<RisSketchCache>& cache,
+    const diffusion::Problem& problem,
+    const diffusion::CampaignConfig& campaign, int num_sketches,
+    std::shared_ptr<util::ThreadPool> pool, int build_threads,
+    std::shared_ptr<const util::CancelToken> cancel) {
   if (cache != nullptr) {
     return cache->Acquire(problem, campaign, num_sketches, std::move(pool),
-                          build_threads);
+                          build_threads, std::move(cancel));
   }
+  IMDPP_RETURN_IF_ERROR(SketchBuildGate(cancel.get()));
   RisSketchLease lease;
   lease.sketches = std::make_shared<const RisSketchSet>(
-      problem, campaign, num_sketches, std::move(pool), build_threads);
+      problem, campaign, num_sketches, std::move(pool), build_threads, cancel);
+  IMDPP_RETURN_IF_ERROR(util::CheckCancel(cancel.get()));
   lease.built = true;
   return lease;
 }

@@ -49,7 +49,9 @@
 
 #include "diffusion/campaign_simulator.h"
 #include "diffusion/problem.h"
+#include "util/cancel.h"
 #include "util/mutex.h"
+#include "util/status.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
@@ -78,9 +80,13 @@ class RisSketchSet {
   /// Builds θ = `num_sketches` sketches. `pool` (optional, typically the
   /// session's) backs the sharded build; `build_threads` gates it (<= 1 =
   /// inline). Results are bit-identical for every executor count.
+  /// `cancel` (optional) lets shard tasks stop early once the run's token
+  /// fires — the set is then incomplete, which is why AcquireRisSketches
+  /// re-checks the token before caching or leasing what was built.
   RisSketchSet(const diffusion::Problem& problem,
                const diffusion::CampaignConfig& campaign, int num_sketches,
-               std::shared_ptr<util::ThreadPool> pool, int build_threads);
+               std::shared_ptr<util::ThreadPool> pool, int build_threads,
+               std::shared_ptr<const util::CancelToken> cancel = nullptr);
 
   int num_sketches() const { return num_sketches_; }
   int num_users() const { return num_users_; }
@@ -138,11 +144,18 @@ class RisSketchCache {
  public:
   /// Thread-safe; a build happens under the lock (concurrent acquirers of
   /// the same key wait rather than duplicate the work).
-  RisSketchLease Acquire(const diffusion::Problem& problem,
-                         const diffusion::CampaignConfig& campaign,
-                         int num_sketches,
-                         std::shared_ptr<util::ThreadPool> pool,
-                         int build_threads) IMDPP_EXCLUDES(mu_);
+  ///
+  /// Robustness (ISSUE 8): the prep.sketch fault point fires before a
+  /// miss's build (transient codes retried), and `cancel` is checked on
+  /// entry and again between the build and the cache insert, so a failed
+  /// or cancelled acquisition never caches a partial sketch set and never
+  /// counts a build.
+  util::StatusOr<RisSketchLease> Acquire(
+      const diffusion::Problem& problem,
+      const diffusion::CampaignConfig& campaign, int num_sketches,
+      std::shared_ptr<util::ThreadPool> pool, int build_threads,
+      std::shared_ptr<const util::CancelToken> cancel = nullptr)
+      IMDPP_EXCLUDES(mu_);
 
   int64_t builds() const IMDPP_EXCLUDES(mu_) {
     util::MutexLock lock(mu_);
@@ -166,13 +179,15 @@ class RisSketchCache {
 };
 
 /// The one entry point the "ris" backend calls: serves from `cache` when
-/// present, else builds a standalone sketch set.
-RisSketchLease AcquireRisSketches(const std::shared_ptr<RisSketchCache>& cache,
-                                  const diffusion::Problem& problem,
-                                  const diffusion::CampaignConfig& campaign,
-                                  int num_sketches,
-                                  std::shared_ptr<util::ThreadPool> pool,
-                                  int build_threads);
+/// present, else builds a standalone sketch set. Both paths run the
+/// prep.sketch fault point (with transient retry) and honor `cancel`;
+/// see RisSketchCache::Acquire.
+util::StatusOr<RisSketchLease> AcquireRisSketches(
+    const std::shared_ptr<RisSketchCache>& cache,
+    const diffusion::Problem& problem,
+    const diffusion::CampaignConfig& campaign, int num_sketches,
+    std::shared_ptr<util::ThreadPool> pool, int build_threads,
+    std::shared_ptr<const util::CancelToken> cancel = nullptr);
 
 }  // namespace imdpp::prep
 

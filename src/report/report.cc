@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/status.h"
+
 namespace imdpp::report {
 
 namespace {
@@ -27,6 +29,13 @@ util::Json PlanResultJson(const api::PlanResult& result,
                           bool include_timings) {
   util::Json out = util::Json::Object();
   out.Set("planner", result.planner);
+  // Structured outcome (ISSUE 8): "ok" on success, the canonical code
+  // name (plus the message) on failure — always present, byte-stable.
+  out.Set("status",
+          std::string(util::StatusCodeName(result.status.code())));
+  if (!result.status.ok()) {
+    out.Set("status_message", result.status.message());
+  }
   out.Set("sigma", result.sigma);
   out.Set("total_cost", result.total_cost);
   out.Set("num_seeds", result.seeds.size());
@@ -39,6 +48,9 @@ util::Json PlanResultJson(const api::PlanResult& result,
   out.Set("memo_hits", static_cast<double>(result.memo_hits));
   out.Set("prep_builds", static_cast<double>(result.prep_builds));
   out.Set("prep_reuses", static_cast<double>(result.prep_reuses));
+  out.Set("faults_injected", static_cast<double>(result.faults_injected));
+  out.Set("retries", static_cast<double>(result.retries));
+  out.Set("fallbacks", static_cast<double>(result.fallbacks));
   if (include_timings) out.Set("prep_millis", result.prep_millis);
   if (result.num_markets > 0 || result.num_groups > 0) {
     out.Set("num_markets", result.num_markets);
@@ -105,10 +117,11 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
   std::vector<std::string> header{
       "dataset",     "scale",        "planner",
       "budget",      "promotions",   "theta",
-      "threads",     "backend",      "sigma",
-      "total_cost",  "num_seeds",    "simulations",
-      "rounds_simulated", "rounds_skipped", "memo_hits",
-      "prep_builds", "prep_reuses"};
+      "threads",     "backend",      "status",
+      "sigma",       "total_cost",   "num_seeds",
+      "simulations", "rounds_simulated", "rounds_skipped",
+      "memo_hits",   "prep_builds",  "prep_reuses",
+      "faults_injected", "retries",  "fallbacks"};
   if (include_timings) {
     header.push_back("prep_millis");
     header.push_back("wall_seconds");
@@ -127,6 +140,7 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
         rec.point.theta >= 0 ? std::to_string(rec.point.theta) : "-",
         std::to_string(rec.point.num_threads),
         rec.point.backend.empty() ? "mc" : rec.point.backend,
+        std::string(util::StatusCodeName(r.status.code())),
         Fixed(r.sigma, 4),
         Fixed(r.total_cost, 2),
         std::to_string(r.seeds.size()),
@@ -135,7 +149,10 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
         std::to_string(r.rounds_skipped),
         std::to_string(r.memo_hits),
         std::to_string(r.prep_builds),
-        std::to_string(r.prep_reuses)};
+        std::to_string(r.prep_reuses),
+        std::to_string(r.faults_injected),
+        std::to_string(r.retries),
+        std::to_string(r.fallbacks)};
     if (include_timings) {
       row.push_back(Fixed(r.prep_millis, 3));
       row.push_back(Fixed(r.wall_seconds, 3));

@@ -1,0 +1,112 @@
+// Cooperative cancellation and deadlines (ISSUE 8 tentpole, prong 2).
+//
+// One CancelToken travels a whole planner run: PlannerConfig →
+// CampaignSession::Run → every planner/baseline → the Monte-Carlo /
+// RIS shard loops and the parallel prep/sketch builds. Work checks the
+// token at natural boundaries (a shard, a greedy iteration, a per-source
+// sweep task) and returns early once it has fired; nothing is ever
+// interrupted mid-arithmetic, so when the token never fires the checks
+// are pure control flow and results stay bit-identical.
+//
+// Firing is one-shot and latches a Status: the FIRST cancellation reason
+// (an explicit Cancel, an expired deadline, or a fault-injected error
+// propagated through the token) wins and is what the run reports.
+//
+// Thread safety: Cancel/Check/Fired may race freely. `fired_` is an
+// acquire/release flag published after the reason is written under mu_,
+// so a reader that observes Fired() == true always reads the complete
+// latched Status.
+#ifndef IMDPP_UTIL_CANCEL_H_
+#define IMDPP_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace imdpp::util {
+
+class CancelToken {
+ public:
+  /// No deadline: fires only on explicit Cancel().
+  CancelToken() = default;
+
+  /// Fires kDeadlineExceeded once `timeout` has elapsed from construction
+  /// (checked lazily by Check(); there is no timer thread).
+  static std::shared_ptr<CancelToken> WithDeadline(
+      std::chrono::milliseconds timeout) {
+    auto token = std::make_shared<CancelToken>();
+    token->deadline_ = std::chrono::steady_clock::now() + timeout;
+    token->has_deadline_ = true;
+    return token;
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Latches `reason` (must be non-ok) unless already fired; the first
+  /// reason wins. Safe from any thread, including pool workers.
+  void Cancel(Status reason = CancelledError("run cancelled")) const {
+    IMDPP_CHECK(!reason.ok());
+    MutexLock lock(mu_);
+    if (fired_.load(std::memory_order_relaxed)) return;
+    reason_ = std::move(reason);
+    fired_.store(true, std::memory_order_release);
+  }
+
+  /// True once the token has fired. Cheap (one atomic load); does NOT
+  /// poll the deadline — use Check() at boundaries that must honor it.
+  bool Fired() const { return fired_.load(std::memory_order_acquire); }
+
+  /// The cancellation check every work boundary calls: returns the
+  /// latched reason if fired, latches-and-returns kDeadlineExceeded if
+  /// the deadline has passed, OkStatus() otherwise.
+  Status Check() const {
+    if (Fired()) return status();
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      Cancel(DeadlineExceededError("deadline exceeded"));
+      return status();
+    }
+    return OkStatus();
+  }
+
+  /// The latched reason (OkStatus() while not fired).
+  Status status() const {
+    if (!Fired()) return OkStatus();
+    MutexLock lock(mu_);
+    return reason_;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+ private:
+  mutable Mutex mu_;
+  mutable std::atomic<bool> fired_{false};
+  mutable Status reason_ IMDPP_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;  ///< set before sharing (WithDeadline)
+};
+
+/// Check() on a possibly-null token — the shape call sites use, because a
+/// null token (no cancellation requested) is the common case.
+inline Status CheckCancel(const CancelToken* token) {
+  return token == nullptr ? OkStatus() : token->Check();
+}
+inline Status CheckCancel(const std::shared_ptr<CancelToken>& token) {
+  return CheckCancel(token.get());
+}
+
+/// Fired() on a possibly-null token (cheap shard-loop variant).
+inline bool CancelFired(const CancelToken* token) {
+  return token != nullptr && token->Fired();
+}
+inline bool CancelFired(const std::shared_ptr<CancelToken>& token) {
+  return CancelFired(token.get());
+}
+
+}  // namespace imdpp::util
+
+#endif  // IMDPP_UTIL_CANCEL_H_

@@ -1,0 +1,181 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace imdpp::util {
+
+namespace {
+
+std::atomic<int64_t> g_faults_injected{0};
+std::atomic<int64_t> g_retries{0};
+std::atomic<int64_t> g_fallbacks{0};
+
+/// Parses a 1-based hit index; false on anything non-numeric/out of range.
+bool ParseHitIndex(std::string_view s, int64_t* out) {
+  if (s.empty() || s.size() > 18) return false;
+  int64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  if (v < 1) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+RobustnessCounters SnapshotRobustnessCounters() {
+  RobustnessCounters c;
+  c.faults_injected = g_faults_injected.load(std::memory_order_relaxed);
+  c.retries = g_retries.load(std::memory_order_relaxed);
+  c.fallbacks = g_fallbacks.load(std::memory_order_relaxed);
+  return c;
+}
+
+void BookRetry() { g_retries.fetch_add(1, std::memory_order_relaxed); }
+void BookFallback() { g_fallbacks.fetch_add(1, std::memory_order_relaxed); }
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+const std::vector<std::string>& FaultInjector::KnownPoints() {
+  static const std::vector<std::string>* points = new std::vector<std::string>{
+      "config.parse", "data.load",  "eval.sigma",
+      "pool.enqueue", "prep.build", "prep.sketch",
+  };
+  return *points;
+}
+
+bool FaultInjector::Known(std::string_view point) {
+  const std::vector<std::string>& points = KnownPoints();
+  return std::find(points.begin(), points.end(), point) != points.end();
+}
+
+std::string FaultInjector::UnknownMessage(std::string_view point) {
+  std::string msg = "unknown fault point \"";
+  msg += point;
+  msg += "\"; known:";
+  for (const std::string& known : KnownPoints()) {
+    msg += ' ';
+    msg += known;
+  }
+  return msg;
+}
+
+Status FaultInjector::Arm(std::string_view spec) {
+  // point[:RANGE][:CODE] — split on ':'.
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t colon = spec.find(':', start);
+    if (colon == std::string_view::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.empty() || parts.size() > 3 || parts[0].empty()) {
+    return InvalidArgumentError("malformed fault spec \"" +
+                                std::string(spec) +
+                                "\"; expected point[:RANGE][:CODE]");
+  }
+  const std::string point(parts[0]);
+  if (!Known(point)) return InvalidArgumentError(UnknownMessage(point));
+
+  Armed armed;
+  if (parts.size() >= 2) {
+    std::string_view range = parts[1];
+    const size_t dash = range.find('-');
+    if (!range.empty() && range.back() == '+') {
+      if (!ParseHitIndex(range.substr(0, range.size() - 1), &armed.from)) {
+        return InvalidArgumentError("malformed fault range \"" +
+                                    std::string(range) + "\" in \"" +
+                                    std::string(spec) + "\"");
+      }
+    } else if (dash != std::string_view::npos) {
+      if (!ParseHitIndex(range.substr(0, dash), &armed.from) ||
+          !ParseHitIndex(range.substr(dash + 1), &armed.to) ||
+          armed.to < armed.from) {
+        return InvalidArgumentError("malformed fault range \"" +
+                                    std::string(range) + "\" in \"" +
+                                    std::string(spec) + "\"");
+      }
+    } else {
+      if (!ParseHitIndex(range, &armed.from)) {
+        return InvalidArgumentError("malformed fault range \"" +
+                                    std::string(range) + "\" in \"" +
+                                    std::string(spec) + "\"");
+      }
+      armed.to = armed.from;
+    }
+  }
+  if (parts.size() == 3) {
+    std::optional<StatusCode> code = ParseStatusCode(parts[2]);
+    if (!code.has_value()) {
+      return InvalidArgumentError(
+          "unknown status code \"" + std::string(parts[2]) + "\" in \"" +
+          std::string(spec) +
+          "\"; known: cancelled deadline_exceeded internal "
+          "invalid_argument not_found resource_exhausted");
+    }
+    armed.code = *code;
+  }
+
+  MutexLock lock(mu_);
+  armed_.insert_or_assign(point, armed);
+  any_armed_.store(true, std::memory_order_release);
+  return OkStatus();
+}
+
+Status FaultInjector::ArmList(std::string_view specs) {
+  size_t start = 0;
+  while (start <= specs.size()) {
+    const size_t comma = specs.find(',', start);
+    std::string_view one = comma == std::string_view::npos
+                               ? specs.substr(start)
+                               : specs.substr(start, comma - start);
+    // Tolerate "a, b" style lists: surrounding whitespace is not part of
+    // the spec, and a fully blank entry (trailing comma) is skipped.
+    while (!one.empty() && (one.front() == ' ' || one.front() == '\t')) {
+      one.remove_prefix(1);
+    }
+    while (!one.empty() && (one.back() == ' ' || one.back() == '\t')) {
+      one.remove_suffix(1);
+    }
+    if (!one.empty()) IMDPP_RETURN_IF_ERROR(Arm(one));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return OkStatus();
+}
+
+void FaultInjector::Reset() {
+  MutexLock lock(mu_);
+  armed_.clear();
+  any_armed_.store(false, std::memory_order_release);
+}
+
+Status FaultInjector::Hit(std::string_view point) {
+  IMDPP_DCHECK(Known(point));  // a typo'd call site would never fire
+  if (!any_armed_.load(std::memory_order_acquire)) return OkStatus();
+  MutexLock lock(mu_);
+  auto it = armed_.find(point);
+  if (it == armed_.end()) return OkStatus();
+  Armed& armed = it->second;
+  const int64_t hit = ++armed.hits;
+  if (hit < armed.from || hit > armed.to) return OkStatus();
+  g_faults_injected.fetch_add(1, std::memory_order_relaxed);
+  std::string msg = "injected fault at ";
+  msg += point;
+  msg += " (hit ";
+  msg += std::to_string(hit);
+  msg += ")";
+  return Status(armed.code, std::move(msg));
+}
+
+}  // namespace imdpp::util

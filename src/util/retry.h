@@ -1,0 +1,55 @@
+// Bounded exponential-backoff retry (ISSUE 8 tentpole, prong 4), for
+// fault points whose injected (or real) failures are transient.
+//
+// The transiency contract is by code: kResourceExhausted retries,
+// everything else fails fast — cancellations and deadlines must never be
+// retried into, and config/registry errors never heal on their own.
+// Each re-attempt books one `retries` counter (util/fault_injection.h),
+// so reports show how much self-healing a run did.
+#ifndef IMDPP_UTIL_RETRY_H_
+#define IMDPP_UTIL_RETRY_H_
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace imdpp::util {
+
+struct RetryOptions {
+  /// Total attempts (first try included). 3 ⇒ up to two retries.
+  int max_attempts = 3;
+  /// Backoff before retry k (1-based) is base * multiplier^(k-1).
+  /// Deliberately tiny: the transient failures this heals (an injected
+  /// fault, a momentary resource blip) do not need seconds-long waits.
+  std::chrono::milliseconds base_backoff{1};
+  int multiplier = 2;
+};
+
+/// Runs `fn` (returning util::Status) up to options.max_attempts times,
+/// retrying only kResourceExhausted; returns the first non-transient
+/// status, or the last transient one once attempts are exhausted.
+template <typename Fn>
+Status RetryTransient(const RetryOptions& options, Fn&& fn) {
+  std::chrono::milliseconds backoff = options.base_backoff;
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    status = fn();
+    if (status.code() != StatusCode::kResourceExhausted) return status;
+    if (attempt >= options.max_attempts) return status;
+    BookRetry();
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff *= options.multiplier;
+  }
+}
+
+template <typename Fn>
+Status RetryTransient(Fn&& fn) {
+  return RetryTransient(RetryOptions{}, std::forward<Fn>(fn));
+}
+
+}  // namespace imdpp::util
+
+#endif  // IMDPP_UTIL_RETRY_H_

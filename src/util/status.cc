@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace imdpp::util {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "internal";  // unreachable for in-range enums
+}
+
+std::optional<StatusCode> ParseStatusCode(std::string_view name) {
+  if (name == "cancelled") return StatusCode::kCancelled;
+  if (name == "invalid_argument") return StatusCode::kInvalidArgument;
+  if (name == "deadline_exceeded") return StatusCode::kDeadlineExceeded;
+  if (name == "not_found") return StatusCode::kNotFound;
+  if (name == "resource_exhausted") return StatusCode::kResourceExhausted;
+  if (name == "internal") return StatusCode::kInternal;
+  return std::nullopt;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace imdpp::util

@@ -1,0 +1,146 @@
+// Structured errors (ISSUE 8 tentpole, prong 1): a dependency-free
+// Status / StatusOr<T> so fallible boundaries return errors as data
+// instead of aborting the process or throwing.
+//
+// The code set is the canonical subset this repo actually produces:
+//   kInvalidArgument   — malformed config/flag/spec input
+//   kNotFound          — registry miss (planner/dataset/backend name)
+//   kDeadlineExceeded  — a util::CancelToken deadline fired
+//   kCancelled         — a run was cancelled cooperatively
+//   kResourceExhausted — transient failure, eligible for RetryTransient
+//   kInternal          — everything else (also the fault-injection default)
+// The numeric values follow the gRPC/absl canonical space so logs stay
+// comparable with the rest of the world.
+//
+// Status is [[nodiscard]] at the class level, and the repo-specific
+// imdpp-lint rule `status-must-check` additionally flags any call whose
+// util::Status result is discarded (with the standard reasoned
+// `// imdpp-lint: allow(status-must-check) <reason>` escape) — so a
+// dropped error is both a compiler warning and a lint finding.
+#ifndef IMDPP_UTIL_STATUS_H_
+#define IMDPP_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/check.h"
+
+namespace imdpp::util {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kCancelled = 1,
+  kInvalidArgument = 3,
+  kDeadlineExceeded = 4,
+  kNotFound = 5,
+  kResourceExhausted = 8,
+  kInternal = 13,
+};
+
+/// Lower-case canonical name ("ok", "invalid_argument", ...), the spelling
+/// used by fault specs and the CLI's machine-readable error JSON.
+std::string_view StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName; kOk is deliberately not parseable (arming a
+/// fault that injects success is a spec error, not a no-op). Returns
+/// std::nullopt for unknown names.
+std::optional<StatusCode> ParseStatusCode(std::string_view name);
+
+class [[nodiscard]] Status {
+ public:
+  /// Ok by default, so `util::Status s;` is a clean accumulator.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>" — the human rendering.
+  std::string ToString() const;
+
+  /// Keeps the first error: assigns `other` only if *this is still ok.
+  /// The shape loops use to report the earliest failure.
+  void Update(Status other) {
+    if (ok()) *this = std::move(other);
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+/// A value or the error that prevented producing it. Accessing the value
+/// of a failed StatusOr is a programming error (IMDPP_CHECK).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from a value (the common `return lease;` shape).
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  /// Implicit from a non-ok Status (the common `return status;` shape).
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    IMDPP_CHECK(!status_.ok());  // an ok StatusOr must carry a value
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    IMDPP_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const {
+    IMDPP_CHECK(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a util::Status expression) and returns it from the
+/// enclosing function if it is an error — the early-exit shape every
+/// Status-returning parser in config:: uses.
+#define IMDPP_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::imdpp::util::Status imdpp_status_ = (expr);    \
+    if (!imdpp_status_.ok()) return imdpp_status_;   \
+  } while (0)
+
+}  // namespace imdpp::util
+
+#endif  // IMDPP_UTIL_STATUS_H_

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace imdpp::util {
 
@@ -38,6 +39,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  // Fault point: a failed dispatch degrades to inline serial execution on
+  // the calling thread. The pool only promises each index runs once, so
+  // the serial path is bit-identical; the degradation is booked as a
+  // fallback rather than failing the batch.
+  if (!FaultInjector::Global().Hit("pool.enqueue").ok()) {
+    BookFallback();
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
   // Shared pools: a second owner submitting while a batch is in flight
   // waits its turn here instead of clobbering fn_/next_/total_.
   MutexLock batch(batch_mu_);

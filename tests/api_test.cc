@@ -14,6 +14,7 @@
 #include "data/dataset_registry.h"
 #include "diffusion/sigma_backend.h"
 #include "tests/test_util.h"
+#include "util/status.h"
 
 namespace imdpp::api {
 namespace {
@@ -104,10 +105,10 @@ TEST(DatasetRegistry, UnknownMessageListsEveryRegisteredNameSorted) {
     last_pos = pos;
   }
   data::Dataset unused;
-  std::string error;
-  EXPECT_FALSE(data::DatasetRegistry::Make({"no_such_dataset", 1.0, 0},
-                                           &unused, &error));
-  EXPECT_EQ(error, msg);
+  const util::Status status =
+      data::DatasetRegistry::Make({"no_such_dataset", 1.0, 0}, &unused);
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), msg);
 }
 
 TEST(SigmaBackendRegistry, EveryExpectedNameCreatesAWorkingBackend) {

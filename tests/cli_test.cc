@@ -333,6 +333,99 @@ TEST(Cli, DatasetsPrepPrintsByteStableArtifactStats) {
   EXPECT_EQ(entry.Find("prep_millis"), nullptr);  // byte-stable by default
 }
 
+// ---------------------------------------------------- ISSUE 8 robustness
+
+std::string FirstLine(const std::string& text) {
+  return text.substr(0, text.find('\n'));
+}
+
+TEST(Cli, FailOnFlagInjectsAStructuredErrorAndDoesNotLeak) {
+  const std::vector<std::string> args{"plan",      "--dataset", "fig1-toy",
+                                      "--planner", "bgrd",      "--budget",
+                                      "20",        "--promotions", "2",
+                                      "--fail-on", "data.load"};
+  CliResult r = RunCli(args);
+  EXPECT_EQ(r.code, 1);
+  // stderr leads with the machine-readable error line.
+  util::Json error = ParseOrDie(FirstLine(r.err));
+  const util::Json* detail = error.Find("error");
+  ASSERT_NE(detail, nullptr) << r.err;
+  EXPECT_EQ(detail->Find("code")->AsInt(), 13);
+  EXPECT_EQ(detail->Find("code_name")->AsString(), "internal");
+  EXPECT_NE(detail->Find("message")->AsString().find("data.load"),
+            std::string::npos);
+  // Deterministic: the same injected failure renders the same bytes.
+  EXPECT_EQ(r.err, RunCli(args).err);
+
+  // The underscore alias arms the same point.
+  CliResult alias = RunCli({"plan", "--dataset", "fig1-toy", "--planner",
+                            "bgrd", "--budget", "20", "--promotions", "2",
+                            "--fail_on", "data.load"});
+  EXPECT_EQ(alias.code, 1);
+  EXPECT_EQ(alias.err, r.err);
+
+  // Run() disarms on exit: the next in-process invocation is clean.
+  CliResult clean = RunCli({"plan", "--dataset", "fig1-toy", "--planner",
+                            "bgrd", "--budget", "20", "--promotions", "2"});
+  EXPECT_EQ(clean.code, 0) << clean.err;
+}
+
+TEST(Cli, FailOnRejectsUnknownPointsListingTheCatalog) {
+  CliResult r = RunCli({"plan", "--dataset", "fig1-toy", "--planner",
+                        "bgrd", "--fail-on", "no.such.point"});
+  EXPECT_EQ(r.code, 2);
+  util::Json error = ParseOrDie(FirstLine(r.err));
+  const util::Json* detail = error.Find("error");
+  ASSERT_NE(detail, nullptr) << r.err;
+  EXPECT_EQ(detail->Find("code_name")->AsString(), "invalid_argument");
+  const std::string message = detail->Find("message")->AsString();
+  EXPECT_NE(message.find("no.such.point"), std::string::npos);
+  for (const char* point : {"config.parse", "data.load", "eval.sigma",
+                            "pool.enqueue", "prep.build", "prep.sketch"}) {
+    EXPECT_NE(message.find(point), std::string::npos) << point;
+  }
+}
+
+TEST(Cli, TinyDeadlineFailsWithDeadlineExceededJson) {
+  const std::vector<std::string> args{
+      "plan",         "--dataset", "yelp-like", "--planner",
+      "dysim",        "--budget",  "100",       "--promotions",
+      "2",            "--deadline-ms", "1"};
+  CliResult r = RunCli(args);
+  EXPECT_EQ(r.code, 1);
+  util::Json error = ParseOrDie(FirstLine(r.err));
+  const util::Json* detail = error.Find("error");
+  ASSERT_NE(detail, nullptr) << r.err;
+  EXPECT_EQ(detail->Find("code")->AsInt(), 4);
+  EXPECT_EQ(detail->Find("code_name")->AsString(), "deadline_exceeded");
+}
+
+TEST(Cli, GenerousDeadlineIsByteInvisibleAndValidationRejectsNegative) {
+  const std::vector<std::string> base{
+      "plan",        "--dataset", "fig1-toy", "--planner",
+      "bgrd",        "--budget",  "20",       "--promotions",
+      "2",           "--eval-samples", "8",   "--selection-samples", "4"};
+  CliResult plain = RunCli(base);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  std::vector<std::string> with_deadline = base;
+  with_deadline.insert(with_deadline.end(), {"--deadline-ms", "60000"});
+  CliResult deadline = RunCli(with_deadline);
+  ASSERT_EQ(deadline.code, 0) << deadline.err;
+  EXPECT_EQ(deadline.out, plain.out);  // a quiet deadline changes no byte
+  // The underscore alias parses too.
+  std::vector<std::string> alias = base;
+  alias.insert(alias.end(), {"--deadline_ms", "60000"});
+  EXPECT_EQ(RunCli(alias).out, plain.out);
+
+  std::vector<std::string> negative = base;
+  negative.insert(negative.end(), {"--deadline-ms", "-1"});
+  CliResult rejected = RunCli(negative);
+  EXPECT_EQ(rejected.code, 2);
+  util::Json error = ParseOrDie(FirstLine(rejected.err));
+  EXPECT_EQ(error.Find("error")->Find("code_name")->AsString(),
+            "invalid_argument");
+}
+
 TEST(Cli, MalformedSweepConfigReportsPosition) {
   const std::string path =
       WriteTempFile("sweep_malformed.json", "{\"datasets\": [,]}");

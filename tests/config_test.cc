@@ -10,6 +10,7 @@
 #include "config/config_loader.h"
 #include "data/dataset_registry.h"
 #include "util/json.h"
+#include "util/status.h"
 
 namespace imdpp {
 namespace {
@@ -120,7 +121,8 @@ TEST(ConfigLoader, AppliesPartialPlannerConfigOverrides) {
   ASSERT_TRUE(util::Json::Parse(text, &obj, &error)) << error;
   api::PlannerConfig cfg;
   const int default_eval_samples = cfg.eval_samples;
-  ASSERT_TRUE(config::ApplyPlannerConfigJson(obj, &cfg, &error)) << error;
+  const util::Status applied = config::ApplyPlannerConfigJson(obj, &cfg);
+  ASSERT_TRUE(applied.ok()) << applied.ToString();
 
   EXPECT_EQ(cfg.selection_samples, 7);
   EXPECT_EQ(cfg.eval_samples, default_eval_samples);  // untouched
@@ -142,13 +144,42 @@ TEST(ConfigLoader, ParsesPrepCacheKnobs) {
   ASSERT_TRUE(util::Json::Parse(
       R"({"prep": {"cache": false, "build_threads": 3}})", &obj, &error));
   api::PlannerConfig cfg;
-  ASSERT_TRUE(config::ApplyPlannerConfigJson(obj, &cfg, &error)) << error;
+  const util::Status applied = config::ApplyPlannerConfigJson(obj, &cfg);
+  ASSERT_TRUE(applied.ok()) << applied.ToString();
   EXPECT_FALSE(cfg.prep.cache);
   EXPECT_EQ(cfg.prep.build_threads, 3);
 
   ASSERT_TRUE(util::Json::Parse(R"({"prep": {"cash": true}})", &obj, &error));
-  EXPECT_FALSE(config::ApplyPlannerConfigJson(obj, &cfg, &error));
-  EXPECT_NE(error.find("prep"), std::string::npos) << error;
+  const util::Status bad = config::ApplyPlannerConfigJson(obj, &cfg);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("prep"), std::string::npos) << bad.ToString();
+}
+
+TEST(ConfigLoader, ParsesRobustnessKnobs) {
+  util::Json obj;
+  std::string error;
+  ASSERT_TRUE(util::Json::Parse(
+      R"({"deadline_ms": 1500, "eval": {"fallback_backend": "mc"}})", &obj,
+      &error));
+  api::PlannerConfig cfg;
+  const util::Status applied = config::ApplyPlannerConfigJson(obj, &cfg);
+  ASSERT_TRUE(applied.ok()) << applied.ToString();
+  EXPECT_EQ(cfg.deadline_ms, 1500);
+  EXPECT_EQ(cfg.eval.fallback_backend, "mc");
+
+  ASSERT_TRUE(util::Json::Parse(R"({"deadline_ms": -5})", &obj, &error));
+  util::Status bad = config::ApplyPlannerConfigJson(obj, &cfg);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("deadline_ms"), std::string::npos)
+      << bad.ToString();
+
+  // A typo'd fallback backend fails at load time with the key listing,
+  // exactly like eval.backend.
+  ASSERT_TRUE(util::Json::Parse(R"({"eval": {"fallback_backend": "zzz"}})",
+                                &obj, &error));
+  bad = config::ApplyPlannerConfigJson(obj, &cfg);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("zzz"), std::string::npos) << bad.ToString();
 }
 
 TEST(ConfigLoader, RejectsUnknownAndMistypedKnobs) {
@@ -156,17 +187,23 @@ TEST(ConfigLoader, RejectsUnknownAndMistypedKnobs) {
   util::Json obj;
   std::string error;
   ASSERT_TRUE(util::Json::Parse(R"({"selektion_samples": 7})", &obj, &error));
-  EXPECT_FALSE(config::ApplyPlannerConfigJson(obj, &cfg, &error));
-  EXPECT_NE(error.find("selektion_samples"), std::string::npos) << error;
+  util::Status bad = config::ApplyPlannerConfigJson(obj, &cfg);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("selektion_samples"), std::string::npos)
+      << bad.ToString();
 
   ASSERT_TRUE(util::Json::Parse(R"({"eval_samples": "many"})", &obj, &error));
-  EXPECT_FALSE(config::ApplyPlannerConfigJson(obj, &cfg, &error));
-  EXPECT_NE(error.find("eval_samples"), std::string::npos) << error;
+  bad = config::ApplyPlannerConfigJson(obj, &cfg);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("eval_samples"), std::string::npos)
+      << bad.ToString();
 
   ASSERT_TRUE(
       util::Json::Parse(R"({"dysim": {"order": "zzz"}})", &obj, &error));
-  EXPECT_FALSE(config::ApplyPlannerConfigJson(obj, &cfg, &error));
-  EXPECT_NE(error.find("dysim.order"), std::string::npos) << error;
+  bad = config::ApplyPlannerConfigJson(obj, &cfg);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("dysim.order"), std::string::npos)
+      << bad.ToString();
 }
 
 // ---------------------------------------------------------- dataset specs
@@ -190,13 +227,16 @@ TEST(ConfigLoader, DatasetSpecFromJsonObject) {
       &obj, &error));
   data::DatasetSpec spec;
   util::Json overrides;
-  ASSERT_TRUE(config::DatasetSpecFromJson(obj, &spec, &overrides, &error))
-      << error;
+  const util::Status parsed = config::DatasetSpecFromJson(obj, &spec,
+                                                          &overrides);
+  ASSERT_TRUE(parsed.ok()) << parsed.ToString();
   EXPECT_EQ(spec.name, "amazon-like");
   EXPECT_DOUBLE_EQ(spec.scale, 0.25);
   EXPECT_EQ(spec.seed, 99u);
   api::PlannerConfig cfg;
-  ASSERT_TRUE(config::ApplyPlannerConfigJson(overrides, &cfg, &error));
+  const util::Status applied = config::ApplyPlannerConfigJson(overrides,
+                                                              &cfg);
+  ASSERT_TRUE(applied.ok()) << applied.ToString();
   EXPECT_EQ(cfg.eval_samples, 8);
 }
 
@@ -209,7 +249,8 @@ TEST(DatasetRegistry, SyntheticSpecFileRoundTrip) {
       R"( "types": {"item": "GADGET"}})",
       &obj, &error));
   data::SyntheticSpec spec;
-  ASSERT_TRUE(data::ApplySyntheticSpecJson(obj, &spec, &error)) << error;
+  const util::Status applied = data::ApplySyntheticSpecJson(obj, &spec);
+  ASSERT_TRUE(applied.ok()) << applied.ToString();
   EXPECT_EQ(spec.name, "my-world");
   EXPECT_EQ(spec.num_users, 17);
   EXPECT_EQ(spec.num_items, 9);
@@ -218,8 +259,10 @@ TEST(DatasetRegistry, SyntheticSpecFileRoundTrip) {
   EXPECT_EQ(spec.types.item, "GADGET");
 
   ASSERT_TRUE(util::Json::Parse(R"({"num_userz": 17})", &obj, &error));
-  EXPECT_FALSE(data::ApplySyntheticSpecJson(obj, &spec, &error));
-  EXPECT_NE(error.find("num_userz"), std::string::npos) << error;
+  const util::Status bad = data::ApplySyntheticSpecJson(obj, &spec);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("num_userz"), std::string::npos)
+      << bad.ToString();
 }
 
 // -------------------------------------------------------------- flag files
@@ -240,36 +283,37 @@ TEST_F(FlagFileTest, SplicesTokensAndLaterFlagsWin) {
       "imdpp_flags.txt",
       "# effort preset\n--budget 250 --promotions 4\n--planner bgrd\n");
   config::ParsedArgs args;
-  std::string error;
   // Command-line --budget comes AFTER the flag file → overrides it;
   // --promotions comes from the file alone.
-  ASSERT_TRUE(config::ParseArgs(
-      {"plan", "--flagfile", path, "--budget", "300"}, &args, &error))
-      << error;
+  util::Status parsed = config::ParseArgs(
+      {"plan", "--flagfile", path, "--budget", "300"}, &args);
+  ASSERT_TRUE(parsed.ok()) << parsed.ToString();
   EXPECT_EQ(args.command, "plan");
   EXPECT_EQ(args.GetOr("budget", ""), "300");
   EXPECT_EQ(args.GetOr("promotions", ""), "4");
   EXPECT_EQ(args.GetOr("planner", ""), "bgrd");
 
   // Flags BEFORE the flag file are overridden by it.
-  ASSERT_TRUE(config::ParseArgs(
-      {"plan", "--planner", "dysim", "--flagfile=" + path}, &args, &error));
+  parsed = config::ParseArgs(
+      {"plan", "--planner", "dysim", "--flagfile=" + path}, &args);
+  ASSERT_TRUE(parsed.ok()) << parsed.ToString();
   EXPECT_EQ(args.GetOr("planner", ""), "bgrd");
 }
 
 TEST_F(FlagFileTest, MissingFlagFileFails) {
   config::ParsedArgs args;
-  std::string error;
-  EXPECT_FALSE(config::ParseArgs({"plan", "--flagfile", "/no/such/file"},
-                                 &args, &error));
-  EXPECT_NE(error.find("/no/such/file"), std::string::npos) << error;
+  const util::Status parsed =
+      config::ParseArgs({"plan", "--flagfile", "/no/such/file"}, &args);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.message().find("/no/such/file"), std::string::npos)
+      << parsed.ToString();
 }
 
 TEST(ParseArgs, SupportsEqualsFormAndBareSwitches) {
   config::ParsedArgs args;
-  std::string error;
-  ASSERT_TRUE(config::ParseArgs(
-      {"sweep", "--config=x.json", "--timings", "--quiet"}, &args, &error));
+  const util::Status parsed = config::ParseArgs(
+      {"sweep", "--config=x.json", "--timings", "--quiet"}, &args);
+  ASSERT_TRUE(parsed.ok()) << parsed.ToString();
   EXPECT_EQ(args.command, "sweep");
   EXPECT_EQ(args.GetOr("config", ""), "x.json");
   EXPECT_TRUE(args.Has("timings"));
@@ -288,8 +332,7 @@ util::Json ParseOrDie(const std::string& text) {
 
 TEST(SweepSpec, ExpandsTheFullCrossProduct) {
   config::SweepSpec spec;
-  std::string error;
-  ASSERT_TRUE(config::LoadSweepSpec(ParseOrDie(R"({
+  const util::Status loaded = config::LoadSweepSpec(ParseOrDie(R"({
     "name": "grid",
     "datasets": ["fig1-toy", "yelp-like@0.2"],
     "planners": ["dysim", "bgrd", "ps"],
@@ -299,10 +342,11 @@ TEST(SweepSpec, ExpandsTheFullCrossProduct) {
     "threads": [0, 2],
     "config": {"selection_samples": 4}
   })"),
-                                    &spec, &error))
-      << error;
+                                                   &spec);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
   std::vector<config::SweepPoint> points;
-  ASSERT_TRUE(config::ExpandSweep(spec, &points, &error)) << error;
+  const util::Status expanded = config::ExpandSweep(spec, &points);
+  ASSERT_TRUE(expanded.ok()) << expanded.ToString();
   // 2 datasets x 2 promotions x 2 budgets x 2 thetas x 2 threads x 3
   // planners.
   EXPECT_EQ(points.size(), 2u * 2 * 2 * 2 * 2 * 3);
@@ -323,17 +367,17 @@ TEST(SweepSpec, ExpandsTheFullCrossProduct) {
 
 TEST(SweepSpec, OmittedAxesCollapseToOnePoint) {
   config::SweepSpec spec;
-  std::string error;
-  ASSERT_TRUE(config::LoadSweepSpec(ParseOrDie(R"({
+  const util::Status loaded = config::LoadSweepSpec(ParseOrDie(R"({
     "datasets": ["fig1-toy"],
     "planners": ["dysim"],
     "budgets": [50],
     "promotions": [3]
   })"),
-                                    &spec, &error))
-      << error;
+                                                   &spec);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
   std::vector<config::SweepPoint> points;
-  ASSERT_TRUE(config::ExpandSweep(spec, &points, &error)) << error;
+  const util::Status expanded = config::ExpandSweep(spec, &points);
+  ASSERT_TRUE(expanded.ok()) << expanded.ToString();
   ASSERT_EQ(points.size(), 1u);
   EXPECT_EQ(points[0].theta, -1);  // sentinel: keep the config's theta
   EXPECT_EQ(points[0].config.market.overlap_theta,
@@ -342,8 +386,7 @@ TEST(SweepSpec, OmittedAxesCollapseToOnePoint) {
 
 TEST(SweepSpec, PerAxisOverridesApplyInOrder) {
   config::SweepSpec spec;
-  std::string error;
-  ASSERT_TRUE(config::LoadSweepSpec(ParseOrDie(R"({
+  const util::Status loaded = config::LoadSweepSpec(ParseOrDie(R"({
     "datasets": [
       {"name": "fig1-toy", "config": {"eval_samples": 10}},
       "yelp-like@0.2"
@@ -356,10 +399,11 @@ TEST(SweepSpec, PerAxisOverridesApplyInOrder) {
     "promotions": [2],
     "config": {"eval_samples": 20, "seed": 1}
   })"),
-                                    &spec, &error))
-      << error;
+                                                   &spec);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
   std::vector<config::SweepPoint> points;
-  ASSERT_TRUE(config::ExpandSweep(spec, &points, &error)) << error;
+  const util::Status expanded = config::ExpandSweep(spec, &points);
+  ASSERT_TRUE(expanded.ok()) << expanded.ToString();
   ASSERT_EQ(points.size(), 4u);
   // fig1-toy/dysim: dataset override wins over base.
   EXPECT_EQ(points[0].config.eval_samples, 10);
@@ -373,8 +417,7 @@ TEST(SweepSpec, PerAxisOverridesApplyInOrder) {
 
 TEST(SweepSpec, PerDatasetPlannerSubsets) {
   config::SweepSpec spec;
-  std::string error;
-  ASSERT_TRUE(config::LoadSweepSpec(ParseOrDie(R"({
+  const util::Status loaded = config::LoadSweepSpec(ParseOrDie(R"({
     "datasets": [
       "fig1-toy",
       {"name": "yelp-like", "scale": 0.2, "planners": ["dysim", "ps"]}
@@ -383,10 +426,11 @@ TEST(SweepSpec, PerDatasetPlannerSubsets) {
     "budgets": [100, 200],
     "promotions": [2]
   })"),
-                                    &spec, &error))
-      << error;
+                                                   &spec);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
   std::vector<config::SweepPoint> points;
-  ASSERT_TRUE(config::ExpandSweep(spec, &points, &error)) << error;
+  const util::Status expanded = config::ExpandSweep(spec, &points);
+  ASSERT_TRUE(expanded.ok()) << expanded.ToString();
   // fig1-toy: 2 budgets x 4 planners; yelp: 2 budgets x 2 planners.
   EXPECT_EQ(points.size(), 2u * 4 + 2u * 2);
   size_t yelp_points = 0;
@@ -401,17 +445,20 @@ TEST(SweepSpec, PerDatasetPlannerSubsets) {
 
 TEST(SweepSpec, MissingRequiredAxesFail) {
   config::SweepSpec spec;
-  std::string error;
-  EXPECT_FALSE(config::LoadSweepSpec(
+  util::Status bad = config::LoadSweepSpec(
       ParseOrDie(R"({"datasets": ["fig1-toy"], "planners": ["dysim"],
                      "budgets": [10]})"),
-      &spec, &error));
-  EXPECT_NE(error.find("promotions"), std::string::npos) << error;
-  EXPECT_FALSE(config::LoadSweepSpec(
+      &spec);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("promotions"), std::string::npos)
+      << bad.ToString();
+  bad = config::LoadSweepSpec(
       ParseOrDie(R"({"planners": ["dysim"], "budgets": [10],
                      "promotions": [1]})"),
-      &spec, &error));
-  EXPECT_NE(error.find("datasets"), std::string::npos) << error;
+      &spec);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("datasets"), std::string::npos)
+      << bad.ToString();
 }
 
 }  // namespace

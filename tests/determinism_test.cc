@@ -14,6 +14,7 @@
 #include "data/catalog.h"
 #include "diffusion/monte_carlo.h"
 #include "diffusion/sigma_backend.h"
+#include "util/cancel.h"
 #include "util/thread_pool.h"
 
 namespace imdpp::api {
@@ -96,6 +97,39 @@ TEST(DeterminismGate, SerialFallbackMatchesParallel) {
   PlanResult serial = RunWith("dysim", 0);
   PlanResult parallel = RunWith("dysim", 4);
   ExpectSamePlan(serial, parallel, "serial fallback vs 4 threads");
+}
+
+// ISSUE 8: the cancellation plumbing must be pure control flow while the
+// token stays quiet. A run under an explicit never-fired token and a run
+// under a generous deadline are both bit-identical to the plain run — for
+// every registered planner, and with zero robustness-counter noise.
+TEST(DeterminismGate, QuietCancelTokenAndGenerousDeadlineAreInvisible) {
+  for (const std::string& name : PlannerRegistry::Names()) {
+    SCOPED_TRACE(name);
+    const PlanResult plain = RunWith(name, 2);
+
+    PlannerConfig with_token = GateConfig(2);
+    with_token.cancel = std::make_shared<util::CancelToken>();
+    CampaignSession tokened_session(data::MakeSmallAmazonSample(),
+                                    with_token);
+    tokened_session.SetProblem(/*budget=*/100.0, /*num_promotions=*/2);
+    PlanResult tokened = tokened_session.Run(name);
+    EXPECT_TRUE(tokened.status.ok()) << tokened.status.ToString();
+    EXPECT_EQ(tokened.faults_injected, 0);
+    EXPECT_EQ(tokened.retries, 0);
+    EXPECT_EQ(tokened.fallbacks, 0);
+    ExpectSamePlan(plain, tokened, "quiet explicit token");
+
+    PlannerConfig with_deadline = GateConfig(2);
+    with_deadline.deadline_ms = 3600 * 1000;  // an hour: never fires
+    CampaignSession deadline_session(data::MakeSmallAmazonSample(),
+                                     with_deadline);
+    deadline_session.SetProblem(/*budget=*/100.0, /*num_promotions=*/2);
+    PlanResult under_deadline = deadline_session.Run(name);
+    EXPECT_TRUE(under_deadline.status.ok())
+        << under_deadline.status.ToString();
+    ExpectSamePlan(plain, under_deadline, "generous deadline");
+  }
 }
 
 // Checkpoint-resume and memoized σ̂ must be bit-identical to a plain

@@ -1,0 +1,28 @@
+// status-must-check fixture (ISSUE 8): Load's and Arm's declarations are
+// what register them as util::Status-returning; Bad drops the Status on
+// the floor (flagged), Chained drops it through a member chain (flagged),
+// Good consumes every result, Suppressed carries a reasoned allow.
+struct Injector {
+  util::Status Arm(int spec);
+  static Injector& Global();
+};
+util::Status Load(int x);
+
+void Bad() {
+  Load(1);
+}
+
+void Chained() {
+  Injector::Global().Arm(2);
+}
+
+util::Status Good() {
+  if (!Load(3).ok()) return Load(4);
+  (void)Load(5);  // explicit discard is a decision, not an accident
+  return Load(6);
+}
+
+void Suppressed() {
+  // imdpp-lint: allow(status-must-check) fixture: best-effort warm-up path
+  Load(7);
+}

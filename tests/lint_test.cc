@@ -126,6 +126,29 @@ TEST(LintRules, LockBeforeSharedExemptsConstructors) {
   EXPECT_EQ(d[0].line, 4);
 }
 
+TEST(LintRules, StatusMustCheckFiresOnDiscardedCalls) {
+  std::vector<Diagnostic> d = ForRule(LintFixtures(), "status-must-check");
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_TRUE(HasAt(d, "misc/status_discard.cc", 12));  // bare call
+  EXPECT_TRUE(HasAt(d, "misc/status_discard.cc", 16));  // member chain
+}
+
+TEST(LintRules, StatusMustCheckSparesConsumedAndVoidCastResults) {
+  // The registry crosses declaration and use inside one source: Apply is
+  // Status-returning; only the bare-statement discard is an accident.
+  const std::string decl = "util::Status Apply(int v);\n";
+  EXPECT_FALSE(LintSource("src/api/x.cc", decl + "void F() { Apply(1); }\n")
+                   .empty());
+  for (const char* use : {
+           "util::Status G() { return Apply(1); }\n",
+           "void F() { util::Status s = Apply(1); s.Update(Apply(2)); }\n",
+           "void F() { if (!Apply(1).ok()) return; }\n",
+           "void F() { (void)Apply(1); }\n",
+       }) {
+    EXPECT_TRUE(LintSource("src/api/x.cc", decl + use).empty()) << use;
+  }
+}
+
 // ------------------------------------------------------------ suppressions
 
 TEST(LintSuppressions, ReasonedSuppressionSilencesTheFinding) {

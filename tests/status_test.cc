@@ -1,0 +1,144 @@
+// util::Status / StatusOr (ISSUE 8 tentpole, prong 1): the structured
+// error vocabulary every fallible boundary speaks. Pins the canonical
+// code space, the name round-trip the fault specs and CLI JSON rely on,
+// first-error-wins accumulation, the IMDPP_RETURN_IF_ERROR early exit,
+// and StatusOr's value-or-error contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace imdpp::util {
+namespace {
+
+TEST(Status, DefaultIsOkAndErrorsCarryCodeAndMessage) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.message(), "");
+  EXPECT_EQ(ok.ToString(), "ok");
+  EXPECT_EQ(ok, OkStatus());
+
+  Status err = NotFoundError("no such planner");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.message(), "no such planner");
+  EXPECT_EQ(err.ToString(), "not_found: no such planner");
+}
+
+TEST(Status, CanonicalCodesMatchTheGrpcNumericSpace) {
+  EXPECT_EQ(static_cast<int>(StatusCode::kOk), 0);
+  EXPECT_EQ(static_cast<int>(StatusCode::kCancelled), 1);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInvalidArgument), 3);
+  EXPECT_EQ(static_cast<int>(StatusCode::kDeadlineExceeded), 4);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNotFound), 5);
+  EXPECT_EQ(static_cast<int>(StatusCode::kResourceExhausted), 8);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInternal), 13);
+}
+
+TEST(Status, CodeNamesRoundTripThroughParse) {
+  const std::vector<StatusCode> codes = {
+      StatusCode::kCancelled,         StatusCode::kInvalidArgument,
+      StatusCode::kDeadlineExceeded,  StatusCode::kNotFound,
+      StatusCode::kResourceExhausted, StatusCode::kInternal,
+  };
+  for (StatusCode code : codes) {
+    const std::string name(StatusCodeName(code));
+    std::optional<StatusCode> parsed = ParseStatusCode(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code) << name;
+  }
+  // kOk is deliberately not parseable: a fault spec injecting "success"
+  // is a spec error, not a no-op.
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_FALSE(ParseStatusCode("ok").has_value());
+  EXPECT_FALSE(ParseStatusCode("no_such_code").has_value());
+  EXPECT_FALSE(ParseStatusCode("").has_value());
+}
+
+TEST(Status, UpdateKeepsTheFirstError) {
+  Status s;
+  s.Update(OkStatus());
+  EXPECT_TRUE(s.ok());
+  s.Update(InternalError("first"));
+  s.Update(InvalidArgumentError("second"));
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "first");
+}
+
+TEST(Status, ErrorHelpersMapToTheirCodes) {
+  EXPECT_EQ(CancelledError("m").code(), StatusCode::kCancelled);
+  EXPECT_EQ(InvalidArgumentError("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DeadlineExceededError("m").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(NotFoundError("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(ResourceExhaustedError("m").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("m").code(), StatusCode::kInternal);
+}
+
+Status FailAfter(int* calls, int failing_call) {
+  ++*calls;
+  IMDPP_RETURN_IF_ERROR(*calls == failing_call
+                            ? InternalError("boom at " +
+                                            std::to_string(*calls))
+                            : OkStatus());
+  return OkStatus();
+}
+
+Status RunThree(int* calls, int failing_call) {
+  IMDPP_RETURN_IF_ERROR(FailAfter(calls, failing_call));
+  IMDPP_RETURN_IF_ERROR(FailAfter(calls, failing_call));
+  IMDPP_RETURN_IF_ERROR(FailAfter(calls, failing_call));
+  return OkStatus();
+}
+
+TEST(Status, ReturnIfErrorShortCircuitsAtTheFirstFailure) {
+  int calls = 0;
+  EXPECT_TRUE(RunThree(&calls, /*failing_call=*/0).ok());
+  EXPECT_EQ(calls, 3);
+
+  calls = 0;
+  Status failed = RunThree(&calls, /*failing_call=*/2);
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_EQ(failed.message(), "boom at 2");
+  EXPECT_EQ(calls, 2);  // the third step never ran
+}
+
+TEST(StatusOr, CarriesAValueOrTheError) {
+  StatusOr<std::string> good(std::string("value"));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good.status().ok());
+  EXPECT_EQ(good.value(), "value");
+  EXPECT_EQ(*good, "value");
+  EXPECT_EQ(good->size(), 5u);
+
+  StatusOr<std::string> bad(NotFoundError("missing"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.status().message(), "missing");
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return InvalidArgumentError("must be positive");
+  return v;
+}
+
+TEST(StatusOr, ImplicitConstructionSupportsBothReturnShapes) {
+  StatusOr<int> ok = ParsePositive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  StatusOr<int> err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrDeath, AccessingTheValueOfAnErrorChecks) {
+  StatusOr<int> bad(InternalError("no value"));
+  EXPECT_DEATH(bad.value(), "ok");
+}
+
+}  // namespace
+}  // namespace imdpp::util

@@ -20,6 +20,9 @@
 #include "diffusion/monte_carlo.h"
 #include "prep/prep.h"
 #include "tests/test_util.h"
+#include "util/cancel.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
 
 namespace imdpp {
 namespace {
@@ -49,8 +52,10 @@ TEST(ThreadSafety, ConcurrentPrepCacheAcquireCountsOneBuild) {
     threads.reserve(kThreads);
     for (int i = 0; i < kThreads; ++i) {
       threads.emplace_back([&, i] {
-        leases[static_cast<size_t>(i)] =
+        util::StatusOr<prep::PrepLease> lease =
             cache->Acquire(problem, /*pool=*/nullptr, /*build_threads=*/1);
+        ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+        leases[static_cast<size_t>(i)] = std::move(*lease);
       });
     }
     for (std::thread& t : threads) t.join();
@@ -154,6 +159,93 @@ TEST(ThreadSafety, ConcurrentSigmaEstimatesAreExactAndFullyCounted) {
   EXPECT_EQ(engine.num_simulations() % per_estimate, 0);
   // The memo held both entries, so at most the two cold calls simulated.
   EXPECT_EQ(simulated, 2);
+}
+
+// ---------------------------------------------------- ISSUE 8 robustness
+
+TEST(ThreadSafety, MidBatchCancellationIsCleanAndLeavesEngineDiagnosed) {
+  // Cancel the run's token from an outside thread while worker threads
+  // hammer estimates. Under TSan this exercises the token's atomics and
+  // the pool's batch early-exit; functionally, every estimate issued
+  // after the cancel resolves without deadlock and the token carries the
+  // cancel reason.
+  TinyWorld w = MakeWorld(6,
+                          {{0, 1, 0.4},
+                           {1, 2, 0.6},
+                           {0, 3, 0.3},
+                           {3, 4, 0.7},
+                           {4, 5, 0.2}},
+                          Spec());
+  auto cancel = std::make_shared<util::CancelToken>();
+  diffusion::MonteCarloEngine engine(w.problem, {}, /*num_samples=*/64,
+                                     /*num_threads=*/4, nullptr, cancel);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int it = 0; it < kIters; ++it) {
+        engine.Sigma({{0, 0, 1}});  // post-cancel calls return 0.0 fast
+      }
+    });
+  }
+  std::thread killer([&] { cancel->Cancel(util::CancelledError("test")); });
+  for (std::thread& t : threads) t.join();
+  killer.join();
+  const util::Status status = cancel->Check();
+  EXPECT_EQ(status.code(), util::StatusCode::kCancelled);
+  EXPECT_EQ(status.message(), "test");
+}
+
+TEST(ThreadSafety, ConcurrentAcquireWithOneFailingBuildStaysConsistent) {
+  // The ISSUE 8 cache-poisoning scenario under contention: the first
+  // prep.build hit fails, every later one succeeds. Racing acquirers must
+  // sort themselves into exactly one loser (or none, if a winner caches
+  // the bundle before the loser reaches the fault point — Acquire holds
+  // the cache lock across gate+build, so hits skip the gate), no partial
+  // entry, and a consistent builds/reuses ledger.
+  data::Dataset ds = data::MakeFig1Toy();
+  diffusion::Problem problem = ds.MakeProblem(20.0, 2);
+  auto cache = std::make_shared<prep::PrepCache>();
+  ASSERT_TRUE(util::FaultInjector::Global()
+                  .Arm("prep.build:1:internal")
+                  .ok());
+  constexpr int kThreads = 8;
+  std::vector<util::Status> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        util::StatusOr<prep::PrepLease> lease =
+            cache->Acquire(problem, nullptr, 1);
+        results[static_cast<size_t>(i)] = lease.status();
+        if (lease.ok()) {
+          EXPECT_NE(lease->artifacts, nullptr);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  util::FaultInjector::Global().Reset();
+  int failed = 0;
+  for (const util::Status& s : results) {
+    if (!s.ok()) {
+      ++failed;
+      EXPECT_EQ(s.code(), util::StatusCode::kInternal);
+    }
+  }
+  EXPECT_LE(failed, 1);  // the armed Nth-hit schedule fails at most once
+  // Conservation: every successful acquire is exactly one build or one
+  // reuse; the failed one books neither.
+  EXPECT_EQ(cache->builds() + cache->reuses(),
+            static_cast<int64_t>(kThreads - failed));
+  EXPECT_GE(cache->builds(), 1);
+  // And the cache is not poisoned: a fresh acquire succeeds and reuses.
+  util::StatusOr<prep::PrepLease> again = cache->Acquire(problem, nullptr, 1);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again->reused);
 }
 
 }  // namespace

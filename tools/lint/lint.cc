@@ -245,6 +245,9 @@ const std::vector<RuleInfo> kRules = {
     {"lock-before-shared",
      "function references an IMDPP_GUARDED_BY field without touching its "
      "mutex or carrying IMDPP_REQUIRES"},
+    {"status-must-check",
+     "call whose util::Status result is discarded; consume it, propagate "
+     "with IMDPP_RETURN_IF_ERROR, or cast to (void)"},
 };
 
 bool KnownRule(const std::string& rule) {
@@ -266,6 +269,9 @@ struct Registry {
   std::multimap<std::string, GuardedField> guarded;
   /// unqualified names of IMDPP_REQUIRES-annotated functions.
   std::set<std::string> requires_fns;
+  /// unqualified names declared with a util::Status return type, feeding
+  /// status-must-check.
+  std::set<std::string> status_fns;
 };
 
 void BuildRegistry(const FileCtx& ctx, Registry& reg) {
@@ -302,6 +308,15 @@ void BuildRegistry(const FileCtx& ctx, Registry& reg) {
         if (k == 0) break;
       }
       if (k > 0 && t[k - 1].is_ident) reg.requires_fns.insert(t[k - 1].text);
+    } else if (s == "Status") {
+      // `Status Name(` — a declaration or definition of a function
+      // returning util::Status (StatusOr is a different token and stays
+      // out). Direct-init variables (`util::Status s(code, msg)`) also
+      // land here; a variable name is never later called, so the extra
+      // entry is inert.
+      if (i + 2 < t.size() && t[i + 1].is_ident && t[i + 2].text == "(") {
+        reg.status_fns.insert(t[i + 1].text);
+      }
     }
   }
 }
@@ -664,6 +679,61 @@ void CheckLockBeforeShared(const FileCtx& ctx, const Registry& reg,
   }
 }
 
+// ------------------------------------------------ rule: status-must-check
+
+/// Flags `Foo(...);` / `obj.Foo(...);` / `ns::Obj::Get().Foo(...);`
+/// statements where Foo is registered as returning util::Status: the
+/// whole statement is the call, so the Status is dropped on the floor.
+/// `return Foo();`, `s = Foo();`, `(void)Foo();` and uses inside a larger
+/// expression all keep the result and stay clean. This is the lint-side
+/// complement of Status's class-level [[nodiscard]]: it survives builds
+/// with warnings off and carries the repo's reasoned-suppression audit
+/// trail.
+void CheckStatusMustCheck(const FileCtx& ctx, const Registry& reg,
+                          std::vector<Diagnostic>& diags) {
+  const Toks& t = ctx.toks;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].is_ident || t[i + 1].text != "(") continue;
+    if (reg.status_fns.count(t[i].text) == 0) continue;
+    size_t close = MatchForward(t, i + 1, '(', ')');
+    if (close + 1 >= t.size() || t[close + 1].text != ";") continue;
+    // Walk left over the receiver chain — `obj.` / `ptr->` / `ns::` /
+    // `Get().` segments — to the expression's first token.
+    size_t first = i;
+    while (first >= 2 &&
+           (t[first - 1].text == "." || t[first - 1].text == "->" ||
+            t[first - 1].text == "::")) {
+      size_t prev = first - 2;
+      if (t[prev].text == ")") {
+        int depth = 0;
+        for (;; --prev) {
+          if (t[prev].text == ")") ++depth;
+          if (t[prev].text == "(" && --depth == 0) break;
+          if (prev == 0) break;
+        }
+        if (prev == 0 || !t[prev - 1].is_ident) break;
+        first = prev - 1;
+      } else if (t[prev].is_ident) {
+        first = prev;
+      } else {
+        break;
+      }
+    }
+    // Only a full-statement discard: anything before the chain other
+    // than a statement boundary (`return`, `=`, a type name in a
+    // declaration, an enclosing call) consumes the value.
+    if (first > 0) {
+      const std::string& before = t[first - 1].text;
+      if (before != ";" && before != "{" && before != "}") continue;
+    }
+    diags.push_back(
+        {ctx.path, t[i].line, "status-must-check",
+         "result of util::Status-returning call '" + t[i].text +
+             "' is discarded; consume it, propagate with "
+             "IMDPP_RETURN_IF_ERROR, or cast to (void) with a comment"});
+  }
+}
+
 // ------------------------------------------------------ suppressions, IO
 
 /// Applies `allow(<rule>) <reason>` suppressions: a suppression on
@@ -712,6 +782,7 @@ void LintCtx(const FileCtx& ctx, const Registry& reg,
   CheckRawThread(ctx, local);
   CheckFloatAccum(ctx, local);
   CheckLockBeforeShared(ctx, reg, local);
+  CheckStatusMustCheck(ctx, reg, local);
   local = ApplySuppressions(ctx, std::move(local));
   diags.insert(diags.end(), local.begin(), local.end());
 }

@@ -29,6 +29,10 @@
 //                            IMDPP_GUARDED_BY(mu) but never touches `mu`
 //                            (and is not IMDPP_REQUIRES-annotated): the
 //                            gcc-side complement of clang -Wthread-safety.
+//   status-must-check        a statement that is exactly a call to a
+//                            function declared to return util::Status:
+//                            the error is dropped on the floor (ISSUE 8).
+//                            Complements Status's class [[nodiscard]].
 //
 // Suppressions: `// imdpp-lint: allow(<rule>) <reason>` on the flagged
 // line or the line directly above. The reason is mandatory — an empty one
