@@ -29,6 +29,8 @@
 #include "diffusion/seed.h"
 #include "prep/prep.h"
 #include "util/cancel.h"
+#include "util/fault_injection.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -209,7 +211,28 @@ struct PlanResult {
   int64_t faults_injected = 0;  ///< armed fault points that fired
   int64_t retries = 0;          ///< transient-fault retry attempts
   int64_t fallbacks = 0;        ///< graceful degradations taken
+
+  /// The unified metrics snapshot for this run (ISSUE 9): every counter
+  /// above plus the σ̂ histogram, backend-specific counters, and whatever
+  /// the armed MetricRegistry recorded. The scalar fields above are
+  /// mirrors refreshed by MergeMetrics / BookRobustness — read either,
+  /// they agree; report:: serializes from here.
+  util::MetricsSnapshot metrics;
 };
+
+/// Folds a metrics delta (a planner-internal result's snapshot, or the
+/// armed registry's) into `result.metrics`, then refreshes the legacy
+/// scalar mirrors (simulations, rounds_*, memo_hits, prep_*, faults/
+/// retries/fallbacks) from the merged snapshot so both views agree. The
+/// single seam every counter hand-off goes through (ISSUE 9).
+void MergeMetrics(PlanResult& result, const util::MetricsSnapshot& delta);
+
+/// Books the robustness-counter delta `after - before` into the result as
+/// absolute values (SetCounter overwrite, so a session's wider bracket
+/// re-books over Plan()'s narrower one) and syncs the scalar mirrors.
+void BookRobustness(PlanResult& result,
+                    const util::RobustnessCounters& before,
+                    const util::RobustnessCounters& after);
 
 /// Maps the unified config onto Dysim's native struct (folding the master
 /// seed into the campaign settings). Exposed for tooling that drives

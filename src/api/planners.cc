@@ -51,10 +51,7 @@ PlanResult FromBaseline(baselines::BaselineResult r) {
   out.seeds = std::move(r.seeds);
   out.sigma = r.sigma;
   out.total_cost = r.total_cost;
-  out.simulations = r.simulations;
-  out.prep_builds = r.prep_builds;
-  out.prep_reuses = r.prep_reuses;
-  out.prep_millis = r.prep_millis;
+  MergeMetrics(out, r.metrics);
   out.status = std::move(r.status);
   return out;
 }
@@ -73,13 +70,7 @@ class DysimPlanner : public Planner {
     out.seeds = std::move(r.seeds);
     out.sigma = r.sigma;
     out.total_cost = r.total_cost;
-    out.simulations = r.simulations;
-    out.rounds_simulated = r.rounds_simulated;
-    out.rounds_skipped = r.rounds_skipped;
-    out.memo_hits = r.memo_hits;
-    out.prep_builds = r.prep_builds;
-    out.prep_reuses = r.prep_reuses;
-    out.prep_millis = r.prep_millis;
+    MergeMetrics(out, r.metrics);
     out.nominees = std::move(r.nominees);
     out.num_markets = r.plan.markets.size();
     out.num_groups = r.plan.groups.size();
@@ -105,9 +96,7 @@ class AdaptivePlanner : public Planner {
     PlanResult out;
     out.seeds = std::move(r.seeds);
     out.total_cost = r.total_spent;
-    out.prep_builds = r.prep_builds;
-    out.prep_reuses = r.prep_reuses;
-    out.prep_millis = r.prep_millis;
+    MergeMetrics(out, r.metrics);
     out.status = std::move(r.status);
     for (core::AdaptiveRound& round : r.rounds) {
       PlanRound pr;
@@ -130,9 +119,9 @@ class AdaptivePlanner : public Planner {
                                     config().num_threads,
                                     config().shared_pool);
     out.sigma = eval->Sigma(out.seeds);
-    out.simulations = eval->num_simulations();
-    out.rounds_simulated = eval->num_rounds_simulated();
-    out.rounds_skipped = eval->num_rounds_skipped();
+    util::MetricsSnapshot final_eval;
+    eval->AddMetrics(final_eval);
+    MergeMetrics(out, final_eval);
     return out;
   }
 };
@@ -174,11 +163,10 @@ PlanResult SelectAndFinalize(const diffusion::Problem& problem,
   out.sigma = eval.Sigma(seeds);
   out.seeds = std::move(seeds);
   out.total_cost = problem.TotalCost(out.seeds);
-  out.simulations = search.num_simulations() + eval.num_simulations();
-  out.rounds_simulated =
-      search.num_rounds_simulated() + eval.num_rounds_simulated();
-  out.rounds_skipped = search.num_rounds_skipped() + eval.num_rounds_skipped();
-  out.memo_hits = search.num_memo_hits() + eval.num_memo_hits();
+  util::MetricsSnapshot engines;
+  search.AddMetrics(engines);
+  eval.AddMetrics(engines);
+  MergeMetrics(out, engines);
   out.nominees = std::move(sel.nominees);
   return out;
 }

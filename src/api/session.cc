@@ -6,6 +6,7 @@
 #include "prep/ris_sketch.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
+#include "util/trace.h"
 
 namespace imdpp::api {
 
@@ -56,29 +57,32 @@ PlanResult CampaignSession::Run(const std::string& planner_name,
   IMDPP_CHECK(problem_.graph != nullptr);  // SetProblem first
   const util::RobustnessCounters before = util::SnapshotRobustnessCounters();
   PlannerConfig run_config = config;
-  if (run_config.shared_pool == nullptr) {
-    run_config.shared_pool = SharedPool(run_config.num_threads);
-  }
-  // One artifact cache serves every planner and every problem of this
-  // session: market structure is built on the first run that needs it
-  // and reused (content-keyed) from then on.
-  if (run_config.prep_cache == nullptr) {
-    run_config.prep_cache = prep_cache_;
-  }
-  if (run_config.sketch_cache == nullptr) {
-    run_config.sketch_cache = sketch_cache_;
-  }
-  // Every Run gets its own cancellation token (ISSUE 8): deadline-armed
-  // when the config asks for one, plain otherwise, so the plumbing is
-  // live — and tested — on every run. A caller-provided token wins (the
-  // caller decides its deadline), and either way a fired token never
-  // outlives this Run: the session and its pool stay reusable.
-  if (run_config.cancel == nullptr) {
-    run_config.cancel =
-        run_config.deadline_ms > 0
-            ? util::CancelToken::WithDeadline(
-                  std::chrono::milliseconds(run_config.deadline_ms))
-            : std::make_shared<util::CancelToken>();
+  {
+    util::trace::Span span("phase.config");
+    if (run_config.shared_pool == nullptr) {
+      run_config.shared_pool = SharedPool(run_config.num_threads);
+    }
+    // One artifact cache serves every planner and every problem of this
+    // session: market structure is built on the first run that needs it
+    // and reused (content-keyed) from then on.
+    if (run_config.prep_cache == nullptr) {
+      run_config.prep_cache = prep_cache_;
+    }
+    if (run_config.sketch_cache == nullptr) {
+      run_config.sketch_cache = sketch_cache_;
+    }
+    // Every Run gets its own cancellation token (ISSUE 8): deadline-armed
+    // when the config asks for one, plain otherwise, so the plumbing is
+    // live — and tested — on every run. A caller-provided token wins (the
+    // caller decides its deadline), and either way a fired token never
+    // outlives this Run: the session and its pool stay reusable.
+    if (run_config.cancel == nullptr) {
+      run_config.cancel =
+          run_config.deadline_ms > 0
+              ? util::CancelToken::WithDeadline(
+                    std::chrono::milliseconds(run_config.deadline_ms))
+              : std::make_shared<util::CancelToken>();
+    }
   }
   PlanResult result;
   // Soft lookup (ISSUE 8): an unknown planner is a structured kNotFound
@@ -94,14 +98,14 @@ PlanResult CampaignSession::Run(const std::string& planner_name,
     // The final paired σ̂ on the shared engine is skipped for a failed
     // run: its seeds are partial state, and scoring them would burn the
     // deadline the run already missed.
-    if (result.status.ok()) result.sigma = Sigma(result.seeds);
+    if (result.status.ok()) {
+      util::trace::Span span("phase.eval");
+      result.sigma = Sigma(result.seeds);
+    }
   }
   // Re-book the robustness deltas over the whole Run bracket (planning
   // plus the final σ̂), superseding Plan()'s narrower bracket.
-  const util::RobustnessCounters after = util::SnapshotRobustnessCounters();
-  result.faults_injected = after.faults_injected - before.faults_injected;
-  result.retries = after.retries - before.retries;
-  result.fallbacks = after.fallbacks - before.fallbacks;
+  BookRobustness(result, before, util::SnapshotRobustnessCounters());
   // The shared scoring engine may have latched an eval fault of its own
   // (its token is the session config's, not this run's). Surface it and
   // drop the poisoned engine, so the next run rebuilds a fresh one — the

@@ -14,7 +14,8 @@ BaselineResult FinalizeResult(const Problem& problem,
   result.sigma = eval->Sigma(seeds);
   result.total_cost = problem.TotalCost(seeds);
   result.seeds = std::move(seeds);
-  result.simulations = search_simulations + eval->num_simulations();
+  result.metrics.AddCounter(util::metric::kEvalSimulations,
+                            search_simulations + eval->num_simulations());
   // A fired run token is the baseline's outcome (the estimates above
   // returned don't-care values once it fired).
   result.status = util::CheckCancel(config.backend.cancel.get());

@@ -47,11 +47,12 @@ struct BaselineResult {
   SeedGroup seeds;
   double sigma = 0.0;
   double total_cost = 0.0;
-  int64_t simulations = 0;
-  /// prep:: artifact accounting (0/0/0 for baselines without structure).
-  int64_t prep_builds = 0;
-  int64_t prep_reuses = 0;
-  double prep_millis = 0.0;
+  /// Work accounting under the canonical util::metric names (ISSUE 9):
+  /// eval.simulations for the search + final-eval estimates, plus
+  /// prep.builds / prep.reuses / prep.millis for the baselines that
+  /// build graph structure (PS's influence regions). See
+  /// core::DysimResult::metrics.
+  util::MetricsSnapshot metrics;
   /// How the run ended (see core::DysimResult::status): OkStatus() for a
   /// completed baseline, the token's reason or a prep-acquisition error
   /// otherwise. FinalizeResult fills it from the run's token.

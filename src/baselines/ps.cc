@@ -80,9 +80,8 @@ BaselineResult RunPs(const Problem& problem, const PsConfig& config) {
   SeedGroup seeds = CrGreedyTimings(engine, selected);
   BaselineResult result = FinalizeResult(problem, config, std::move(seeds),
                                          engine.num_simulations());
-  result.prep_builds = lease.built ? 1 : 0;
-  result.prep_reuses = lease.reused ? 1 : 0;
-  result.prep_millis = art.total_millis() - prep_millis_before;
+  prep::AddLeaseMetrics(result.metrics, lease,
+                        art.total_millis() - prep_millis_before);
   return result;
 }
 

@@ -16,7 +16,9 @@
 #include "prep/prep.h"
 #include "report/report.h"
 #include "util/fault_injection.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace imdpp::cli {
 
@@ -57,6 +59,12 @@ shared flags (plan, compare):
                            with deadline_exceeded instead of finishing
   --timings                include wall-clock fields (breaks byte-stability)
   --out FILE               write JSON here instead of stdout
+  --trace-out FILE         record Chrome trace-event JSON spans for the run
+                           (load in Perfetto / chrome://tracing); off = no
+                           tracing work at all
+  --metrics-out FILE       write the full metrics snapshot (all counters,
+                           gauges, histograms, timings included) as JSON;
+                           off = only the per-result counters are kept
 
 plan:     --planner NAME   (default dysim)
 compare:  --planners A,B,C (comma-separated registry names)
@@ -173,6 +181,8 @@ struct ProblemSetup {
   double budget = 300.0;
   int promotions = 10;
   bool timings = false;
+  std::string trace_out;    ///< --trace-out path ("" = tracing disarmed)
+  std::string metrics_out;  ///< --metrics-out path ("" = registry disarmed)
 };
 
 util::Status LoadProblemSetup(const config::ParsedArgs& args,
@@ -230,7 +240,66 @@ util::Status LoadProblemSetup(const config::ParsedArgs& args,
     setup->config.eval.backend = *backend;
   }
   setup->timings = args.Has("timings");
+  setup->trace_out = args.GetOr("trace-out", "");
+  setup->metrics_out = args.GetOr("metrics-out", "");
   return util::OkStatus();
+}
+
+/// Arms tracing and/or the metric registry for the bracketed command when
+/// the corresponding --*-out flag was given, and disarms on every exit
+/// path. Arming is per-invocation: cli::Run is also an in-process API, so
+/// an armed layer must never leak into the caller's next invocation.
+class ObservabilityScope {
+ public:
+  explicit ObservabilityScope(const ProblemSetup& setup)
+      : trace_(!setup.trace_out.empty()),
+        metrics_(!setup.metrics_out.empty()) {
+    if (trace_) {
+      util::trace::Enable();
+      util::trace::RegisterCurrentThread("main");
+    }
+    if (metrics_) {
+      util::MetricRegistry::Global().Reset();
+      util::MetricRegistry::Enable();
+    }
+  }
+  ~ObservabilityScope() {
+    if (trace_) util::trace::Disable();
+    if (metrics_) util::MetricRegistry::Disable();
+  }
+  ObservabilityScope(const ObservabilityScope&) = delete;
+  ObservabilityScope& operator=(const ObservabilityScope&) = delete;
+
+ private:
+  const bool trace_;
+  const bool metrics_;
+};
+
+/// Writes the --trace-out / --metrics-out artifacts after a successful
+/// command. The metrics file is the result snapshot merged with whatever
+/// the armed registry recorded (pool/task metrics), timings included —
+/// these files are diagnostics, not byte-stable outputs.
+int EmitObservability(const ProblemSetup& setup,
+                      const util::MetricsSnapshot& result_metrics,
+                      std::ostream& err) {
+  if (!setup.trace_out.empty()) {
+    const util::Status written = util::trace::WriteTrace(setup.trace_out);
+    if (!written.ok()) return StatusError(err, written);
+  }
+  if (!setup.metrics_out.empty()) {
+    util::MetricsSnapshot merged = result_metrics;
+    merged.Merge(util::MetricRegistry::Global().Snapshot());
+    const util::Json json =
+        util::MetricsJson(merged, /*include_timings=*/true);
+    std::ofstream file(setup.metrics_out);
+    file << json.Dump(2) << "\n";
+    file.flush();
+    if (!file.good()) {
+      return RuntimeError(err,
+                          "cannot write \"" + setup.metrics_out + "\"");
+    }
+  }
+  return 0;
 }
 
 /// Writes `text` to --out (if given) or to `out`.
@@ -290,8 +359,12 @@ int RunPlan(const config::ParsedArgs& args, std::ostream& out,
     return StatusError(err, util::NotFoundError(
                                 api::PlannerRegistry::UnknownMessage(planner)));
   }
+  ObservabilityScope scope(setup);
   data::Dataset dataset;
-  status = data::DatasetRegistry::Make(setup.dataset, &dataset);
+  {
+    util::trace::Span span("phase.dataset");
+    status = data::DatasetRegistry::Make(setup.dataset, &dataset);
+  }
   if (!status.ok()) return StatusError(err, status);
   api::CampaignSession session(std::move(dataset), setup.config);
   session.SetProblem(setup.budget, setup.promotions);
@@ -308,7 +381,7 @@ int RunPlan(const config::ParsedArgs& args, std::ostream& out,
   if (!EmitText(args, "out", output.Dump(2) + "\n", out, &error)) {
     return RuntimeError(err, error);
   }
-  return 0;
+  return EmitObservability(setup, result.metrics, err);
 }
 
 int RunCompare(const config::ParsedArgs& args, std::ostream& out,
@@ -331,8 +404,12 @@ int RunCompare(const config::ParsedArgs& args, std::ostream& out,
                                   api::PlannerRegistry::UnknownMessage(name)));
     }
   }
+  ObservabilityScope scope(setup);
   data::Dataset dataset;
-  status = data::DatasetRegistry::Make(setup.dataset, &dataset);
+  {
+    util::trace::Span span("phase.dataset");
+    status = data::DatasetRegistry::Make(setup.dataset, &dataset);
+  }
   if (!status.ok()) return StatusError(err, status);
   api::CampaignSession session(std::move(dataset), setup.config);
   session.SetProblem(setup.budget, setup.promotions);
@@ -357,7 +434,10 @@ int RunCompare(const config::ParsedArgs& args, std::ostream& out,
   if (!EmitText(args, "out", output.Dump(2) + "\n", out, &error)) {
     return RuntimeError(err, error);
   }
-  return 0;
+  // The metrics artifact totals every compared planner's snapshot.
+  util::MetricsSnapshot totals;
+  for (const api::PlanResult& r : compare) totals.Merge(r.metrics);
+  return EmitObservability(setup, totals, err);
 }
 
 int RunSweepCommand(const config::ParsedArgs& args, std::ostream& out,

@@ -49,9 +49,8 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
   }
   prep::PrepLease& lease = *lease_or;
   const prep::PrepArtifacts& art = *lease.artifacts;
-  result.prep_builds = lease.built ? 1 : 0;
-  result.prep_reuses = lease.reused ? 1 : 0;
-  result.prep_millis = lease.built ? art.build_millis() : 0.0;
+  prep::AddLeaseMetrics(result.metrics, lease,
+                        lease.built ? art.build_millis() : 0.0);
   auto antagonistic = [&](kg::ItemId a, kg::ItemId b) {
     if (a == b) return false;
     double rs = art.RelS(a, b);

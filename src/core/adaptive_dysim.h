@@ -44,10 +44,9 @@ struct AdaptiveResult {
   double realized_sigma = 0.0;
   double total_spent = 0.0;
   std::vector<AdaptiveRound> rounds;
-  /// prep:: artifact accounting (see DysimResult).
-  int64_t prep_builds = 0;
-  int64_t prep_reuses = 0;
-  double prep_millis = 0.0;
+  /// prep:: artifact accounting under the canonical util::metric names
+  /// (see DysimResult::metrics).
+  util::MetricsSnapshot metrics;
   /// How the run ended (see DysimResult::status); a non-ok run stops at
   /// the next promotion-round boundary with the rounds planned so far.
   util::Status status;

@@ -288,15 +288,10 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
   result.sigma = best_sigma;
   result.total_cost = problem.TotalCost(result.seeds);
   result.plan = std::move(plan);
-  result.simulations = engine.num_simulations() + eval.num_simulations();
-  result.rounds_simulated =
-      engine.num_rounds_simulated() + eval.num_rounds_simulated();
-  result.rounds_skipped =
-      engine.num_rounds_skipped() + eval.num_rounds_skipped();
-  result.memo_hits = engine.num_memo_hits() + eval.num_memo_hits();
-  result.prep_builds = lease.built ? 1 : 0;
-  result.prep_reuses = lease.reused ? 1 : 0;
-  result.prep_millis = art.total_millis() - prep_millis_before;
+  engine.AddMetrics(result.metrics);
+  eval.AddMetrics(result.metrics);
+  prep::AddLeaseMetrics(result.metrics, lease,
+                        art.total_millis() - prep_millis_before);
   // A token that fired anywhere above is the run's outcome; the seeds and
   // σ̂ carried out are the partial state at the stop.
   result.status = util::CheckCancel(cancel);

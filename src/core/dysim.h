@@ -92,19 +92,13 @@ struct DysimResult {
   double total_cost = 0.0;
   std::vector<Nominee> nominees;    ///< TMI output
   cluster::MarketPlan plan;         ///< diagnostics
-  int64_t simulations = 0;          ///< simulator invocations spent
-  /// Promotion-round accounting across both engines: rounds executed vs
-  /// rounds avoided (unseeded-round skips, checkpoint resumes, σ-memo
-  /// hits) relative to the naive T-rounds-per-sample evaluation.
-  int64_t rounds_simulated = 0;
-  int64_t rounds_skipped = 0;
-  int64_t memo_hits = 0;            ///< σ estimates answered from the memo
-  /// prep:: artifact accounting for this run: 1/0 builds vs cache
-  /// reuses, and the milliseconds of artifact construction this run paid
-  /// (0 when everything was served from the cache).
-  int64_t prep_builds = 0;
-  int64_t prep_reuses = 0;
-  double prep_millis = 0.0;
+  /// Work accounting under the canonical util::metric names (ISSUE 9):
+  /// eval.simulations / eval.rounds_* / eval.memo_hits across both
+  /// engines, prep.builds / prep.reuses / prep.millis for the artifact
+  /// acquisition, the σ̂ histogram, and (for "ris") the sketch counters.
+  /// Replaces the per-counter fields that used to be hand-threaded here;
+  /// api::MergeMetrics folds it into PlanResult in one line.
+  util::MetricsSnapshot metrics;
   /// How the run ended (ISSUE 8): OkStatus() for a completed plan; the
   /// token's reason (kCancelled / kDeadlineExceeded / an injected error)
   /// when config.backend.cancel fired, or the prep-acquisition error. A

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/fault_injection.h"
+#include "util/trace.h"
 
 namespace imdpp::diffusion {
 
@@ -187,10 +188,14 @@ void MonteCarloEngine::ChargeEstimate(int rounds_run) const {
 }
 
 double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
+  util::trace::Span span("mc.sigma");
   util::MutexLock lock(mu_);
   if (!BeginEstimate()) return 0.0;
   double memoized = 0.0;
-  if (MemoLookup(seeds, &memoized)) return memoized;
+  if (MemoLookup(seeds, &memoized)) {
+    RecordSigmaEstimate(memoized);
+    return memoized;
+  }
   const SeedSchedule sched(seeds, sim_.problem());
   const int t_end = sched.last_active_round();
   std::vector<double> partial(NumShards(), 0.0);
@@ -216,15 +221,20 @@ double MonteCarloEngine::Sigma(const SeedGroup& seeds) const {
   ChargeEstimate(rounds_run);
   const double sigma = total / num_samples_;
   MemoStore(seeds, sigma);
+  RecordSigmaEstimate(sigma);
   return sigma;
 }
 
 MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
     const SeedGroup& seeds, const std::vector<UserId>& users) const {
+  util::trace::Span span("mc.eval_market");
   util::MutexLock lock(mu_);
   if (!BeginEstimate()) return MarketEval{};
   MarketEval memoized;
-  if (MarketMemoLookup(seeds, users, &memoized)) return memoized;
+  if (MarketMemoLookup(seeds, users, &memoized)) {
+    RecordSigmaEstimate(memoized.sigma);
+    return memoized;
+  }
   const std::vector<uint8_t>* mask = CachedMask(users);
   const SeedSchedule sched(seeds, sim_.problem());
   const int t_end = sched.last_active_round();
@@ -259,6 +269,7 @@ MonteCarloEngine::MarketEval MonteCarloEngine::EvalMarket(
   out.sigma_market /= num_samples_;
   out.pi /= num_samples_;
   MarketMemoStore(seeds, users, out);
+  RecordSigmaEstimate(out.sigma);
   return out;
 }
 
@@ -493,27 +504,37 @@ CheckpointedEval::Outcome CheckpointedEval::Eval(const SeedGroup& group,
 }
 
 double CheckpointedEval::Sigma(const SeedGroup& group) {
+  util::trace::Span span("mc.sigma");
   util::MutexLock lock(engine_.mu_);
   if (!engine_.BeginEstimate()) return 0.0;
   double memoized = 0.0;
-  if (engine_.MemoLookup(group, &memoized)) return memoized;
+  if (engine_.MemoLookup(group, &memoized)) {
+    engine_.RecordSigmaEstimate(memoized);
+    return memoized;
+  }
   const double sigma = Eval(group, /*want_pi=*/false).sigma;
   if (engine_.Cancelled()) return sigma;  // partial: keep it out of the memo
   engine_.MemoStore(group, sigma);
+  engine_.RecordSigmaEstimate(sigma);
   return sigma;
 }
 
 MonteCarloEngine::MarketEval CheckpointedEval::EvalMarket(
     const SeedGroup& group) {
   IMDPP_CHECK(!market_.empty());
+  util::trace::Span span("mc.eval_market");
   util::MutexLock lock(engine_.mu_);
   if (!engine_.BeginEstimate()) return MonteCarloEngine::MarketEval{};
   MonteCarloEngine::MarketEval memoized;
-  if (engine_.MarketMemoLookup(group, market_, &memoized)) return memoized;
+  if (engine_.MarketMemoLookup(group, market_, &memoized)) {
+    engine_.RecordSigmaEstimate(memoized.sigma);
+    return memoized;
+  }
   const Outcome o = Eval(group, /*want_pi=*/true);
   const MonteCarloEngine::MarketEval out{o.sigma, o.sigma_market, o.pi};
   if (engine_.Cancelled()) return out;  // partial: keep it out of the memo
   engine_.MarketMemoStore(group, market_, out);
+  engine_.RecordSigmaEstimate(out.sigma);
   return out;
 }
 

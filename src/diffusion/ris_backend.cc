@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/fault_injection.h"
+#include "util/trace.h"
 
 namespace imdpp::diffusion {
 
@@ -67,6 +68,7 @@ int64_t RisBackend::CountCovered(const SeedGroup& seeds,
                                  const std::vector<uint8_t>* market_mask,
                                  int64_t* covered_market) const {
   const prep::RisSketchSet& sk = *sketches_;
+  ++num_coverage_queries_;
   ++covered_epoch_;
   if (covered_epoch_ == 0) {  // epoch wrap: stamps are stale, reset them
     std::fill(covered_mark_.begin(), covered_mark_.end(), 0u);
@@ -106,6 +108,7 @@ void RisBackend::ChargeEstimate() const {
 }
 
 double RisBackend::Sigma(const SeedGroup& seeds) const {
+  util::trace::Span span("ris.sigma");
   {
     util::MutexLock lock(mu_);
     if (!degraded_) {
@@ -115,6 +118,7 @@ double RisBackend::Sigma(const SeedGroup& seeds) const {
         if (it != sigma_memo_.end()) {
           ++num_memo_hits_;
           ChargeEstimate();
+          RecordSigmaEstimate(it->second);
           return it->second;
         }
       }
@@ -127,6 +131,7 @@ double RisBackend::Sigma(const SeedGroup& seeds) const {
         if (MemoEnabled() && sigma_memo_.size() < sigma_memo_capacity_) {
           sigma_memo_.emplace(seeds, sigma);
         }
+        RecordSigmaEstimate(sigma);
         return sigma;
       }
       if (!HandleSketchFailure(std::move(acquired))) return 0.0;
@@ -139,6 +144,7 @@ double RisBackend::Sigma(const SeedGroup& seeds) const {
 
 MarketEval RisBackend::EvalMarket(const SeedGroup& seeds,
                                   const std::vector<UserId>& users) const {
+  util::trace::Span span("ris.eval_market");
   {
     util::MutexLock lock(mu_);
     if (!degraded_) {
@@ -150,6 +156,7 @@ MarketEval RisBackend::EvalMarket(const SeedGroup& seeds,
           if (it != market_it->second.end()) {
             ++num_memo_hits_;
             ChargeEstimate();
+            RecordSigmaEstimate(it->second.sigma);
             return it->second;
           }
         }
@@ -171,6 +178,7 @@ MarketEval RisBackend::EvalMarket(const SeedGroup& seeds,
             ++market_memo_entries_;
           }
         }
+        RecordSigmaEstimate(out.sigma);
         return out;
       }
       if (!HandleSketchFailure(std::move(acquired))) return MarketEval{};
@@ -182,6 +190,18 @@ MarketEval RisBackend::EvalMarket(const SeedGroup& seeds,
 
 ExpectedState RisBackend::Expected(const SeedGroup& seeds) const {
   return mc_.Expected(seeds);
+}
+
+void RisBackend::AddMetrics(util::MetricsSnapshot& out) const {
+  // Base booking first (the virtual accessors above already merge the
+  // embedded engine's counters into the totals), then the inner
+  // engine's σ̂ distribution, then the ris-specific counters.
+  SigmaBackend::AddMetrics(out);
+  mc_.AddSigmaHistogram(out);
+  util::MutexLock lock(mu_);
+  out.AddCounter(util::metric::kRisSketchBuilds, sketch_builds_);
+  out.AddCounter(util::metric::kRisSketchReuses, sketch_reuses_);
+  out.AddCounter(util::metric::kRisCoverageQueries, num_coverage_queries_);
 }
 
 namespace {

@@ -117,6 +117,12 @@ class RisBackend final : public SigmaBackend {
     return num_memo_hits_ + mc_.num_memo_hits();
   }
 
+  /// Base counters/histogram plus the ris-specific instrumentation
+  /// (sketch builds/reuses, coverage-query count) and the embedded
+  /// engine's σ̂ distribution (degraded and Expected()-path estimates).
+  void AddMetrics(util::MetricsSnapshot& out) const override
+      IMDPP_EXCLUDES(mu_);
+
   /// Whether this backend's estimates so far built a sketch set (1) or
   /// served one from the shared cache (tests and diagnostics).
   int64_t sketch_builds() const IMDPP_EXCLUDES(mu_) {
@@ -193,6 +199,9 @@ class RisBackend final : public SigmaBackend {
   mutable uint32_t covered_epoch_ IMDPP_GUARDED_BY(mu_) = 0;
   mutable int64_t num_rounds_skipped_ IMDPP_GUARDED_BY(mu_) = 0;
   mutable int64_t num_memo_hits_ IMDPP_GUARDED_BY(mu_) = 0;
+  /// Coverage countings answered from the sketch set (memo hits and
+  /// degraded estimates excluded).
+  mutable int64_t num_coverage_queries_ IMDPP_GUARDED_BY(mu_) = 0;
   /// σ / market memos, keyed exactly like the Monte-Carlo engine's.
   mutable std::map<SeedGroup, double> sigma_memo_ IMDPP_GUARDED_BY(mu_);
   mutable std::map<std::vector<UserId>, std::map<SeedGroup, MarketEval>>

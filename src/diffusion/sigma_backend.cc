@@ -57,6 +57,28 @@ std::unique_ptr<ScheduleEval> SigmaBackend::MakeScheduleEval(
                                                   std::move(market));
 }
 
+void SigmaBackend::RecordSigmaEstimate(double sigma) const {
+  util::MutexLock lock(stats_mu_);
+  if (sigma_estimates_.bounds.empty()) {
+    sigma_estimates_.bounds = util::DefaultValueBounds();
+  }
+  sigma_estimates_.Observe(sigma);
+}
+
+void SigmaBackend::AddSigmaHistogram(util::MetricsSnapshot& out) const {
+  util::MutexLock lock(stats_mu_);
+  if (sigma_estimates_.empty()) return;
+  out.MergeHistogram(util::metric::kEvalSigmaHat, sigma_estimates_);
+}
+
+void SigmaBackend::AddMetrics(util::MetricsSnapshot& out) const {
+  out.AddCounter(util::metric::kEvalSimulations, num_simulations());
+  out.AddCounter(util::metric::kEvalRoundsSimulated, num_rounds_simulated());
+  out.AddCounter(util::metric::kEvalRoundsSkipped, num_rounds_skipped());
+  out.AddCounter(util::metric::kEvalMemoHits, num_memo_hits());
+  AddSigmaHistogram(out);
+}
+
 bool SigmaBackendRegistry::Register(std::string name, Factory factory) {
   return Impl().Register(std::move(name), factory);
 }

@@ -41,6 +41,9 @@
 
 #include "diffusion/campaign_simulator.h"
 #include "util/cancel.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace imdpp::prep {
@@ -190,6 +193,17 @@ class SigmaBackend {
   virtual int64_t num_rounds_skipped() const = 0;
   virtual int64_t num_memo_hits() const = 0;
 
+  /// Books this backend's work into `out` under the canonical
+  /// util::metric names: the four counters above plus the histogram of
+  /// every σ̂ the backend returned (eval.sigma_hat). Backends with
+  /// extra instrumentation (ris sketch counters) extend this.
+  virtual void AddMetrics(util::MetricsSnapshot& out) const;
+
+  /// Just the σ̂ histogram — for backends that embed another backend
+  /// (ris → mc fallback) and must merge the inner distribution without
+  /// double-booking the inner counters.
+  void AddSigmaHistogram(util::MetricsSnapshot& out) const;
+
   /// The CancelToken this backend's estimates check and latch errors onto
   /// (ISSUE 8): an injected eval fault or an expired deadline fires the
   /// token, estimates short-circuit, and the run's owner reads the
@@ -197,6 +211,17 @@ class SigmaBackend {
   /// given no token makes a private one so fault propagation always has a
   /// channel); may be null for minimal test doubles.
   virtual const util::CancelToken* cancel_token() const { return nullptr; }
+
+ protected:
+  /// Estimate paths call this with every σ̂ they return (memoized or
+  /// computed) to feed the eval.sigma_hat histogram. Thread-safe; the
+  /// histogram is merge-order-invariant, so recording order cannot
+  /// leak into reports.
+  void RecordSigmaEstimate(double sigma) const;
+
+ private:
+  mutable util::Mutex stats_mu_;
+  mutable util::HistogramData sigma_estimates_ IMDPP_GUARDED_BY(stats_mu_);
 };
 
 /// Which backend to build and its backend-specific knobs — the value that

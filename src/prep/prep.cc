@@ -9,6 +9,7 @@
 #include "util/hash.h"
 #include "util/retry.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace imdpp::prep {
 
@@ -85,6 +86,7 @@ PrepArtifacts::PrepArtifacts(const diffusion::Problem& problem,
       num_items_(problem.NumItems()) {
   // No locking in here: the object is not shared until construction
   // returns (and clang's analysis exempts constructors accordingly).
+  util::trace::Span span("prep.build");
   const Exec exec{graph_, pool_, build_threads_, cancel_};
   Timer timer;
 
@@ -331,6 +333,7 @@ cluster::MarketPlan PrepArtifacts::Plan(
 util::StatusOr<PrepLease> PrepCache::Acquire(
     const diffusion::Problem& problem, std::shared_ptr<util::ThreadPool> pool,
     int build_threads, std::shared_ptr<const util::CancelToken> cancel) {
+  util::trace::Span span("prep.acquire");
   IMDPP_RETURN_IF_ERROR(util::CheckCancel(cancel.get()));
   PrepLease lease;
   // The content hash per acquisition IS the cache's correctness story —
@@ -370,6 +373,7 @@ util::StatusOr<PrepLease> AcquirePrep(
     const std::shared_ptr<PrepCache>& cache, bool use_cache,
     const diffusion::Problem& problem, std::shared_ptr<util::ThreadPool> pool,
     int build_threads, std::shared_ptr<const util::CancelToken> cancel) {
+  util::trace::Span span("phase.prep");
   if (cache != nullptr && use_cache) {
     return cache->Acquire(problem, std::move(pool), build_threads,
                           std::move(cancel));

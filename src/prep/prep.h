@@ -62,6 +62,7 @@
 #include "diffusion/problem.h"
 #include "graph/graph_algos.h"
 #include "util/cancel.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -261,6 +262,18 @@ struct PrepLease {
   bool built = false;
   bool reused = false;
 };
+
+/// Books one acquisition into `out` under the canonical metric names:
+/// prep.builds / prep.reuses from the lease, plus `millis` of artifact
+/// construction attributable to this run (callers decide the bracket —
+/// Dysim charges the total_millis delta across its whole run, Adaptive
+/// charges the eager build only — so the helper takes the value).
+inline void AddLeaseMetrics(util::MetricsSnapshot& out, const PrepLease& lease,
+                            double millis) {
+  out.AddCounter(util::metric::kPrepBuilds, lease.built ? 1 : 0);
+  out.AddCounter(util::metric::kPrepReuses, lease.reused ? 1 : 0);
+  out.AddSum(util::metric::kPrepMillis, millis);
+}
 
 /// Session-scoped artifact memo, keyed by StructuralKey. One cache serves
 /// every planner a CampaignSession runs; cli::RunSweep gets the reuse for

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace imdpp::report {
@@ -42,16 +43,30 @@ util::Json PlanResultJson(const api::PlanResult& result,
   util::Json seeds = util::Json::Array();
   for (const diffusion::Seed& s : result.seeds) seeds.Append(SeedJson(s));
   out.Set("seeds", std::move(seeds));
-  out.Set("simulations", static_cast<double>(result.simulations));
-  out.Set("rounds_simulated", static_cast<double>(result.rounds_simulated));
-  out.Set("rounds_skipped", static_cast<double>(result.rounds_skipped));
-  out.Set("memo_hits", static_cast<double>(result.memo_hits));
-  out.Set("prep_builds", static_cast<double>(result.prep_builds));
-  out.Set("prep_reuses", static_cast<double>(result.prep_reuses));
-  out.Set("faults_injected", static_cast<double>(result.faults_injected));
-  out.Set("retries", static_cast<double>(result.retries));
-  out.Set("fallbacks", static_cast<double>(result.fallbacks));
-  if (include_timings) out.Set("prep_millis", result.prep_millis);
+  // Counters come from the unified snapshot (ISSUE 9); keys, order and
+  // casts match the hand-threaded fields this replaces byte for byte.
+  const util::MetricsSnapshot& m = result.metrics;
+  out.Set("simulations",
+          static_cast<double>(m.Counter(util::metric::kEvalSimulations)));
+  out.Set("rounds_simulated",
+          static_cast<double>(m.Counter(util::metric::kEvalRoundsSimulated)));
+  out.Set("rounds_skipped",
+          static_cast<double>(m.Counter(util::metric::kEvalRoundsSkipped)));
+  out.Set("memo_hits",
+          static_cast<double>(m.Counter(util::metric::kEvalMemoHits)));
+  out.Set("prep_builds",
+          static_cast<double>(m.Counter(util::metric::kPrepBuilds)));
+  out.Set("prep_reuses",
+          static_cast<double>(m.Counter(util::metric::kPrepReuses)));
+  out.Set("faults_injected",
+          static_cast<double>(m.Counter(util::metric::kFaultInjected)));
+  out.Set("retries",
+          static_cast<double>(m.Counter(util::metric::kFaultRetries)));
+  out.Set("fallbacks",
+          static_cast<double>(m.Counter(util::metric::kFaultFallbacks)));
+  if (include_timings) {
+    out.Set("prep_millis", m.Number(util::metric::kPrepMillis));
+  }
   if (result.num_markets > 0 || result.num_groups > 0) {
     out.Set("num_markets", result.num_markets);
     out.Set("num_groups", result.num_groups);
@@ -131,6 +146,7 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
   rows.push_back(header);
   for (const SweepRecord& rec : records) {
     const api::PlanResult& r = rec.result;
+    const util::MetricsSnapshot& m = r.metrics;
     std::vector<std::string> row{
         rec.point.dataset.name,
         Fixed(rec.point.dataset.scale, 2),
@@ -144,17 +160,17 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
         Fixed(r.sigma, 4),
         Fixed(r.total_cost, 2),
         std::to_string(r.seeds.size()),
-        std::to_string(r.simulations),
-        std::to_string(r.rounds_simulated),
-        std::to_string(r.rounds_skipped),
-        std::to_string(r.memo_hits),
-        std::to_string(r.prep_builds),
-        std::to_string(r.prep_reuses),
-        std::to_string(r.faults_injected),
-        std::to_string(r.retries),
-        std::to_string(r.fallbacks)};
+        std::to_string(m.Counter(util::metric::kEvalSimulations)),
+        std::to_string(m.Counter(util::metric::kEvalRoundsSimulated)),
+        std::to_string(m.Counter(util::metric::kEvalRoundsSkipped)),
+        std::to_string(m.Counter(util::metric::kEvalMemoHits)),
+        std::to_string(m.Counter(util::metric::kPrepBuilds)),
+        std::to_string(m.Counter(util::metric::kPrepReuses)),
+        std::to_string(m.Counter(util::metric::kFaultInjected)),
+        std::to_string(m.Counter(util::metric::kFaultRetries)),
+        std::to_string(m.Counter(util::metric::kFaultFallbacks))};
     if (include_timings) {
-      row.push_back(Fixed(r.prep_millis, 3));
+      row.push_back(Fixed(m.Number(util::metric::kPrepMillis), 3));
       row.push_back(Fixed(r.wall_seconds, 3));
     }
     rows.push_back(std::move(row));

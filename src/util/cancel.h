@@ -26,6 +26,7 @@
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "util/timer.h"
 
 namespace imdpp::util {
 
@@ -39,7 +40,7 @@ class CancelToken {
   static std::shared_ptr<CancelToken> WithDeadline(
       std::chrono::milliseconds timeout) {
     auto token = std::make_shared<CancelToken>();
-    token->deadline_ = std::chrono::steady_clock::now() + timeout;
+    token->deadline_ = MonotonicNow() + timeout;
     token->has_deadline_ = true;
     return token;
   }
@@ -66,7 +67,7 @@ class CancelToken {
   /// the deadline has passed, OkStatus() otherwise.
   Status Check() const {
     if (Fired()) return status();
-    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    if (has_deadline_ && MonotonicNow() >= deadline_) {
       Cancel(DeadlineExceededError("deadline exceeded"));
       return status();
     }
@@ -86,7 +87,7 @@ class CancelToken {
   mutable Mutex mu_;
   mutable std::atomic<bool> fired_{false};
   mutable Status reason_ IMDPP_GUARDED_BY(mu_);
-  std::chrono::steady_clock::time_point deadline_{};
+  MonotonicClock::time_point deadline_{};
   bool has_deadline_ = false;  ///< set before sharing (WithDeadline)
 };
 

@@ -1,9 +1,35 @@
 #include "util/thread_pool.h"
 
+#include <string>
+
 #include "util/check.h"
 #include "util/fault_injection.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace imdpp::util {
+namespace {
+
+/// One task execution, with observability when armed. The disarmed
+/// path is two relaxed loads and a plain call — the overhead contract
+/// perf_smoke holds the pool to.
+void RunOneTask(const std::function<void(int)>& fn, int i) {
+  if (!MetricRegistry::Armed() && !trace::Armed()) {
+    fn(i);
+    return;
+  }
+  trace::Span span("pool.task");
+  Timer timer;
+  fn(i);
+  if (MetricRegistry::Armed()) {
+    MetricRegistry::Global()
+        .GetHistogram(metric::kPoolTaskMillis, DefaultLatencyBounds())
+        .Observe(timer.Millis());
+  }
+}
+
+}  // namespace
 
 int HardwareConcurrency() {
   const unsigned n = std::thread::hardware_concurrency();
@@ -24,7 +50,10 @@ ThreadPool::ThreadPool(int num_workers) {
   IMDPP_CHECK(num_workers >= 0);
   workers_.reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      trace::RegisterCurrentThread("pool-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -47,6 +76,12 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     BookFallback();
     for (int i = 0; i < n; ++i) fn(i);
     return;
+  }
+  if (MetricRegistry::Armed()) {
+    MetricRegistry& reg = MetricRegistry::Global();
+    reg.GetCounter(metric::kPoolBatches).Add(1);
+    reg.GetCounter(metric::kPoolTasks).Add(n);
+    reg.GetGauge(metric::kPoolQueueDepth).Set(n);
   }
   // Shared pools: a second owner submitting while a batch is in flight
   // waits its turn here instead of clobbering fn_/next_/total_.
@@ -78,7 +113,7 @@ void ThreadPool::RunTasks() {
     const int i = next_++;
     const std::function<void(int)>& fn = *fn_;
     mu_.Unlock();
-    fn(i);
+    RunOneTask(fn, i);
     mu_.Lock();
     --unfinished_;
   }

@@ -16,6 +16,11 @@
 //     (session-wide or search+eval in RunDysim). Concurrent ParallelFor
 //     calls from different owners serialize on a batch mutex instead of
 //     corrupting each other's task state.
+//   * Observable when asked (ISSUE 9): workers register named trace
+//     tracks ("pool-worker-N"), and armed runs record batch/task
+//     counters, a queue-depth gauge, a task-latency histogram, and a
+//     per-task trace span. Disarmed, the whole layer is two relaxed
+//     atomic loads per task.
 #ifndef IMDPP_UTIL_THREAD_POOL_H_
 #define IMDPP_UTIL_THREAD_POOL_H_
 

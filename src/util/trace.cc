@@ -1,0 +1,215 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+
+namespace imdpp::util::trace {
+namespace {
+
+// Buffer cap: ~48 MB of events, far beyond any catalog run. Begin
+// events past the cap are dropped (counted); end events are always
+// admitted so every recorded B keeps its E.
+constexpr size_t kMaxEvents = size_t{1} << 20;
+
+struct Event {
+  const char* name;
+  char phase;  // 'B' or 'E'
+  int tid;
+  int64_t ts_us;
+};
+
+struct Collector {
+  Mutex mu;
+  std::vector<Event> events IMDPP_GUARDED_BY(mu);
+  std::vector<std::string> labels IMDPP_GUARDED_BY(mu);
+  size_t dropped IMDPP_GUARDED_BY(mu) = 0;
+  MonotonicClock::time_point epoch IMDPP_GUARDED_BY(mu);
+};
+
+std::atomic<bool> g_armed{false};
+
+Collector& C() {
+  static Collector* kCollector = new Collector;  // leaked: outlives threads
+  return *kCollector;
+}
+
+/// Lazily assigns the calling thread a stable track id (and a default
+/// "thread-N" label). Must be called before locking the collector.
+int CurrentTid() {
+  thread_local int tid = -1;
+  if (tid < 0) {
+    Collector& c = C();
+    MutexLock lock(c.mu);
+    tid = static_cast<int>(c.labels.size());
+    c.labels.push_back("thread-" + std::to_string(tid));
+  }
+  return tid;
+}
+
+bool RecordBegin(const char* name) {
+  const int tid = CurrentTid();
+  Collector& c = C();
+  MutexLock lock(c.mu);
+  if (c.events.size() >= kMaxEvents) {
+    ++c.dropped;
+    return false;
+  }
+  const int64_t ts = std::chrono::duration_cast<std::chrono::microseconds>(
+                         MonotonicNow() - c.epoch)
+                         .count();
+  c.events.push_back({name, 'B', tid, ts});
+  return true;
+}
+
+void RecordEnd(const char* name) {
+  const int tid = CurrentTid();
+  Collector& c = C();
+  MutexLock lock(c.mu);
+  const int64_t ts = std::chrono::duration_cast<std::chrono::microseconds>(
+                         MonotonicNow() - c.epoch)
+                         .count();
+  c.events.push_back({name, 'E', tid, ts});
+}
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          *out += buf;
+        } else {
+          *out += ch;
+        }
+    }
+  }
+}
+
+void AppendMetadata(const char* name, int tid, const std::string& value,
+                    std::string* out) {
+  *out += "{\"name\":\"";
+  *out += name;
+  *out += "\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+  *out += std::to_string(tid);
+  *out += ",\"args\":{\"name\":\"";
+  AppendEscaped(value, out);
+  *out += "\"}}";
+}
+
+}  // namespace
+
+bool Armed() { return g_armed.load(std::memory_order_relaxed); }
+
+void Enable() {
+  Collector& c = C();
+  MutexLock lock(c.mu);
+  c.events.clear();
+  c.dropped = 0;
+  c.epoch = MonotonicNow();
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void Disable() { g_armed.store(false, std::memory_order_relaxed); }
+
+void RegisterCurrentThread(const std::string& label) {
+  const int tid = CurrentTid();
+  Collector& c = C();
+  MutexLock lock(c.mu);
+  c.labels[tid] = label;
+}
+
+size_t EventCount() {
+  Collector& c = C();
+  MutexLock lock(c.mu);
+  return c.events.size();
+}
+
+size_t DroppedEvents() {
+  Collector& c = C();
+  MutexLock lock(c.mu);
+  return c.dropped;
+}
+
+Span::Span(const char* name) : name_(nullptr) {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  if (RecordBegin(name)) name_ = name;
+}
+
+Span::~Span() {
+  if (name_ != nullptr) RecordEnd(name_);
+}
+
+std::string TraceJson(bool zero_timestamps) {
+  std::vector<Event> events;
+  std::vector<std::string> labels;
+  {
+    Collector& c = C();
+    MutexLock lock(c.mu);
+    events = c.events;
+    labels = c.labels;
+  }
+  // Group events by thread track, preserving per-thread recording
+  // order (events were appended under one lock, so each track's
+  // timestamps are already monotone).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.tid < b.tid; });
+
+  std::string out = "{\"traceEvents\":[\n";
+  AppendMetadata("process_name", 0, "imdpp", &out);
+  int last_tid = -1;
+  for (const Event& e : events) {
+    if (e.tid != last_tid) {
+      out += ",\n";
+      AppendMetadata("thread_name", e.tid,
+                     e.tid < static_cast<int>(labels.size())
+                         ? labels[e.tid]
+                         : "thread-" + std::to_string(e.tid),
+                     &out);
+      last_tid = e.tid;
+    }
+    out += ",\n{\"name\":\"";
+    AppendEscaped(e.name, &out);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += std::to_string(zero_timestamps ? int64_t{0} : e.ts_us);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteTrace(const std::string& path, bool zero_timestamps) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InternalError("cannot open trace output file: " + path);
+  out << TraceJson(zero_timestamps);
+  out.flush();
+  if (!out) return InternalError("error writing trace output file: " + path);
+  return OkStatus();
+}
+
+}  // namespace imdpp::util::trace

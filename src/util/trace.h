@@ -1,0 +1,83 @@
+// Scoped-span tracing emitting Chrome trace-event JSON (ISSUE 9
+// tentpole). Load the output of --trace-out in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Model: a process-global event collector; `Span` records a "B"
+// (begin) event in its constructor and the matching "E" (end) event in
+// its destructor, on the recording thread's own track. Threads get
+// tracks lazily; util::ThreadPool workers register themselves with
+// stable "pool-worker-N" labels, the CLI registers "main".
+//
+// Arming policy (the overhead contract perf_smoke enforces): when
+// disarmed, a Span costs exactly one relaxed atomic load — no clock
+// read, no lock, no allocation. Enable() clears the buffer and starts the
+// trace epoch; events record under one mutex with microsecond
+// timestamps from util/timer.h's MonotonicNow, so per-thread
+// timestamps are monotone by construction. Span names must be string
+// literals (the collector stores the pointer, not a copy).
+//
+// Determinism: tracing writes nothing any planner reads, so schedules
+// are bit-identical armed or disarmed at any thread count — the
+// determinism_test gate `TracingAndMetricsAreBitInvisible` enforces
+// this.
+#ifndef IMDPP_UTIL_TRACE_H_
+#define IMDPP_UTIL_TRACE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace imdpp::util::trace {
+
+/// True while a trace is being collected. Relaxed load — safe (and
+/// cheap) on any hot path.
+bool Armed();
+
+/// Starts a trace: clears buffered events, resets the trace epoch to
+/// now, and arms span recording. Thread registrations persist.
+void Enable();
+
+/// Stops recording new spans. Already-buffered events stay available
+/// to TraceJson/WriteTrace; open Spans still close their pairs.
+void Disable();
+
+/// Names the calling thread's track ("main", "pool-worker-3", ...).
+/// Cheap and callable whether or not tracing is armed; unregistered
+/// threads that record events get an automatic "thread-N" label.
+void RegisterCurrentThread(const std::string& label);
+
+/// Number of buffered events (diagnostics and tests).
+size_t EventCount();
+
+/// Events refused because the buffer hit its cap (begin events only;
+/// matching end events are always admitted so pairs stay balanced).
+size_t DroppedEvents();
+
+/// RAII scope that emits a B/E event pair around its lifetime.
+/// `name` must outlive the trace (use string literals).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;  ///< nullptr when the B event was not recorded
+};
+
+/// Serializes the buffered events as a Chrome trace-event JSON object
+/// ({"traceEvents":[...]}) with process/thread metadata. Events are
+/// grouped by thread track, preserving per-thread recording order.
+/// `zero_timestamps` zeroes every ts field — the byte-stable structure
+/// mode the trace-writer tests diff across reruns.
+std::string TraceJson(bool zero_timestamps = false);
+
+/// Writes TraceJson() to `path`.
+Status WriteTrace(const std::string& path, bool zero_timestamps = false);
+
+}  // namespace imdpp::util::trace
+
+#endif  // IMDPP_UTIL_TRACE_H_

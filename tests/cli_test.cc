@@ -426,6 +426,63 @@ TEST(Cli, GenerousDeadlineIsByteInvisibleAndValidationRejectsNegative) {
             "invalid_argument");
 }
 
+// ISSUE 9: --trace-out writes a Perfetto-loadable Chrome trace with the
+// pipeline's phase spans, --metrics-out a snapshot carrying every legacy
+// counter — and neither flag changes a byte of the main JSON output.
+TEST(Cli, TraceOutAndMetricsOutWriteArtifactsWithoutChangingStdout) {
+  const std::vector<std::string> base{
+      "plan",        "--dataset", "fig1-toy", "--planner",
+      "dysim",       "--budget",  "20",       "--promotions",
+      "2",           "--eval-samples", "8",   "--selection-samples", "4"};
+  CliResult plain = RunCli(base);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+
+  const std::string trace_path = ::testing::TempDir() + "cli_trace.json";
+  const std::string metrics_path = ::testing::TempDir() + "cli_metrics.json";
+  std::vector<std::string> observed = base;
+  observed.insert(observed.end(), {"--trace-out", trace_path,
+                                   "--metrics-out", metrics_path});
+  CliResult traced = RunCli(observed);
+  ASSERT_EQ(traced.code, 0) << traced.err;
+  EXPECT_EQ(traced.out, plain.out);  // observability changes no byte
+
+  // The trace artifact: valid JSON, with every pipeline phase span.
+  std::ifstream trace_file(trace_path);
+  std::stringstream trace_text;
+  trace_text << trace_file.rdbuf();
+  util::Json trace = ParseOrDie(trace_text.str());
+  const util::Json* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<std::string, int> begins;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const util::Json& e = (*events)[i];
+    if (e.Find("ph")->AsString() == "B") {
+      ++begins[e.Find("name")->AsString()];
+    }
+  }
+  for (const char* phase : {"phase.dataset", "phase.config", "phase.prep",
+                            "phase.select", "phase.eval"}) {
+    EXPECT_GE(begins[phase], 1) << phase;
+  }
+
+  // The metrics artifact: every legacy counter under its canonical name.
+  std::ifstream metrics_file(metrics_path);
+  std::stringstream metrics_text;
+  metrics_text << metrics_file.rdbuf();
+  util::Json metrics = ParseOrDie(metrics_text.str());
+  for (const char* name :
+       {"eval.simulations", "eval.rounds_simulated", "eval.rounds_skipped",
+        "eval.memo_hits", "prep.builds", "prep.reuses", "prep.millis",
+        "fault.injected", "fault.retries", "fault.fallbacks"}) {
+    EXPECT_NE(metrics.Find(name), nullptr) << name;
+  }
+
+  // Arming is per-invocation: the next plain run records no trace events.
+  CliResult again = RunCli(base);
+  ASSERT_EQ(again.code, 0) << again.err;
+  EXPECT_EQ(again.out, plain.out);
+}
+
 TEST(Cli, MalformedSweepConfigReportsPosition) {
   const std::string path =
       WriteTempFile("sweep_malformed.json", "{\"datasets\": [,]}");

@@ -15,7 +15,9 @@
 #include "diffusion/monte_carlo.h"
 #include "diffusion/sigma_backend.h"
 #include "util/cancel.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace imdpp::api {
 namespace {
@@ -261,6 +263,26 @@ TEST(DeterminismGate, DysimUnderRisBackendBitIdenticalAcrossThreadCounts) {
   PlanResult wide = run(util::HardwareConcurrency());
   ExpectSamePlan(one, two, "ris: 1 thread vs 2 threads");
   ExpectSamePlan(one, wide, "ris: 1 thread vs hardware threads");
+}
+
+// ISSUE 9: the observability layer must be bit-invisible. With tracing
+// AND the metric registry armed, every planner's schedule is identical to
+// the disarmed run — at 1, 2 and hardware executor counts.
+TEST(DeterminismGate, TracingAndMetricsAreBitInvisible) {
+  const int hardware = util::HardwareConcurrency();
+  for (const std::string& name : PlannerRegistry::Names()) {
+    SCOPED_TRACE(name);
+    const PlanResult plain = RunWith(name, 2);
+    for (int threads : {1, 2, hardware}) {
+      util::trace::Enable();
+      util::MetricRegistry::Global().Reset();
+      util::MetricRegistry::Enable();
+      PlanResult observed = RunWith(name, threads);
+      util::MetricRegistry::Disable();
+      util::trace::Disable();
+      ExpectSamePlan(plain, observed, "armed observability");
+    }
+  }
 }
 
 TEST(DeterminismGate, SessionSigmaThreadCountInvariant) {

@@ -1,0 +1,16 @@
+// Fixture: no-raw-clock. Not util/timer.h or util/trace.*, so direct
+// chrono clock reads are violations. Never compiled — only tokenized.
+#include <chrono>
+
+namespace fixture {
+
+void RawClocks() {
+  auto a = std::chrono::steady_clock::now();           // line 8: flagged
+  auto b = std::chrono::system_clock::now();           // line 9: flagged
+  auto c = std::chrono::high_resolution_clock::now();  // line 10: flagged
+  (void)a;
+  (void)b;
+  (void)c;
+}
+
+}  // namespace fixture

@@ -84,6 +84,24 @@ TEST(LintRules, WallclockRandExemptsUtil) {
   EXPECT_TRUE(LintSource("src/util/x.cc", body).empty());
 }
 
+TEST(LintRules, RawClockFiresOnEveryChronoClock) {
+  std::vector<Diagnostic> d = ForRule(LintFixtures(), "no-raw-clock");
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_TRUE(HasAt(d, "core/raw_clock.cc", 8));   // steady_clock
+  EXPECT_TRUE(HasAt(d, "core/raw_clock.cc", 9));   // system_clock
+  EXPECT_TRUE(HasAt(d, "core/raw_clock.cc", 10));  // high_resolution_clock
+}
+
+TEST(LintRules, RawClockExemptsTheTimerAndTraceSeam) {
+  const std::string body =
+      "void F() { auto t = std::chrono::steady_clock::now(); (void)t; }\n";
+  EXPECT_FALSE(LintSource("src/core/x.cc", body).empty());
+  EXPECT_FALSE(LintSource("src/util/x.cc", body).empty());  // util alone: no
+  EXPECT_TRUE(LintSource("src/util/timer.h", body).empty());
+  EXPECT_TRUE(LintSource("src/util/trace.cc", body).empty());
+  EXPECT_TRUE(LintSource("src/util/trace.h", body).empty());
+}
+
 TEST(LintRules, RawThreadFiresOutsideThreadPool) {
   std::vector<Diagnostic> d = ForRule(LintFixtures(), "no-raw-thread");
   ASSERT_EQ(d.size(), 2u);

@@ -233,6 +233,9 @@ const std::vector<RuleInfo> kRules = {
     {"no-float-accum-in-parallel",
      "+= on a by-reference capture inside a pool lambda without a "
      "fixed-order merge marker"},
+    {"no-raw-clock",
+     "std::chrono::*_clock::now() outside util/timer.h and util/trace.*; "
+     "all timing flows through the instrumented util::MonotonicNow seam"},
     {"no-raw-thread",
      "std::thread / std::async outside util/thread_pool; use "
      "util::ThreadPool"},
@@ -443,6 +446,37 @@ void CheckWallclockRand(const FileCtx& ctx, std::vector<Diagnostic>& diags) {
         seeded = close > j + 1;  // non-empty argument list
       }
       if (!seeded) flag(i, "default-seeded std::" + s);
+    }
+  }
+}
+
+// ------------------------------------------------------- rule: raw clock
+
+/// Direct *_clock::now() calls bypass the util::MonotonicNow seam that
+/// ISSUE 9's tracing/metrics instrumentation (and the deadline tokens)
+/// are built on. Only the seam itself — util/timer.h and the trace
+/// writer — may touch the clock.
+void CheckRawClock(const FileCtx& ctx, std::vector<Diagnostic>& diags) {
+  const std::string stem = Stem(ctx.path);
+  if (PathHasComponent(ctx.path, "util") &&
+      (stem == "timer" || stem == "trace")) {
+    return;
+  }
+  const Toks& t = ctx.toks;
+  for (size_t i = 0; i + 3 < t.size(); ++i) {
+    if (!t[i].is_ident) continue;
+    const std::string& s = t[i].text;
+    if (s != "steady_clock" && s != "system_clock" &&
+        s != "high_resolution_clock") {
+      continue;
+    }
+    if (t[i + 1].text == "::" && t[i + 2].text == "now" &&
+        t[i + 3].text == "(") {
+      diags.push_back({ctx.path, t[i].line, "no-raw-clock",
+                       "'" + s + "::now()' outside util/timer.h: all "
+                       "timing must flow through util::MonotonicNow / "
+                       "util::Timer so spans and deadlines share one "
+                       "instrumented clock"});
     }
   }
 }
@@ -779,6 +813,7 @@ void LintCtx(const FileCtx& ctx, const Registry& reg,
   std::vector<Diagnostic> local;
   CheckUnorderedIteration(ctx, local);
   CheckWallclockRand(ctx, local);
+  CheckRawClock(ctx, local);
   CheckRawThread(ctx, local);
   CheckFloatAccum(ctx, local);
   CheckLockBeforeShared(ctx, reg, local);

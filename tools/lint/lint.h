@@ -19,6 +19,11 @@
 //   no-raw-thread            std::thread / std::async outside
 //                            util/thread_pool: every parallel loop must go
 //                            through the pool's fixed-order sharding.
+//   no-raw-clock             std::chrono::*_clock::now() outside
+//                            util/timer.h and util/trace.*: all timing
+//                            flows through the util::MonotonicNow seam so
+//                            spans, deadlines and timers share one
+//                            instrumented clock (ISSUE 9).
 //   no-float-accum-in-parallel  `x += ...` on a by-reference capture
 //                            inside a lambda handed to ParallelFor /
 //                            RunShards / RunBatch without a
