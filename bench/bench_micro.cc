@@ -210,6 +210,57 @@ void BM_GreedySelect(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedySelect)->Arg(0)->Arg(1);
 
+/// The same timing-placement argmax through the SelectBest seam (ISSUE
+/// 10), fixed (Arg 0) vs adaptive racing (Arg 1). rounds_simulated /
+/// samples_saved counters expose the deterministic work gap next to the
+/// wall-clock rows; CI reads both Args out of BENCH_micro.json.
+void BM_GreedySelectAdaptive(benchmark::State& state) {
+  const data::Dataset& ds = YelpDs();
+  diffusion::Problem p = ds.MakeProblem(500.0, 10);
+  constexpr int kSamples = 32;
+  constexpr int kPromotions = 10;
+  const std::vector<diffusion::Nominee> nominees{
+      {0, 0}, {14, 18}, {52, 15}, {111, 10}};
+  diffusion::SelectOptions options;
+  options.min_score = -1.0;  // the timing-placement accumulator seed
+  if (state.range(0) == 1) {
+    options.adaptive.enabled = true;
+    options.adaptive.min_samples = 2;
+    options.adaptive.block_samples = 2;
+    options.adaptive.max_samples = 8;  // perf_smoke's measured knobs
+  }
+  int64_t rounds = 0;
+  int64_t saved = 0;
+  int64_t placements = 0;
+  for (auto _ : state) {
+    diffusion::MonteCarloEngine engine(p, {}, kSamples, /*num_threads=*/0);
+    diffusion::SeedGroup placed;
+    for (const diffusion::Nominee& n : nominees) {
+      std::vector<diffusion::SelectCandidate> timings(kPromotions);
+      for (int t = 1; t <= kPromotions; ++t) {
+        timings[static_cast<size_t>(t - 1)].group = placed;
+        timings[static_cast<size_t>(t - 1)].group.push_back(
+            {n.user, n.item, t});
+      }
+      const diffusion::SelectBestResult r =
+          engine.SelectBest(timings, options);
+      placed.push_back({n.user, n.item,
+                        r.best_index < 0 ? 1 : r.best_index + 1});
+    }
+    benchmark::DoNotOptimize(placed.size());
+    rounds += engine.num_rounds_simulated();
+    saved += engine.num_samples_saved();
+    ++placements;
+  }
+  if (placements > 0) {
+    state.counters["rounds_simulated"] =
+        static_cast<double>(rounds) / static_cast<double>(placements);
+    state.counters["samples_saved"] =
+        static_cast<double>(saved) / static_cast<double>(placements);
+  }
+}
+BENCHMARK(BM_GreedySelectAdaptive)->Arg(0)->Arg(1);
+
 void BM_MetaGraphAllPairs(benchmark::State& state) {
   const data::Dataset& ds = AmazonDs();
   kg::MetaGraphMatcher matcher(*ds.kg);

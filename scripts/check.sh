@@ -92,4 +92,18 @@ cat "$BUILD_DIR/cli_backends.run1.txt"
 diff "$BUILD_DIR/cli_plan_ris.run1.json" "$BUILD_DIR/cli_plan_ris.run2.json"
 echo "imdpp backends / --backend ris output is byte-identical across runs"
 
+echo "== smoke: imdpp plan --adaptive (twice + diff) =="
+# Variance-adaptive racing (eval.adaptive) must be exactly as
+# deterministic as the fixed path: block-boundary decisions are a pure
+# function of the candidate set, so two racing runs are byte-identical.
+"$BUILD_DIR/imdpp" plan --dataset yelp-like --planner dysim --budget 300 \
+  --adaptive --adaptive-budget 8 \
+  --out "$BUILD_DIR/cli_plan_adaptive.run1.json"
+"$BUILD_DIR/imdpp" plan --dataset yelp-like --planner dysim --budget 300 \
+  --adaptive --adaptive-budget 8 \
+  --out "$BUILD_DIR/cli_plan_adaptive.run2.json"
+diff "$BUILD_DIR/cli_plan_adaptive.run1.json" \
+  "$BUILD_DIR/cli_plan_adaptive.run2.json"
+echo "imdpp plan --adaptive output is byte-identical across runs"
+
 echo "== OK =="

@@ -24,6 +24,7 @@
 #include "core/dysim.h"
 #include "core/market_order.h"
 #include "core/nominee_selection.h"
+#include "diffusion/adaptive_eval.h"
 #include "diffusion/campaign_simulator.h"
 #include "diffusion/problem.h"
 #include "diffusion/seed.h"
@@ -118,6 +119,11 @@ struct PlannerConfig {
     /// embedded "mc" engine when the sketch build fails). Empty = a
     /// backend failure fails the run.
     std::string fallback_backend;
+    /// Variance-adaptive sequential stopping for the greedy argmax loops
+    /// (diffusion/adaptive_eval.h; the `eval.adaptive.*` config keys and
+    /// the --adaptive CLI flag). Off by default: the fixed-count
+    /// reference loops stay bit-identical to prior releases.
+    diffusion::AdaptiveEvalConfig adaptive;
   };
   EvalOptions eval;
 

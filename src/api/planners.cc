@@ -217,9 +217,10 @@ class CrGreedyPlanner : public Planner {
           return core::SelectNominees(engine, problem, candidates,
                                       problem.budget);
         },
-        [](const diffusion::SigmaBackend& engine,
-           const std::vector<diffusion::Nominee>& nominees) {
-          return baselines::CrGreedyTimings(engine, nominees);
+        [this](const diffusion::SigmaBackend& engine,
+               const std::vector<diffusion::Nominee>& nominees) {
+          return baselines::CrGreedyTimings(engine, nominees,
+                                            config().eval.adaptive);
         });
   }
 };
@@ -331,6 +332,7 @@ diffusion::SigmaBackendSpec ToBackendSpec(const PlannerConfig& c) {
   spec.sketch_cache = c.sketch_cache;
   spec.cancel = c.cancel;
   spec.fallback_backend = c.eval.fallback_backend;
+  spec.adaptive = c.eval.adaptive;
   return spec;
 }
 

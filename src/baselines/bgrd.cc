@@ -59,9 +59,15 @@ BaselineResult RunBgrd(const Problem& problem, const BaselineConfig& config) {
   };
 
   while (true) {
-    int best_u = -1;
-    double best_ratio = 0.0;
-    std::vector<Nominee> best_bundle;
+    // One candidate per unused user with a non-empty affordable bundle,
+    // in user order, scored by gain/cost against the current σ̂. The
+    // ratio is affine in the evaluation, so the adaptive race optimizes
+    // the same objective; min_score = 0.0 is the historical accumulator
+    // seed (only strictly positive ratios are accepted).
+    std::vector<diffusion::SelectCandidate> cands;
+    std::vector<size_t> cand_user;
+    std::vector<std::vector<Nominee>> cand_bundle;
+    std::vector<double> cand_cost;
     for (size_t i = 0; i < users.size(); ++i) {
       if (used[i]) continue;
       std::vector<Nominee> bundle =
@@ -71,24 +77,31 @@ BaselineResult RunBgrd(const Problem& problem, const BaselineConfig& config) {
       for (const Nominee& n : bundle) cost += problem.Cost(n.user, n.item);
       std::vector<Nominee> with = selected;
       with.insert(with.end(), bundle.begin(), bundle.end());
-      double gain = engine.Sigma(at_first(with)) - sigma_cur;
-      double ratio = gain / cost;
-      if (ratio > best_ratio) {
-        best_ratio = ratio;
-        best_u = static_cast<int>(i);
-        best_bundle = std::move(bundle);
-      }
+      diffusion::SelectCandidate sc;
+      sc.group = at_first(with);
+      sc.score = [sigma_cur, cost](const diffusion::MarketEval& ev) {
+        return (ev.sigma - sigma_cur) / cost;
+      };
+      cands.push_back(std::move(sc));
+      cand_user.push_back(i);
+      cand_bundle.push_back(std::move(bundle));
+      cand_cost.push_back(cost);
     }
-    if (best_u < 0) break;
-    used[best_u] = 1;
-    for (const Nominee& n : best_bundle) {
+    if (cands.empty()) break;
+    diffusion::SelectOptions options;
+    options.adaptive = config.backend.adaptive;
+    options.min_score = 0.0;
+    const diffusion::SelectBestResult r = engine.SelectBest(cands, options);
+    if (r.best_index < 0) break;
+    used[cand_user[static_cast<size_t>(r.best_index)]] = 1;
+    for (const Nominee& n : cand_bundle[static_cast<size_t>(r.best_index)]) {
       spent += problem.Cost(n.user, n.item);
       selected.push_back(n);
     }
     sigma_cur = engine.Sigma(at_first(selected));
   }
 
-  SeedGroup seeds = CrGreedyTimings(engine, selected);
+  SeedGroup seeds = CrGreedyTimings(engine, selected, config.backend.adaptive);
   return FinalizeResult(problem, config, std::move(seeds),
                         engine.num_simulations());
 }

@@ -1,9 +1,15 @@
 #include "baselines/cr_greedy.h"
 
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
 namespace imdpp::baselines {
 
 SeedGroup CrGreedyTimings(const SigmaBackend& engine,
-                          const std::vector<Nominee>& nominees) {
+                          const std::vector<Nominee>& nominees,
+                          const diffusion::AdaptiveEvalConfig& adaptive) {
   const int T = engine.simulator().problem().num_promotions;
   // Candidate (n, t) shares `placed`'s rounds < t, so each σ̂ resumes from
   // the round-(t-1) checkpoint of the current placement when the backend
@@ -11,24 +17,26 @@ SeedGroup CrGreedyTimings(const SigmaBackend& engine,
   std::unique_ptr<diffusion::ScheduleEval> placer =
       engine.MakeScheduleEval(/*base=*/{});
   SeedGroup placed;
-  double sigma_placed = 0.0;
   for (const Nominee& n : nominees) {
-    int best_t = 1;
-    double best_sigma = -1.0;
+    // Race the T timings (candidate i ↔ round i+1); min_score = -1.0 is
+    // the historical accumulator seed, so the fixed path is the exact
+    // old loop and ties keep preferring earlier rounds.
+    std::vector<diffusion::SelectCandidate> timings(
+        static_cast<size_t>(T));
     for (int t = 1; t <= T; ++t) {
       SeedGroup with = placed;
       with.push_back({n.user, n.item, t});
-      double s = placer->Sigma(with);
-      if (s > best_sigma) {
-        best_sigma = s;
-        best_t = t;
-      }
+      timings[static_cast<size_t>(t - 1)].group = std::move(with);
     }
+    diffusion::SelectOptions options;
+    options.adaptive = adaptive;
+    options.min_score = -1.0;
+    const diffusion::SelectBestResult r =
+        placer->SelectBest(timings, options);
+    const int best_t = r.best_index < 0 ? 1 : r.best_index + 1;
     placed.push_back({n.user, n.item, best_t});
     placer->Rebase(placed);
-    sigma_placed = best_sigma;
   }
-  (void)sigma_placed;
   return placed;
 }
 

@@ -11,9 +11,12 @@
 namespace imdpp::baselines {
 
 /// Assigns a promotion in [1, T] to every nominee (T from the engine's
-/// problem). Deterministic; ties prefer earlier rounds.
-SeedGroup CrGreedyTimings(const SigmaBackend& engine,
-                          const std::vector<Nominee>& nominees);
+/// problem). Deterministic; ties prefer earlier rounds. `adaptive`
+/// switches the per-nominee timing argmax to sequential stopping
+/// (diffusion/adaptive_eval.h); disabled = the fixed reference loop.
+SeedGroup CrGreedyTimings(
+    const SigmaBackend& engine, const std::vector<Nominee>& nominees,
+    const diffusion::AdaptiveEvalConfig& adaptive = {});
 
 }  // namespace imdpp::baselines
 

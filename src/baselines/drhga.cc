@@ -48,33 +48,42 @@ BaselineResult RunDrhga(const Problem& problem, const BaselineConfig& config) {
     double spent_x = 0.0;
     std::vector<uint8_t> used(users.size(), 0);
     while (true) {
-      int best = -1;
-      double best_ratio = 0.0;
-      double best_sigma = 0.0;
+      // Gain/cost argmax over affordable users for item x via the backend
+      // seam (ratio is affine in the evaluation); min_score = 0.0 keeps
+      // the historical only-positive-ratios acceptance.
+      std::vector<diffusion::SelectCandidate> cands;
+      std::vector<size_t> cand_idx;
       for (size_t i = 0; i < users.size(); ++i) {
         if (used[i]) continue;
         double cost = problem.Cost(users[i], x);
         if (cost > share - spent_x) continue;
         std::vector<Nominee> with = selected;
         with.push_back(Nominee{users[i], x});
-        double sigma = engine.Sigma(at_first(with));
-        double ratio = (sigma - sigma_cur) / cost;
-        if (ratio > best_ratio) {
-          best_ratio = ratio;
-          best = static_cast<int>(i);
-          best_sigma = sigma;
-        }
+        diffusion::SelectCandidate sc;
+        sc.group = at_first(with);
+        sc.score = [sigma_cur, cost](const diffusion::MarketEval& ev) {
+          return (ev.sigma - sigma_cur) / cost;
+        };
+        cands.push_back(std::move(sc));
+        cand_idx.push_back(i);
       }
-      if (best < 0) break;
+      if (cands.empty()) break;
+      diffusion::SelectOptions options;
+      options.adaptive = config.backend.adaptive;
+      options.min_score = 0.0;
+      const diffusion::SelectBestResult r =
+          engine.SelectBest(cands, options);
+      if (r.best_index < 0) break;
+      const size_t best = cand_idx[static_cast<size_t>(r.best_index)];
       used[best] = 1;
       selected.push_back(Nominee{users[best], x});
       spent_x += problem.Cost(users[best], x);
-      sigma_cur = best_sigma;
+      sigma_cur = r.best_eval.sigma;
     }
     carry = share - spent_x;
   }
 
-  SeedGroup seeds = CrGreedyTimings(engine, selected);
+  SeedGroup seeds = CrGreedyTimings(engine, selected, config.backend.adaptive);
   return FinalizeResult(problem, config, std::move(seeds),
                         engine.num_simulations());
 }

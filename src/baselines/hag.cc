@@ -24,9 +24,12 @@ BaselineResult RunHag(const Problem& problem, const BaselineConfig& config) {
     return g;
   };
   while (true) {
-    int best = -1;
-    double best_ratio = 0.0;
-    double best_sigma = 0.0;
+    // One candidate per affordable unused nominee, in order, scored by
+    // gain/cost against the current σ̂ (affine in the evaluation, so the
+    // adaptive race optimizes the same objective). min_score = 0.0 keeps
+    // the historical only-positive-ratios acceptance.
+    std::vector<diffusion::SelectCandidate> cands;
+    std::vector<size_t> cand_idx;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (used[i]) continue;
       const Nominee& n = candidates[i];
@@ -34,22 +37,28 @@ BaselineResult RunHag(const Problem& problem, const BaselineConfig& config) {
       if (cost > problem.budget - spent) continue;
       std::vector<Nominee> with = selected;
       with.push_back(n);
-      double sigma = engine.Sigma(at_first(with));
-      double ratio = (sigma - sigma_cur) / cost;
-      if (ratio > best_ratio) {
-        best_ratio = ratio;
-        best = static_cast<int>(i);
-        best_sigma = sigma;
-      }
+      diffusion::SelectCandidate sc;
+      sc.group = at_first(with);
+      sc.score = [sigma_cur, cost](const diffusion::MarketEval& ev) {
+        return (ev.sigma - sigma_cur) / cost;
+      };
+      cands.push_back(std::move(sc));
+      cand_idx.push_back(i);
     }
-    if (best < 0) break;
+    if (cands.empty()) break;
+    diffusion::SelectOptions options;
+    options.adaptive = config.backend.adaptive;
+    options.min_score = 0.0;
+    const diffusion::SelectBestResult r = engine.SelectBest(cands, options);
+    if (r.best_index < 0) break;
+    const size_t best = cand_idx[static_cast<size_t>(r.best_index)];
     used[best] = 1;
     selected.push_back(candidates[best]);
     spent += problem.Cost(candidates[best].user, candidates[best].item);
-    sigma_cur = best_sigma;
+    sigma_cur = r.best_eval.sigma;
   }
 
-  SeedGroup seeds = CrGreedyTimings(engine, selected);
+  SeedGroup seeds = CrGreedyTimings(engine, selected, config.backend.adaptive);
   return FinalizeResult(problem, config, std::move(seeds),
                         engine.num_simulations());
 }

@@ -77,7 +77,7 @@ BaselineResult RunPs(const Problem& problem, const PsConfig& config) {
     for (graph::UserId v : region_of(n.user).users) covered[v] = 1;
   }
 
-  SeedGroup seeds = CrGreedyTimings(engine, selected);
+  SeedGroup seeds = CrGreedyTimings(engine, selected, config.backend.adaptive);
   BaselineResult result = FinalizeResult(problem, config, std::move(seeds),
                                          engine.num_simulations());
   prep::AddLeaseMetrics(result.metrics, lease,

@@ -54,6 +54,17 @@ shared flags (plan, compare):
   --eval-samples N         final-evaluation Monte-Carlo samples
   --backend NAME           σ-evaluation backend (default mc; see `imdpp
                            backends`)
+  --adaptive               variance-adaptive sequential stopping for the
+                           greedy argmax loops (eval.adaptive.enabled):
+                           candidates race on paired per-sample values and
+                           resolved ones stop early. Off = the fixed-count
+                           reference loops (bit-identical across releases)
+  --adaptive-delta D       racing error budget δ in (0, 1) (default 0.05;
+                           implies nothing unless --adaptive)
+  --adaptive-budget N      racing sample budget (eval.adaptive.max_samples):
+                           the race decides on at most N samples per
+                           candidate; the winner is still re-evaluated at
+                           the full count (0 = no budget, the default)
   --deadline-ms N          per-run wall-clock budget in milliseconds
                            (0 = none); an expired deadline fails the run
                            with deadline_exceeded instead of finishing
@@ -239,6 +250,29 @@ util::Status LoadProblemSetup(const config::ParsedArgs& args,
     }
     setup->config.eval.backend = *backend;
   }
+  // --adaptive: variance-adaptive sequential stopping for the greedy
+  // argmax loops; --adaptive-delta tightens/loosens the racing error
+  // budget (underscore alias accepted, deadline-ms pattern).
+  if (args.Has("adaptive")) setup->config.eval.adaptive.enabled = true;
+  double adaptive_delta = setup->config.eval.adaptive.delta;
+  if (!ParseNumberFlag(args, "adaptive-delta", &adaptive_delta, &error) ||
+      !ParseNumberFlag(args, "adaptive_delta", &adaptive_delta, &error)) {
+    return util::InvalidArgumentError(std::move(error));
+  }
+  if (adaptive_delta <= 0.0 || adaptive_delta >= 1.0) {
+    return util::InvalidArgumentError("--adaptive-delta must be in (0, 1)");
+  }
+  setup->config.eval.adaptive.delta = adaptive_delta;
+  double adaptive_budget =
+      static_cast<double>(setup->config.eval.adaptive.max_samples);
+  if (!ParseNumberFlag(args, "adaptive-budget", &adaptive_budget, &error) ||
+      !ParseNumberFlag(args, "adaptive_budget", &adaptive_budget, &error)) {
+    return util::InvalidArgumentError(std::move(error));
+  }
+  if (adaptive_budget < 0.0) {
+    return util::InvalidArgumentError("--adaptive-budget must be >= 0");
+  }
+  setup->config.eval.adaptive.max_samples = static_cast<int>(adaptive_budget);
   setup->timings = args.Has("timings");
   setup->trace_out = args.GetOr("trace-out", "");
   setup->metrics_out = args.GetOr("metrics-out", "");
@@ -591,6 +625,7 @@ int RunBackends(const config::ParsedArgs&, std::ostream& out,
     if (caps.prefix_checkpointing) tags += " prefix-checkpointing";
     if (caps.initial_state_override) tags += " initial-state-override";
     if (caps.sketch_prep) tags += " sketch-prep";
+    if (caps.select_best) tags += " select-best";
     if (tags.empty()) tags = " (none)";
     out << name << "\n";
     out << "  " << backend->description() << "\n";

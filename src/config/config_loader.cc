@@ -311,6 +311,54 @@ bool ApplyPlannerConfigJsonImpl(const util::Json& obj, api::PlannerConfig* cfg,
           if (!ReadInt(ev, "eval.ris_sketches", &cfg->eval.ris_sketches,
                        error))
             return false;
+        } else if (ekey == "adaptive") {
+          if (!ev.is_object()) {
+            *error = "eval.adaptive must be an object";
+            return false;
+          }
+          for (const auto& [akey, av] : ev.members()) {
+            if (akey == "enabled") {
+              if (!ReadBool(av, "eval.adaptive.enabled",
+                            &cfg->eval.adaptive.enabled, error))
+                return false;
+            } else if (akey == "delta") {
+              if (!ReadDouble(av, "eval.adaptive.delta",
+                              &cfg->eval.adaptive.delta, error))
+                return false;
+              if (cfg->eval.adaptive.delta <= 0.0 ||
+                  cfg->eval.adaptive.delta >= 1.0) {
+                *error = "eval.adaptive.delta must be in (0, 1)";
+                return false;
+              }
+            } else if (akey == "block_samples") {
+              if (!ReadInt(av, "eval.adaptive.block_samples",
+                           &cfg->eval.adaptive.block_samples, error))
+                return false;
+              if (cfg->eval.adaptive.block_samples < 1) {
+                *error = "eval.adaptive.block_samples must be >= 1";
+                return false;
+              }
+            } else if (akey == "min_samples") {
+              if (!ReadInt(av, "eval.adaptive.min_samples",
+                           &cfg->eval.adaptive.min_samples, error))
+                return false;
+              if (cfg->eval.adaptive.min_samples < 1) {
+                *error = "eval.adaptive.min_samples must be >= 1";
+                return false;
+              }
+            } else if (akey == "max_samples") {
+              if (!ReadInt(av, "eval.adaptive.max_samples",
+                           &cfg->eval.adaptive.max_samples, error))
+                return false;
+              if (cfg->eval.adaptive.max_samples < 0) {
+                *error = "eval.adaptive.max_samples must be >= 0";
+                return false;
+              }
+            } else {
+              *error = "unknown eval.adaptive key \"" + akey + "\"";
+              return false;
+            }
+          }
         } else {
           *error = "unknown eval key \"" + ekey + "\"";
           return false;
@@ -639,6 +687,7 @@ bool ExpandSweepImpl(const SweepSpec& spec, std::vector<SweepPoint>* points,
                 point.config.num_threads = nt;
                 if (!backend.empty()) point.config.eval.backend = backend;
                 point.backend = point.config.eval.backend;
+                point.adaptive = point.config.eval.adaptive.enabled;
                 points->push_back(std::move(point));
               }
             }

@@ -57,6 +57,7 @@ struct SweepPoint {
   int theta = -1;        ///< applied to market.overlap_theta; -1 = config's
   int num_threads = util::kAutoThreads;
   std::string backend;   ///< resolved σ backend (config.eval.backend)
+  bool adaptive = false;  ///< resolved config.eval.adaptive.enabled
   api::PlannerConfig config;
 };
 

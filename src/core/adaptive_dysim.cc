@@ -82,26 +82,35 @@ AdaptiveResult RunAdaptiveDysim(const Problem& problem,
     bool open = true;
     while (open && !candidates.empty() &&
            util::CheckCancel(cancel.get()).ok()) {
-      // Highest-MCP affordable candidate over the observed state.
-      int best_idx = -1;
-      double best_ratio = 0.0;
-      double best_gain = 0.0;
+      // Highest-MCP affordable candidate over the observed state, via the
+      // backend argmax seam (the gain/cost score is affine in the
+      // evaluation). min_score = 0.0 keeps the historical
+      // only-positive-ratios acceptance.
+      std::vector<diffusion::SelectCandidate> cands;
+      std::vector<int> cand_idx;
       for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
         const Nominee& n = candidates[i];
         double cost = sub.Cost(n.user, n.item);
         if (cost > remaining - round.spent) continue;
         if (diffusion::ContainsNominee(chosen, n)) continue;
-        SeedGroup with = chosen;
-        with.push_back({n.user, n.item, 1});
-        double gain = engine.Sigma(with) - sigma_base;
-        double ratio = gain / cost;
-        if (ratio > best_ratio) {
-          best_ratio = ratio;
-          best_gain = gain;
-          best_idx = i;
-        }
+        diffusion::SelectCandidate sc;
+        sc.group = chosen;
+        sc.group.push_back({n.user, n.item, 1});
+        sc.score = [sigma_base, cost](const diffusion::MarketEval& ev) {
+          return (ev.sigma - sigma_base) / cost;
+        };
+        cands.push_back(std::move(sc));
+        cand_idx.push_back(i);
       }
-      if (best_idx < 0 || best_gain <= 0.0) break;
+      if (cands.empty()) break;
+      diffusion::SelectOptions options;
+      options.adaptive = config.base.backend.adaptive;
+      options.min_score = 0.0;
+      const diffusion::SelectBestResult r = engine.SelectBest(cands, options);
+      if (r.best_index < 0) break;
+      const int best_idx = cand_idx[static_cast<size_t>(r.best_index)];
+      const double best_gain = r.best_eval.sigma - sigma_base;
+      if (best_gain <= 0.0) break;
       const Nominee n = candidates[best_idx];
 
       // Antagonism: never promote substitutable items in the same round.

@@ -139,7 +139,8 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
       }
 
       std::vector<kg::ItemId> remaining_items = market.items;
-      TimingSelector tdsi(engine, market.users, T);
+      TimingSelector tdsi(engine, market.users, T,
+                          config.backend.adaptive);
       while (!remaining_items.empty() && util::CheckCancel(cancel).ok()) {
         // DRE: re-evaluate reachability under the current seed group.
         if (!sg.empty()) dre_eval->Rebase(sg);
@@ -210,17 +211,22 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
     SeedGroup placed;
     for (const Nominee& n : sel.nominees) {
       if (!util::CheckCancel(cancel).ok()) break;
-      int best_t = 1;
-      double best_s = -1.0;
+      // Race the T timings of this nominee (candidate index i ↔ round
+      // i+1). min_score = -1.0 reproduces the historical `best_s` seed,
+      // so the fixed path is the exact old loop.
+      std::vector<diffusion::SelectCandidate> timings(
+          static_cast<size_t>(T));
       for (int t = 1; t <= T; ++t) {
         SeedGroup with = placed;
         with.push_back({n.user, n.item, t});
-        double s = placer.Sigma(with);
-        if (s > best_s) {
-          best_s = s;
-          best_t = t;
-        }
+        timings[static_cast<size_t>(t - 1)].group = std::move(with);
       }
+      diffusion::SelectOptions options;
+      options.adaptive = config.backend.adaptive;
+      options.min_score = -1.0;
+      const diffusion::SelectBestResult r =
+          placer.SelectBest(timings, options);
+      const int best_t = r.best_index < 0 ? 1 : r.best_index + 1;
       placed.push_back({n.user, n.item, best_t});
       placer.Rebase(placed);
     }
@@ -263,15 +269,32 @@ DysimResult RunDysim(const Problem& problem, const DysimConfig& config) {
         SeedGroup without = refined;
         without.erase(without.begin() + static_cast<ptrdiff_t>(i));
         refiner.Rebase(std::move(without));
+        // Candidates are the T−1 alternative rounds for seed i, in round
+        // order; min_score = the current σ̂, so a move is accepted only
+        // when it strictly improves — the old running-update loop's exact
+        // acceptance rule and call order.
+        std::vector<diffusion::SelectCandidate> moves;
+        std::vector<int> move_t;
+        moves.reserve(static_cast<size_t>(T - 1));
+        move_t.reserve(static_cast<size_t>(T - 1));
         for (int t = 1; t <= T; ++t) {
           if (t == original) continue;
           refined[i].promotion = t;
-          double s = refiner.Sigma(refined);
-          if (s > refined_sigma) {
-            refined_sigma = s;
-            best_t = t;
-            moved = true;
-          }
+          diffusion::SelectCandidate sc;
+          sc.group = refined;
+          moves.push_back(std::move(sc));
+          move_t.push_back(t);
+        }
+        refined[i].promotion = original;
+        diffusion::SelectOptions options;
+        options.adaptive = config.backend.adaptive;
+        options.min_score = refined_sigma;
+        const diffusion::SelectBestResult r =
+            refiner.SelectBest(moves, options);
+        if (r.best_index >= 0) {
+          refined_sigma = r.best_score;
+          best_t = move_t[static_cast<size_t>(r.best_index)];
+          moved = true;
         }
         refined[i].promotion = best_t;
       }

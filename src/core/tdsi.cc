@@ -1,7 +1,10 @@
 #include "core/tdsi.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
+#include <utility>
+#include <vector>
 
 namespace imdpp::core {
 
@@ -35,24 +38,44 @@ Seed TimingSelector::PickBest(const SeedGroup& sg,
   eval_->Rebase(sg);
   diffusion::MarketEval base = eval_->EvalMarket(sg);
 
-  Seed best{};
-  double best_si = -std::numeric_limits<double>::infinity();
-  int best_idx = 0;
+  // One SelectCandidate per (nominee, timing) in the same lexicographic
+  // order as the historical nested loop, each scoring its market
+  // evaluation through the SI arithmetic for its own t. SI is affine in
+  // the evaluation, so per-sample scoring commutes with averaging and the
+  // adaptive race optimizes the same objective the fixed loop does.
+  std::vector<diffusion::SelectCandidate> candidates;
+  std::vector<std::pair<int, Seed>> entries;  // (pending index, seed)
+  // t_hi < t_lo (a window entirely above T) leaves zero candidates, and
+  // SelectBest on nothing lands in the historical fallback below.
+  const size_t window = static_cast<size_t>(std::max(0, t_hi - t_lo + 1));
+  candidates.reserve(pending.size() * window);
+  entries.reserve(pending.size() * window);
   for (int i = 0; i < static_cast<int>(pending.size()); ++i) {
     for (int t = t_lo; t <= t_hi; ++t) {
       Seed cand{pending[i].user, pending[i].item, t};
-      SeedGroup with = sg;
-      with.push_back(cand);
-      double si = SiOf(base, eval_->EvalMarket(with), t);
-      if (si > best_si) {
-        best_si = si;
-        best = cand;
-        best_idx = i;
-      }
+      diffusion::SelectCandidate sc;
+      sc.group = sg;
+      sc.group.push_back(cand);
+      sc.score = [this, base, t](const diffusion::MarketEval& ev) {
+        return SiOf(base, ev, t);
+      };
+      candidates.push_back(std::move(sc));
+      entries.emplace_back(i, cand);
     }
   }
-  if (best_index != nullptr) *best_index = best_idx;
-  return best;
+  diffusion::SelectOptions options;
+  options.adaptive = adaptive_;
+  options.use_market = true;
+  const diffusion::SelectBestResult r =
+      eval_->SelectBest(candidates, options);
+  if (r.best_index < 0) {
+    // No candidate produced a finite SI (or the run was cancelled): the
+    // historical fallback — index 0, empty seed.
+    if (best_index != nullptr) *best_index = 0;
+    return Seed{};
+  }
+  if (best_index != nullptr) *best_index = entries[r.best_index].first;
+  return entries[r.best_index].second;
 }
 
 }  // namespace imdpp::core

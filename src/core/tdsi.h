@@ -35,13 +35,17 @@ using graph::UserId;
 
 class TimingSelector {
  public:
-  /// `market_users` is τ_k; `total_promotions` is T.
+  /// `market_users` is τ_k; `total_promotions` is T. `adaptive` governs
+  /// PickBest's argmax: disabled (the default) = the fixed-count
+  /// reference loop; enabled = sequential-stopping racing (ISSUE 10).
   TimingSelector(const SigmaBackend& engine,
                  const std::vector<UserId>& market_users,
-                 int total_promotions)
+                 int total_promotions,
+                 const diffusion::AdaptiveEvalConfig& adaptive = {})
       : engine_(engine),
         market_(market_users),
         total_promotions_(total_promotions),
+        adaptive_(adaptive),
         eval_(engine.MakeScheduleEval(/*base=*/{}, market_users)) {}
 
   /// SI of candidate seed `cand` given the current group seeds `sg`.
@@ -67,6 +71,7 @@ class TimingSelector {
   const SigmaBackend& engine_;
   const std::vector<UserId>& market_;
   int total_promotions_;
+  diffusion::AdaptiveEvalConfig adaptive_;
   std::unique_ptr<diffusion::ScheduleEval> eval_;
 };
 

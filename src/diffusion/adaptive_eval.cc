@@ -1,0 +1,124 @@
+#include "diffusion/adaptive_eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace imdpp::diffusion {
+
+AdaptiveEval::AdaptiveEval(int num_candidates, int num_samples,
+                           const AdaptiveEvalConfig& config)
+    : num_candidates_(num_candidates),
+      num_samples_(num_samples),
+      config_(config),
+      values_(static_cast<size_t>(num_candidates)),
+      alive_(static_cast<size_t>(num_candidates), 1),
+      used_(static_cast<size_t>(num_candidates), 0),
+      mean_(static_cast<size_t>(num_candidates), 0.0),
+      num_alive_(num_candidates) {
+  IMDPP_CHECK_GT(num_candidates, 0);
+  IMDPP_CHECK_GT(num_samples, 0);
+  // Defensive clamps: config validation happens at load time; a hostile
+  // value here must degrade to the fixed count, never misbehave.
+  config_.delta = std::clamp(config_.delta, 1e-12, 1.0);
+  config_.block_samples = std::max(1, config_.block_samples);
+  config_.min_samples = std::max(1, config_.min_samples);
+  race_cap_ = config_.max_samples > 0
+                  ? std::min(num_samples_, config_.max_samples)
+                  : num_samples_;
+  for (auto& v : values_) v.resize(static_cast<size_t>(num_samples), 0.0);
+  block_end_ = std::min(race_cap_, config_.min_samples);
+}
+
+bool AdaptiveEval::done() const {
+  return num_alive_ <= 1 || block_begin_ >= race_cap_;
+}
+
+double AdaptiveEval::Radius(double variance, double range, int n,
+                            double delta) {
+  if (n < 2) return std::numeric_limits<double>::infinity();
+  const double log_term = std::log(3.0 / delta);
+  return std::sqrt(2.0 * std::max(variance, 0.0) * log_term / n) +
+         3.0 * range * log_term / n;
+}
+
+void AdaptiveEval::EndBlock() {
+  const int n = block_end_;
+  blocks_run_ += num_alive_;
+  // Running means, reduced in fixed sample order (the determinism
+  // contract: every decision below is a pure function of the slots).
+  for (int i = 0; i < num_candidates_; ++i) {
+    if (alive_[static_cast<size_t>(i)] == 0) continue;
+    double total = 0.0;
+    for (int s = 0; s < n; ++s) {
+      total += values_[static_cast<size_t>(i)][static_cast<size_t>(s)];
+    }
+    mean_[static_cast<size_t>(i)] = total / n;
+    used_[static_cast<size_t>(i)] = n;
+  }
+  // Leader: first index among alive with the strictly largest mean — the
+  // same preference order as the fixed loops' strict `>` updates, so an
+  // all-ties race resolves to the fixed path's winner.
+  int leader = -1;
+  for (int i = 0; i < num_candidates_; ++i) {
+    if (alive_[static_cast<size_t>(i)] == 0) continue;
+    if (leader < 0 || mean_[static_cast<size_t>(i)] > mean_[leader]) {
+      leader = i;
+    }
+  }
+  // Paired eliminations (skipped at the cap — the race is over anyway,
+  // and a candidate that survived to the cap was not stopped early).
+  if (n < race_cap_) {
+    const double per_test_delta = config_.delta / num_candidates_;
+    const std::vector<double>& lead =
+        values_[static_cast<size_t>(leader)];
+    for (int i = 0; i < num_candidates_; ++i) {
+      if (i == leader || alive_[static_cast<size_t>(i)] == 0) continue;
+      const std::vector<double>& v = values_[static_cast<size_t>(i)];
+      // d_s = v_i[s] − v_L[s]: mean, biased variance, empirical range.
+      double mean_d = 0.0;
+      for (int s = 0; s < n; ++s) mean_d += v[s] - lead[s];
+      mean_d /= n;
+      double var_d = 0.0;
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (int s = 0; s < n; ++s) {
+        const double d = v[s] - lead[s];
+        var_d += (d - mean_d) * (d - mean_d);
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+      var_d /= n;
+      if (mean_d + Radius(var_d, hi - lo, n, per_test_delta) <= 0.0) {
+        alive_[static_cast<size_t>(i)] = 0;
+        --num_alive_;
+        ++early_stops_;
+      }
+    }
+  }
+  block_begin_ = n;
+  block_end_ = std::min(race_cap_, n + config_.block_samples);
+}
+
+int AdaptiveEval::Winner() const {
+  int winner = -1;
+  for (int i = 0; i < num_candidates_; ++i) {
+    if (alive_[static_cast<size_t>(i)] == 0) continue;
+    if (winner < 0 || mean_[static_cast<size_t>(i)] > mean_[winner]) {
+      winner = i;
+    }
+  }
+  return winner;
+}
+
+int64_t AdaptiveEval::samples_saved() const {
+  int64_t saved = 0;
+  for (int i = 0; i < num_candidates_; ++i) {
+    saved += num_samples_ - used_[static_cast<size_t>(i)];
+  }
+  return saved;
+}
+
+}  // namespace imdpp::diffusion

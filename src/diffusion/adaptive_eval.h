@@ -1,0 +1,162 @@
+// Variance-adaptive sequential stopping for greedy argmax evaluation
+// (ISSUE 10 tentpole): racing candidates on *paired* per-sample values.
+//
+// Every greedy loop in this repo (TDSI PickBest, the Theorem-5 round
+// placement, cr_greedy, the baseline argmax loops) only needs enough
+// Monte-Carlo samples to separate the winner from the runner-up — most
+// candidates are resolvable after a fraction of the fixed budget. The
+// AdaptiveEval state machine below implements empirical-Bernstein
+// racing (Mnih, Szepesvári & Audibert, ICML 2008; CELF-style lazy
+// elimination, Leskovec et al., KDD 2007) over the common-random-number
+// pairing the SigmaBackend contract already guarantees: candidate i and
+// the current leader are compared through their per-sample *differences*
+// d_s = v_i[s] − v_L[s], whose variance under CRN is far below the
+// variance of either estimate alone. Two pairing payoffs fall out:
+//   * exact ties (d ≡ 0: the candidate's extra seed never fires inside
+//     the evaluated horizon) are eliminated at the first boundary, and
+//   * deterministically-dominated candidates (d ≡ c < 0) likewise —
+//     both common in timing sweeps, both invisible to independent bounds.
+//
+// Determinism contract: candidates advance in lockstep blocks; per-sample
+// values are written into per-sample slots (order-independent writes), and
+// every statistic is reduced in fixed sample order at block boundaries
+// only. Feeding bit-identical per-sample values therefore yields a
+// bit-identical race at any thread count — the property
+// tests/determinism_test.cc gates.
+//
+// This header is backend-agnostic (plain doubles in, decisions out); the
+// "mc" backend drives it from block-resumable shard loops in
+// monte_carlo.cc. AdaptiveEvalConfig also serves as the `eval.adaptive.*`
+// config payload carried by SigmaBackendSpec.
+#ifndef IMDPP_DIFFUSION_ADAPTIVE_EVAL_H_
+#define IMDPP_DIFFUSION_ADAPTIVE_EVAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace imdpp::diffusion {
+
+/// The `eval.adaptive.*` knobs (PlannerConfig → SigmaBackendSpec →
+/// consumers). Defaults follow the fixed-path sample scale: stopping can
+/// only help once a comparison has a few samples of paired evidence.
+struct AdaptiveEvalConfig {
+  /// Master switch; false = every argmax runs the fixed-count reference
+  /// loop (bit-identical to the pre-adaptive code).
+  bool enabled = false;
+  /// Total error budget δ for the race: each pairwise elimination test
+  /// runs at δ / num_candidates (union bound).
+  double delta = 0.05;
+  /// Samples added per block after the first. Stopping decisions happen
+  /// only at block boundaries.
+  int block_samples = 8;
+  /// Samples every candidate gets before the first elimination test.
+  int min_samples = 8;
+  /// Racing budget (Maron & Moore-style): the race decides on at most
+  /// this many samples per candidate; 0 = the backend's full sample
+  /// count. The winner is ALWAYS re-evaluated at the full count through
+  /// the normal estimate path, so a tight budget trades argmax
+  /// resolution — not estimate precision — for simulation work. Useful
+  /// when candidate gaps are far below the per-sample noise floor (no
+  /// honest bound can separate them anyway) and the fixed loop would
+  /// burn its whole budget confirming a coin flip.
+  int max_samples = 0;
+};
+
+/// The racing state machine. Usage (driver = a backend's block loop):
+///
+///   AdaptiveEval race(K, num_samples, config);
+///   while (!race.done()) {
+///     for (int i = 0; i < K; ++i) {
+///       if (!race.IsAlive(i)) continue;
+///       for (int s = race.block_begin(); s < race.block_end(); ++s)
+///         race.Record(i, s, per_sample_value(i, s));
+///     }
+///     race.EndBlock();
+///   }
+///   int winner = race.Winner();
+///
+/// Record() writes are data-race-free for distinct (candidate, sample)
+/// pairs, so the driver may fill a block from concurrent shards; all
+/// decision state is recomputed single-threaded inside EndBlock().
+class AdaptiveEval {
+ public:
+  /// `num_candidates` >= 1 racers, `num_samples` = the fixed budget cap
+  /// (the race degenerates to the fixed count when nothing resolves).
+  AdaptiveEval(int num_candidates, int num_samples,
+               const AdaptiveEvalConfig& config);
+
+  /// True once a single candidate survives or the cap is reached.
+  bool done() const;
+  /// The sample range [block_begin, block_end) every alive candidate must
+  /// fill before the next EndBlock().
+  int block_begin() const { return block_begin_; }
+  int block_end() const { return block_end_; }
+  bool IsAlive(int candidate) const {
+    return alive_[static_cast<size_t>(candidate)] != 0;
+  }
+  int num_alive() const { return num_alive_; }
+
+  /// Stores candidate's value for one sample (see class comment for the
+  /// concurrency contract).
+  void Record(int candidate, int sample, double value) {
+    values_[static_cast<size_t>(candidate)][static_cast<size_t>(sample)] =
+        value;
+  }
+
+  /// Closes the current block: recomputes every alive candidate's running
+  /// mean in fixed sample order, then eliminates candidates whose paired
+  /// empirical-Bernstein upper bound against the current leader is <= 0.
+  void EndBlock();
+
+  /// Argmax of the running means among alive candidates, first index on
+  /// ties — the same strict-`>` preference as the fixed reference loops.
+  int Winner() const;
+  /// Running mean of `candidate` at the last closed boundary.
+  double Mean(int candidate) const {
+    return mean_[static_cast<size_t>(candidate)];
+  }
+  /// Samples `candidate` had been advanced to when it stopped (its
+  /// elimination boundary; the final boundary for survivors).
+  int samples_used(int candidate) const {
+    return used_[static_cast<size_t>(candidate)];
+  }
+
+  /// Work/effect counters for the eval.* metrics channel.
+  int64_t blocks_run() const { return blocks_run_; }
+  /// Candidates eliminated by a bound before the sample cap.
+  int64_t early_stops() const { return early_stops_; }
+  /// Σ over candidates of (num_samples − samples_used): the simulations
+  /// the fixed-count path would have spent on resolved comparisons.
+  int64_t samples_saved() const;
+
+  /// Empirical-Bernstein confidence radius for the mean of n observations
+  /// with empirical variance `variance` and empirical range `range`
+  /// (max − min), at confidence 1 − delta:
+  ///     sqrt(2·V·ln(3/δ)/n) + 3·R·ln(3/δ)/n.
+  /// Using the *empirical* range instead of an a-priori bound is the
+  /// standard engineering tightening; with CRN pairing it is what lets
+  /// exact ties (V = R = 0) resolve immediately. n < 2 returns +inf —
+  /// a single observation can never eliminate.
+  static double Radius(double variance, double range, int n, double delta);
+
+ private:
+  int num_candidates_;
+  int num_samples_;
+  int race_cap_;  ///< min(num_samples, config.max_samples when set)
+  AdaptiveEvalConfig config_;
+
+  std::vector<std::vector<double>> values_;  ///< [candidate][sample]
+  std::vector<uint8_t> alive_;
+  std::vector<int> used_;
+  std::vector<double> mean_;
+  int num_alive_;
+  int block_begin_ = 0;  ///< samples closed so far
+  int block_end_;        ///< next boundary
+  int64_t blocks_run_ = 0;
+  int64_t early_stops_ = 0;
+};
+
+}  // namespace imdpp::diffusion
+
+#endif  // IMDPP_DIFFUSION_ADAPTIVE_EVAL_H_

@@ -16,6 +16,10 @@ enum Purpose : uint64_t {
   kLtThreshold = 3,
 };
 
+// Round key of a coin-aligned flip: outside the valid promotion range, so
+// an aligned coin can never collide with a round-keyed one.
+constexpr uint64_t kAlignedCoinRound = ~uint64_t{0};
+
 int64_t PairKey(UserId u, ItemId x, int num_items) {
   return static_cast<int64_t>(u) * num_items + x;
 }
@@ -53,6 +57,8 @@ void SimScratch::Bind(const Problem& problem) {
   lt_acc_.assign(pairs, 0.0);
   lt_mark_.assign(pairs, 0);
   lt_epoch_ = 0;
+  attempt_count_.assign(pairs, 0);
+  attempt_mark_.assign(pairs, 0);
   pending_mark_.assign(pairs, 0);
   touched_user_mark_.assign(static_cast<size_t>(num_users), 0);
   step_epoch_ = 0;
@@ -64,8 +70,10 @@ void SimScratch::BeginSample() {
   sigma_market_ = 0.0;
   adoptions_ = 0;
   lt_touched_.clear();
+  attempt_touched_.clear();
   if (++lt_epoch_ == 0) {  // epoch wrap: stale marks could alias
     std::fill(lt_mark_.begin(), lt_mark_.end(), 0u);
+    std::fill(attempt_mark_.begin(), attempt_mark_.end(), 0u);
     lt_epoch_ = 1;
   }
 }
@@ -108,6 +116,9 @@ void CampaignSimulator::Restore(
           cp->states[static_cast<size_t>(u)]);
     }
     for (const auto& [key, acc] : cp->lt) scratch.LtAcc(key) = acc;
+    for (const auto& [key, count] : cp->attempts) {
+      scratch.RestoreAttempt(key, count);
+    }
     scratch.sigma_ = cp->sigma;
     scratch.sigma_market_ = cp->sigma_market;
     scratch.adoptions_ = cp->adoptions;
@@ -138,6 +149,12 @@ void CampaignSimulator::Capture(const SimScratch& scratch,
   for (int64_t key : scratch.lt_touched_) {
     cp.lt.emplace_back(key, scratch.lt_acc_[static_cast<size_t>(key)]);
   }
+  cp.attempts.clear();
+  cp.attempts.reserve(scratch.attempt_touched_.size());
+  for (int64_t key : scratch.attempt_touched_) {
+    cp.attempts.emplace_back(key,
+                             scratch.attempt_count_[static_cast<size_t>(key)]);
+  }
   cp.sigma = scratch.sigma_;
   cp.sigma_market = scratch.sigma_market_;
   cp.adoptions = scratch.adoptions_;
@@ -147,7 +164,8 @@ int CampaignSimulator::SimulateRounds(const SeedSchedule& sched,
                                       uint64_t sample_idx, int t_begin,
                                       int t_end,
                                       const std::vector<uint8_t>* market_mask,
-                                      SimScratch& scratch) const {
+                                      SimScratch& scratch,
+                                      int align_from_round) const {
   const graph::SocialGraph& g = *problem_.graph;
   const int num_items = problem_.NumItems();
   const pin::PersonalItemNetwork& pin = dynamics_->pin();
@@ -171,6 +189,11 @@ int CampaignSimulator::SimulateRounds(const SeedSchedule& sched,
     const SeedGroup& round_seeds = sched.RoundSeeds(t);
     if (round_seeds.empty()) continue;  // no frontier, no coins: exact no-op
     ++rounds_run;
+    // Coin-aligned rounds key flips by per-pair attempt ordinal instead of
+    // (round, step): distinct hash inputs per draw (the joint distribution
+    // is exactly the historical measure), but a time-shifted cascade's
+    // k-th attempt lands on the same coin in every racing candidate.
+    const bool aligned = t >= align_from_round;
 
     // --- ζ_t = 0: seeds adopt their items. ---
     std::vector<std::pair<UserId, ItemId>>& frontier = scratch.frontier_;
@@ -214,9 +237,14 @@ int CampaignSimulator::SimulateRounds(const SeedSchedule& sched,
           bool adopt = false;
           if (config_.model == DiffusionModel::kIndependentCascade) {
             const double p = pact * ppref;
-            if (p > 0.0 &&
-                UnitHash(sseed, kAdoptFlip, t, step, src, u, x) < p) {
-              adopt = true;
+            if (p > 0.0) {
+              const double coin =
+                  aligned
+                      ? UnitHash(sseed, kAdoptFlip, kAlignedCoinRound,
+                                 scratch.NextAttempt(PairKey(u, x, num_items)),
+                                 src, u, x)
+                      : UnitHash(sseed, kAdoptFlip, t, step, src, u, x);
+              if (coin < p) adopt = true;
             }
           } else {
             // LT: accumulate preference-scaled influence mass against a
@@ -235,9 +263,14 @@ int CampaignSimulator::SimulateRounds(const SeedSchedule& sched,
             if (state[static_cast<size_t>(u)].Has(y)) continue;
             const double pe = assoc_model.ExtraProb(
                 state[static_cast<size_t>(u)], pact, ppref, x, y);
-            if (pe > 0.0 &&
-                UnitHash(sseed, kExtraFlip, t, step, src, u, x, y) < pe) {
-              try_queue(u, y);
+            if (pe > 0.0) {
+              const double coin =
+                  aligned
+                      ? UnitHash(sseed, kExtraFlip, kAlignedCoinRound,
+                                 scratch.NextAttempt(PairKey(u, y, num_items)),
+                                 src, u, x, y)
+                      : UnitHash(sseed, kExtraFlip, t, step, src, u, x, y);
+              if (coin < pe) try_queue(u, y);
             }
           }
         }

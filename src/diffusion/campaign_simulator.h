@@ -18,7 +18,18 @@
 //
 // All coin flips are counter-based hashes of
 // (sample_seed, t, ζ, u', u, item, purpose), so realizations are
-// reproducible and common across seed-group variations.
+// reproducible and common across seed-group variations. For adaptive
+// racing (ISSUE 10) the caller can mark a round suffix as *coin-aligned*:
+// from `align_from_round` on, flips are keyed by the per-(user,item)
+// attempt ordinal instead of (round, step). Every draw still hashes a
+// distinct input — the joint coin distribution is exactly the historical
+// measure, so aligned σ̂ samples are unbiased — but a time-shifted
+// cascade's k-th attempt on a pair lands on the same coin in every racing
+// candidate, so paired differences collapse to the genuine timing/
+// interaction signal. (With round-keyed coins a one-round shift re-rolls
+// every flip and the difference variance is as large as σ's own.)
+// Alignment is a race-internal coupling device only: reported σ̂ always
+// comes from the historical round-keyed path.
 //
 // Fast path (ISSUE 3): the per-sample state lives in a reusable SimScratch
 // arena — flat epoch-stamped arrays instead of per-sample hash containers,
@@ -48,6 +59,10 @@
 namespace imdpp::diffusion {
 
 enum class DiffusionModel { kIndependentCascade, kLinearThreshold };
+
+/// `align_from_round` value meaning "never align": every coin keeps its
+/// historical (round-keyed) hash. Any round index is below it.
+inline constexpr int kNoCoinAlignment = 1 << 30;
 
 struct CampaignConfig {
   DiffusionModel model = DiffusionModel::kIndependentCascade;
@@ -134,6 +149,28 @@ class SimScratch {
     }
     return lt_acc_[static_cast<size_t>(key)];
   }
+  /// Next attempt ordinal for a (user,item) destination within the
+  /// current realization (0 on first touch). Time-aligned racing coins
+  /// are keyed by this ordinal instead of (round, step): every draw still
+  /// hashes a distinct input — the joint coin distribution is exactly the
+  /// historical one — but the k-th structural attempt on a pair lands on
+  /// the same coin in every candidate, whichever round it happens in.
+  uint32_t NextAttempt(int64_t key) {
+    if (attempt_mark_[static_cast<size_t>(key)] != lt_epoch_) {
+      attempt_mark_[static_cast<size_t>(key)] = lt_epoch_;
+      attempt_count_[static_cast<size_t>(key)] = 0;
+      attempt_touched_.push_back(key);
+    }
+    return attempt_count_[static_cast<size_t>(key)]++;
+  }
+  /// Re-seats one captured attempt ordinal after a checkpoint restore, so
+  /// an aligned-coin simulation resumed mid-cascade draws the exact coins
+  /// a from-scratch aligned run would have drawn.
+  void RestoreAttempt(int64_t key, uint32_t count) {
+    attempt_mark_[static_cast<size_t>(key)] = lt_epoch_;
+    attempt_count_[static_cast<size_t>(key)] = count;
+    attempt_touched_.push_back(key);
+  }
   /// First time (u,x) is queued this step? (flat stand-in for the
   /// per-step unordered_set of pending keys)
   bool MarkPending(int64_t key) {
@@ -171,6 +208,13 @@ class SimScratch {
   std::vector<int64_t> lt_touched_;
   uint32_t lt_epoch_ = 0;
 
+  // Attempt ordinals for time-aligned racing coins, valid while
+  // attempt_mark_[key] == lt_epoch_ (same per-realization epoch); the
+  // touched keys are tracked for sparse checkpointing like lt_touched_.
+  std::vector<uint32_t> attempt_count_;  ///< |V| x |I|
+  std::vector<uint32_t> attempt_mark_;   ///< |V| x |I|
+  std::vector<int64_t> attempt_touched_;
+
   // Per-step stamps.
   std::vector<uint32_t> pending_mark_;       ///< |V| x |I|
   std::vector<uint32_t> touched_user_mark_;  ///< |V|
@@ -197,6 +241,10 @@ SimScratch& ThreadLocalSimScratch();
 struct SampleCheckpoint {
   std::vector<pin::UserState> states;
   std::vector<std::pair<int64_t, double>> lt;
+  /// Attempt ordinals touched so far (sparse) — populated only by
+  /// time-aligned simulations (adaptive racing); empty, and free, for the
+  /// round-keyed checkpoints of the fixed path.
+  std::vector<std::pair<int64_t, uint32_t>> attempts;
   double sigma = 0.0;
   double sigma_market = 0.0;
   int adoptions = 0;
@@ -242,11 +290,15 @@ class CampaignSimulator {
   /// running outcome. Unseeded rounds are skipped (exact no-ops). Returns
   /// the number of rounds that did work — identical for every sample of a
   /// given (sched, t_begin, t_end), so callers can account work without
-  /// per-sample bookkeeping.
+  /// per-sample bookkeeping. Rounds >= `align_from_round` draw
+  /// round-agnostic coins (time-aligned CRN for adaptive racing, see the
+  /// file comment); the default leaves every coin on the historical
+  /// round-keyed hash.
   int SimulateRounds(const SeedSchedule& sched, uint64_t sample_idx,
                      int t_begin, int t_end,
                      const std::vector<uint8_t>* market_mask,
-                     SimScratch& scratch) const;
+                     SimScratch& scratch,
+                     int align_from_round = kNoCoinAlignment) const;
 
   /// Freezes scratch's current state into `cp` (buffers reused).
   void Capture(const SimScratch& scratch, SampleCheckpoint& cp) const;

@@ -356,6 +356,134 @@ ExpectedState MonteCarloEngine::ExpectedFrom(
 }
 
 // --------------------------------------------------------------------------
+// Adaptive SelectBest (ISSUE 10)
+
+// Race simulations draw time-aligned (attempt-ordinal) coins from round 1
+// on — see the campaign_simulator.h file comment. Keying by each
+// cascade's own attempt ordinals makes the pairing hold for EVERY
+// candidate pair at once, wherever that pair happens to diverge: two
+// cascades that share a prefix have identical ordinal state at the end of
+// it, so corresponding post-divergence attempts land on the same coins.
+// A fixed sentinel round would only align pairs that diverge at the
+// sentinel.
+inline constexpr int kRaceAlignFromRound = 1;
+
+MonteCarloEngine::RaceOutcome MonteCarloEngine::RaceSelect(
+    int num_candidates, const AdaptiveEvalConfig& config,
+    const std::function<int(int, int, int, AdaptiveEval&)>& eval_block)
+    const {
+  AdaptiveEval race(num_candidates, num_samples_, config);
+  RaceOutcome out;
+  const int t_max = sim_.problem().num_promotions;
+  while (!race.done()) {
+    const int begin = race.block_begin();
+    const int end = race.block_end();
+    for (int i = 0; i < num_candidates; ++i) {
+      if (!race.IsAlive(i)) continue;
+      const int rounds_run = eval_block(i, begin, end, race);
+      // A fired token mid-block leaves that block uncharged (mirroring
+      // interrupted plain estimates); earlier completed blocks stay
+      // booked — the caller reads the error off the token.
+      if (rounds_run < 0) return RaceOutcome{};
+      const int64_t block = end - begin;
+      num_simulations_ += block;
+      num_rounds_simulated_ += block * rounds_run;
+      num_rounds_skipped_ += block * (t_max - rounds_run);
+      out.samples += block;
+    }
+    race.EndBlock();
+  }
+  // Samples the race never ran are whole-sample skips — the fixed-count
+  // path would have simulated them — so simulated + skipped still adds
+  // up to the naive candidates × num_samples × T total for this argmax.
+  num_rounds_skipped_ += race.samples_saved() * t_max;
+  blocks_run_ += race.blocks_run();
+  early_stops_ += race.early_stops();
+  samples_saved_ += race.samples_saved();
+  out.winner = race.Winner();
+  return out;
+}
+
+SelectBestResult MonteCarloEngine::SelectBest(
+    const std::vector<SelectCandidate>& candidates,
+    const SelectOptions& options) const {
+  // Racing needs at least two candidates to compare; everything else is
+  // the fixed-count reference loop (which a disabled race must match
+  // bit for bit — it IS the pre-adaptive code path).
+  if (!options.adaptive.enabled || candidates.size() < 2) {
+    return SigmaBackend::SelectBest(candidates, options);
+  }
+  IMDPP_CHECK(!options.use_market);
+  util::trace::Span span("mc.select_best");
+  int winner = -1;
+  int64_t raced_samples = 0;
+  {
+    util::MutexLock lock(mu_);
+    if (!BeginEstimate()) return SelectBestResult{};
+    // Schedules are pure functions of the groups; build them once.
+    std::vector<SeedSchedule> scheds;
+    scheds.reserve(candidates.size());
+    for (const SelectCandidate& c : candidates) {
+      scheds.emplace_back(c.group, sim_.problem());
+    }
+    auto eval_block = [&](int cand, int begin, int end,
+                          AdaptiveEval& race) -> int {
+      const SeedSchedule& sched = scheds[static_cast<size_t>(cand)];
+      const int t_end = sched.last_active_round();
+      const auto& score = candidates[static_cast<size_t>(cand)].score;
+      std::vector<int> rounds_by_shard(NumShards(), -1);
+      RunShards([&](int shard) {
+        SimScratch& scratch = LocalScratch();
+        const int lo = std::max(ShardBegin(shard), begin);
+        const int hi = std::min(ShardBegin(shard + 1), end);
+        int rounds = -1;
+        for (int s = lo; s < hi; ++s) {
+          if (!cancel_->Check().ok()) break;
+          sim_.Restore(nullptr, initial_states_, scratch);
+          rounds = sim_.SimulateRounds(sched, static_cast<uint64_t>(s), 1,
+                                       t_end, nullptr, scratch,
+                                       kRaceAlignFromRound);
+          MarketEval eval;
+          eval.sigma = scratch.sigma();
+          race.Record(cand, s, score ? score(eval) : eval.sigma);
+        }
+        rounds_by_shard[shard] = rounds;
+      });
+      if (Cancelled()) return -1;
+      // The rounds executed per sample are a schedule property; take the
+      // first shard that ran samples of this block (a fixed function of
+      // the shard layout and block bounds — deterministic).
+      for (int rounds : rounds_by_shard) {
+        if (rounds >= 0) return rounds;
+      }
+      return 0;
+    };
+    const RaceOutcome raced = RaceSelect(static_cast<int>(candidates.size()),
+                                         options.adaptive, eval_block);
+    winner = raced.winner;
+    raced_samples = raced.samples;
+  }
+  if (winner < 0) return SelectBestResult{};
+  // Full-precision winner re-evaluation through the normal estimate path
+  // (memo-aware, histogram-recorded): downstream arithmetic must see the
+  // exact bits a direct Sigma call would have produced.
+  MarketEval eval;
+  eval.sigma = Sigma(candidates[static_cast<size_t>(winner)].group);
+  if (Cancelled()) return SelectBestResult{};
+  const double score = candidates[static_cast<size_t>(winner)].score
+                           ? candidates[static_cast<size_t>(winner)].score(eval)
+                           : eval.sigma;
+  SelectBestResult result;
+  result.samples_used = raced_samples + num_samples_;
+  if (score > options.min_score) {
+    result.best_index = winner;
+    result.best_score = score;
+    result.best_eval = eval;
+  }
+  return result;
+}
+
+// --------------------------------------------------------------------------
 // CheckpointedEval
 
 CheckpointedEval::CheckpointedEval(const MonteCarloEngine& engine,
@@ -387,6 +515,8 @@ void CheckpointedEval::Rebase(SeedGroup base) {
                                       engine_.sim_.problem().num_promotions);
   rounds_ready_ = std::min(rounds_ready_, diverge - 1);
   cp_.resize(static_cast<size_t>(rounds_ready_));
+  aligned_rounds_ready_ = std::min(aligned_rounds_ready_, diverge - 1);
+  aligned_cp_.resize(static_cast<size_t>(aligned_rounds_ready_));
   base_ = std::move(base);
   base_sched_ = std::move(sched);
 }
@@ -438,6 +568,77 @@ void CheckpointedEval::EnsureCheckpoints(int upto) {
   engine_.num_rounds_skipped_ -=
       static_cast<int64_t>(num_samples) * rounds_built;
   rounds_ready_ = upto;
+}
+
+void CheckpointedEval::EnsureAlignedCheckpoints(int rounds_upto,
+                                                int samples_upto) {
+  rounds_upto = std::max(rounds_upto, aligned_rounds_ready_);
+  rounds_upto = std::min(rounds_upto, base_sched_.last_active_round());
+  samples_upto = std::max(samples_upto, aligned_samples_ready_);
+  samples_upto = std::min(samples_upto, engine_.num_samples_);
+  if (rounds_upto <= 0 || samples_upto <= 0) return;
+  if (rounds_upto <= aligned_rounds_ready_ &&
+      samples_upto <= aligned_samples_ready_) {
+    return;
+  }
+  aligned_cp_.resize(static_cast<size_t>(rounds_upto));
+  for (auto& row : aligned_cp_) {
+    row.resize(static_cast<size_t>(engine_.num_samples_));
+  }
+  const std::vector<uint8_t>* mask = mask_.empty() ? nullptr : &mask_;
+  // Extends the valid rectangle in two strips, both simulating the base
+  // schedule with race-aligned coins and freezing every boundary: first
+  // deepen the already-built samples to the new round watermark, then
+  // run the brand-new samples from scratch to that same watermark.
+  // Work is booked like EnsureCheckpoints: amortized shared build,
+  // moved from the skipped to the simulated bucket.
+  auto build = [&](int s_begin, int s_end, int from, int upto) {
+    if (s_begin >= s_end || from >= upto) return;
+    std::vector<int> rounds_by_shard(engine_.NumShards(), -1);
+    engine_.RunShards([&](int shard) {
+      SimScratch& scratch = LocalScratch();
+      const int lo = std::max(engine_.ShardBegin(shard), s_begin);
+      const int hi = std::min(engine_.ShardBegin(shard + 1), s_end);
+      int rounds = -1;
+      for (int s = lo; s < hi; ++s) {
+        if (!engine_.cancel_->Check().ok()) break;
+        const SampleCheckpoint* start =
+            from == 0 ? nullptr
+                      : &aligned_cp_[static_cast<size_t>(from - 1)]
+                                    [static_cast<size_t>(s)];
+        engine_.sim_.Restore(start, nullptr, scratch);
+        rounds = 0;
+        for (int k = from + 1; k <= upto; ++k) {
+          rounds += engine_.sim_.SimulateRounds(
+              base_sched_, static_cast<uint64_t>(s), k, k, mask, scratch,
+              kRaceAlignFromRound);
+          engine_.sim_.Capture(scratch, aligned_cp_[static_cast<size_t>(k - 1)]
+                                                   [static_cast<size_t>(s)]);
+        }
+      }
+      rounds_by_shard[shard] = rounds;
+    });
+    if (engine_.Cancelled()) return;
+    int rounds_built = 0;
+    for (int rounds : rounds_by_shard) {
+      if (rounds >= 0) {
+        rounds_built = rounds;
+        break;
+      }
+    }
+    engine_.num_rounds_simulated_ +=
+        static_cast<int64_t>(s_end - s_begin) * rounds_built;
+    engine_.num_rounds_skipped_ -=
+        static_cast<int64_t>(s_end - s_begin) * rounds_built;
+  };
+  build(0, aligned_samples_ready_, aligned_rounds_ready_, rounds_upto);
+  build(aligned_samples_ready_, samples_upto, 0, rounds_upto);
+  // A cancelled build leaves the watermarks untouched (half-frozen strips
+  // must never be resumed from); the race's own cancel checks stop the
+  // run before any restore could read them.
+  if (engine_.Cancelled()) return;
+  aligned_rounds_ready_ = rounds_upto;
+  aligned_samples_ready_ = samples_upto;
 }
 
 CheckpointedEval::Outcome CheckpointedEval::Eval(const SeedGroup& group,
@@ -553,6 +754,124 @@ ExpectedState CheckpointedEval::Expected(const SeedGroup& group) {
   return engine_.ExpectedFrom(
       sched, resume + 1,
       resume == 0 ? nullptr : &cp_[static_cast<size_t>(resume - 1)]);
+}
+
+SelectBestResult CheckpointedEval::SelectBest(
+    const std::vector<SelectCandidate>& candidates,
+    const SelectOptions& options) {
+  if (!options.adaptive.enabled || candidates.size() < 2) {
+    return ScheduleEval::SelectBest(candidates, options);
+  }
+  const bool want_market = options.use_market;
+  if (want_market) IMDPP_CHECK(!market_.empty());
+  util::trace::Span span("mc.select_best");
+  int winner = -1;
+  int64_t raced_samples = 0;
+  {
+    util::MutexLock lock(engine_.mu_);
+    IMDPP_CHECK(engine_.initial_states_ == nullptr);
+    if (!engine_.BeginEstimate()) return SelectBestResult{};
+    const Problem& p = engine_.sim_.problem();
+    const int t_max = p.num_promotions;
+    // Per-candidate schedule and resume boundary against the shared base.
+    struct Racer {
+      SeedSchedule sched;
+      int resume = 0;
+      int t_end = 0;
+    };
+    std::vector<Racer> racers;
+    racers.reserve(candidates.size());
+    for (const SelectCandidate& c : candidates) {
+      Racer racer{SeedSchedule(c.group, p)};
+      const int diverge = FirstDivergence(base_sched_, racer.sched, t_max);
+      racer.resume =
+          std::min(diverge - 1, base_sched_.last_active_round());
+      racer.t_end = racer.sched.last_active_round();
+      racers.push_back(std::move(racer));
+    }
+    // Races draw aligned coins from round 1 (kRaceAlignFromRound), so a
+    // racer can never resume from cp_: those prefixes froze round-keyed
+    // coins. It CAN resume from the aligned lattice — the base prefix
+    // simulated once per sample with the same attempt-ordinal keying the
+    // race uses, checkpoints carrying the ordinal state — which makes a
+    // resumed racer bit-identical to the engine-level race's from-scratch
+    // aligned run of the same schedule. The lattice grows lazily with the
+    // race's blocks (an early stop never paid for unraced samples), and
+    // Rebase keeps shared rounds, so consecutive races against
+    // overlapping bases (greedy placement, refinement sweeps) amortize it.
+    int max_resume = 0;
+    for (const Racer& racer : racers) {
+      max_resume = std::max(max_resume, racer.resume);
+    }
+    const std::vector<uint8_t>* mask = mask_.empty() ? nullptr : &mask_;
+    auto eval_block = [&](int cand, int begin, int end,
+                          AdaptiveEval& race) -> int {
+      EnsureAlignedCheckpoints(max_resume, end);
+      if (engine_.Cancelled()) return -1;
+      const Racer& racer = racers[static_cast<size_t>(cand)];
+      const auto& score = candidates[static_cast<size_t>(cand)].score;
+      std::vector<int> rounds_by_shard(engine_.NumShards(), -1);
+      engine_.RunShards([&](int shard) {
+        SimScratch& scratch = LocalScratch();
+        const int lo = std::max(engine_.ShardBegin(shard), begin);
+        const int hi = std::min(engine_.ShardBegin(shard + 1), end);
+        int rounds = -1;
+        for (int s = lo; s < hi; ++s) {
+          if (!engine_.cancel_->Check().ok()) break;
+          const SampleCheckpoint* start =
+              racer.resume == 0
+                  ? nullptr
+                  : &aligned_cp_[static_cast<size_t>(racer.resume - 1)]
+                                [static_cast<size_t>(s)];
+          engine_.sim_.Restore(start, nullptr, scratch);
+          rounds = 0;
+          if (racer.t_end > racer.resume) {
+            rounds = engine_.sim_.SimulateRounds(
+                racer.sched, static_cast<uint64_t>(s), racer.resume + 1,
+                racer.t_end, mask, scratch, kRaceAlignFromRound);
+          }
+          MarketEval eval;
+          eval.sigma = scratch.sigma();
+          eval.sigma_market = scratch.sigma_market();
+          if (want_market) {
+            eval.pi = engine_.sim_.LikelihoodPi(scratch.states(), market_);
+          }
+          race.Record(cand, s, score ? score(eval) : eval.sigma);
+        }
+        rounds_by_shard[shard] = rounds;
+      });
+      if (engine_.Cancelled()) return -1;
+      for (int rounds : rounds_by_shard) {
+        if (rounds >= 0) return rounds;
+      }
+      return 0;
+    };
+    const MonteCarloEngine::RaceOutcome raced = engine_.RaceSelect(
+        static_cast<int>(candidates.size()), options.adaptive, eval_block);
+    winner = raced.winner;
+    raced_samples = raced.samples;
+  }
+  if (winner < 0) return SelectBestResult{};
+  // Winner re-evaluation at the full sample count through the normal
+  // checkpointed path (memo-aware, histogram-recorded).
+  MarketEval eval;
+  if (want_market) {
+    eval = EvalMarket(candidates[static_cast<size_t>(winner)].group);
+  } else {
+    eval.sigma = Sigma(candidates[static_cast<size_t>(winner)].group);
+  }
+  if (engine_.Cancelled()) return SelectBestResult{};
+  const double score = candidates[static_cast<size_t>(winner)].score
+                           ? candidates[static_cast<size_t>(winner)].score(eval)
+                           : eval.sigma;
+  SelectBestResult result;
+  result.samples_used = raced_samples + engine_.num_samples_;
+  if (score > options.min_score) {
+    result.best_index = winner;
+    result.best_score = score;
+    result.best_eval = eval;
+  }
+  return result;
 }
 
 // --------------------------------------------------------------------------

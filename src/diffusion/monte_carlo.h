@@ -80,6 +80,7 @@ class MonteCarloEngine : public SigmaBackend {
     caps.market_likelihood_pi = true;
     caps.prefix_checkpointing = true;
     caps.initial_state_override = true;
+    caps.select_best = true;
     return caps;
   }
 
@@ -107,6 +108,19 @@ class MonteCarloEngine : public SigmaBackend {
   /// A CheckpointedEval over this engine: promotion-round prefix reuse.
   std::unique_ptr<ScheduleEval> MakeScheduleEval(
       SeedGroup base, std::vector<UserId> market = {}) const override;
+
+  /// Greedy σ-scored argmax (ISSUE 10). Fixed mode (the default) runs the
+  /// base-class reference loop; options.adaptive.enabled races candidates
+  /// with empirical-Bernstein stopping on paired per-sample values, then
+  /// re-evaluates the winner at the full sample count through the normal
+  /// Sigma path (memo-aware, histogram-recorded) so downstream arithmetic
+  /// sees exactly the bits a direct call would. Supports SetInitialStates
+  /// (each raced sample simulates from scratch). Stopping decisions
+  /// happen only at block boundaries over fixed-order reductions, so the
+  /// adaptive path is bit-identical across thread counts too.
+  SelectBestResult SelectBest(const std::vector<SelectCandidate>& candidates,
+                              const SelectOptions& options) const override
+      IMDPP_EXCLUDES(mu_);
 
   /// Starts every realization from `states` instead of the problem's
   /// initial state (adaptive IM). Pass nullptr to reset. The pointee must
@@ -161,6 +175,23 @@ class MonteCarloEngine : public SigmaBackend {
   int64_t num_memo_hits() const override IMDPP_EXCLUDES(mu_) {
     util::MutexLock lock(mu_);
     return num_memo_hits_;
+  }
+
+  /// Adaptive-selection counters (ISSUE 10): candidate-blocks raced,
+  /// candidates eliminated before the sample cap, and realizations never
+  /// simulated because their comparison had already resolved. All zero
+  /// on fixed-count runs.
+  int64_t num_blocks_run() const override IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return blocks_run_;
+  }
+  int64_t num_early_stops() const override IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return early_stops_;
+  }
+  int64_t num_samples_saved() const override IMDPP_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return samples_saved_;
   }
 
   /// The token estimates check; never null (see the constructor).
@@ -233,6 +264,23 @@ class MonteCarloEngine : public SigmaBackend {
   /// `rounds_run` rounds per sample.
   void ChargeEstimate(int rounds_run) const IMDPP_REQUIRES(mu_);
 
+  /// The racing driver shared by the engine-level and checkpointed
+  /// SelectBest: advances every alive candidate block by block through
+  /// `eval_block(candidate, begin, end, race)` (which fills per-sample
+  /// slots and returns the rounds executed per sample, or −1 when the
+  /// cancel token fired), charges each candidate-block, and on
+  /// completion books the whole-sample skips plus the adaptive
+  /// counters. winner −1 = cancelled mid-race (nothing terminal booked;
+  /// partial blocks stay charged, mirroring interrupted estimates).
+  struct RaceOutcome {
+    int winner = -1;
+    int64_t samples = 0;  ///< realizations actually simulated
+  };
+  RaceOutcome RaceSelect(
+      int num_candidates, const AdaptiveEvalConfig& config,
+      const std::function<int(int, int, int, AdaptiveEval&)>& eval_block)
+      const IMDPP_REQUIRES(mu_);
+
   CampaignSimulator sim_;
   int num_samples_;
   int num_threads_;
@@ -256,6 +304,9 @@ class MonteCarloEngine : public SigmaBackend {
   mutable int64_t num_rounds_simulated_ IMDPP_GUARDED_BY(mu_) = 0;
   mutable int64_t num_rounds_skipped_ IMDPP_GUARDED_BY(mu_) = 0;
   mutable int64_t num_memo_hits_ IMDPP_GUARDED_BY(mu_) = 0;
+  mutable int64_t blocks_run_ IMDPP_GUARDED_BY(mu_) = 0;
+  mutable int64_t early_stops_ IMDPP_GUARDED_BY(mu_) = 0;
+  mutable int64_t samples_saved_ IMDPP_GUARDED_BY(mu_) = 0;
   /// σ memo keyed on the exact seed vector (0 capacity = disabled), and
   /// the EvalMarket memo keyed on (market users, seed vector) behind the
   /// same opt-in flag. Nested maps so each market's user list is stored
@@ -327,6 +378,18 @@ class CheckpointedEval final : public ScheduleEval {
 
   const SeedGroup& base() const override { return base_; }
 
+  /// Greedy argmax over `candidates` against the shared base (ISSUE 10).
+  /// Fixed mode runs the base-class reference loop (through this
+  /// evaluator's checkpointed Sigma/EvalMarket); adaptive mode builds
+  /// the shared checkpoint prefix once, races candidates block by block
+  /// resuming each from its own divergence boundary, and re-evaluates
+  /// the winner at the full sample count through the normal memo-aware
+  /// path. See MonteCarloEngine::SelectBest for the determinism and
+  /// cancellation contract.
+  SelectBestResult SelectBest(const std::vector<SelectCandidate>& candidates,
+                              const SelectOptions& options) override
+      IMDPP_EXCLUDES(engine_.mu_);
+
  private:
   struct Outcome {
     double sigma = 0.0;
@@ -339,6 +402,15 @@ class CheckpointedEval final : public ScheduleEval {
   /// Simulates base rounds up to `upto` (capped at the base's last active
   /// round), freezing every boundary along the way.
   void EnsureCheckpoints(int upto) IMDPP_REQUIRES(engine_.mu_);
+  /// Same, for the aligned lattice: base rounds simulated with
+  /// time-aligned (attempt-ordinal) coins, checkpoints carrying the
+  /// attempt state. Races resume from these — never from cp_, whose
+  /// round-keyed prefix coins would poison the paired differences.
+  /// Grown lazily as a rectangle of `rounds_upto` x `samples_upto`
+  /// (races touch block_end samples, not all of them), so a race that
+  /// stops after one block never pays for prefixes it didn't use.
+  void EnsureAlignedCheckpoints(int rounds_upto, int samples_upto)
+      IMDPP_REQUIRES(engine_.mu_);
   Outcome Eval(const SeedGroup& group, bool want_pi)
       IMDPP_REQUIRES(engine_.mu_);
 
@@ -350,6 +422,12 @@ class CheckpointedEval final : public ScheduleEval {
   /// cp_[k-1][s] = realization s frozen after base rounds 1..k.
   std::vector<std::vector<SampleCheckpoint>> cp_;
   int rounds_ready_ = 0;
+  /// Aligned-coin twin of cp_, built lazily by adaptive races only;
+  /// valid for rounds < aligned_rounds_ready_, samples <
+  /// aligned_samples_ready_ (rows are allocated full-width up front).
+  std::vector<std::vector<SampleCheckpoint>> aligned_cp_;
+  int aligned_rounds_ready_ = 0;
+  int aligned_samples_ready_ = 0;
 };
 
 }  // namespace imdpp::diffusion

@@ -67,6 +67,10 @@ class RisBackend final : public SigmaBackend {
   BackendCapabilities capabilities() const override {
     BackendCapabilities caps;
     caps.sketch_prep = true;
+    // SelectBest is the trivial implementation (the fixed reference
+    // loop): warm σ̂ queries are coverage counts over prebuilt sketches,
+    // already ~free, so sequential stopping has nothing left to save.
+    caps.select_best = true;
     return caps;
   }
 

@@ -57,6 +57,60 @@ std::unique_ptr<ScheduleEval> SigmaBackend::MakeScheduleEval(
                                                   std::move(market));
 }
 
+SelectBestResult ScheduleEval::SelectBest(
+    const std::vector<SelectCandidate>& candidates,
+    const SelectOptions& options) {
+  // The fixed-count reference loop: evaluate every candidate in order —
+  // the identical estimate sequence (memo traffic, fault-schedule hits,
+  // σ̂ histogram entries and bits) as the hand-written argmax loops this
+  // entry point replaced. Backends without a sequential-stopping
+  // override run this even when options.adaptive.enabled (correct, just
+  // never early-stopping — e.g. "ris", whose warm σ̂ is already ~free).
+  SelectBestResult result;
+  result.best_score = options.min_score;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    MarketEval eval;
+    if (options.use_market) {
+      eval = EvalMarket(candidates[i].group);
+    } else {
+      eval.sigma = Sigma(candidates[i].group);
+    }
+    const double score =
+        candidates[i].score ? candidates[i].score(eval) : eval.sigma;
+    if (score > result.best_score) {
+      result.best_score = score;
+      result.best_index = static_cast<int>(i);
+      result.best_eval = eval;
+    }
+  }
+  return result;
+}
+
+SelectBestResult SigmaBackend::SelectBest(
+    const std::vector<SelectCandidate>& candidates,
+    const SelectOptions& options) const {
+  // Engine-level twin of ScheduleEval::SelectBest (same reference-loop
+  // semantics); σ-scored only — market-scored argmaxes go through a
+  // ScheduleEval bound to the market.
+  IMDPP_CHECK(!options.use_market);
+  SelectBestResult result;
+  result.best_score = options.min_score;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    MarketEval eval;
+    eval.sigma = Sigma(candidates[i].group);
+    const double score =
+        candidates[i].score ? candidates[i].score(eval) : eval.sigma;
+    if (score > result.best_score) {
+      result.best_score = score;
+      result.best_index = static_cast<int>(i);
+      result.best_eval = eval;
+    }
+  }
+  result.samples_used =
+      static_cast<int64_t>(candidates.size()) * num_samples();
+  return result;
+}
+
 void SigmaBackend::RecordSigmaEstimate(double sigma) const {
   util::MutexLock lock(stats_mu_);
   if (sigma_estimates_.bounds.empty()) {
@@ -76,6 +130,9 @@ void SigmaBackend::AddMetrics(util::MetricsSnapshot& out) const {
   out.AddCounter(util::metric::kEvalRoundsSimulated, num_rounds_simulated());
   out.AddCounter(util::metric::kEvalRoundsSkipped, num_rounds_skipped());
   out.AddCounter(util::metric::kEvalMemoHits, num_memo_hits());
+  out.AddCounter(util::metric::kEvalBlocksRun, num_blocks_run());
+  out.AddCounter(util::metric::kEvalEarlyStops, num_early_stops());
+  out.AddCounter(util::metric::kEvalSamplesSaved, num_samples_saved());
   AddSigmaHistogram(out);
 }
 

@@ -33,12 +33,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "diffusion/adaptive_eval.h"
 #include "diffusion/campaign_simulator.h"
 #include "util/cancel.h"
 #include "util/metrics.h"
@@ -117,6 +120,55 @@ struct BackendCapabilities {
   bool initial_state_override = false;
   /// Builds a content-hash-keyed prep:: sketch artifact at first use.
   bool sketch_prep = false;
+  /// SelectBest honors eval.adaptive.* sequential stopping (racing on
+  /// paired differences). Backends without it still answer SelectBest —
+  /// via the fixed-count reference loop — but never stop early.
+  bool select_best = false;
+};
+
+/// One racer in a SelectBest argmax: a seed group plus an optional score
+/// map applied to its evaluation. The score must be affine in the
+/// MarketEval components (every greedy loop's is: σ itself, gain/cost
+/// ratios, TDSI's SI) so that scoring per-sample values and averaging
+/// commutes with scoring the averaged estimate.
+struct SelectCandidate {
+  SeedGroup group;
+  /// Null = score by .sigma. Called with the mean estimate on the fixed
+  /// path and with single-sample values during adaptive racing; capture
+  /// any constants (the base eval, costs) by value.
+  std::function<double(const MarketEval&)> score;
+};
+
+/// How a SelectBest argmax runs.
+struct SelectOptions {
+  /// enabled=false (the default) = the fixed-count reference loop:
+  /// bit-identical estimates, call order and side effects to the hand
+  /// written loops it replaced.
+  AdaptiveEvalConfig adaptive;
+  /// Evaluate candidates through EvalMarket (σ, σ_τ, π̂) instead of
+  /// Sigma. Only meaningful on a ScheduleEval bound to a market.
+  bool use_market = false;
+  /// The winner must strictly beat this (the fixed loops' initial best:
+  /// −inf for TDSI, −1 for timing placement, 0 for gain/cost ratios).
+  /// No candidate above it => best_index = −1.
+  double min_score = -std::numeric_limits<double>::infinity();
+};
+
+/// The outcome of a SelectBest argmax.
+struct SelectBestResult {
+  /// Winning candidate, or −1 (nothing beat min_score, or the backend's
+  /// cancel token fired mid-race — callers check the token either way).
+  int best_index = -1;
+  /// The winner's full-precision score (adaptive mode re-evaluates the
+  /// winner at the full sample count through the normal estimate path,
+  /// so downstream arithmetic sees exactly the bits a direct call would).
+  double best_score = -std::numeric_limits<double>::infinity();
+  /// The winner's full-precision evaluation (sigma only when scoring
+  /// through Sigma).
+  MarketEval best_eval;
+  /// Realizations actually simulated across all candidates (racing) or
+  /// candidates × num_samples (fixed).
+  int64_t samples_used = 0;
 };
 
 /// One backend-owned evaluator bound to a mutable *base* seed group (and
@@ -139,6 +191,16 @@ class ScheduleEval {
   /// keep the checkpoints of every round before the first divergence).
   virtual void Rebase(SeedGroup base) = 0;
   virtual const SeedGroup& base() const = 0;
+
+  /// Greedy argmax over `candidates` (ISSUE 10). The base implementation
+  /// is the fixed-count reference loop: evaluates every candidate in
+  /// order through Sigma/EvalMarket — the identical call sequence, memo
+  /// traffic and bits as the hand-written loops it replaced — and keeps
+  /// the strict-`>` running best. Backends with sequential stopping
+  /// override it and race when options.adaptive.enabled.
+  virtual SelectBestResult SelectBest(
+      const std::vector<SelectCandidate>& candidates,
+      const SelectOptions& options);
 };
 
 /// Abstract σ-evaluation backend. See the file comment for the estimation
@@ -162,6 +224,16 @@ class SigmaBackend {
                                 const std::vector<UserId>& users) const = 0;
   /// Expected end-of-campaign state under `seeds`.
   virtual ExpectedState Expected(const SeedGroup& seeds) const = 0;
+
+  /// Greedy σ-scored argmax over `candidates` (ISSUE 10; the engine-level
+  /// twin of ScheduleEval::SelectBest, for consumers without a bound
+  /// market — options.use_market is not supported here). The base
+  /// implementation is the fixed-count reference loop over Sigma();
+  /// backends flagged capabilities().select_best race with sequential
+  /// stopping when options.adaptive.enabled.
+  virtual SelectBestResult SelectBest(
+      const std::vector<SelectCandidate>& candidates,
+      const SelectOptions& options) const;
 
   /// Opts in to memoizing estimates by exact input (identical input =>
   /// identical estimate): Sigma() by seed vector, EvalMarket() by
@@ -192,6 +264,15 @@ class SigmaBackend {
   virtual int64_t num_rounds_simulated() const = 0;
   virtual int64_t num_rounds_skipped() const = 0;
   virtual int64_t num_memo_hits() const = 0;
+
+  /// Adaptive-selection effect counters (ISSUE 10): candidate-blocks
+  /// raced, candidates eliminated before the sample cap, and realizations
+  /// the fixed-count path would have spent on resolved comparisons.
+  /// Zero on backends without sequential stopping (and on every fixed
+  /// run), so the report channel stays uniform.
+  virtual int64_t num_blocks_run() const { return 0; }
+  virtual int64_t num_early_stops() const { return 0; }
+  virtual int64_t num_samples_saved() const { return 0; }
 
   /// Books this backend's work into `out` under the canonical
   /// util::metric names: the four counters above plus the histogram of
@@ -244,6 +325,11 @@ struct SigmaBackendSpec {
   /// Monte-Carlo engine (the named backend, in practice "mc") instead of
   /// failing the run; the degradation books one `fallbacks` counter.
   std::string fallback_backend;
+  /// Sequential-stopping knobs for SelectBest argmax racing (ISSUE 10;
+  /// `eval.adaptive.*` / --adaptive). Disabled by default — the fixed
+  /// count path is the determinism reference. Consumers read this off
+  /// their config's backend spec and pass it through SelectOptions.
+  AdaptiveEvalConfig adaptive;
 };
 
 /// Everything a backend factory gets to build an instance: the engine

@@ -54,6 +54,12 @@ util::Json PlanResultJson(const api::PlanResult& result,
           static_cast<double>(m.Counter(util::metric::kEvalRoundsSkipped)));
   out.Set("memo_hits",
           static_cast<double>(m.Counter(util::metric::kEvalMemoHits)));
+  out.Set("blocks_run",
+          static_cast<double>(m.Counter(util::metric::kEvalBlocksRun)));
+  out.Set("early_stops",
+          static_cast<double>(m.Counter(util::metric::kEvalEarlyStops)));
+  out.Set("samples_saved",
+          static_cast<double>(m.Counter(util::metric::kEvalSamplesSaved)));
   out.Set("prep_builds",
           static_cast<double>(m.Counter(util::metric::kPrepBuilds)));
   out.Set("prep_reuses",
@@ -120,6 +126,7 @@ util::Json SweepJson(const std::string& name,
     if (rec.point.theta >= 0) p.Set("theta", rec.point.theta);
     p.Set("threads", rec.point.num_threads);
     p.Set("backend", rec.point.backend.empty() ? "mc" : rec.point.backend);
+    p.Set("adaptive", rec.point.adaptive);
     p.Set("result", PlanResultJson(rec.result, include_timings));
     points.Append(std::move(p));
   }
@@ -132,10 +139,13 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
   std::vector<std::string> header{
       "dataset",     "scale",        "planner",
       "budget",      "promotions",   "theta",
-      "threads",     "backend",      "status",
+      "threads",     "backend",      "adaptive",
+      "status",
       "sigma",       "total_cost",   "num_seeds",
       "simulations", "rounds_simulated", "rounds_skipped",
-      "memo_hits",   "prep_builds",  "prep_reuses",
+      "memo_hits",   "blocks_run",   "early_stops",
+      "samples_saved",
+      "prep_builds", "prep_reuses",
       "faults_injected", "retries",  "fallbacks"};
   if (include_timings) {
     header.push_back("prep_millis");
@@ -156,6 +166,7 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
         rec.point.theta >= 0 ? std::to_string(rec.point.theta) : "-",
         std::to_string(rec.point.num_threads),
         rec.point.backend.empty() ? "mc" : rec.point.backend,
+        rec.point.adaptive ? "yes" : "no",
         std::string(util::StatusCodeName(r.status.code())),
         Fixed(r.sigma, 4),
         Fixed(r.total_cost, 2),
@@ -164,6 +175,9 @@ std::string SweepCsv(const std::vector<SweepRecord>& records,
         std::to_string(m.Counter(util::metric::kEvalRoundsSimulated)),
         std::to_string(m.Counter(util::metric::kEvalRoundsSkipped)),
         std::to_string(m.Counter(util::metric::kEvalMemoHits)),
+        std::to_string(m.Counter(util::metric::kEvalBlocksRun)),
+        std::to_string(m.Counter(util::metric::kEvalEarlyStops)),
+        std::to_string(m.Counter(util::metric::kEvalSamplesSaved)),
         std::to_string(m.Counter(util::metric::kPrepBuilds)),
         std::to_string(m.Counter(util::metric::kPrepReuses)),
         std::to_string(m.Counter(util::metric::kFaultInjected)),

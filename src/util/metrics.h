@@ -54,6 +54,9 @@ inline constexpr char kEvalRoundsSimulated[] = "eval.rounds_simulated";
 inline constexpr char kEvalRoundsSkipped[] = "eval.rounds_skipped";
 inline constexpr char kEvalMemoHits[] = "eval.memo_hits";
 inline constexpr char kEvalSigmaHat[] = "eval.sigma_hat";
+inline constexpr char kEvalBlocksRun[] = "eval.blocks_run";
+inline constexpr char kEvalEarlyStops[] = "eval.early_stops";
+inline constexpr char kEvalSamplesSaved[] = "eval.samples_saved";
 inline constexpr char kRisSketchBuilds[] = "ris.sketch_builds";
 inline constexpr char kRisSketchReuses[] = "ris.sketch_reuses";
 inline constexpr char kRisCoverageQueries[] = "ris.coverage_queries";

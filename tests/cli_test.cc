@@ -426,6 +426,77 @@ TEST(Cli, GenerousDeadlineIsByteInvisibleAndValidationRejectsNegative) {
             "invalid_argument");
 }
 
+// ISSUE 10: --adaptive turns on racing (the result JSON shows the race
+// counters moving), --adaptive-delta validates its range, the underscore
+// aliases parse, and the fixed-path run books zero race counters.
+TEST(Cli, AdaptiveFlagEnablesRacingAndValidatesDelta) {
+  const std::vector<std::string> base{
+      "plan",        "--dataset", "fig1-toy", "--planner",
+      "dysim",       "--budget",  "20",       "--promotions",
+      "2",           "--eval-samples", "8",   "--selection-samples", "8"};
+  CliResult plain = RunCli(base);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  const util::Json* fixed_result = ParseOrDie(plain.out).Find("result");
+  ASSERT_NE(fixed_result, nullptr);
+  EXPECT_EQ(fixed_result->Find("blocks_run")->AsInt(), 0);
+  EXPECT_EQ(fixed_result->Find("early_stops")->AsInt(), 0);
+  EXPECT_EQ(fixed_result->Find("samples_saved")->AsInt(), 0);
+
+  std::vector<std::string> adaptive = base;
+  adaptive.insert(adaptive.end(), {"--adaptive", "--adaptive-delta", "0.1"});
+  CliResult raced = RunCli(adaptive);
+  ASSERT_EQ(raced.code, 0) << raced.err;
+  const util::Json* result = ParseOrDie(raced.out).Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->Find("blocks_run")->AsInt(), 0);
+  // And byte-determinism holds on the adaptive path too.
+  EXPECT_EQ(RunCli(adaptive).out, raced.out);
+
+  // The underscore alias parses to the same bytes.
+  std::vector<std::string> alias = base;
+  alias.insert(alias.end(), {"--adaptive", "--adaptive_delta", "0.1"});
+  EXPECT_EQ(RunCli(alias).out, raced.out);
+
+  std::vector<std::string> bad = base;
+  bad.insert(bad.end(), {"--adaptive", "--adaptive-delta", "1.5"});
+  CliResult rejected = RunCli(bad);
+  EXPECT_EQ(rejected.code, 2);
+  util::Json error = ParseOrDie(FirstLine(rejected.err));
+  EXPECT_EQ(error.Find("error")->Find("code_name")->AsString(),
+            "invalid_argument");
+
+  // --adaptive-budget caps the race's decision samples (more skipped
+  // simulations than the un-budgeted race) and rejects negatives.
+  std::vector<std::string> budgeted = base;
+  budgeted.insert(budgeted.end(),
+                  {"--adaptive", "--adaptive-budget", "4"});
+  CliResult capped = RunCli(budgeted);
+  ASSERT_EQ(capped.code, 0) << capped.err;
+  const util::Json* capped_result = ParseOrDie(capped.out).Find("result");
+  ASSERT_NE(capped_result, nullptr);
+  EXPECT_GT(capped_result->Find("blocks_run")->AsInt(), 0);
+  EXPECT_GE(capped_result->Find("samples_saved")->AsInt(),
+            result->Find("samples_saved")->AsInt());
+
+  std::vector<std::string> negative = base;
+  negative.insert(negative.end(),
+                  {"--adaptive", "--adaptive-budget", "-1"});
+  CliResult neg = RunCli(negative);
+  EXPECT_EQ(neg.code, 2);
+  util::Json neg_error = ParseOrDie(FirstLine(neg.err));
+  EXPECT_EQ(neg_error.Find("error")->Find("code_name")->AsString(),
+            "invalid_argument");
+}
+
+// The capability listing: every backend that implements the racing seam
+// advertises it, so scripts can probe before flipping --adaptive on.
+TEST(Cli, BackendsListsSelectBestCapability) {
+  CliResult r = RunCli({"backends"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("mc"), std::string::npos);
+  EXPECT_NE(r.out.find("select-best"), std::string::npos);
+}
+
 // ISSUE 9: --trace-out writes a Perfetto-loadable Chrome trace with the
 // pipeline's phase spans, --metrics-out a snapshot carrying every legacy
 // counter — and neither flag changes a byte of the main JSON output.

@@ -182,6 +182,62 @@ TEST(ConfigLoader, ParsesRobustnessKnobs) {
   EXPECT_NE(bad.message().find("zzz"), std::string::npos) << bad.ToString();
 }
 
+// ISSUE 10: the eval.adaptive.* knobs parse, validate their ranges, and
+// reject typos — racing must be impossible to half-configure silently.
+TEST(ConfigLoader, ParsesAdaptiveKnobs) {
+  util::Json obj;
+  std::string error;
+  ASSERT_TRUE(util::Json::Parse(
+      R"({"eval": {"adaptive": {"enabled": true, "delta": 0.02,
+                                "block_samples": 4, "min_samples": 6,
+                                "max_samples": 12}}})",
+      &obj, &error));
+  api::PlannerConfig cfg;
+  const util::Status applied = config::ApplyPlannerConfigJson(obj, &cfg);
+  ASSERT_TRUE(applied.ok()) << applied.ToString();
+  EXPECT_TRUE(cfg.eval.adaptive.enabled);
+  EXPECT_EQ(cfg.eval.adaptive.delta, 0.02);
+  EXPECT_EQ(cfg.eval.adaptive.block_samples, 4);
+  EXPECT_EQ(cfg.eval.adaptive.min_samples, 6);
+  EXPECT_EQ(cfg.eval.adaptive.max_samples, 12);
+
+  // δ is a probability: the open interval (0, 1), nothing else.
+  ASSERT_TRUE(util::Json::Parse(R"({"eval": {"adaptive": {"delta": 0.0}}})",
+                                &obj, &error));
+  util::Status bad = config::ApplyPlannerConfigJson(obj, &cfg);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("eval.adaptive.delta"), std::string::npos)
+      << bad.ToString();
+  ASSERT_TRUE(util::Json::Parse(R"({"eval": {"adaptive": {"delta": 1.5}}})",
+                                &obj, &error));
+  EXPECT_EQ(config::ApplyPlannerConfigJson(obj, &cfg).code(),
+            util::StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(util::Json::Parse(
+      R"({"eval": {"adaptive": {"block_samples": 0}}})", &obj, &error));
+  EXPECT_EQ(config::ApplyPlannerConfigJson(obj, &cfg).code(),
+            util::StatusCode::kInvalidArgument);
+  ASSERT_TRUE(util::Json::Parse(
+      R"({"eval": {"adaptive": {"min_samples": -1}}})", &obj, &error));
+  EXPECT_EQ(config::ApplyPlannerConfigJson(obj, &cfg).code(),
+            util::StatusCode::kInvalidArgument);
+  // max_samples = 0 means "no budget", so only negatives are rejected.
+  ASSERT_TRUE(util::Json::Parse(
+      R"({"eval": {"adaptive": {"max_samples": -4}}})", &obj, &error));
+  EXPECT_EQ(config::ApplyPlannerConfigJson(obj, &cfg).code(),
+            util::StatusCode::kInvalidArgument);
+
+  // Typos inside the nested object fail loudly like everywhere else.
+  ASSERT_TRUE(util::Json::Parse(
+      R"({"eval": {"adaptive": {"blok_samples": 4}}})", &obj, &error));
+  bad = config::ApplyPlannerConfigJson(obj, &cfg);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("eval.adaptive"), std::string::npos)
+      << bad.ToString();
+  EXPECT_NE(bad.message().find("blok_samples"), std::string::npos)
+      << bad.ToString();
+}
+
 TEST(ConfigLoader, RejectsUnknownAndMistypedKnobs) {
   api::PlannerConfig cfg;
   util::Json obj;

@@ -285,6 +285,50 @@ TEST(DeterminismGate, TracingAndMetricsAreBitInvisible) {
   }
 }
 
+// ISSUE 10: the variance-adaptive racing path must hold the same gate.
+// Per-sample value slots plus fixed-order reductions at block boundaries
+// make every elimination decision a pure function of the candidate set,
+// so a plan under eval.adaptive — schedule, σ bits AND the work counters
+// (which blocks ran is part of the contract) — is identical at any
+// executor count, including the serial fallback.
+TEST(DeterminismGate, AdaptivePathBitIdenticalAcrossThreadCounts) {
+  const int hardware = util::HardwareConcurrency();
+  auto run = [](const std::string& name, int threads) {
+    PlannerConfig cfg = GateConfig(threads);
+    cfg.eval.adaptive.enabled = true;
+    // Two blocks inside the 4 selection samples: boundary decisions fire.
+    cfg.eval.adaptive.min_samples = 2;
+    cfg.eval.adaptive.block_samples = 2;
+    CampaignSession session(data::MakeSmallAmazonSample(), cfg);
+    session.SetProblem(/*budget=*/100.0, /*num_promotions=*/2);
+    return session.Run(name);
+  };
+  auto race_counters = [](const PlanResult& r) {
+    return std::vector<int64_t>{
+        r.metrics.Counter(util::metric::kEvalBlocksRun),
+        r.metrics.Counter(util::metric::kEvalEarlyStops),
+        r.metrics.Counter(util::metric::kEvalSamplesSaved)};
+  };
+  for (const std::string& name : PlannerRegistry::Names()) {
+    SCOPED_TRACE(name);
+    PlanResult serial = run(name, 0);
+    PlanResult one = run(name, 1);
+    PlanResult two = run(name, 2);
+    PlanResult wide = run(name, hardware);
+    ExpectSamePlan(serial, one, "adaptive: serial fallback vs 1 thread");
+    ExpectSamePlan(one, two, "adaptive: 1 thread vs 2 threads");
+    ExpectSamePlan(one, wide, "adaptive: 1 thread vs hardware threads");
+    EXPECT_EQ(race_counters(one), race_counters(serial));
+    EXPECT_EQ(race_counters(one), race_counters(two));
+    EXPECT_EQ(race_counters(one), race_counters(wide));
+    // The Theorem-5 timing placement always races (T = 2 candidates), so
+    // the adaptive machinery demonstrably engaged on the dysim family.
+    if (name == "dysim") {
+      EXPECT_GT(race_counters(one)[0], 0) << "race never engaged";
+    }
+  }
+}
+
 TEST(DeterminismGate, SessionSigmaThreadCountInvariant) {
   const diffusion::SeedGroup seeds{{0, 0, 1}, {1, 1, 2}};
   std::vector<double> sigmas;

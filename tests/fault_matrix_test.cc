@@ -256,6 +256,44 @@ TEST_F(FaultMatrix, TinyDeadlineStopsTheRunAndSessionStaysReusable) {
   EXPECT_GT(ok.sigma, 0.0);
 }
 
+// ISSUE 10: a deadline firing mid-race (inside an adaptive SelectBest
+// block) must stop the run like any other estimate — completed blocks
+// stay booked, the interrupted block is uncharged — and leave the session
+// reusable, including for a later adaptive run.
+TEST_F(FaultMatrix, DeadlineMidAdaptiveRaceStopsTheRunAndSessionRecovers) {
+  api::PlannerConfig cfg = SmallConfig();
+  cfg.selection_samples = 12;
+  cfg.eval_samples = 24;
+  cfg.eval.adaptive.enabled = true;
+  cfg.eval.adaptive.min_samples = 2;
+  cfg.eval.adaptive.block_samples = 2;  // many boundaries to land inside
+  cfg.deadline_ms = 1;
+  api::CampaignSession session(data::MakeSmallAmazonSample(), cfg);
+  session.SetProblem(/*budget=*/100.0, /*num_promotions=*/2);
+  api::PlanResult timed_out = session.Run("dysim");
+  EXPECT_EQ(timed_out.status.code(), util::StatusCode::kDeadlineExceeded)
+      << timed_out.status.ToString();
+
+  // The deadline belonged to that Run alone; the same session then plans
+  // fine with racing still on, and matches a fresh session bit for bit.
+  api::PlannerConfig retry = cfg;
+  retry.deadline_ms = 0;
+  api::PlanResult ok = session.Run("dysim", retry);
+  ASSERT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_GT(ok.sigma, 0.0);
+  api::CampaignSession fresh(data::MakeSmallAmazonSample(), retry);
+  fresh.SetProblem(/*budget=*/100.0, /*num_promotions=*/2);
+  api::PlanResult want = fresh.Run("dysim");
+  EXPECT_EQ(ok.sigma, want.sigma);
+  EXPECT_EQ(ok.total_cost, want.total_cost);
+  ASSERT_EQ(ok.seeds.size(), want.seeds.size());
+  for (size_t i = 0; i < want.seeds.size(); ++i) {
+    EXPECT_EQ(ok.seeds[i].user, want.seeds[i].user) << i;
+    EXPECT_EQ(ok.seeds[i].item, want.seeds[i].item) << i;
+    EXPECT_EQ(ok.seeds[i].promotion, want.seeds[i].promotion) << i;
+  }
+}
+
 TEST_F(FaultMatrix, PreFiredTokenCancelsTheRunPromptly) {
   api::CampaignSession session(data::MakeFig1Toy(), SmallConfig());
   session.SetProblem(20.0, 2);
